@@ -1,0 +1,324 @@
+package pilgrim_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (the per-figure sweeps delegate to internal/experiments,
+// the same code behind cmd/pilgrim-bench), plus component
+// microbenchmarks for the compression pipeline itself. Trace sizes are
+// reported as custom metrics so `go test -bench` output doubles as the
+// figure data.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/experiments"
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/replay"
+	"github.com/hpcrepro/pilgrim/internal/sequitur"
+	"github.com/hpcrepro/pilgrim/internal/sig"
+	"github.com/hpcrepro/pilgrim/internal/workloads"
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+// --- Table / figure regeneration ---------------------------------------------
+
+func BenchmarkTable1Coverage(b *testing.B) {
+	var t1 experiments.Table1
+	for i := 0; i < b.N; i++ {
+		t1 = experiments.RunTable1()
+	}
+	b.ReportMetric(float64(t1.Pilgrim), "pilgrim-funcs")
+	b.ReportMetric(float64(t1.ScalaTrace), "scalatrace-funcs")
+	b.ReportMetric(float64(t1.Cypress), "cypress-funcs")
+}
+
+func BenchmarkFigStencil(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunStencil(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := r.D2.Points[len(r.D2.Points)-1]
+			b.ReportMetric(float64(last.PilgrimB), "bytes@maxP")
+		}
+	}
+}
+
+func BenchmarkFigOSU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunOSU(experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5NPB(b *testing.B) {
+	for _, name := range []string{"is", "mg", "cg", "lu", "sp", "bt"} {
+		b.Run(name, func(b *testing.B) {
+			procs := 16
+			iters := 10
+			var pt experiments.Point
+			var err error
+			for i := 0; i < b.N; i++ {
+				pt, err = experiments.RunBoth(name, procs, iters)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(pt.PilgrimB), "pilgrim-B")
+			b.ReportMetric(float64(pt.ScalaB), "scalatrace-B")
+		})
+	}
+}
+
+func BenchmarkFig6Flash(b *testing.B) {
+	for _, name := range []string{"sedov", "cellular", "stirturb"} {
+		b.Run(name, func(b *testing.B) {
+			var pt experiments.Point
+			var err error
+			for i := 0; i < b.N; i++ {
+				pt, err = experiments.RunBoth(name, 16, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(pt.PilgrimB), "pilgrim-B")
+			b.ReportMetric(float64(pt.ScalaB), "scalatrace-B")
+		})
+	}
+}
+
+func BenchmarkFig7Overhead(b *testing.B) {
+	// Same methodology as the figure: Compute burns real CPU so the
+	// overhead denominator reflects an application, not an empty shell.
+	simOpts := mpi.Options{ComputeFactor: 0.25}
+	for _, name := range []string{"sedov", "cellular", "stirturb"} {
+		b.Run(name, func(b *testing.B) {
+			var base, withP int64
+			for i := 0; i < b.N; i++ {
+				var err error
+				base, err = experiments.RunBaseSim(name, 16, 50, simOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pt, err := experiments.RunPilgrimSim(name, 16, 50, pilgrim.Options{}, simOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				withP = pt.PilgrimNs
+			}
+			if base > 0 {
+				b.ReportMetric(100*float64(withP-base)/float64(base), "overhead-%")
+			}
+		})
+	}
+}
+
+func BenchmarkFig8Decomposition(b *testing.B) {
+	var r experiments.Fig8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunFig8(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(r.Points) > 0 {
+		p := r.Points[0]
+		tot := p.IntraNs + p.CSTMergeNs + p.CFGMergeNs
+		if tot > 0 {
+			b.ReportMetric(100*float64(p.IntraNs)/float64(tot), "intra-%")
+			b.ReportMetric(100*float64(p.CFGMergeNs)/float64(tot), "cfg-merge-%")
+		}
+	}
+}
+
+func BenchmarkFig9MILC(b *testing.B) {
+	var r experiments.Fig9Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunFig9(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if n := len(r.Weak.Points); n > 0 {
+		b.ReportMetric(float64(r.Weak.Points[n-1].PilgrimB), "weak-bytes@maxP")
+	}
+}
+
+func BenchmarkFig10Timing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig10(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(r.Series) > 0 {
+			pts := r.Series[0].Points
+			b.ReportMetric(float64(pts[len(pts)-1].IntB), "interval-B")
+			b.ReportMetric(float64(pts[len(pts)-1].DurB), "duration-B")
+		}
+	}
+}
+
+// --- Component microbenchmarks -------------------------------------------------
+
+func BenchmarkSequiturAppendLoop(b *testing.B) {
+	g := sequitur.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Append(int32(i % 7))
+	}
+}
+
+func BenchmarkSequiturAppendRandom(b *testing.B) {
+	g := sequitur.New()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Append(int32(rng.Intn(64)))
+	}
+}
+
+func BenchmarkEncoderSend(b *testing.B) {
+	e := sig.NewEncoder(0, nil)
+	e.MemAlloc(0x1000, 1<<16, 0)
+	rec := &mpispec.CallRecord{Func: mpispec.FSend, Args: []mpispec.Value{
+		{Kind: mpispec.KPtr, I: 0x1000},
+		{Kind: mpispec.KInt, I: 64},
+		{Kind: mpispec.KDatatype, I: 18},
+		{Kind: mpispec.KRank, I: 1},
+		{Kind: mpispec.KTag, I: 999},
+		{Kind: mpispec.KComm, I: 1, Arr: []int64{0}},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Encode(rec)
+	}
+}
+
+func BenchmarkTracerPost(b *testing.B) {
+	tr := pilgrim.NewTracer(0, nil, pilgrim.Options{})
+	tr.MemAlloc(0x1000, 1<<16, 0)
+	rec := &mpispec.CallRecord{Func: mpispec.FSend, Args: []mpispec.Value{
+		{Kind: mpispec.KPtr, I: 0x1000},
+		{Kind: mpispec.KInt, I: 64},
+		{Kind: mpispec.KDatatype, I: 18},
+		{Kind: mpispec.KRank, I: 1},
+		{Kind: mpispec.KTag, I: 999},
+		{Kind: mpispec.KComm, I: 1, Arr: []int64{0}},
+	}, TStart: 0, TEnd: 1000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Post(rec)
+	}
+}
+
+func BenchmarkCSTMerge64Ranks(b *testing.B) {
+	mk := func(rank int) *cst.Table {
+		t := cst.New()
+		for i := 0; i < 200; i++ {
+			t.Add([]byte(fmt.Sprintf("shared-%d", i)), 100)
+		}
+		for i := 0; i < 20; i++ {
+			t.Add([]byte(fmt.Sprintf("rank%d-%d", rank, i)), 100)
+		}
+		return t
+	}
+	tables := make([]*cst.Table, 64)
+	for r := range tables {
+		tables[r] = mk(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cst.MergePairwise(tables)
+	}
+}
+
+func BenchmarkTraceStencil64(b *testing.B) {
+	body := workloads.Stencil2D(workloads.StencilConfig{Iters: 20})
+	var calls int64
+	for i := 0; i < b.N; i++ {
+		_, stats, err := pilgrim.Run(64, pilgrim.Options{}, body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls = stats.TotalCalls
+	}
+	b.ReportMetric(float64(calls), "calls/op")
+}
+
+func BenchmarkDecodeRank(b *testing.B) {
+	body := workloads.Stencil2D(workloads.StencilConfig{Iters: 100})
+	file, _, err := pilgrim.Run(16, pilgrim.Options{}, body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pilgrim.DecodeRank(file, i%16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceFileWrite(b *testing.B) {
+	body := workloads.Stencil2D(workloads.StencilConfig{Iters: 100})
+	file, _, err := pilgrim.Run(16, pilgrim.Options{}, body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := file.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	// One benchmark per encoding optimization: trace the 2D stencil
+	// with the optimization disabled and report the trace size blowup.
+	configs := []struct {
+		name string
+		enc  sig.Options
+	}{
+		{"full", sig.Options{}},
+		{"no-relative-ranks", sig.Options{NoRelativeRanks: true}},
+		{"no-request-pools", sig.Options{SharedRequestPool: true}},
+		{"no-pointer-tracking", sig.Options{NoPointerTracking: true}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			body := workloads.Stencil2D(workloads.StencilConfig{Iters: 20})
+			var bytes int
+			for i := 0; i < b.N; i++ {
+				file, _, err := pilgrim.Run(16, pilgrim.Options{Encoding: cfg.enc}, body)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = file.SizeBytes()
+			}
+			b.ReportMetric(float64(bytes), "trace-B")
+		})
+	}
+}
+
+func BenchmarkReplayRoundtrip(b *testing.B) {
+	body := workloads.Stencil2D(workloads.StencilConfig{Iters: 20})
+	file, _, err := pilgrim.Run(9, pilgrim.Options{}, body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := replay.Run(file, mpi.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// pilgrim-bench regenerates the paper's evaluation tables and figures
+// (§4) on the simulated substrate and prints their data series.
+//
+// Usage:
+//
+//	pilgrim-bench -exp all -scale standard
+//	pilgrim-bench -exp fig5 -scale full
+//
+// Experiments: table1, stencil, osu, fig5, fig6, fig7, fig8, fig9,
+// fig10, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment(s), comma separated")
+		scaleStr = flag.String("scale", "quick", "sweep scale: quick, standard, full")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleStr {
+	case "quick":
+		scale = experiments.Quick
+	case "standard":
+		scale = experiments.Standard
+	case "full":
+		scale = experiments.Full
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleStr))
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("(%s took %.1fs)\n", name, time.Since(t0).Seconds())
+	}
+
+	w := os.Stdout
+	run("table1", func() error {
+		experiments.RunTable1().Print(w)
+		return nil
+	})
+	run("stencil", func() error {
+		r, err := experiments.RunStencil(scale)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+	run("osu", func() error {
+		r, err := experiments.RunOSU(scale)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+	run("fig5", func() error {
+		r, err := experiments.RunFig5(scale)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+	run("fig6", func() error {
+		r, err := experiments.RunFig6(scale)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+	run("fig7", func() error {
+		r, err := experiments.RunFig7(scale)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+	run("fig8", func() error {
+		r, err := experiments.RunFig8(scale)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+	run("fig9", func() error {
+		r, err := experiments.RunFig9(scale)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+	run("ablation", func() error {
+		r, err := experiments.RunAblation(scale)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+	run("fig10", func() error {
+		r, err := experiments.RunFig10(scale)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pilgrim-bench:", err)
+	os.Exit(1)
+}

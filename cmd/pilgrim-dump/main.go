@@ -1,0 +1,147 @@
+// pilgrim-dump decompresses a Pilgrim trace file and prints the
+// recovered call stream — the decoder the paper uses to check that
+// compression is lossless. It can dump one rank or summarize all.
+//
+// Usage:
+//
+//	pilgrim-dump -rank 0 trace.pilgrim
+//	pilgrim-dump -summary trace.pilgrim
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/sig"
+)
+
+func main() {
+	var (
+		rank    = flag.Int("rank", 0, "rank whose call stream to dump")
+		summary = flag.Bool("summary", false, "print per-function call counts for all ranks instead")
+		grammar = flag.Bool("grammar", false, "print the rank's grammar rules instead of the expanded stream")
+		limit   = flag.Int("n", 0, "dump at most n calls (0 = all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pilgrim-dump [-rank N | -summary] trace.pilgrim")
+		os.Exit(2)
+	}
+	file, err := pilgrim.Load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	fmt.Fprintf(w, "# ranks=%d timing=%s cst=%d grammars=%d size=%dB\n",
+		file.NumRanks, timingName(file.TimingMode), file.CST.Len(), len(file.Grammars), file.SizeBytes())
+
+	if *summary {
+		total := map[mpispec.FuncID]int{}
+		for r := 0; r < file.NumRanks; r++ {
+			calls, err := pilgrim.DecodeRank(file, r)
+			if err != nil {
+				fatal(err)
+			}
+			for f, n := range core.CallCounts(calls) {
+				total[f] += n
+			}
+		}
+		type kv struct {
+			f mpispec.FuncID
+			n int
+		}
+		var rows []kv
+		for f, n := range total {
+			rows = append(rows, kv{f, n})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+		for _, r := range rows {
+			fmt.Fprintf(w, "%10d  %s\n", r.n, r.f.Name())
+		}
+		return
+	}
+
+	if *grammar {
+		dumpGrammar(w, file, *rank)
+		return
+	}
+
+	calls, err := pilgrim.DecodeRank(file, *rank)
+	if err != nil {
+		fatal(err)
+	}
+	for i, c := range calls {
+		if *limit > 0 && i >= *limit {
+			fmt.Fprintf(w, "... (%d more calls)\n", len(calls)-i)
+			break
+		}
+		if file.TimingMode == pilgrim.TimingLossy {
+			fmt.Fprintf(w, "[%d] t=%d..%d %s\n", i, c.TStart, c.TEnd, c.Decoded)
+		} else {
+			fmt.Fprintf(w, "[%d] avg=%dns %s\n", i, c.AvgDuration, c.Decoded)
+		}
+	}
+}
+
+// dumpGrammar prints the rank's production rules with the decoded
+// call each terminal stands for — the compressed representation
+// itself, as in the paper's Figure 1.
+func dumpGrammar(w *bufio.Writer, file *pilgrim.TraceFile, rank int) {
+	idx, err := file.GrammarIndex()
+	if err != nil {
+		fatal(err)
+	}
+	if rank < 0 || rank >= len(idx) {
+		fatal(fmt.Errorf("rank %d out of range", rank))
+	}
+	g := file.Grammars[idx[rank]]
+	rules := g.Rules()
+	fmt.Fprintf(w, "# rank %d uses grammar %d (%d rules, %d calls when expanded)\n",
+		rank, idx[rank], len(rules), g.InputLen())
+	for ri, body := range rules {
+		fmt.Fprintf(w, "R%d ->", ri)
+		for _, s := range body {
+			if s.Val < 0 {
+				fmt.Fprintf(w, " R%d", -s.Val-1)
+			} else {
+				fmt.Fprintf(w, " t%d", s.Val)
+			}
+			if s.Exp > 1 {
+				fmt.Fprintf(w, "^%d", s.Exp)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "# terminals:")
+	seen := map[int32]bool{}
+	for _, body := range rules {
+		for _, s := range body {
+			if s.Val >= 0 && !seen[s.Val] {
+				seen[s.Val] = true
+				if d, err := sig.Decode(file.CST.Sig(s.Val)); err == nil {
+					fmt.Fprintf(w, "t%d = %s\n", s.Val, d)
+				}
+			}
+		}
+	}
+}
+
+func timingName(mode uint8) string {
+	if mode == pilgrim.TimingLossy {
+		return "lossy"
+	}
+	return "aggregated"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pilgrim-dump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// pilgrim-replay re-executes a Pilgrim trace on a fresh simulated MPI
+// world (the paper's mini-app-generator direction), optionally
+// re-tracing the replay and verifying it matches the input trace. It
+// can also convert a trace to the OTF-style text format.
+//
+// Usage:
+//
+//	pilgrim-replay trace.pilgrim               # replay
+//	pilgrim-replay -verify trace.pilgrim       # replay, re-trace, compare
+//	pilgrim-replay -otf out.txt trace.pilgrim  # convert to text events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/otf"
+	"github.com/hpcrepro/pilgrim/internal/replay"
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+func main() {
+	var (
+		verify  = flag.Bool("verify", false, "re-trace the replay and compare with the input trace")
+		otfPath = flag.String("otf", "", "convert to OTF-style text at this path instead of replaying")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pilgrim-replay [-verify | -otf out.txt] trace.pilgrim")
+		os.Exit(2)
+	}
+	file, err := pilgrim.Load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *otfPath != "" {
+		out, err := os.Create(*otfPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := otf.Convert(file, out); err != nil {
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("converted %d ranks to %s\n", file.NumRanks, *otfPath)
+		return
+	}
+
+	simOpts := mpi.Options{Timeout: 10 * time.Minute}
+	if !*verify {
+		if err := replay.Run(file, simOpts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replayed %d ranks successfully\n", file.NumRanks)
+		return
+	}
+
+	re, stats, err := pilgrim.RunSim(file.NumRanks, pilgrim.Options{}, simOpts, replay.Body(file))
+	if err != nil {
+		fatal(err)
+	}
+	for r := 0; r < file.NumRanks; r++ {
+		a, err := pilgrim.DecodeRank(file, r)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := pilgrim.DecodeRank(re, r)
+		if err != nil {
+			fatal(err)
+		}
+		if len(a) != len(b) {
+			fatal(fmt.Errorf("rank %d: original %d calls, replay %d", r, len(a), len(b)))
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				fatal(fmt.Errorf("rank %d call %d differs:\n  original: %s\n  replayed: %s",
+					r, i, a[i].Decoded, b[i].Decoded))
+			}
+		}
+	}
+	fmt.Printf("replayed and verified %d ranks, %d calls: traces identical\n",
+		file.NumRanks, stats.TotalCalls)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pilgrim-replay:", err)
+	os.Exit(1)
+}

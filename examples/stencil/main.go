@@ -1,0 +1,41 @@
+// Stencil scaling demo (§4.1 of the paper): the compressed trace of a
+// regular 2D stencil stays constant in size regardless of the number
+// of iterations and of processes beyond 9 (all 4 corners, 4 sides and
+// the interior have appeared on a 3×3 grid).
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/workloads"
+)
+
+func main() {
+	fmt.Println("2D 5-point stencil (non-periodic), varying process count:")
+	fmt.Printf("%8s %12s %14s %16s\n", "procs", "MPI calls", "trace bytes", "unique grammars")
+	for _, procs := range []int{4, 9, 16, 36, 64, 100} {
+		body := workloads.Stencil2D(workloads.StencilConfig{Iters: 50})
+		file, stats, err := pilgrim.Run(procs, pilgrim.Options{}, body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %12d %14d %16d\n", procs, stats.TotalCalls, file.SizeBytes(), stats.UniqueCFGs)
+	}
+
+	fmt.Println("\nsame stencil at 16 procs, varying iteration count:")
+	fmt.Printf("%8s %12s %14s\n", "iters", "MPI calls", "trace bytes")
+	for _, iters := range []int{10, 100, 1000, 10000} {
+		body := workloads.Stencil2D(workloads.StencilConfig{Iters: iters})
+		file, stats, err := pilgrim.Run(16, pilgrim.Options{}, body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %12d %14d\n", iters, stats.TotalCalls, file.SizeBytes())
+	}
+	fmt.Println("\nloops compress to run-length rules (A → Bᴺ), so only the")
+	fmt.Println("iteration counters widen — by a logarithmic number of bits.")
+}

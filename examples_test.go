@@ -1,0 +1,39 @@
+package pilgrim_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main and checks for its
+// success marker, so the documented entry points cannot rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "decoded from the trace"},
+		{"stencil", "logarithmic number of bits"},
+		{"amr", "Pilgrim recorded all of them"},
+		{"timing", "bound: 0.20"},
+		{"replay", "call-for-call identical"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("example %s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/hpcrepro/pilgrim
+
+go 1.22

@@ -1,0 +1,218 @@
+// Package avl provides an AVL tree over memory segments, ordered by
+// starting address. Pilgrim (§3.3.3) uses it to map a pointer used in
+// an MPI call to the allocation that contains it, in O(log N).
+package avl
+
+// Segment is one tracked memory allocation.
+type Segment struct {
+	Addr   uint64 // starting address
+	Size   uint64 // length in bytes; stack fallbacks use 1
+	ID     int32  // symbolic id assigned by the tracer
+	Device int32  // device location (0 = host), for CUDA-style allocations
+}
+
+// Contains reports whether address p falls inside the segment.
+func (s Segment) Contains(p uint64) bool {
+	return p >= s.Addr && (s.Size == 0 && p == s.Addr || p-s.Addr < s.Size)
+}
+
+type node struct {
+	seg         Segment
+	left, right *node
+	height      int
+}
+
+// Tree is an AVL tree of non-overlapping segments keyed by Addr.
+type Tree struct {
+	root *node
+	n    int
+}
+
+// Len returns the number of segments currently tracked.
+func (t *Tree) Len() int { return t.n }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix(n *node) *node {
+	n.height = 1 + max(height(n.left), height(n.right))
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	l.height = 1 + max(height(l.left), height(l.right))
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	r.height = 1 + max(height(r.left), height(r.right))
+	return r
+}
+
+// Insert adds a segment. An existing segment with the same Addr is
+// replaced (matching realloc-in-place semantics).
+func (t *Tree) Insert(seg Segment) {
+	var ins func(n *node) *node
+	added := true
+	ins = func(n *node) *node {
+		if n == nil {
+			return &node{seg: seg, height: 1}
+		}
+		switch {
+		case seg.Addr < n.seg.Addr:
+			n.left = ins(n.left)
+		case seg.Addr > n.seg.Addr:
+			n.right = ins(n.right)
+		default:
+			n.seg = seg
+			added = false
+			return n
+		}
+		return fix(n)
+	}
+	t.root = ins(t.root)
+	if added {
+		t.n++
+	}
+}
+
+// Delete removes the segment starting exactly at addr and reports
+// whether one was found.
+func (t *Tree) Delete(addr uint64) bool {
+	var deleted bool
+	var del func(n *node, addr uint64) *node
+	del = func(n *node, addr uint64) *node {
+		if n == nil {
+			return nil
+		}
+		switch {
+		case addr < n.seg.Addr:
+			n.left = del(n.left, addr)
+		case addr > n.seg.Addr:
+			n.right = del(n.right, addr)
+		default:
+			deleted = true
+			if n.left == nil {
+				return n.right
+			}
+			if n.right == nil {
+				return n.left
+			}
+			m := n.right
+			for m.left != nil {
+				m = m.left
+			}
+			n.seg = m.seg
+			n.right = del(n.right, m.seg.Addr)
+		}
+		return fix(n)
+	}
+	t.root = del(t.root, addr)
+	if deleted {
+		t.n--
+	}
+	return deleted
+}
+
+// Lookup returns the segment starting exactly at addr.
+func (t *Tree) Lookup(addr uint64) (Segment, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case addr < n.seg.Addr:
+			n = n.left
+		case addr > n.seg.Addr:
+			n = n.right
+		default:
+			return n.seg, true
+		}
+	}
+	return Segment{}, false
+}
+
+// Find returns the segment containing address p, i.e. the segment with
+// the greatest Addr <= p whose extent covers p.
+func (t *Tree) Find(p uint64) (Segment, bool) {
+	var best *node
+	n := t.root
+	for n != nil {
+		if n.seg.Addr <= p {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best != nil && best.seg.Contains(p) {
+		return best.seg, true
+	}
+	return Segment{}, false
+}
+
+// Walk visits segments in address order until fn returns false.
+func (t *Tree) Walk(fn func(Segment) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && fn(n.seg) && walk(n.right)
+	}
+	walk(t.root)
+}
+
+// Height returns the tree height (for balance tests).
+func (t *Tree) Height() int { return height(t.root) }
+
+// CheckBalance verifies AVL balance and ordering invariants.
+func (t *Tree) CheckBalance() bool {
+	ok := true
+	var last *Segment
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		hl := walk(n.left)
+		if last != nil && last.Addr >= n.seg.Addr {
+			ok = false
+		}
+		seg := n.seg
+		last = &seg
+		hr := walk(n.right)
+		if hl-hr > 1 || hr-hl > 1 {
+			ok = false
+		}
+		h := 1 + max(hl, hr)
+		if h != n.height {
+			ok = false
+		}
+		return h
+	}
+	walk(t.root)
+	return ok
+}

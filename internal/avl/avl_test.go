@@ -1,0 +1,181 @@
+package avl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertFind(t *testing.T) {
+	var tr Tree
+	tr.Insert(Segment{Addr: 100, Size: 50, ID: 1})
+	tr.Insert(Segment{Addr: 200, Size: 10, ID: 2})
+	tr.Insert(Segment{Addr: 10, Size: 5, ID: 3})
+
+	cases := []struct {
+		p      uint64
+		id     int32
+		wantOK bool
+	}{
+		{100, 1, true}, {149, 1, true}, {150, 0, false},
+		{200, 2, true}, {209, 2, true}, {210, 0, false},
+		{10, 3, true}, {14, 3, true}, {15, 0, false},
+		{9, 0, false}, {99, 0, false}, {0, 0, false},
+	}
+	for _, c := range cases {
+		seg, ok := tr.Find(c.p)
+		if ok != c.wantOK || (ok && seg.ID != c.id) {
+			t.Errorf("Find(%d) = (%+v,%v), want id %d ok %v", c.p, seg, ok, c.id, c.wantOK)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(Segment{Addr: i * 10, Size: 10, ID: int32(i)})
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		if !tr.Delete(i * 10) {
+			t.Fatalf("Delete(%d) failed", i*10)
+		}
+	}
+	if tr.Delete(5) {
+		t.Fatal("deleted nonexistent address")
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d after deletes", tr.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		seg, ok := tr.Find(i*10 + 3)
+		if i%2 == 0 {
+			if ok {
+				t.Fatalf("found deleted segment %d: %+v", i, seg)
+			}
+		} else if !ok || seg.ID != int32(i) {
+			t.Fatalf("lost segment %d", i)
+		}
+	}
+	if !tr.CheckBalance() {
+		t.Fatal("unbalanced after deletes")
+	}
+}
+
+func TestReplaceSameAddr(t *testing.T) {
+	var tr Tree
+	tr.Insert(Segment{Addr: 42, Size: 8, ID: 1})
+	tr.Insert(Segment{Addr: 42, Size: 16, ID: 2})
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	seg, ok := tr.Find(50)
+	if !ok || seg.ID != 2 {
+		t.Fatalf("replacement not visible: %+v %v", seg, ok)
+	}
+}
+
+func TestLookupExact(t *testing.T) {
+	var tr Tree
+	tr.Insert(Segment{Addr: 7, Size: 3, ID: 9})
+	if _, ok := tr.Lookup(8); ok {
+		t.Fatal("Lookup must match start address only")
+	}
+	seg, ok := tr.Lookup(7)
+	if !ok || seg.ID != 9 {
+		t.Fatal("Lookup(7) failed")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	var tr Tree
+	addrs := []uint64{50, 10, 90, 30, 70, 20}
+	for _, a := range addrs {
+		tr.Insert(Segment{Addr: a, Size: 1})
+	}
+	var got []uint64
+	tr.Walk(func(s Segment) bool {
+		got = append(got, s.Addr)
+		return true
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("walk not sorted: %v", got)
+		}
+	}
+	if len(got) != len(addrs) {
+		t.Fatalf("walk visited %d of %d", len(got), len(addrs))
+	}
+}
+
+func TestBalanceHeight(t *testing.T) {
+	var tr Tree
+	const n = 1 << 12
+	for i := 0; i < n; i++ {
+		tr.Insert(Segment{Addr: uint64(i), Size: 1})
+	}
+	// AVL height bound: 1.44 log2(n+2).
+	if h := tr.Height(); h > 20 {
+		t.Fatalf("height %d too large for %d sequential inserts", h, n)
+	}
+	if !tr.CheckBalance() {
+		t.Fatal("unbalanced")
+	}
+}
+
+func TestQuickRandomOps(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var tr Tree
+		ref := map[uint64]Segment{}
+		for i, op := range ops {
+			addr := uint64(op%512) * 8
+			if i%3 == 2 {
+				delete(ref, addr)
+				tr.Delete(addr)
+			} else {
+				seg := Segment{Addr: addr, Size: 8, ID: int32(i)}
+				ref[addr] = seg
+				tr.Insert(seg)
+			}
+		}
+		if !tr.CheckBalance() || tr.Len() != len(ref) {
+			return false
+		}
+		for addr, want := range ref {
+			seg, ok := tr.Find(addr + 4)
+			if !ok || seg.ID != want.ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSizeSegment(t *testing.T) {
+	var tr Tree
+	tr.Insert(Segment{Addr: 5, Size: 0, ID: 1})
+	if _, ok := tr.Find(5); !ok {
+		t.Fatal("zero-size segment should contain its own address")
+	}
+	if _, ok := tr.Find(6); ok {
+		t.Fatal("zero-size segment must not contain other addresses")
+	}
+}
+
+func BenchmarkFindIn10k(b *testing.B) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		tr.Insert(Segment{Addr: uint64(i) * 64, Size: 64, ID: int32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := uint64(rng.Intn(10000*64 + 100))
+		tr.Find(p)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/sig"
+	"github.com/hpcrepro/pilgrim/internal/timing"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+)
+
+// DecodedCall is one reconstructed call of one rank, with optional
+// recovered timing.
+type DecodedCall struct {
+	sig.Decoded
+	TStart, TEnd int64 // recovered wall-clock (lossy mode); 0 otherwise
+	AvgDuration  int64 // aggregated-mode mean duration for the signature
+}
+
+// DecodeRank expands rank r's grammar, resolves terminals through the
+// global CST, and decodes every signature. This is the decompressor
+// the paper uses to check correctness ("comparing uncompressed traces
+// to compressed next decompressed traces").
+func DecodeRank(f *trace.File, rank int) ([]DecodedCall, error) {
+	terms, err := f.Terms(rank)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DecodedCall, 0, len(terms))
+
+	var recon *timing.Reconstructor
+	var durSeq, intSeq []int32
+	if f.TimingMode == trace.TimingLossy {
+		recon = timing.NewReconstructor(f.TimingBase)
+		if rank < len(f.DurIndex) && int(f.DurIndex[rank]) < len(f.DurGrammars) {
+			durSeq = f.DurGrammars[f.DurIndex[rank]].Expand(0)
+		}
+		if rank < len(f.IntIndex) && int(f.IntIndex[rank]) < len(f.IntGrammars) {
+			intSeq = f.IntGrammars[f.IntIndex[rank]].Expand(0)
+		}
+		if len(durSeq) != len(terms) || len(intSeq) != len(terms) {
+			return nil, fmt.Errorf("core: rank %d timing streams (%d/%d) do not match %d calls",
+				rank, len(durSeq), len(intSeq), len(terms))
+		}
+	}
+
+	for i, term := range terms {
+		if int(term) >= f.CST.Len() {
+			return nil, fmt.Errorf("core: rank %d call %d references CST entry %d of %d",
+				rank, i, term, f.CST.Len())
+		}
+		d, err := sig.Decode(f.CST.Sig(term))
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d call %d: %w", rank, i, err)
+		}
+		dc := DecodedCall{Decoded: d, AvgDuration: f.CST.AvgDuration(term)}
+		if recon != nil {
+			dc.TStart, dc.TEnd = recon.Next(term, d.Func, durSeq[i], intSeq[i])
+		}
+		out = append(out, dc)
+	}
+	return out, nil
+}
+
+// RankSignatures returns rank r's raw signature byte stream (the
+// uncompressed per-call encoding), used for lossless verification.
+func RankSignatures(f *trace.File, rank int) ([]string, error) {
+	terms, err := f.Terms(rank)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(terms))
+	for i, term := range terms {
+		if int(term) >= f.CST.Len() {
+			return nil, fmt.Errorf("core: rank %d call %d references CST entry %d", rank, i, term)
+		}
+		out[i] = string(f.CST.Sig(term))
+	}
+	return out, nil
+}
+
+// VerifyLossless checks that the compressed trace decodes to exactly
+// the signature streams the tracers observed (requires Options.Verify
+// on every tracer). Timing is excluded, as in the paper ("the
+// compression is lossless (except timing)"), but in lossy timing mode
+// the recovered wall-clock times are checked against the configured
+// relative error bound.
+func VerifyLossless(f *trace.File, tracers []*Tracer) error {
+	if f.NumRanks != len(tracers) {
+		return fmt.Errorf("core: %d ranks in trace, %d tracers", f.NumRanks, len(tracers))
+	}
+	for r, tr := range tracers {
+		got, err := RankSignatures(f, r)
+		if err != nil {
+			return err
+		}
+		want := tr.RawSignatures()
+		if len(got) != len(want) {
+			return fmt.Errorf("core: rank %d decoded %d calls, traced %d", r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				gd, _ := sig.Decode([]byte(got[i]))
+				wd, _ := sig.Decode([]byte(want[i]))
+				return fmt.Errorf("core: rank %d call %d mismatch:\n  decoded %s\n  traced  %s", r, i, gd, wd)
+			}
+		}
+		if f.TimingMode == trace.TimingLossy {
+			if err := verifyTiming(f, r, tr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func verifyTiming(f *trace.File, rank int, tr *Tracer) error {
+	calls, err := DecodeRank(f, rank)
+	if err != nil {
+		return err
+	}
+	times := tr.RawTimes()
+	if len(calls) != len(times) {
+		return fmt.Errorf("core: rank %d timing length mismatch", rank)
+	}
+	bound := f.TimingBase - 1 + 1e-9
+	for i, c := range calls {
+		ts, te := times[i][0], times[i][1]
+		if relErr(float64(c.TStart), float64(ts)) > bound {
+			return fmt.Errorf("core: rank %d call %d tStart error %.4f exceeds %.4f (got %d want %d)",
+				rank, i, relErr(float64(c.TStart), float64(ts)), bound, c.TStart, ts)
+		}
+		if relErr(float64(c.TEnd-c.TStart), float64(te-ts)) > bound {
+			return fmt.Errorf("core: rank %d call %d duration error exceeds bound", rank, i)
+		}
+	}
+	return nil
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}
+
+// CallCounts tallies decoded calls per MPI function for one rank
+// (handy for dump tools and tests).
+func CallCounts(calls []DecodedCall) map[mpispec.FuncID]int {
+	m := map[mpispec.FuncID]int{}
+	for _, c := range calls {
+		m[c.Func]++
+	}
+	return m
+}

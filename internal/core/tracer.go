@@ -1,0 +1,250 @@
+// Package core is Pilgrim's primary contribution: the per-process
+// tracing pipeline (intercept → encode parameters → update CST → grow
+// CFG, §3) and the inter-process compression at finalize (§3.5). It
+// also contains the decoder that recovers per-rank call streams from a
+// compressed trace, used to validate that compression is lossless.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/sequitur"
+	"github.com/hpcrepro/pilgrim/internal/sig"
+	"github.com/hpcrepro/pilgrim/internal/timing"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+)
+
+// Options configures a Tracer.
+type Options struct {
+	// TimingMode selects trace.TimingAggregated (default: only mean
+	// durations per CST entry) or trace.TimingLossy (per-call
+	// duration/interval grammars with relative error < TimingBase-1).
+	TimingMode uint8
+	// TimingBase is the exponential-bin base b (default 1.2 = 20%).
+	TimingBase float64
+	// Verify keeps the raw signature stream in memory so tests can
+	// compare it with the decoded trace. Costs O(calls) memory.
+	Verify bool
+	// Encoding disables individual encoding optimizations (ablations).
+	Encoding sig.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimingBase == 0 {
+		o.TimingBase = 1.2
+	}
+	return o
+}
+
+// Tracer is the per-rank interceptor: it implements
+// mpispec.Interceptor and accumulates the rank's CST and CFG.
+type Tracer struct {
+	Rank int
+	opts Options
+
+	enc   *sig.Encoder
+	table *cst.Table
+	cfg   *sequitur.Grammar
+	tcomp *timing.Compressor
+
+	// Overhead accounting (intra-process tracing cost, wall time).
+	IntraNs int64
+	NCalls  int64
+
+	// Verification capture (Options.Verify).
+	rawSigs  []string
+	rawTimes [][2]int64
+}
+
+// NewTracer builds the tracing state for one rank. oob provides the
+// PMPI-level collectives used to agree on communicator ids; it may be
+// nil only if no communicator-creating calls occur.
+func NewTracer(rank int, oob mpispec.OOB, opts Options) *Tracer {
+	opts = opts.withDefaults()
+	t := &Tracer{
+		Rank:  rank,
+		opts:  opts,
+		enc:   sig.NewEncoderOpts(rank, oob, opts.Encoding),
+		table: cst.New(),
+		cfg:   sequitur.New(),
+	}
+	if opts.TimingMode == trace.TimingLossy {
+		t.tcomp = timing.New(opts.TimingBase)
+	}
+	return t
+}
+
+// Pre implements mpispec.Interceptor (the prologue records timestamps
+// via the CallRecord itself; nothing else to do before the call).
+func (t *Tracer) Pre(rec *mpispec.CallRecord) {}
+
+// Post implements mpispec.Interceptor: the steps 3-5 of Figure 2.
+func (t *Tracer) Post(rec *mpispec.CallRecord) {
+	w0 := time.Now()
+	s := t.enc.Encode(rec)
+	term := t.table.Add(s, rec.TEnd-rec.TStart)
+	t.cfg.Append(term)
+	if t.tcomp != nil {
+		t.tcomp.Record(term, rec.Func, rec.TStart, rec.TEnd)
+	}
+	if t.opts.Verify {
+		t.rawSigs = append(t.rawSigs, string(s))
+		t.rawTimes = append(t.rawTimes, [2]int64{rec.TStart, rec.TEnd})
+	}
+	t.IntraNs += time.Since(w0).Nanoseconds()
+	t.NCalls++
+}
+
+// MemAlloc implements mpispec.Interceptor (malloc interception).
+func (t *Tracer) MemAlloc(addr, size uint64, device int32) {
+	w0 := time.Now()
+	t.enc.MemAlloc(addr, size, device)
+	t.IntraNs += time.Since(w0).Nanoseconds()
+}
+
+// MemFree implements mpispec.Interceptor (free interception).
+func (t *Tracer) MemFree(addr uint64) {
+	w0 := time.Now()
+	t.enc.MemFree(addr)
+	t.IntraNs += time.Since(w0).Nanoseconds()
+}
+
+// BindOOB late-binds the tracer's out-of-band collective interface
+// (used when the runtime rank object is created after the tracer).
+func BindOOB(t *Tracer, oob mpispec.OOB) { t.enc.SetOOB(oob) }
+
+// CSTLen returns the number of unique call signatures seen so far.
+func (t *Tracer) CSTLen() int { return t.table.Len() }
+
+// GrammarStats returns the current CFG size statistics.
+func (t *Tracer) GrammarStats() sequitur.Stats { return t.cfg.Stats() }
+
+// RawSignatures returns the captured uncompressed signature stream
+// (Verify mode only).
+func (t *Tracer) RawSignatures() []string { return t.rawSigs }
+
+// RawTimes returns the captured per-call (tStart, tEnd) pairs (Verify
+// mode only).
+func (t *Tracer) RawTimes() [][2]int64 { return t.rawTimes }
+
+// FinalizeStats reports where finalize time went (Figure 8's
+// decomposition) plus structural counts.
+type FinalizeStats struct {
+	IntraNs    int64 // summed per-rank intra-process compression time
+	CSTMergeNs int64 // inter-process compression of CSTs (incl. relabel)
+	CFGMergeNs int64 // inter-process compression of CFGs (identity check + final pass)
+	UniqueCSTs int
+	UniqueCFGs int
+	TotalCalls int64
+	GlobalCST  int // entries in the merged table
+	TraceBytes int
+}
+
+// Finalize performs the inter-process compression over all ranks'
+// tracers and produces the trace file (§3.5). It corresponds to the
+// work Pilgrim does inside MPI_Finalize.
+func Finalize(tracers []*Tracer) (*trace.File, FinalizeStats) {
+	var st FinalizeStats
+	if len(tracers) == 0 {
+		return &trace.File{CST: cst.New(), RankMap: sequitur.Serialized(sequitur.New().Serialize())}, st
+	}
+	opts := tracers[0].opts
+
+	// Phase 1: merge CSTs pairwise and relabel every rank's grammar
+	// with the global terminals (§3.5.1).
+	t0 := time.Now()
+	tables := make([]*cst.Table, len(tracers))
+	for i, tr := range tracers {
+		tables[i] = tr.table
+		st.IntraNs += tr.IntraNs
+		st.TotalCalls += tr.NCalls
+	}
+	merged := cst.MergePairwise(tables)
+	relabeled := make([]sequitur.Serialized, len(tracers))
+	for i, tr := range tracers {
+		sg := sequitur.Serialized(tr.cfg.Serialize())
+		rl, err := sg.Relabel(merged.Relabels[i])
+		if err != nil {
+			panic(fmt.Sprintf("core: relabel rank %d: %v", i, err))
+		}
+		relabeled[i] = rl
+	}
+	st.CSTMergeNs = time.Since(t0).Nanoseconds()
+	st.GlobalCST = merged.Table.Len()
+
+	// Phase 2: inter-process grammar compression (§3.5.2): the
+	// identity fast path keeps one copy per unique grammar, and a
+	// final Sequitur pass compresses the rank → grammar sequence.
+	t1 := time.Now()
+	uniq, rankIdx := dedupGrammars(relabeled)
+	rankMap := sequitur.New()
+	for _, idx := range rankIdx {
+		rankMap.Append(idx)
+	}
+	// Final Sequitur pass over the non-identical grammars (§3.5.2):
+	// compresses shared rules across similar ranks and dominates the
+	// inter-process CFG compression time when many unique grammars
+	// survive the identity check.
+	packed := sequitur.Pack(uniq)
+	st.CFGMergeNs = time.Since(t1).Nanoseconds()
+	st.UniqueCFGs = len(uniq)
+
+	f := &trace.File{
+		NumRanks:   len(tracers),
+		TimingMode: opts.TimingMode,
+		TimingBase: opts.TimingBase,
+		CST:        merged.Table,
+		Grammars:   uniq,
+		Packed:     packed,
+		RankMap:    sequitur.Serialized(rankMap.Serialize()),
+	}
+	if opts.TimingMode == trace.TimingLossy {
+		durs := make([]sequitur.Serialized, len(tracers))
+		ints := make([]sequitur.Serialized, len(tracers))
+		for i, tr := range tracers {
+			durs[i] = tr.tcomp.DurationGrammar()
+			ints[i] = tr.tcomp.IntervalGrammar()
+		}
+		f.DurGrammars, f.DurIndex = dedupGrammars(durs)
+		f.IntGrammars, f.IntIndex = dedupGrammars(ints)
+		t2 := time.Now()
+		f.PackedDur = sequitur.Pack(f.DurGrammars)
+		f.PackedInt = sequitur.Pack(f.IntGrammars)
+		st.CFGMergeNs += time.Since(t2).Nanoseconds()
+	}
+	st.TraceBytes = f.SizeBytes()
+	return f, st
+}
+
+// dedupGrammars keeps one copy per distinct serialized grammar (the
+// memcmp identity check of §3.5.2) and returns per-input indices.
+func dedupGrammars(gs []sequitur.Serialized) ([]sequitur.Serialized, []int32) {
+	seen := map[string]int32{}
+	var uniq []sequitur.Serialized
+	idx := make([]int32, len(gs))
+	for i, g := range gs {
+		key := grammarKey(g)
+		j, ok := seen[key]
+		if !ok {
+			j = int32(len(uniq))
+			seen[key] = j
+			uniq = append(uniq, g)
+		}
+		idx[i] = j
+	}
+	return uniq, idx
+}
+
+func grammarKey(g sequitur.Serialized) string {
+	b := make([]byte, len(g)*4)
+	for i, v := range g {
+		b[i*4] = byte(v)
+		b[i*4+1] = byte(v >> 8)
+		b[i*4+2] = byte(v >> 16)
+		b[i*4+3] = byte(v >> 24)
+	}
+	return string(b)
+}

@@ -1,0 +1,280 @@
+// Package cst implements Pilgrim's call signature table (§2.1): the
+// per-process mapping from encoded call signatures to grammar terminal
+// symbols, with aggregated timing per entry (§3.2), plus the
+// inter-process merge that unifies all tables into one global table
+// and relabels each rank's terminals (§3.5.1, Figure 3).
+package cst
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Table is one process's call signature table.
+type Table struct {
+	bySig map[string]int32
+	sigs  []string // terminal -> signature bytes
+
+	// aggregated timing (default mode, §3.2): per-entry call count and
+	// duration sum, so the average duration survives compression.
+	count  []int64
+	durSum []int64
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{bySig: make(map[string]int32)}
+}
+
+// Add returns the terminal for sig, creating a new entry on first
+// sight, and accumulates the call's duration into the entry.
+func (t *Table) Add(sig []byte, duration int64) int32 {
+	key := string(sig)
+	if term, ok := t.bySig[key]; ok {
+		t.count[term]++
+		t.durSum[term] += duration
+		return term
+	}
+	term := int32(len(t.sigs))
+	t.bySig[key] = term
+	t.sigs = append(t.sigs, key)
+	t.count = append(t.count, 1)
+	t.durSum = append(t.durSum, duration)
+	return term
+}
+
+// Lookup returns the terminal for sig without inserting.
+func (t *Table) Lookup(sig []byte) (int32, bool) {
+	term, ok := t.bySig[string(sig)]
+	return term, ok
+}
+
+// Sig returns the signature bytes of a terminal.
+func (t *Table) Sig(term int32) []byte {
+	return []byte(t.sigs[term])
+}
+
+// Len returns the number of unique signatures.
+func (t *Table) Len() int { return len(t.sigs) }
+
+// Calls returns the total number of calls recorded (sum of counts).
+func (t *Table) Calls() int64 {
+	var n int64
+	for _, c := range t.count {
+		n += c
+	}
+	return n
+}
+
+// AvgDuration returns the mean duration of a terminal's calls.
+func (t *Table) AvgDuration(term int32) int64 {
+	if t.count[term] == 0 {
+		return 0
+	}
+	return t.durSum[term] / t.count[term]
+}
+
+// Merged is the result of the inter-process merge: a single global
+// table plus, for each input rank, the old-terminal → new-terminal
+// relabel map to apply to its grammar.
+type Merged struct {
+	Table    *Table
+	Relabels []map[int32]int32
+}
+
+// Merge unifies the tables of all ranks, keeping only globally unique
+// call signatures. It emulates the paper's log₂P pairwise-merge tree;
+// the result is identical to any merge order because entries are
+// keyed by signature bytes. New terminals are assigned in (first-rank,
+// first-occurrence) order, which makes the merged table deterministic.
+func Merge(tables []*Table) Merged {
+	g := New()
+	relabels := make([]map[int32]int32, len(tables))
+	for r, t := range tables {
+		m := make(map[int32]int32, len(t.sigs))
+		for old, key := range t.sigs {
+			term, ok := g.bySig[key]
+			if !ok {
+				term = int32(len(g.sigs))
+				g.bySig[key] = term
+				g.sigs = append(g.sigs, key)
+				g.count = append(g.count, 0)
+				g.durSum = append(g.durSum, 0)
+			}
+			g.count[term] += t.count[old]
+			g.durSum[term] += t.durSum[old]
+			m[int32(old)] = term
+		}
+		relabels[r] = m
+	}
+	return Merged{Table: g, Relabels: relabels}
+}
+
+// MergePairwise performs the same merge with an explicit log₂P
+// pairwise tree (the structure the paper times in Figure 8). The
+// resulting global table equals Merge's up to terminal numbering; the
+// relabel maps are composed across rounds.
+func MergePairwise(tables []*Table) Merged {
+	n := len(tables)
+	if n == 0 {
+		return Merged{Table: New()}
+	}
+	// working set: each entry owns a table and the relabel maps of the
+	// ranks folded into it so far.
+	type node struct {
+		t     *Table
+		ranks []int
+		maps  []map[int32]int32
+	}
+	nodes := make([]*node, n)
+	for i, t := range tables {
+		ident := make(map[int32]int32, t.Len())
+		for k := 0; k < t.Len(); k++ {
+			ident[int32(k)] = int32(k)
+		}
+		nodes[i] = &node{t: t, ranks: []int{i}, maps: []map[int32]int32{ident}}
+	}
+	for len(nodes) > 1 {
+		var next []*node
+		for i := 0; i+1 < len(nodes); i += 2 {
+			a, b := nodes[i], nodes[i+1]
+			merged, mapA, mapB := mergeTwo(a.t, b.t)
+			nn := &node{t: merged}
+			for j, r := range a.ranks {
+				nn.ranks = append(nn.ranks, r)
+				nn.maps = append(nn.maps, compose(a.maps[j], mapA))
+			}
+			for j, r := range b.ranks {
+				nn.ranks = append(nn.ranks, r)
+				nn.maps = append(nn.maps, compose(b.maps[j], mapB))
+			}
+			next = append(next, nn)
+		}
+		if len(nodes)%2 == 1 {
+			next = append(next, nodes[len(nodes)-1])
+		}
+		nodes = next
+	}
+	root := nodes[0]
+	out := Merged{Table: root.t, Relabels: make([]map[int32]int32, n)}
+	for j, r := range root.ranks {
+		out.Relabels[r] = root.maps[j]
+	}
+	return out
+}
+
+// mergeTwo merges b into a copy of a, as in Figure 3: signatures
+// already present keep their terminal, new ones get fresh terminals.
+func mergeTwo(a, b *Table) (merged *Table, mapA, mapB map[int32]int32) {
+	merged = New()
+	mapA = make(map[int32]int32, a.Len())
+	mapB = make(map[int32]int32, b.Len())
+	for old, key := range a.sigs {
+		term := int32(len(merged.sigs))
+		merged.bySig[key] = term
+		merged.sigs = append(merged.sigs, key)
+		merged.count = append(merged.count, a.count[old])
+		merged.durSum = append(merged.durSum, a.durSum[old])
+		mapA[int32(old)] = term
+	}
+	for old, key := range b.sigs {
+		term, ok := merged.bySig[key]
+		if !ok {
+			term = int32(len(merged.sigs))
+			merged.bySig[key] = term
+			merged.sigs = append(merged.sigs, key)
+			merged.count = append(merged.count, 0)
+			merged.durSum = append(merged.durSum, 0)
+		}
+		merged.count[term] += b.count[old]
+		merged.durSum[term] += b.durSum[old]
+		mapB[int32(old)] = term
+	}
+	return merged, mapA, mapB
+}
+
+func compose(first, second map[int32]int32) map[int32]int32 {
+	out := make(map[int32]int32, len(first))
+	for k, v := range first {
+		out[k] = second[v]
+	}
+	return out
+}
+
+// --- serialization -----------------------------------------------------------
+
+// Serialize flattens the table: varint count, then per entry
+// (len, bytes, callCount, avgDuration). Storing the average rather
+// than the sum keeps entry width independent of run length, matching
+// the paper's "we keep the average for calls' duration" (§3.2).
+func (t *Table) Serialize() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(t.sigs)))
+	for i, key := range t.sigs {
+		buf = binary.AppendUvarint(buf, uint64(len(key)))
+		buf = append(buf, key...)
+		buf = binary.AppendVarint(buf, t.count[i])
+		buf = binary.AppendVarint(buf, t.AvgDuration(int32(i)))
+	}
+	return buf
+}
+
+// Deserialize parses a serialized table.
+func Deserialize(data []byte) (*Table, error) {
+	t := New()
+	pos := 0
+	n, k := binary.Uvarint(data[pos:])
+	if k <= 0 {
+		return nil, fmt.Errorf("cst: truncated count")
+	}
+	pos += k
+	for i := uint64(0); i < n; i++ {
+		l, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("cst: truncated entry %d length", i)
+		}
+		pos += k
+		if pos+int(l) > len(data) {
+			return nil, fmt.Errorf("cst: truncated entry %d bytes", i)
+		}
+		key := string(data[pos : pos+int(l)])
+		pos += int(l)
+		cnt, k := binary.Varint(data[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("cst: truncated entry %d count", i)
+		}
+		pos += k
+		avg, k := binary.Varint(data[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("cst: truncated entry %d duration", i)
+		}
+		pos += k
+		if _, dup := t.bySig[key]; dup {
+			return nil, fmt.Errorf("cst: duplicate signature in entry %d", i)
+		}
+		t.bySig[key] = int32(len(t.sigs))
+		t.sigs = append(t.sigs, key)
+		t.count = append(t.count, cnt)
+		t.durSum = append(t.durSum, avg*cnt)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("cst: %d trailing bytes", len(data)-pos)
+	}
+	return t, nil
+}
+
+// Bytes returns the serialized size, the number the size experiments
+// report for the CST section.
+func (t *Table) Bytes() int { return len(t.Serialize()) }
+
+// TermsSorted returns all terminals ordered by signature bytes
+// (diagnostics/deterministic iteration).
+func (t *Table) TermsSorted() []int32 {
+	out := make([]int32, t.Len())
+	for i := range out {
+		out[i] = int32(i)
+	}
+	sort.Slice(out, func(i, j int) bool { return t.sigs[out[i]] < t.sigs[out[j]] })
+	return out
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/sig"
+	"github.com/hpcrepro/pilgrim/internal/workloads"
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+// AblationResult quantifies the §3.3-3.4 design choices by disabling
+// each optimization in turn and re-measuring trace sizes.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// AblationRow is one (workload, configuration) measurement.
+type AblationRow struct {
+	Workload string
+	Config   string
+	Bytes    int
+	CSTLen   int
+	UCFGs    int
+}
+
+// irregularCompletion is the §3.4.3 stress: every rank keeps a
+// sliding window of outstanding Irecvs over cycling sources and drains
+// it with Waitany, immediately reposting. A freed request id is
+// retaken by whichever signature posts next, so with a single shared
+// pool the (signature, id) pairing depends on the non-deterministic
+// completion order; per-signature pools keep it stable.
+func irregularCompletion(total int) func(p *mpi.Proc) {
+	const window = 4
+	return func(p *mpi.Proc) {
+		p.Init()
+		w := p.World()
+		n := p.Size()
+		buf := p.Alloc(1 << 14)
+		peers := n - 1
+		if peers < 1 {
+			peers = 1
+		}
+		post := func(j int) *mpi.Request {
+			k := j % peers
+			src := (p.Rank() + 1 + k) % n
+			// Zero-byte messages: the signature stays deterministic
+			// (same buffer, same count on every post) and outstanding
+			// receives never alias each other's payload regions, so the
+			// only completion-order-dependent quantity is the request
+			// id itself — exactly what §3.4.3 is about.
+			r, err := p.Irecv(buf.Ptr(0), 0, mpi.Int, src, 60+k, w)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		}
+		reqs := make([]*mpi.Request, window)
+		next := 0
+		for ; next < window && next < total; next++ {
+			reqs[next%window] = post(next)
+		}
+		sent := 0
+		completed := 0
+		for completed < total {
+			// Interleave the matching sends with jitter so message
+			// arrival races the Waitany scans.
+			if sent < total {
+				k := sent % peers
+				dst := (p.Rank() - 1 - k + 2*n) % n
+				p.Compute(int64(1000 + (sent*2654435761)%5000))
+				if err := p.Send(buf.Ptr(1<<13), 0, mpi.Int, dst, 60+k, w); err != nil {
+					panic(err)
+				}
+				sent++
+			}
+			idx, err := p.Waitany(reqs, nil)
+			if err != nil {
+				panic(err)
+			}
+			if idx >= 0 {
+				completed++
+				if next < total {
+					reqs[idx] = post(next)
+					next++
+				} else {
+					reqs[idx] = nil
+				}
+			}
+		}
+		for sent < total {
+			k := sent % peers
+			dst := (p.Rank() - 1 - k + 2*n) % n
+			if err := p.Send(buf.Ptr(1<<13), 0, mpi.Int, dst, 60+k, w); err != nil {
+				panic(err)
+			}
+			sent++
+		}
+		p.Finalize()
+	}
+}
+
+// RunAblation measures each encoding optimization's contribution.
+func RunAblation(scale Scale) (AblationResult, error) {
+	var res AblationResult
+	procs := 36
+	if scale == Quick {
+		procs = 16
+	}
+	configs := []struct {
+		name string
+		enc  sig.Options
+	}{
+		{"full", sig.Options{}},
+		{"-relative-ranks", sig.Options{NoRelativeRanks: true}},
+		{"-request-pools", sig.Options{SharedRequestPool: true}},
+		{"-pointer-tracking", sig.Options{NoPointerTracking: true}},
+	}
+	cases := []struct {
+		name string
+		body func(p *mpi.Proc)
+	}{
+		{"stencil2d", workloads.Stencil2D(workloads.StencilConfig{Iters: 50})},
+		{"waitany-loop", irregularCompletion(50)},
+	}
+	for _, cs := range cases {
+		for _, cfg := range configs {
+			file, stats, err := pilgrim.RunSim(procs,
+				pilgrim.Options{Encoding: cfg.enc},
+				mpi.Options{Timeout: 5 * time.Minute}, cs.body)
+			if err != nil {
+				return res, fmt.Errorf("ablation %s/%s: %w", cs.name, cfg.name, err)
+			}
+			res.Rows = append(res.Rows, AblationRow{
+				Workload: cs.name, Config: cfg.name,
+				Bytes: file.SizeBytes(), CSTLen: stats.GlobalCST, UCFGs: stats.UniqueCFGs,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print renders the ablation table.
+func (r AblationResult) Print(w io.Writer) {
+	header(w, "Ablation: contribution of each encoding optimization (§3.3-3.4)")
+	fmt.Fprintf(w, "%-14s %-20s %12s %10s %8s\n", "workload", "config", "bytes", "CST", "uCFGs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %-20s %12d %10d %8d\n",
+			row.Workload, row.Config, row.Bytes, row.CSTLen, row.UCFGs)
+	}
+}

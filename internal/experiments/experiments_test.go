@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+)
+
+func TestTable1(t *testing.T) {
+	t1 := RunTable1()
+	if t1.Pilgrim != t1.Total {
+		t.Fatalf("Pilgrim covers %d of %d", t1.Pilgrim, t1.Total)
+	}
+	if !(t1.Cypress < t1.ScalaTrace && t1.ScalaTrace < t1.Pilgrim) {
+		t.Fatalf("coverage ordering wrong: %+v", t1)
+	}
+	var sb strings.Builder
+	t1.Print(&sb)
+	if !strings.Contains(sb.String(), "memory pointer") {
+		t.Fatal("Table 1 rendering incomplete")
+	}
+}
+
+func TestRunBothProducesComparableSizes(t *testing.T) {
+	pt, err := RunBoth("lu", 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.PilgrimB <= 0 || pt.ScalaB <= 0 {
+		t.Fatalf("sizes: %d %d", pt.PilgrimB, pt.ScalaB)
+	}
+	if pt.PilgrimB >= pt.ScalaB {
+		t.Fatalf("Pilgrim (%d) should beat the baseline (%d) on LU", pt.PilgrimB, pt.ScalaB)
+	}
+	if pt.Calls <= 0 {
+		t.Fatal("no calls counted")
+	}
+}
+
+func TestScaleCaps(t *testing.T) {
+	full := []int{8, 64, 256, 1024, 4096}
+	if got := Quick.capSweep(full); got[len(got)-1] != 64 {
+		t.Fatalf("Quick cap: %v", got)
+	}
+	if got := Standard.capSweep(full); got[len(got)-1] != 256 {
+		t.Fatalf("Standard cap: %v", got)
+	}
+	if got := Full.capSweep(full); got[len(got)-1] != 1024 {
+		t.Fatalf("Full cap: %v", got)
+	}
+}
+
+func TestStencilExperimentClaims(t *testing.T) {
+	r, err := RunStencil(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beyond 9 procs the 2D trace must be flat apart from the widening
+	// of aggregated call counters (varints, logarithmic).
+	var at9, atMax int
+	for _, p := range r.D2.Points {
+		if p.Procs == 9 {
+			at9 = p.PilgrimB
+		}
+		atMax = p.PilgrimB
+	}
+	if d := atMax - at9; d > 64 || d < -64 {
+		t.Errorf("2D stencil grew beyond 9 procs: %d -> %d", at9, atMax)
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "stencil2d") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestFig5QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	r, err := RunFig5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.PilgrimB >= p.ScalaB {
+				t.Errorf("%s at %d procs: Pilgrim %d >= baseline %d",
+					s.Workload, p.Procs, p.PilgrimB, p.ScalaB)
+			}
+		}
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	r, err := RunAblation(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]AblationRow{}
+	for _, row := range r.Rows {
+		byKey[row.Workload+"/"+row.Config] = row
+	}
+	if full, abl := byKey["stencil2d/full"], byKey["stencil2d/-relative-ranks"]; abl.Bytes <= full.Bytes {
+		t.Errorf("relative ranks show no benefit: %d vs %d", full.Bytes, abl.Bytes)
+	}
+	if full, abl := byKey["stencil2d/full"], byKey["stencil2d/-pointer-tracking"]; abl.Bytes <= full.Bytes {
+		t.Errorf("pointer tracking shows no benefit: %d vs %d", full.Bytes, abl.Bytes)
+	}
+	if full, abl := byKey["waitany-loop/full"], byKey["waitany-loop/-request-pools"]; abl.CSTLen <= full.CSTLen {
+		t.Errorf("request pools show no benefit: CST %d vs %d", full.CSTLen, abl.CSTLen)
+	}
+}
+
+func TestFig10TimingSizesPresent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	opts := pilgrim.Options{TimingMode: pilgrim.TimingLossy, TimingBase: 1.2}
+	pt, err := RunPilgrim("lu", 8, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.DurB <= 0 || pt.IntB <= 0 {
+		t.Fatalf("timing grammar sizes missing: %d %d", pt.DurB, pt.IntB)
+	}
+}
+
+func TestRunMILCStrongVsWeak(t *testing.T) {
+	s, err := runMILC(16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := runMILC(16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Calls != w.Calls {
+		t.Fatalf("call structure should match: %d vs %d", s.Calls, w.Calls)
+	}
+	if s.Workload == w.Workload {
+		t.Fatal("labels should differ")
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/workloads"
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+// runMILC traces the MILC skeleton under strong scaling (fixed global
+// lattice, as in the paper's 64³×32 runs) or weak scaling (fixed
+// per-process block).
+func runMILC(procs int, strong bool) (Point, error) {
+	cfg := workloads.MILCConfig{}
+	if strong {
+		cfg.Lattice = [4]int{32, 32, 32, 32}
+	}
+	body := workloads.MILC(cfg)
+	t0 := time.Now()
+	_, stats, err := pilgrim.RunSim(procs, pilgrim.Options{}, mpi.Options{Timeout: runTimeout}, body)
+	if err != nil {
+		return Point{}, fmt.Errorf("milc/%d: %w", procs, err)
+	}
+	name := "milc-weak"
+	if strong {
+		name = "milc-strong"
+	}
+	return Point{
+		Workload: name, Procs: procs,
+		Calls: stats.TotalCalls, PilgrimB: stats.TraceBytes,
+		UniqueCFGs: stats.UniqueCFGs, GlobalCST: stats.GlobalCST,
+		PilgrimNs: time.Since(t0).Nanoseconds(),
+	}, nil
+}

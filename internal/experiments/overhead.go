@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+// Fig7Result holds the execution-time comparison (no tracing /
+// Pilgrim / ScalaTrace) for the FLASH skeletons.
+type Fig7Result struct {
+	ByProcs []SizeSeries
+	ByIters []SizeSeries
+}
+
+// fig7Compute makes Proc.Compute burn real CPU, so overhead is
+// measured against a realistic application denominator (the skeletons'
+// virtual compute is otherwise free and would inflate the ratios).
+const fig7Compute = 0.25
+
+// RunFig7 reproduces Figure 7: wall-clock execution time of the FLASH
+// skeletons untraced, with Pilgrim, and with the ScalaTrace baseline.
+// Unlike the size experiments these numbers are real measurements of
+// this implementation's overhead.
+func RunFig7(scale Scale) (Fig7Result, error) {
+	var res Fig7Result
+	simOpts := func() mpi.Options {
+		return mpi.Options{Timeout: runTimeout, ComputeFactor: fig7Compute}
+	}
+	measure := func(app string, n, iters int) (Point, error) {
+		pt, err := RunPilgrimSim(app, n, iters, pilgrim.Options{}, simOpts())
+		if err != nil {
+			return pt, err
+		}
+		sb, sns, err := RunScalaSim(app, n, iters, simOpts())
+		if err != nil {
+			return pt, err
+		}
+		pt.ScalaB, pt.ScalaNs = sb, sns
+		pt.BaseNs, err = RunBaseSim(app, n, iters, simOpts())
+		return pt, err
+	}
+	apps := []string{"sedov", "cellular", "stirturb"}
+	for _, app := range apps {
+		s := SizeSeries{Workload: app, XLabel: "procs"}
+		for _, n := range scale.capSweep([]int{8, 16, 32, 64, 128}) {
+			pt, err := measure(app, n, 60)
+			if err != nil {
+				return res, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		res.ByProcs = append(res.ByProcs, s)
+	}
+	itersProcs := 16
+	for _, app := range apps {
+		s := SizeSeries{Workload: app, XLabel: "iters"}
+		for _, it := range []int{100, 300, 600, 1000} {
+			pt, err := measure(app, itersProcs, it)
+			if err != nil {
+				return res, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		res.ByIters = append(res.ByIters, s)
+	}
+	return res, nil
+}
+
+func printTimes(w io.Writer, series []SizeSeries) {
+	for _, s := range series {
+		fmt.Fprintf(w, "%-10s  %8s  %12s  %12s  %12s  %9s\n",
+			s.Workload, s.XLabel, "none(ms)", "Pilgrim(ms)", "Scala(ms)", "Povhd")
+		for _, p := range s.Points {
+			x := p.Procs
+			if s.XLabel == "iters" {
+				x = p.Iters
+			}
+			ovhd := "-"
+			if p.BaseNs > 0 {
+				ovhd = fmt.Sprintf("%.0f%%", 100*float64(p.PilgrimNs-p.BaseNs)/float64(p.BaseNs))
+			}
+			fmt.Fprintf(w, "%-10s  %8d  %12s  %12s  %12s  %9s\n",
+				"", x, ms(p.BaseNs), ms(p.PilgrimNs), ms(p.ScalaNs), ovhd)
+		}
+	}
+}
+
+// Print renders Figure 7's data.
+func (r Fig7Result) Print(w io.Writer) {
+	header(w, "Figure 7: FLASH execution time (none / Pilgrim / ScalaTrace)")
+	printTimes(w, r.ByProcs)
+	fmt.Fprintln(w, "-- iteration sweeps:")
+	printTimes(w, r.ByIters)
+}
+
+// Fig8Result holds Pilgrim's overhead decomposition per FLASH app.
+type Fig8Result struct{ Points []Point }
+
+// RunFig8 reproduces Figure 8: the fraction of Pilgrim's compression
+// time spent in intra-process compression versus the inter-process CST
+// and CFG merges.
+func RunFig8(scale Scale) (Fig8Result, error) {
+	var res Fig8Result
+	n := 64
+	if scale == Quick {
+		n = 32
+	}
+	for _, app := range []string{"sedov", "cellular", "stirturb"} {
+		pt, err := RunPilgrim(app, n, 100, pilgrim.Options{})
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Print renders Figure 8's decomposition.
+func (r Fig8Result) Print(w io.Writer) {
+	header(w, "Figure 8: Pilgrim overhead decomposition")
+	fmt.Fprintf(w, "%-10s  %10s  %10s  %10s  %8s  %8s  %8s\n",
+		"app", "intra(ms)", "CST(ms)", "CFG(ms)", "intra%", "CST%", "CFG%")
+	for _, p := range r.Points {
+		tot := p.IntraNs + p.CSTMergeNs + p.CFGMergeNs
+		if tot == 0 {
+			tot = 1
+		}
+		fmt.Fprintf(w, "%-10s  %10s  %10s  %10s  %7.1f%%  %7.1f%%  %7.1f%%\n",
+			p.Workload, ms(p.IntraNs), ms(p.CSTMergeNs), ms(p.CFGMergeNs),
+			100*float64(p.IntraNs)/float64(tot),
+			100*float64(p.CSTMergeNs)/float64(tot),
+			100*float64(p.CFGMergeNs)/float64(tot))
+	}
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+)
+
+// SizeSeries is one workload's trace-size curve over a sweep variable.
+type SizeSeries struct {
+	Workload string
+	XLabel   string // "procs" or "iters"
+	Points   []Point
+}
+
+// Print renders the series as the figure's data table.
+func (s SizeSeries) Print(w io.Writer) {
+	fmt.Fprintf(w, "%-10s  %8s  %12s  %12s  %12s  %10s  %8s\n",
+		s.Workload, s.XLabel, "calls", "Pilgrim(KB)", "Scala(KB)", "ratio", "uCFGs")
+	for _, p := range s.Points {
+		x := p.Procs
+		if s.XLabel == "iters" {
+			x = p.Iters
+		}
+		ratio := "-"
+		if p.PilgrimB > 0 && p.ScalaB > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(p.ScalaB)/float64(p.PilgrimB))
+		}
+		scala := "-"
+		if p.ScalaB > 0 {
+			scala = kb(p.ScalaB)
+		}
+		fmt.Fprintf(w, "%-10s  %8d  %12d  %12s  %12s  %10s  %8d\n",
+			"", x, p.Calls, kb(p.PilgrimB), scala, ratio, p.UniqueCFGs)
+	}
+}
+
+// --- §4.1: stencils and OSU ---------------------------------------------------
+
+// StencilResult holds the §4.1 experiment output.
+type StencilResult struct {
+	D2, D3 SizeSeries // process sweeps
+	D2I    SizeSeries // iteration sweep at fixed P
+}
+
+// RunStencil reproduces §4.1: constant trace size beyond 9 (2D) / 27
+// (3D) processes and across iteration counts.
+func RunStencil(scale Scale) (StencilResult, error) {
+	var res StencilResult
+	res.D2 = SizeSeries{Workload: "stencil2d", XLabel: "procs"}
+	for _, n := range scale.capSweep([]int{4, 9, 16, 36, 64, 144, 256}) {
+		pt, err := RunPilgrim("stencil2d", n, 20, pilgrim.Options{})
+		if err != nil {
+			return res, err
+		}
+		res.D2.Points = append(res.D2.Points, pt)
+	}
+	res.D3 = SizeSeries{Workload: "stencil3d", XLabel: "procs"}
+	for _, n := range scale.capSweep([]int{8, 27, 64, 125, 216}) {
+		pt, err := RunPilgrim("stencil3d", n, 10, pilgrim.Options{})
+		if err != nil {
+			return res, err
+		}
+		res.D3.Points = append(res.D3.Points, pt)
+	}
+	res.D2I = SizeSeries{Workload: "stencil2d", XLabel: "iters"}
+	for _, it := range []int{10, 100, 1000} {
+		pt, err := RunPilgrim("stencil2d", 16, it, pilgrim.Options{})
+		if err != nil {
+			return res, err
+		}
+		res.D2I.Points = append(res.D2I.Points, pt)
+	}
+	return res, nil
+}
+
+// Print renders the §4.1 results.
+func (r StencilResult) Print(w io.Writer) {
+	header(w, "§4.1 Stencils: trace size constant beyond 9 (2D) / 27 (3D) procs")
+	r.D2.Print(w)
+	r.D3.Print(w)
+	fmt.Fprintln(w, "-- iteration sweep (16 procs):")
+	r.D2I.Print(w)
+}
+
+// OSUResult holds the §4.1 OSU microbenchmark sizes.
+type OSUResult struct{ Series []SizeSeries }
+
+// RunOSU traces each OSU microbenchmark; the paper reports "a few
+// kilobytes" for every one.
+func RunOSU(scale Scale) (OSUResult, error) {
+	var res OSUResult
+	names := []string{"osu_latency", "osu_bw", "osu_allreduce", "osu_alltoall", "osu_bcast"}
+	for _, name := range names {
+		s := SizeSeries{Workload: name, XLabel: "procs"}
+		for _, n := range scale.capSweep([]int{2, 8, 32}) {
+			pt, err := RunPilgrim(name, n, 20, pilgrim.Options{})
+			if err != nil {
+				return res, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Print renders the OSU sizes.
+func (r OSUResult) Print(w io.Writer) {
+	header(w, "§4.1 OSU microbenchmarks: trace sizes (paper: a few KB each)")
+	for _, s := range r.Series {
+		s.Print(w)
+	}
+}
+
+// --- Figure 5: NPB, Pilgrim vs ScalaTrace --------------------------------------
+
+// Fig5Result holds the NPB comparison series.
+type Fig5Result struct{ Series []SizeSeries }
+
+// RunFig5 reproduces Figure 5: trace file size for six NPB kernels,
+// Pilgrim vs the ScalaTrace baseline, over a process sweep.
+func RunFig5(scale Scale) (Fig5Result, error) {
+	var res Fig5Result
+	type bench struct {
+		name  string
+		sweep []int
+		iters int
+	}
+	benches := []bench{
+		{"lu", []int{8, 16, 32, 64, 128, 256, 512, 1024}, 30},
+		{"mg", []int{8, 16, 32, 64, 128, 256, 512, 1024}, 10},
+		{"is", []int{8, 16, 32, 64, 128, 256, 512, 1024}, 10},
+		{"cg", []int{8, 16, 32, 64, 128, 256, 512, 1024}, 15},
+		{"sp", []int{16, 64, 256, 1024}, 10},
+		{"bt", []int{16, 64, 256, 1024}, 10},
+	}
+	for _, b := range benches {
+		s := SizeSeries{Workload: b.name, XLabel: "procs"}
+		for _, n := range scale.capSweep(b.sweep) {
+			pt, err := RunBoth(b.name, n, b.iters)
+			if err != nil {
+				return res, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Print renders Figure 5's data.
+func (r Fig5Result) Print(w io.Writer) {
+	header(w, "Figure 5: NPB trace sizes, Pilgrim vs ScalaTrace")
+	for _, s := range r.Series {
+		s.Print(w)
+	}
+}
+
+// --- Figure 6: FLASH sizes ------------------------------------------------------
+
+// Fig6Result holds the six FLASH panels.
+type Fig6Result struct {
+	ByProcs []SizeSeries // (a) Sedov, (b) Cellular, (c) StirTurb
+	ByIters []SizeSeries // (d) Sedov, (e) Cellular, (f) StirTurb
+}
+
+// RunFig6 reproduces Figure 6: FLASH trace sizes versus process count
+// and versus iteration count (plus traced call counts).
+func RunFig6(scale Scale) (Fig6Result, error) {
+	var res Fig6Result
+	apps := []string{"sedov", "cellular", "stirturb"}
+	for _, app := range apps {
+		s := SizeSeries{Workload: app, XLabel: "procs"}
+		for _, n := range scale.capSweep([]int{8, 16, 32, 64, 128, 256, 512, 1024}) {
+			pt, err := RunBoth(app, n, 100)
+			if err != nil {
+				return res, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		res.ByProcs = append(res.ByProcs, s)
+	}
+	itersProcs := 32
+	if scale == Quick {
+		itersProcs = 16
+	}
+	for _, app := range apps {
+		s := SizeSeries{Workload: app, XLabel: "iters"}
+		for _, it := range []int{100, 200, 400, 600, 800, 1000} {
+			pt, err := RunBoth(app, itersProcs, it)
+			if err != nil {
+				return res, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		res.ByIters = append(res.ByIters, s)
+	}
+	return res, nil
+}
+
+// Print renders Figure 6's data.
+func (r Fig6Result) Print(w io.Writer) {
+	header(w, "Figure 6(a-c): FLASH trace size vs processes")
+	for _, s := range r.ByProcs {
+		s.Print(w)
+	}
+	header(w, "Figure 6(d-f): FLASH trace size vs iterations")
+	for _, s := range r.ByIters {
+		s.Print(w)
+	}
+}
+
+// --- Figure 9: MILC -------------------------------------------------------------
+
+// Fig9Result holds the MILC strong and weak scaling series.
+type Fig9Result struct {
+	Strong SizeSeries
+	Weak   SizeSeries
+}
+
+// RunFig9 reproduces Figure 9: MILC trace size under strong scaling
+// (fixed 64³×32-like global lattice) and weak scaling (fixed
+// per-process block).
+func RunFig9(scale Scale) (Fig9Result, error) {
+	var res Fig9Result
+	res.Strong = SizeSeries{Workload: "milc-strong", XLabel: "procs"}
+	res.Weak = SizeSeries{Workload: "milc-weak", XLabel: "procs"}
+	// MILC ranks are cheap (a few hundred calls each), and the paper's
+	// headline is the 16K weak-scaling run, so this sweep goes 4x
+	// beyond the scale cap (Full reaches 4096; 16384 verified by hand,
+	// see EXPERIMENTS.md).
+	sweep := []int{16, 64, 256, 1024, 4096}
+	capN := scale.cap() * 4
+	var capped []int
+	for _, n := range sweep {
+		if n <= capN {
+			capped = append(capped, n)
+		}
+	}
+	sweep = capped
+	for _, n := range sweep {
+		pt, err := runMILC(n, true)
+		if err != nil {
+			return res, err
+		}
+		res.Strong.Points = append(res.Strong.Points, pt)
+	}
+	for _, n := range sweep {
+		pt, err := runMILC(n, false)
+		if err != nil {
+			return res, err
+		}
+		res.Weak.Points = append(res.Weak.Points, pt)
+	}
+	return res, nil
+}
+
+// Print renders Figure 9's data.
+func (r Fig9Result) Print(w io.Writer) {
+	header(w, "Figure 9: MILC trace size vs processes")
+	r.Strong.Print(w)
+	r.Weak.Print(w)
+}

@@ -1,0 +1,300 @@
+package mpispec
+
+// This file enumerates the MPI 4.0 C function surface (excluding
+// MPI_Wtime and MPI_Wtick, as in the paper's Table 1) and models which
+// functions each tracing tool records. The list is generated
+// systematically from category tables plus variant expansion
+// (nonblocking "I" prefixes, persistent "_init" suffixes), mirroring
+// how Pilgrim generates wrappers from the standard's sources. The
+// exact Cypress/ScalaTrace memberships in the paper were obtained by
+// reading those tools' sources; here they are modeled by function
+// class, which reproduces the paper's headline (Pilgrim: everything;
+// ScalaTrace: ~1/4; Cypress: ~1/8).
+
+// collectiveBases are the collectives that exist in blocking,
+// nonblocking (I...) and persistent (..._init) forms in MPI 4.0.
+var collectiveBases = []string{
+	"Barrier", "Bcast", "Gather", "Gatherv", "Scatter", "Scatterv",
+	"Allgather", "Allgatherv", "Alltoall", "Alltoallv", "Alltoallw",
+	"Reduce", "Allreduce", "Reduce_scatter", "Reduce_scatter_block",
+	"Scan", "Exscan",
+}
+
+var neighborBases = []string{
+	"Neighbor_allgather", "Neighbor_allgatherv",
+	"Neighbor_alltoall", "Neighbor_alltoallv", "Neighbor_alltoallw",
+}
+
+var p2pNames = []string{
+	"MPI_Send", "MPI_Bsend", "MPI_Ssend", "MPI_Rsend", "MPI_Recv",
+	"MPI_Isend", "MPI_Ibsend", "MPI_Issend", "MPI_Irsend", "MPI_Irecv",
+	"MPI_Sendrecv", "MPI_Sendrecv_replace", "MPI_Isendrecv", "MPI_Isendrecv_replace",
+	"MPI_Probe", "MPI_Iprobe", "MPI_Mprobe", "MPI_Improbe", "MPI_Mrecv", "MPI_Imrecv",
+	"MPI_Send_init", "MPI_Bsend_init", "MPI_Ssend_init", "MPI_Rsend_init", "MPI_Recv_init",
+	"MPI_Start", "MPI_Startall",
+	"MPI_Psend_init", "MPI_Precv_init", "MPI_Pready", "MPI_Pready_list", "MPI_Pready_range", "MPI_Parrived",
+	"MPI_Buffer_attach", "MPI_Buffer_detach",
+}
+
+var completionNames = []string{
+	"MPI_Wait", "MPI_Test", "MPI_Waitall", "MPI_Waitany", "MPI_Waitsome",
+	"MPI_Testall", "MPI_Testany", "MPI_Testsome",
+	"MPI_Request_free", "MPI_Request_get_status", "MPI_Cancel", "MPI_Test_cancelled",
+	"MPI_Grequest_start", "MPI_Grequest_complete",
+}
+
+var commGroupNames = []string{
+	"MPI_Comm_size", "MPI_Comm_rank", "MPI_Comm_dup", "MPI_Comm_idup",
+	"MPI_Comm_dup_with_info", "MPI_Comm_idup_with_info",
+	"MPI_Comm_split", "MPI_Comm_split_type", "MPI_Comm_create", "MPI_Comm_create_group",
+	"MPI_Comm_create_from_group", "MPI_Comm_free", "MPI_Comm_group", "MPI_Comm_compare",
+	"MPI_Comm_set_name", "MPI_Comm_get_name", "MPI_Comm_set_info", "MPI_Comm_get_info",
+	"MPI_Comm_set_attr", "MPI_Comm_get_attr", "MPI_Comm_delete_attr",
+	"MPI_Comm_create_keyval", "MPI_Comm_free_keyval",
+	"MPI_Comm_test_inter", "MPI_Comm_remote_size", "MPI_Comm_remote_group",
+	"MPI_Intercomm_create", "MPI_Intercomm_create_from_groups", "MPI_Intercomm_merge",
+	"MPI_Group_size", "MPI_Group_rank", "MPI_Group_incl", "MPI_Group_excl",
+	"MPI_Group_range_incl", "MPI_Group_range_excl", "MPI_Group_free",
+	"MPI_Group_translate_ranks", "MPI_Group_compare", "MPI_Group_union",
+	"MPI_Group_intersection", "MPI_Group_difference", "MPI_Group_from_session_pset",
+}
+
+var datatypeNames = []string{
+	"MPI_Type_contiguous", "MPI_Type_vector", "MPI_Type_create_hvector",
+	"MPI_Type_indexed", "MPI_Type_create_hindexed", "MPI_Type_create_hindexed_block",
+	"MPI_Type_create_indexed_block", "MPI_Type_create_struct", "MPI_Type_create_subarray",
+	"MPI_Type_create_darray", "MPI_Type_create_resized", "MPI_Type_commit", "MPI_Type_free",
+	"MPI_Type_dup", "MPI_Type_size", "MPI_Type_size_x", "MPI_Type_get_extent",
+	"MPI_Type_get_extent_x", "MPI_Type_get_true_extent", "MPI_Type_get_true_extent_x",
+	"MPI_Type_get_envelope", "MPI_Type_get_contents", "MPI_Type_get_name", "MPI_Type_set_name",
+	"MPI_Type_set_attr", "MPI_Type_get_attr", "MPI_Type_delete_attr",
+	"MPI_Type_create_keyval", "MPI_Type_free_keyval", "MPI_Type_match_size",
+	"MPI_Get_count", "MPI_Get_elements", "MPI_Get_elements_x",
+	"MPI_Pack", "MPI_Unpack", "MPI_Pack_size",
+	"MPI_Pack_external", "MPI_Unpack_external", "MPI_Pack_external_size",
+	"MPI_Get_address", "MPI_Aint_add", "MPI_Aint_diff",
+	"MPI_Register_datarep",
+}
+
+var topologyNames = []string{
+	"MPI_Cart_create", "MPI_Cart_coords", "MPI_Cart_rank", "MPI_Cart_shift",
+	"MPI_Cart_get", "MPI_Cartdim_get", "MPI_Cart_sub", "MPI_Cart_map",
+	"MPI_Dims_create", "MPI_Graph_create", "MPI_Graph_get", "MPI_Graphdims_get",
+	"MPI_Graph_neighbors", "MPI_Graph_neighbors_count", "MPI_Graph_map",
+	"MPI_Dist_graph_create", "MPI_Dist_graph_create_adjacent",
+	"MPI_Dist_graph_neighbors", "MPI_Dist_graph_neighbors_count",
+	"MPI_Topo_test",
+}
+
+var rmaNames = []string{
+	"MPI_Win_create", "MPI_Win_create_dynamic", "MPI_Win_allocate",
+	"MPI_Win_allocate_shared", "MPI_Win_shared_query", "MPI_Win_free",
+	"MPI_Win_attach", "MPI_Win_detach", "MPI_Win_get_group",
+	"MPI_Win_fence", "MPI_Win_start", "MPI_Win_complete", "MPI_Win_post", "MPI_Win_wait",
+	"MPI_Win_test", "MPI_Win_lock", "MPI_Win_lock_all", "MPI_Win_unlock", "MPI_Win_unlock_all",
+	"MPI_Win_flush", "MPI_Win_flush_all", "MPI_Win_flush_local", "MPI_Win_flush_local_all",
+	"MPI_Win_sync", "MPI_Win_set_name", "MPI_Win_get_name",
+	"MPI_Win_set_attr", "MPI_Win_get_attr", "MPI_Win_delete_attr",
+	"MPI_Win_create_keyval", "MPI_Win_free_keyval",
+	"MPI_Win_set_info", "MPI_Win_get_info",
+	"MPI_Win_set_errhandler", "MPI_Win_get_errhandler", "MPI_Win_call_errhandler",
+	"MPI_Win_create_errhandler",
+	"MPI_Put", "MPI_Get", "MPI_Accumulate", "MPI_Get_accumulate",
+	"MPI_Fetch_and_op", "MPI_Compare_and_swap",
+	"MPI_Rput", "MPI_Rget", "MPI_Raccumulate", "MPI_Rget_accumulate",
+}
+
+var fileNames = []string{
+	"MPI_File_open", "MPI_File_close", "MPI_File_delete", "MPI_File_set_size",
+	"MPI_File_preallocate", "MPI_File_get_size", "MPI_File_get_group", "MPI_File_get_amode",
+	"MPI_File_set_info", "MPI_File_get_info", "MPI_File_set_view", "MPI_File_get_view",
+	"MPI_File_read_at", "MPI_File_read_at_all", "MPI_File_write_at", "MPI_File_write_at_all",
+	"MPI_File_iread_at", "MPI_File_iwrite_at", "MPI_File_iread_at_all", "MPI_File_iwrite_at_all",
+	"MPI_File_read", "MPI_File_read_all", "MPI_File_write", "MPI_File_write_all",
+	"MPI_File_iread", "MPI_File_iwrite", "MPI_File_iread_all", "MPI_File_iwrite_all",
+	"MPI_File_seek", "MPI_File_get_position", "MPI_File_get_byte_offset",
+	"MPI_File_read_shared", "MPI_File_write_shared", "MPI_File_iread_shared", "MPI_File_iwrite_shared",
+	"MPI_File_read_ordered", "MPI_File_write_ordered", "MPI_File_seek_shared",
+	"MPI_File_get_position_shared", "MPI_File_read_at_all_begin", "MPI_File_read_at_all_end",
+	"MPI_File_write_at_all_begin", "MPI_File_write_at_all_end",
+	"MPI_File_read_all_begin", "MPI_File_read_all_end",
+	"MPI_File_write_all_begin", "MPI_File_write_all_end",
+	"MPI_File_read_ordered_begin", "MPI_File_read_ordered_end",
+	"MPI_File_write_ordered_begin", "MPI_File_write_ordered_end",
+	"MPI_File_get_type_extent", "MPI_File_set_atomicity", "MPI_File_get_atomicity", "MPI_File_sync",
+	"MPI_File_set_errhandler", "MPI_File_get_errhandler", "MPI_File_call_errhandler",
+	"MPI_File_create_errhandler",
+}
+
+var toolNames = []string{
+	"MPI_T_init_thread", "MPI_T_finalize",
+	"MPI_T_cvar_get_num", "MPI_T_cvar_get_info", "MPI_T_cvar_get_index",
+	"MPI_T_cvar_handle_alloc", "MPI_T_cvar_handle_free", "MPI_T_cvar_read", "MPI_T_cvar_write",
+	"MPI_T_pvar_get_num", "MPI_T_pvar_get_info", "MPI_T_pvar_get_index",
+	"MPI_T_pvar_session_create", "MPI_T_pvar_session_free",
+	"MPI_T_pvar_handle_alloc", "MPI_T_pvar_handle_free",
+	"MPI_T_pvar_start", "MPI_T_pvar_stop", "MPI_T_pvar_read", "MPI_T_pvar_write",
+	"MPI_T_pvar_reset", "MPI_T_pvar_readreset",
+	"MPI_T_category_get_num", "MPI_T_category_get_info", "MPI_T_category_get_index",
+	"MPI_T_category_get_cvars", "MPI_T_category_get_pvars", "MPI_T_category_get_categories",
+	"MPI_T_category_changed", "MPI_T_category_get_num_events", "MPI_T_category_get_events",
+	"MPI_T_enum_get_info", "MPI_T_enum_get_item",
+	"MPI_T_event_get_num", "MPI_T_event_get_info", "MPI_T_event_get_index",
+	"MPI_T_event_handle_alloc", "MPI_T_event_handle_set_info", "MPI_T_event_handle_get_info",
+	"MPI_T_event_handle_free", "MPI_T_event_register_callback", "MPI_T_event_callback_set_info",
+	"MPI_T_event_callback_get_info", "MPI_T_event_set_dropped_handler",
+	"MPI_T_event_read", "MPI_T_event_copy", "MPI_T_event_get_timestamp",
+	"MPI_T_event_get_source", "MPI_T_source_get_num", "MPI_T_source_get_info",
+	"MPI_T_source_get_timestamp",
+}
+
+var envNames = []string{
+	"MPI_Init", "MPI_Init_thread", "MPI_Finalize", "MPI_Initialized", "MPI_Finalized",
+	"MPI_Abort", "MPI_Get_processor_name", "MPI_Get_version", "MPI_Get_library_version",
+	"MPI_Query_thread", "MPI_Is_thread_main", "MPI_Pcontrol",
+	"MPI_Get_hw_resource_info",
+	"MPI_Session_init", "MPI_Session_finalize", "MPI_Session_get_num_psets",
+	"MPI_Session_get_nth_pset", "MPI_Session_get_info", "MPI_Session_get_pset_info",
+	"MPI_Session_set_errhandler", "MPI_Session_get_errhandler",
+	"MPI_Session_call_errhandler", "MPI_Session_create_errhandler",
+	"MPI_Info_create", "MPI_Info_create_env", "MPI_Info_delete", "MPI_Info_dup",
+	"MPI_Info_free", "MPI_Info_get_nkeys", "MPI_Info_get_nthkey",
+	"MPI_Info_get_string", "MPI_Info_set",
+	"MPI_Errhandler_free", "MPI_Error_class", "MPI_Error_string",
+	"MPI_Add_error_class", "MPI_Add_error_code", "MPI_Add_error_string",
+	"MPI_Comm_set_errhandler", "MPI_Comm_get_errhandler", "MPI_Comm_call_errhandler",
+	"MPI_Comm_create_errhandler",
+	"MPI_Op_create", "MPI_Op_free", "MPI_Op_commutative", "MPI_Reduce_local",
+	"MPI_Status_set_cancelled", "MPI_Status_set_elements", "MPI_Status_set_elements_x",
+	"MPI_Status_f2c", "MPI_Status_c2f",
+	"MPI_Comm_spawn", "MPI_Comm_spawn_multiple", "MPI_Comm_get_parent",
+	"MPI_Comm_join", "MPI_Comm_accept", "MPI_Comm_connect", "MPI_Comm_disconnect",
+	"MPI_Open_port", "MPI_Close_port", "MPI_Publish_name", "MPI_Unpublish_name",
+	"MPI_Lookup_name",
+}
+
+// AllNames is the modeled MPI 4.0 C function list (excluding
+// MPI_Wtime/MPI_Wtick).
+var AllNames = buildAllNames()
+
+func buildAllNames() []string {
+	var out []string
+	out = append(out, envNames...)
+	out = append(out, p2pNames...)
+	out = append(out, completionNames...)
+	for _, b := range collectiveBases {
+		out = append(out, "MPI_"+b, "MPI_I"+lower1(b), "MPI_"+b+"_init")
+	}
+	for _, b := range neighborBases {
+		out = append(out, "MPI_"+b, "MPI_I"+lower1(b), "MPI_"+b+"_init")
+	}
+	out = append(out, commGroupNames...)
+	out = append(out, datatypeNames...)
+	out = append(out, topologyNames...)
+	out = append(out, rmaNames...)
+	out = append(out, fileNames...)
+	out = append(out, toolNames...)
+	return out
+}
+
+func lower1(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'A' && b[0] <= 'Z' {
+		b[0] += 'a' - 'A'
+	}
+	return string(b)
+}
+
+// Coverage models which tool records which functions, used by the
+// Table 1 experiment.
+type Coverage struct {
+	Tool      string
+	Supported map[string]bool
+}
+
+// PilgrimCoverage: every function.
+func PilgrimCoverage() Coverage {
+	m := make(map[string]bool, len(AllNames))
+	for _, n := range AllNames {
+		m[n] = true
+	}
+	return Coverage{Tool: "Pilgrim", Supported: m}
+}
+
+// ScalaTraceCoverage models ScalaTrace's ~125-function subset: p2p
+// including nonblocking and waits, blocking collectives, basic comm,
+// group and datatype management — but no MPI_Test* family, no RMA, no
+// IO, no MPI_T.
+func ScalaTraceCoverage() Coverage {
+	m := map[string]bool{}
+	add := func(names ...string) {
+		for _, n := range names {
+			m[n] = true
+		}
+	}
+	add("MPI_Init", "MPI_Init_thread", "MPI_Finalize", "MPI_Abort",
+		"MPI_Comm_size", "MPI_Comm_rank", "MPI_Get_processor_name")
+	add(p2pNames[:27]...) // classic p2p incl. persistent, no partitioned
+	add("MPI_Wait", "MPI_Waitall", "MPI_Waitany", "MPI_Waitsome",
+		"MPI_Request_free", "MPI_Cancel")
+	for _, b := range collectiveBases {
+		add("MPI_"+b, "MPI_I"+lower1(b))
+	}
+	add("MPI_Comm_dup", "MPI_Comm_split", "MPI_Comm_create", "MPI_Comm_free",
+		"MPI_Comm_group", "MPI_Comm_compare", "MPI_Comm_test_inter",
+		"MPI_Intercomm_create", "MPI_Intercomm_merge",
+		"MPI_Group_size", "MPI_Group_rank", "MPI_Group_incl", "MPI_Group_excl",
+		"MPI_Group_free", "MPI_Group_translate_ranks",
+		"MPI_Group_union", "MPI_Group_intersection", "MPI_Group_difference")
+	add("MPI_Type_contiguous", "MPI_Type_vector", "MPI_Type_indexed",
+		"MPI_Type_create_struct", "MPI_Type_commit", "MPI_Type_free",
+		"MPI_Type_size", "MPI_Type_get_extent", "MPI_Get_count",
+		"MPI_Pack", "MPI_Unpack", "MPI_Pack_size")
+	add("MPI_Cart_create", "MPI_Cart_coords", "MPI_Cart_rank", "MPI_Cart_shift",
+		"MPI_Cart_get", "MPI_Cartdim_get", "MPI_Cart_sub", "MPI_Dims_create",
+		"MPI_Graph_create", "MPI_Graph_neighbors", "MPI_Graph_neighbors_count")
+	add("MPI_Op_create", "MPI_Op_free", "MPI_Scan", "MPI_Exscan")
+	return Coverage{Tool: "ScalaTrace", Supported: m}
+}
+
+// CypressCoverage models Cypress's ~56-function subset: blocking and
+// nonblocking p2p, Waitall/Wait, and the common blocking collectives.
+// No MPI_Test*, no MPI_Request tracking, no persistent requests, no
+// derived-type recreation (it keeps only the size).
+func CypressCoverage() Coverage {
+	m := map[string]bool{}
+	add := func(names ...string) {
+		for _, n := range names {
+			m[n] = true
+		}
+	}
+	add("MPI_Init", "MPI_Finalize", "MPI_Abort",
+		"MPI_Comm_size", "MPI_Comm_rank")
+	add("MPI_Send", "MPI_Bsend", "MPI_Ssend", "MPI_Rsend", "MPI_Recv",
+		"MPI_Isend", "MPI_Ibsend", "MPI_Issend", "MPI_Irsend", "MPI_Irecv",
+		"MPI_Sendrecv", "MPI_Sendrecv_replace", "MPI_Probe", "MPI_Iprobe")
+	add("MPI_Wait", "MPI_Waitall", "MPI_Waitany")
+	for _, b := range collectiveBases {
+		add("MPI_" + b)
+	}
+	add("MPI_Comm_dup", "MPI_Comm_split", "MPI_Comm_create", "MPI_Comm_free")
+	add("MPI_Type_contiguous", "MPI_Type_vector", "MPI_Type_commit", "MPI_Type_free",
+		"MPI_Type_size", "MPI_Get_count")
+	add("MPI_Cart_create", "MPI_Cart_shift", "MPI_Dims_create",
+		"MPI_Barrier", "MPI_Op_create", "MPI_Op_free")
+	return Coverage{Tool: "Cypress", Supported: m}
+}
+
+// Count returns how many of the modeled MPI functions the tool covers.
+func (c Coverage) Count() int {
+	n := 0
+	for _, name := range AllNames {
+		if c.Supported[name] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,312 @@
+package mpispec
+
+// FuncID identifies an MPI function. Ids are stable: they index the
+// Spec table and appear in call signatures and trace files.
+type FuncID uint16
+
+// Supported function ids (the subset realized by the mpi simulator;
+// the tracer handles every one of these with full parameters).
+const (
+	FInit FuncID = iota
+	FFinalize
+	FInitialized
+	FFinalized
+	FAbort
+	FCommSize
+	FCommRank
+	FGetProcessorName
+
+	FSend
+	FBsend
+	FSsend
+	FRsend
+	FRecv
+	FIsend
+	FIbsend
+	FIssend
+	FIrsend
+	FIrecv
+	FSendrecv
+	FSendrecvReplace
+	FProbe
+	FIprobe
+
+	FWait
+	FTest
+	FWaitall
+	FWaitany
+	FWaitsome
+	FTestall
+	FTestany
+	FTestsome
+	FRequestFree
+	FRequestGetStatus
+	FCancel
+	FSendInit
+	FBsendInit
+	FSsendInit
+	FRsendInit
+	FRecvInit
+	FStart
+	FStartall
+
+	FBarrier
+	FBcast
+	FGather
+	FGatherv
+	FScatter
+	FScatterv
+	FAllgather
+	FAllgatherv
+	FAlltoall
+	FAlltoallv
+	FReduce
+	FAllreduce
+	FReduceScatter
+	FReduceScatterBlock
+	FScan
+	FExscan
+	FIbarrier
+	FIbcast
+	FIgather
+	FIscatter
+	FIallgather
+	FIalltoall
+	FIreduce
+	FIallreduce
+
+	FCommDup
+	FCommIdup
+	FCommSplit
+	FCommSplitType
+	FCommCreate
+	FCommFree
+	FCommGroup
+	FCommCompare
+	FCommSetName
+	FCommGetName
+	FCommTestInter
+	FCommRemoteSize
+	FIntercommCreate
+	FIntercommMerge
+
+	FGroupSize
+	FGroupRank
+	FGroupIncl
+	FGroupExcl
+	FGroupFree
+	FGroupTranslateRanks
+	FGroupUnion
+	FGroupIntersection
+	FGroupDifference
+
+	FTypeContiguous
+	FTypeVector
+	FTypeIndexed
+	FTypeCreateStruct
+	FTypeCommit
+	FTypeFree
+	FTypeSize
+	FTypeGetExtent
+	FTypeDup
+	FGetCount
+	FGetElements
+
+	FCartCreate
+	FCartCoords
+	FCartRank
+	FCartShift
+	FCartGet
+	FCartdimGet
+	FCartSub
+	FDimsCreate
+
+	FOpCreate
+	FOpFree
+
+	NumFuncs // sentinel: number of supported functions
+)
+
+// FuncSpec is the generated-wrapper metadata for one function.
+type FuncSpec struct {
+	ID     FuncID
+	Name   string
+	Params []Param
+}
+
+// p is a short constructor for Param literals.
+func p(name string, kind ParamKind, dir Dir) Param { return Param{name, kind, dir} }
+
+// Spec is the parameter table, indexed by FuncID. The parameter order
+// matches the MPI C bindings; directions follow the standard.
+var Spec = [NumFuncs]FuncSpec{
+	FInit:             {FInit, "MPI_Init", nil},
+	FFinalize:         {FFinalize, "MPI_Finalize", nil},
+	FInitialized:      {FInitialized, "MPI_Initialized", []Param{p("flag", KInt, Out)}},
+	FFinalized:        {FFinalized, "MPI_Finalized", []Param{p("flag", KInt, Out)}},
+	FAbort:            {FAbort, "MPI_Abort", []Param{p("comm", KComm, In), p("errorcode", KInt, In)}},
+	FCommSize:         {FCommSize, "MPI_Comm_size", []Param{p("comm", KComm, In), p("size", KInt, Out)}},
+	FCommRank:         {FCommRank, "MPI_Comm_rank", []Param{p("comm", KComm, In), p("rank", KRank, Out)}},
+	FGetProcessorName: {FGetProcessorName, "MPI_Get_processor_name", []Param{p("name", KString, Out), p("resultlen", KInt, Out)}},
+
+	FSend:   {FSend, "MPI_Send", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In)}},
+	FBsend:  {FBsend, "MPI_Bsend", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In)}},
+	FSsend:  {FSsend, "MPI_Ssend", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In)}},
+	FRsend:  {FRsend, "MPI_Rsend", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In)}},
+	FRecv:   {FRecv, "MPI_Recv", []Param{p("buf", KPtr, Out), p("count", KInt, In), p("datatype", KDatatype, In), p("source", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("status", KStatus, Out)}},
+	FIsend:  {FIsend, "MPI_Isend", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIbsend: {FIbsend, "MPI_Ibsend", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIssend: {FIssend, "MPI_Issend", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIrsend: {FIrsend, "MPI_Irsend", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIrecv:  {FIrecv, "MPI_Irecv", []Param{p("buf", KPtr, Out), p("count", KInt, In), p("datatype", KDatatype, In), p("source", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FSendrecv: {FSendrecv, "MPI_Sendrecv", []Param{
+		p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In), p("dest", KRank, In), p("sendtag", KTag, In),
+		p("recvbuf", KPtr, Out), p("recvcount", KInt, In), p("recvtype", KDatatype, In), p("source", KRank, In), p("recvtag", KTag, In),
+		p("comm", KComm, In), p("status", KStatus, Out)}},
+	FSendrecvReplace: {FSendrecvReplace, "MPI_Sendrecv_replace", []Param{
+		p("buf", KPtr, InOut), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("sendtag", KTag, In),
+		p("source", KRank, In), p("recvtag", KTag, In), p("comm", KComm, In), p("status", KStatus, Out)}},
+	FProbe:  {FProbe, "MPI_Probe", []Param{p("source", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("status", KStatus, Out)}},
+	FIprobe: {FIprobe, "MPI_Iprobe", []Param{p("source", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("flag", KInt, Out), p("status", KStatus, Out)}},
+
+	FWait:    {FWait, "MPI_Wait", []Param{p("request", KRequest, InOut), p("status", KStatus, Out)}},
+	FTest:    {FTest, "MPI_Test", []Param{p("request", KRequest, InOut), p("flag", KInt, Out), p("status", KStatus, Out)}},
+	FWaitall: {FWaitall, "MPI_Waitall", []Param{p("count", KInt, In), p("requests", KReqArray, InOut), p("statuses", KStatArray, Out)}},
+	FWaitany: {FWaitany, "MPI_Waitany", []Param{p("count", KInt, In), p("requests", KReqArray, InOut), p("index", KInt, Out), p("status", KStatus, Out)}},
+	FWaitsome: {FWaitsome, "MPI_Waitsome", []Param{p("incount", KInt, In), p("requests", KReqArray, InOut),
+		p("outcount", KInt, Out), p("indices", KIndexArray, Out), p("statuses", KStatArray, Out)}},
+	FTestall: {FTestall, "MPI_Testall", []Param{p("count", KInt, In), p("requests", KReqArray, InOut), p("flag", KInt, Out), p("statuses", KStatArray, Out)}},
+	FTestany: {FTestany, "MPI_Testany", []Param{p("count", KInt, In), p("requests", KReqArray, InOut), p("index", KInt, Out), p("flag", KInt, Out), p("status", KStatus, Out)}},
+	FTestsome: {FTestsome, "MPI_Testsome", []Param{p("incount", KInt, In), p("requests", KReqArray, InOut),
+		p("outcount", KInt, Out), p("indices", KIndexArray, Out), p("statuses", KStatArray, Out)}},
+	FRequestFree:      {FRequestFree, "MPI_Request_free", []Param{p("request", KRequest, InOut)}},
+	FRequestGetStatus: {FRequestGetStatus, "MPI_Request_get_status", []Param{p("request", KRequest, In), p("flag", KInt, Out), p("status", KStatus, Out)}},
+	FCancel:           {FCancel, "MPI_Cancel", []Param{p("request", KRequest, In)}},
+	FSendInit:         {FSendInit, "MPI_Send_init", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FBsendInit:        {FBsendInit, "MPI_Bsend_init", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FSsendInit:        {FSsendInit, "MPI_Ssend_init", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FRsendInit:        {FRsendInit, "MPI_Rsend_init", []Param{p("buf", KPtr, In), p("count", KInt, In), p("datatype", KDatatype, In), p("dest", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FRecvInit:         {FRecvInit, "MPI_Recv_init", []Param{p("buf", KPtr, Out), p("count", KInt, In), p("datatype", KDatatype, In), p("source", KRank, In), p("tag", KTag, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FStart:            {FStart, "MPI_Start", []Param{p("request", KRequest, InOut)}},
+	FStartall:         {FStartall, "MPI_Startall", []Param{p("count", KInt, In), p("requests", KReqArray, InOut)}},
+
+	FBarrier: {FBarrier, "MPI_Barrier", []Param{p("comm", KComm, In)}},
+	FBcast:   {FBcast, "MPI_Bcast", []Param{p("buffer", KPtr, InOut), p("count", KInt, In), p("datatype", KDatatype, In), p("root", KRank, In), p("comm", KComm, In)}},
+	FGather: {FGather, "MPI_Gather", []Param{p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcount", KInt, In), p("recvtype", KDatatype, In), p("root", KRank, In), p("comm", KComm, In)}},
+	FGatherv: {FGatherv, "MPI_Gatherv", []Param{p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcounts", KIntArray, In), p("displs", KIntArray, In), p("recvtype", KDatatype, In), p("root", KRank, In), p("comm", KComm, In)}},
+	FScatter: {FScatter, "MPI_Scatter", []Param{p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcount", KInt, In), p("recvtype", KDatatype, In), p("root", KRank, In), p("comm", KComm, In)}},
+	FScatterv: {FScatterv, "MPI_Scatterv", []Param{p("sendbuf", KPtr, In), p("sendcounts", KIntArray, In), p("displs", KIntArray, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcount", KInt, In), p("recvtype", KDatatype, In), p("root", KRank, In), p("comm", KComm, In)}},
+	FAllgather: {FAllgather, "MPI_Allgather", []Param{p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcount", KInt, In), p("recvtype", KDatatype, In), p("comm", KComm, In)}},
+	FAllgatherv: {FAllgatherv, "MPI_Allgatherv", []Param{p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcounts", KIntArray, In), p("displs", KIntArray, In), p("recvtype", KDatatype, In), p("comm", KComm, In)}},
+	FAlltoall: {FAlltoall, "MPI_Alltoall", []Param{p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcount", KInt, In), p("recvtype", KDatatype, In), p("comm", KComm, In)}},
+	FAlltoallv: {FAlltoallv, "MPI_Alltoallv", []Param{p("sendbuf", KPtr, In), p("sendcounts", KIntArray, In), p("sdispls", KIntArray, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcounts", KIntArray, In), p("rdispls", KIntArray, In), p("recvtype", KDatatype, In), p("comm", KComm, In)}},
+	FReduce: {FReduce, "MPI_Reduce", []Param{p("sendbuf", KPtr, In), p("recvbuf", KPtr, Out), p("count", KInt, In),
+		p("datatype", KDatatype, In), p("op", KOp, In), p("root", KRank, In), p("comm", KComm, In)}},
+	FAllreduce: {FAllreduce, "MPI_Allreduce", []Param{p("sendbuf", KPtr, In), p("recvbuf", KPtr, Out), p("count", KInt, In),
+		p("datatype", KDatatype, In), p("op", KOp, In), p("comm", KComm, In)}},
+	FReduceScatter: {FReduceScatter, "MPI_Reduce_scatter", []Param{p("sendbuf", KPtr, In), p("recvbuf", KPtr, Out), p("recvcounts", KIntArray, In),
+		p("datatype", KDatatype, In), p("op", KOp, In), p("comm", KComm, In)}},
+	FReduceScatterBlock: {FReduceScatterBlock, "MPI_Reduce_scatter_block", []Param{p("sendbuf", KPtr, In), p("recvbuf", KPtr, Out), p("recvcount", KInt, In),
+		p("datatype", KDatatype, In), p("op", KOp, In), p("comm", KComm, In)}},
+	FScan: {FScan, "MPI_Scan", []Param{p("sendbuf", KPtr, In), p("recvbuf", KPtr, Out), p("count", KInt, In),
+		p("datatype", KDatatype, In), p("op", KOp, In), p("comm", KComm, In)}},
+	FExscan: {FExscan, "MPI_Exscan", []Param{p("sendbuf", KPtr, In), p("recvbuf", KPtr, Out), p("count", KInt, In),
+		p("datatype", KDatatype, In), p("op", KOp, In), p("comm", KComm, In)}},
+	FIbarrier: {FIbarrier, "MPI_Ibarrier", []Param{p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIbcast: {FIbcast, "MPI_Ibcast", []Param{p("buffer", KPtr, InOut), p("count", KInt, In), p("datatype", KDatatype, In),
+		p("root", KRank, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIgather: {FIgather, "MPI_Igather", []Param{p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcount", KInt, In), p("recvtype", KDatatype, In), p("root", KRank, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIscatter: {FIscatter, "MPI_Iscatter", []Param{p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcount", KInt, In), p("recvtype", KDatatype, In), p("root", KRank, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIallgather: {FIallgather, "MPI_Iallgather", []Param{p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcount", KInt, In), p("recvtype", KDatatype, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIalltoall: {FIalltoall, "MPI_Ialltoall", []Param{p("sendbuf", KPtr, In), p("sendcount", KInt, In), p("sendtype", KDatatype, In),
+		p("recvbuf", KPtr, Out), p("recvcount", KInt, In), p("recvtype", KDatatype, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIreduce: {FIreduce, "MPI_Ireduce", []Param{p("sendbuf", KPtr, In), p("recvbuf", KPtr, Out), p("count", KInt, In),
+		p("datatype", KDatatype, In), p("op", KOp, In), p("root", KRank, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+	FIallreduce: {FIallreduce, "MPI_Iallreduce", []Param{p("sendbuf", KPtr, In), p("recvbuf", KPtr, Out), p("count", KInt, In),
+		p("datatype", KDatatype, In), p("op", KOp, In), p("comm", KComm, In), p("request", KRequest, Out)}},
+
+	FCommDup:        {FCommDup, "MPI_Comm_dup", []Param{p("comm", KComm, In), p("newcomm", KComm, Out)}},
+	FCommIdup:       {FCommIdup, "MPI_Comm_idup", []Param{p("comm", KComm, In), p("newcomm", KComm, Out), p("request", KRequest, Out)}},
+	FCommSplit:      {FCommSplit, "MPI_Comm_split", []Param{p("comm", KComm, In), p("color", KColor, In), p("key", KKey, In), p("newcomm", KComm, Out)}},
+	FCommSplitType:  {FCommSplitType, "MPI_Comm_split_type", []Param{p("comm", KComm, In), p("split_type", KInt, In), p("key", KKey, In), p("newcomm", KComm, Out)}},
+	FCommCreate:     {FCommCreate, "MPI_Comm_create", []Param{p("comm", KComm, In), p("group", KGroup, In), p("newcomm", KComm, Out)}},
+	FCommFree:       {FCommFree, "MPI_Comm_free", []Param{p("comm", KComm, InOut)}},
+	FCommGroup:      {FCommGroup, "MPI_Comm_group", []Param{p("comm", KComm, In), p("group", KGroup, Out)}},
+	FCommCompare:    {FCommCompare, "MPI_Comm_compare", []Param{p("comm1", KComm, In), p("comm2", KComm, In), p("result", KInt, Out)}},
+	FCommSetName:    {FCommSetName, "MPI_Comm_set_name", []Param{p("comm", KComm, In), p("comm_name", KString, In)}},
+	FCommGetName:    {FCommGetName, "MPI_Comm_get_name", []Param{p("comm", KComm, In), p("comm_name", KString, Out), p("resultlen", KInt, Out)}},
+	FCommTestInter:  {FCommTestInter, "MPI_Comm_test_inter", []Param{p("comm", KComm, In), p("flag", KInt, Out)}},
+	FCommRemoteSize: {FCommRemoteSize, "MPI_Comm_remote_size", []Param{p("comm", KComm, In), p("size", KInt, Out)}},
+	FIntercommCreate: {FIntercommCreate, "MPI_Intercomm_create", []Param{p("local_comm", KComm, In), p("local_leader", KRank, In),
+		p("peer_comm", KComm, In), p("remote_leader", KRank, In), p("tag", KTag, In), p("newintercomm", KComm, Out)}},
+	FIntercommMerge: {FIntercommMerge, "MPI_Intercomm_merge", []Param{p("intercomm", KComm, In), p("high", KInt, In), p("newintracomm", KComm, Out)}},
+
+	FGroupSize:           {FGroupSize, "MPI_Group_size", []Param{p("group", KGroup, In), p("size", KInt, Out)}},
+	FGroupRank:           {FGroupRank, "MPI_Group_rank", []Param{p("group", KGroup, In), p("rank", KRank, Out)}},
+	FGroupIncl:           {FGroupIncl, "MPI_Group_incl", []Param{p("group", KGroup, In), p("n", KInt, In), p("ranks", KIntArray, In), p("newgroup", KGroup, Out)}},
+	FGroupExcl:           {FGroupExcl, "MPI_Group_excl", []Param{p("group", KGroup, In), p("n", KInt, In), p("ranks", KIntArray, In), p("newgroup", KGroup, Out)}},
+	FGroupFree:           {FGroupFree, "MPI_Group_free", []Param{p("group", KGroup, InOut)}},
+	FGroupTranslateRanks: {FGroupTranslateRanks, "MPI_Group_translate_ranks", []Param{p("group1", KGroup, In), p("n", KInt, In), p("ranks1", KIntArray, In), p("group2", KGroup, In), p("ranks2", KIntArray, Out)}},
+	FGroupUnion:          {FGroupUnion, "MPI_Group_union", []Param{p("group1", KGroup, In), p("group2", KGroup, In), p("newgroup", KGroup, Out)}},
+	FGroupIntersection:   {FGroupIntersection, "MPI_Group_intersection", []Param{p("group1", KGroup, In), p("group2", KGroup, In), p("newgroup", KGroup, Out)}},
+	FGroupDifference:     {FGroupDifference, "MPI_Group_difference", []Param{p("group1", KGroup, In), p("group2", KGroup, In), p("newgroup", KGroup, Out)}},
+
+	FTypeContiguous:   {FTypeContiguous, "MPI_Type_contiguous", []Param{p("count", KInt, In), p("oldtype", KDatatype, In), p("newtype", KDatatype, Out)}},
+	FTypeVector:       {FTypeVector, "MPI_Type_vector", []Param{p("count", KInt, In), p("blocklength", KInt, In), p("stride", KInt, In), p("oldtype", KDatatype, In), p("newtype", KDatatype, Out)}},
+	FTypeIndexed:      {FTypeIndexed, "MPI_Type_indexed", []Param{p("count", KInt, In), p("blocklengths", KIntArray, In), p("displacements", KIntArray, In), p("oldtype", KDatatype, In), p("newtype", KDatatype, Out)}},
+	FTypeCreateStruct: {FTypeCreateStruct, "MPI_Type_create_struct", []Param{p("count", KInt, In), p("blocklengths", KIntArray, In), p("displacements", KIntArray, In), p("types", KIntArray, In), p("newtype", KDatatype, Out)}},
+	FTypeCommit:       {FTypeCommit, "MPI_Type_commit", []Param{p("datatype", KDatatype, InOut)}},
+	FTypeFree:         {FTypeFree, "MPI_Type_free", []Param{p("datatype", KDatatype, InOut)}},
+	FTypeSize:         {FTypeSize, "MPI_Type_size", []Param{p("datatype", KDatatype, In), p("size", KInt, Out)}},
+	FTypeGetExtent:    {FTypeGetExtent, "MPI_Type_get_extent", []Param{p("datatype", KDatatype, In), p("lb", KInt, Out), p("extent", KInt, Out)}},
+	FTypeDup:          {FTypeDup, "MPI_Type_dup", []Param{p("oldtype", KDatatype, In), p("newtype", KDatatype, Out)}},
+	FGetCount:         {FGetCount, "MPI_Get_count", []Param{p("status", KStatus, In), p("datatype", KDatatype, In), p("count", KInt, Out)}},
+	FGetElements:      {FGetElements, "MPI_Get_elements", []Param{p("status", KStatus, In), p("datatype", KDatatype, In), p("count", KInt, Out)}},
+
+	FCartCreate: {FCartCreate, "MPI_Cart_create", []Param{p("comm_old", KComm, In), p("ndims", KInt, In), p("dims", KIntArray, In),
+		p("periods", KIntArray, In), p("reorder", KInt, In), p("comm_cart", KComm, Out)}},
+	FCartCoords: {FCartCoords, "MPI_Cart_coords", []Param{p("comm", KComm, In), p("rank", KRank, In), p("maxdims", KInt, In), p("coords", KIntArray, Out)}},
+	FCartRank:   {FCartRank, "MPI_Cart_rank", []Param{p("comm", KComm, In), p("coords", KIntArray, In), p("rank", KRank, Out)}},
+	FCartShift:  {FCartShift, "MPI_Cart_shift", []Param{p("comm", KComm, In), p("direction", KInt, In), p("disp", KInt, In), p("rank_source", KRank, Out), p("rank_dest", KRank, Out)}},
+	FCartGet:    {FCartGet, "MPI_Cart_get", []Param{p("comm", KComm, In), p("maxdims", KInt, In), p("dims", KIntArray, Out), p("periods", KIntArray, Out), p("coords", KIntArray, Out)}},
+	FCartdimGet: {FCartdimGet, "MPI_Cartdim_get", []Param{p("comm", KComm, In), p("ndims", KInt, Out)}},
+	FCartSub:    {FCartSub, "MPI_Cart_sub", []Param{p("comm", KComm, In), p("remain_dims", KIntArray, In), p("newcomm", KComm, Out)}},
+	FDimsCreate: {FDimsCreate, "MPI_Dims_create", []Param{p("nnodes", KInt, In), p("ndims", KInt, In), p("dims", KIntArray, InOut)}},
+
+	FOpCreate: {FOpCreate, "MPI_Op_create", []Param{p("user_fn", KInt, In), p("commute", KInt, In), p("op", KOp, Out)}},
+	FOpFree:   {FOpFree, "MPI_Op_free", []Param{p("op", KOp, InOut)}},
+}
+
+// Name returns the MPI C name of a supported function.
+func (id FuncID) Name() string {
+	if int(id) < len(Spec) {
+		return Spec[id].Name
+	}
+	return "MPI_<unknown>"
+}
+
+// byName maps MPI C names to ids for the supported subset.
+var byName = func() map[string]FuncID {
+	m := make(map[string]FuncID, NumFuncs)
+	for _, s := range Spec {
+		m[s.Name] = s.ID
+	}
+	return m
+}()
+
+// Lookup returns the FuncID for an MPI C function name.
+func Lookup(name string) (FuncID, bool) {
+	id, ok := byName[name]
+	return id, ok
+}

@@ -1,0 +1,113 @@
+package mpispec
+
+import "testing"
+
+func TestSpecComplete(t *testing.T) {
+	for id := FuncID(0); id < NumFuncs; id++ {
+		s := Spec[id]
+		if s.Name == "" {
+			t.Fatalf("func id %d has no spec entry", id)
+		}
+		if s.ID != id {
+			t.Fatalf("spec[%d].ID = %d", id, s.ID)
+		}
+		if got, ok := Lookup(s.Name); !ok || got != id {
+			t.Fatalf("Lookup(%s) = %d,%v want %d", s.Name, got, ok, id)
+		}
+	}
+}
+
+func TestSpecParamNamesUnique(t *testing.T) {
+	for _, s := range Spec {
+		seen := map[string]bool{}
+		for _, pp := range s.Params {
+			if pp.Name == "" {
+				t.Fatalf("%s: unnamed parameter", s.Name)
+			}
+			if seen[pp.Name] {
+				t.Fatalf("%s: duplicate parameter %q", s.Name, pp.Name)
+			}
+			seen[pp.Name] = true
+		}
+	}
+}
+
+func TestAllNamesNoDuplicates(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range AllNames {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+	if len(AllNames) < 400 {
+		t.Fatalf("modeled MPI surface too small: %d functions", len(AllNames))
+	}
+	t.Logf("modeled MPI function count: %d (paper: 446)", len(AllNames))
+}
+
+func TestSupportedSubsetOfAllNames(t *testing.T) {
+	all := map[string]bool{}
+	for _, n := range AllNames {
+		all[n] = true
+	}
+	for _, s := range Spec {
+		if !all[s.Name] {
+			t.Errorf("supported function %s missing from AllNames", s.Name)
+		}
+	}
+}
+
+func TestCoverageOrdering(t *testing.T) {
+	p := PilgrimCoverage().Count()
+	s := ScalaTraceCoverage().Count()
+	c := CypressCoverage().Count()
+	if p != len(AllNames) {
+		t.Fatalf("Pilgrim must cover all %d functions, got %d", len(AllNames), p)
+	}
+	if !(c < s && s < p) {
+		t.Fatalf("expected Cypress < ScalaTrace < Pilgrim, got %d %d %d", c, s, p)
+	}
+	// Paper reports 56 / 125 / 446; the model should be in the same regime.
+	if c < 30 || c > 90 {
+		t.Errorf("Cypress model count %d far from paper's 56", c)
+	}
+	if s < 90 || s > 170 {
+		t.Errorf("ScalaTrace model count %d far from paper's 125", s)
+	}
+	t.Logf("coverage: Cypress=%d ScalaTrace=%d Pilgrim=%d (paper: 56/125/446)", c, s, p)
+}
+
+func TestCoverageSubsets(t *testing.T) {
+	st := ScalaTraceCoverage().Supported
+	cy := CypressCoverage().Supported
+	all := map[string]bool{}
+	for _, n := range AllNames {
+		all[n] = true
+	}
+	for n := range st {
+		if !all[n] {
+			t.Errorf("ScalaTrace covers unknown function %s", n)
+		}
+	}
+	for n := range cy {
+		if !all[n] {
+			t.Errorf("Cypress covers unknown function %s", n)
+		}
+	}
+	// The paper's Testxxx example: neither baseline records MPI_Testsome.
+	for _, tool := range []map[string]bool{st, cy} {
+		if tool["MPI_Testsome"] || tool["MPI_Testany"] || tool["MPI_Test"] {
+			t.Error("baseline tools must not record MPI_Test* (paper §1)")
+		}
+	}
+}
+
+func TestParamKindString(t *testing.T) {
+	if KRank.String() != "Rank" || KPtr.String() != "Ptr" {
+		t.Fatal("ParamKind.String broken")
+	}
+	if ParamKind(200).String() != "Unknown" {
+		t.Fatal("out-of-range kind should be Unknown")
+	}
+}

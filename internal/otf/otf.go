@@ -1,0 +1,109 @@
+// Package otf converts Pilgrim traces into a flat, OTF-inspired text
+// event format, one event per line, so existing line-oriented analysis
+// tooling can consume them. This realizes the conversion direction the
+// paper lists as future work ("a converter that converts Pilgrim
+// traces into some existing trace formats (e.g., OTF)").
+//
+// Format (tab separated):
+//
+//	HDR	pilgrim-otf	1	<ranks>	<timingMode>
+//	DEF	FUNC	<id>	<name>
+//	EVT	<rank>	<seq>	<tStart>	<tEnd>	<funcId>	<rendered call>
+package otf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+)
+
+// Convert writes the whole trace as OTF-style text.
+func Convert(f *trace.File, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "HDR\tpilgrim-otf\t1\t%d\t%d\n", f.NumRanks, f.TimingMode)
+	// Function definitions used anywhere in the trace.
+	used := map[mpispec.FuncID]bool{}
+	perRank := make([][]core.DecodedCall, f.NumRanks)
+	for r := 0; r < f.NumRanks; r++ {
+		calls, err := core.DecodeRank(f, r)
+		if err != nil {
+			return err
+		}
+		perRank[r] = calls
+		for _, c := range calls {
+			used[c.Func] = true
+		}
+	}
+	for id := mpispec.FuncID(0); id < mpispec.NumFuncs; id++ {
+		if used[id] {
+			fmt.Fprintf(bw, "DEF\tFUNC\t%d\t%s\n", id, id.Name())
+		}
+	}
+	for r, calls := range perRank {
+		for i, c := range calls {
+			fmt.Fprintf(bw, "EVT\t%d\t%d\t%d\t%d\t%d\t%s\n",
+				r, i, c.TStart, c.TEnd, c.Func, c.Decoded)
+		}
+	}
+	return bw.Flush()
+}
+
+// Event is one parsed OTF-style event line.
+type Event struct {
+	Rank   int
+	Seq    int
+	TStart int64
+	TEnd   int64
+	Func   mpispec.FuncID
+	Text   string
+}
+
+// Parse reads back the text format (used by tests and downstream
+// tools that want structured access).
+func Parse(r io.Reader) (ranks int, events []Event, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fields := strings.SplitN(line, "\t", 7)
+		switch fields[0] {
+		case "HDR":
+			if len(fields) < 5 {
+				return 0, nil, fmt.Errorf("otf: bad header at line %d", lineNo)
+			}
+			if fields[1] != "pilgrim-otf" {
+				return 0, nil, fmt.Errorf("otf: unknown format %q", fields[1])
+			}
+			ranks, err = strconv.Atoi(fields[3])
+			if err != nil {
+				return 0, nil, fmt.Errorf("otf: bad rank count at line %d", lineNo)
+			}
+		case "DEF":
+			// definitions are informational
+		case "EVT":
+			if len(fields) < 7 {
+				return 0, nil, fmt.Errorf("otf: bad event at line %d", lineNo)
+			}
+			var ev Event
+			ev.Rank, _ = strconv.Atoi(fields[1])
+			ev.Seq, _ = strconv.Atoi(fields[2])
+			ev.TStart, _ = strconv.ParseInt(fields[3], 10, 64)
+			ev.TEnd, _ = strconv.ParseInt(fields[4], 10, 64)
+			fid, _ := strconv.Atoi(fields[5])
+			ev.Func = mpispec.FuncID(fid)
+			ev.Text = fields[6]
+			events = append(events, ev)
+		default:
+			return 0, nil, fmt.Errorf("otf: unknown record %q at line %d", fields[0], lineNo)
+		}
+	}
+	return ranks, events, sc.Err()
+}

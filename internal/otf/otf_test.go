@@ -1,0 +1,63 @@
+package otf_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/otf"
+	"github.com/hpcrepro/pilgrim/internal/workloads"
+)
+
+func TestConvertParseRoundtrip(t *testing.T) {
+	body := workloads.Stencil2D(workloads.StencilConfig{Iters: 5})
+	file, stats, err := pilgrim.Run(4, pilgrim.Options{}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := otf.Convert(file, &buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasPrefix(text, "HDR\tpilgrim-otf\t1\t4") {
+		t.Fatalf("bad header: %q", text[:40])
+	}
+	if !strings.Contains(text, "DEF\tFUNC") {
+		t.Fatal("missing function definitions")
+	}
+	ranks, events, err := otf.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks != 4 {
+		t.Fatalf("parsed %d ranks", ranks)
+	}
+	if int64(len(events)) != stats.TotalCalls {
+		t.Fatalf("parsed %d events, traced %d calls", len(events), stats.TotalCalls)
+	}
+	// Events must be ordered per rank and reference known functions.
+	lastSeq := map[int]int{}
+	for _, ev := range events {
+		if prev, ok := lastSeq[ev.Rank]; ok && ev.Seq != prev+1 {
+			t.Fatalf("rank %d events out of order: %d after %d", ev.Rank, ev.Seq, prev)
+		}
+		lastSeq[ev.Rank] = ev.Seq
+		if ev.Text == "" || !strings.HasPrefix(ev.Text, "MPI_") {
+			t.Fatalf("bad event text %q", ev.Text)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, _, err := otf.Parse(strings.NewReader("XXX\tnope\n")); err == nil {
+		t.Error("unknown record accepted")
+	}
+	if _, _, err := otf.Parse(strings.NewReader("HDR\twrong-format\t1\t4\t0\n")); err == nil {
+		t.Error("wrong format name accepted")
+	}
+	if _, _, err := otf.Parse(strings.NewReader("EVT\t0\t0\n")); err == nil {
+		t.Error("short event accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package scalatrace
+
+import (
+	"testing"
+
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+)
+
+func sendRec(rank int, dest, tag int64) *mpispec.CallRecord {
+	return &mpispec.CallRecord{Func: mpispec.FSend, Rank: rank, Args: []mpispec.Value{
+		{Kind: mpispec.KPtr, I: 0x1000},
+		{Kind: mpispec.KInt, I: 4},
+		{Kind: mpispec.KDatatype, I: 18},
+		{Kind: mpispec.KRank, I: dest},
+		{Kind: mpispec.KTag, I: tag},
+		{Kind: mpispec.KComm, I: 1, Arr: []int64{int64(rank)}},
+	}}
+}
+
+func testsomeRec(rank int) *mpispec.CallRecord {
+	return &mpispec.CallRecord{Func: mpispec.FTestsome, Rank: rank, Args: []mpispec.Value{
+		{Kind: mpispec.KInt, I: 3},
+		{Kind: mpispec.KReqArray, Arr: []int64{1, 2, 3}},
+		{Kind: mpispec.KInt, I: 1},
+		{Kind: mpispec.KIndexArray, Arr: []int64{0}},
+		{Kind: mpispec.KStatArray, Arr: []int64{1, 0}},
+	}}
+}
+
+func TestDropsUncoveredFunctions(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Post(testsomeRec(0))
+	if tr.NDropped != 1 || tr.NumNodes() != 0 {
+		t.Fatalf("Testsome must be dropped: dropped=%d nodes=%d", tr.NDropped, tr.NumNodes())
+	}
+	tr.Post(sendRec(0, 1, 0))
+	if tr.NDropped != 1 || tr.NumNodes() != 1 {
+		t.Fatal("Send must be recorded")
+	}
+}
+
+func TestLoopFolding(t *testing.T) {
+	tr := NewTracer(0)
+	for i := 0; i < 1000; i++ {
+		tr.Post(sendRec(0, 1, 0))
+	}
+	if tr.NumNodes() != 1 {
+		t.Fatalf("identical sends should fold into one loop: %d nodes", tr.NumNodes())
+	}
+	if tr.Bytes() > eventBytes+loopNodeOverhead {
+		t.Fatalf("folded loop too large: %d bytes", tr.Bytes())
+	}
+}
+
+func TestMultiEventLoopFolding(t *testing.T) {
+	tr := NewTracer(0)
+	for i := 0; i < 200; i++ {
+		tr.Post(sendRec(0, 1, 0))
+		tr.Post(sendRec(0, 2, 0))
+		tr.Post(sendRec(0, 3, 0))
+	}
+	if tr.NumNodes() != 1 {
+		t.Fatalf("ABC loop should fold to one node, got %d", tr.NumNodes())
+	}
+	if tr.Bytes() > 3*eventBytes+2*loopNodeOverhead {
+		t.Fatalf("ABC loop size %d", tr.Bytes())
+	}
+}
+
+func TestRelativeEncodingInBaseline(t *testing.T) {
+	// Stencil sends to rank+1 must produce identical streams across
+	// ranks (ScalaTrace is location independent too).
+	a := NewTracer(3)
+	b := NewTracer(9)
+	for i := 0; i < 10; i++ {
+		a.Post(sendRec(3, 4, 0))
+		b.Post(sendRec(9, 10, 0))
+	}
+	if a.streamKey() != b.streamKey() {
+		t.Fatal("location-independent streams must match")
+	}
+}
+
+func TestIdentityMergeOnly(t *testing.T) {
+	// Ranks whose parameters differ (count arrays) are stored in full:
+	// the source of the baseline's linear growth.
+	mkAlltoallv := func(rank int, counts []int64) *mpispec.CallRecord {
+		return &mpispec.CallRecord{Func: mpispec.FAlltoallv, Rank: rank, Args: []mpispec.Value{
+			{Kind: mpispec.KPtr, I: 0x1000},
+			{Kind: mpispec.KIntArray, Arr: counts},
+			{Kind: mpispec.KIntArray, Arr: []int64{0, 1, 2}},
+			{Kind: mpispec.KDatatype, I: 18},
+			{Kind: mpispec.KPtr, I: 0x2000},
+			{Kind: mpispec.KIntArray, Arr: counts},
+			{Kind: mpispec.KIntArray, Arr: []int64{0, 1, 2}},
+			{Kind: mpispec.KDatatype, I: 18},
+			{Kind: mpispec.KComm, I: 1, Arr: []int64{int64(rank)}},
+		}}
+	}
+	var tracers []*Tracer
+	for r := 0; r < 8; r++ {
+		tr := NewTracer(r)
+		tr.Post(mkAlltoallv(r, []int64{int64(r), int64(r + 1), int64(r + 2)}))
+		tracers = append(tracers, tr)
+	}
+	st := Finalize(tracers)
+	if st.UniqueStreams != 8 {
+		t.Fatalf("per-rank varying arrays must defeat the identity merge: %d unique", st.UniqueStreams)
+	}
+	// Identical ranks do merge.
+	var same []*Tracer
+	for r := 0; r < 8; r++ {
+		tr := NewTracer(r)
+		tr.Post(mkAlltoallv(r, []int64{5, 5, 5}))
+		same = append(same, tr)
+	}
+	st2 := Finalize(same)
+	if st2.UniqueStreams != 1 {
+		t.Fatalf("identical ranks should merge: %d unique", st2.UniqueStreams)
+	}
+	if st2.TraceBytes >= st.TraceBytes {
+		t.Fatal("merged trace should be smaller")
+	}
+}
+
+func TestLinearGrowthWithVaryingRanks(t *testing.T) {
+	size := func(n int) int {
+		var tracers []*Tracer
+		for r := 0; r < n; r++ {
+			tr := NewTracer(r)
+			for i := 0; i < 50; i++ {
+				tr.Post(sendRec(r, int64(r+1), int64(r*100))) // rank-unique tag
+			}
+			tracers = append(tracers, tr)
+		}
+		return Finalize(tracers).TraceBytes
+	}
+	s8, s64 := size(8), size(64)
+	if s64 < 6*s8 {
+		t.Fatalf("expected near-linear growth: %d -> %d", s8, s64)
+	}
+}
+
+func TestNestedLoopFolding(t *testing.T) {
+	tr := NewTracer(0)
+	for outer := 0; outer < 20; outer++ {
+		for inner := 0; inner < 10; inner++ {
+			tr.Post(sendRec(0, 1, 0))
+			tr.Post(sendRec(0, 2, 0))
+		}
+		tr.Post(sendRec(0, 3, 7777))
+	}
+	if tr.NumNodes() > 2 {
+		t.Fatalf("nested loops should fold: %d nodes", tr.NumNodes())
+	}
+}

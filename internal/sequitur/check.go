@@ -1,0 +1,79 @@
+package sequitur
+
+import "fmt"
+
+// CheckInvariants verifies the structural health of the grammar plus
+// the two Sequitur properties. It is intended for tests; it is O(size
+// of grammar).
+func (g *Grammar) CheckInvariants() error {
+	rules := g.rulesInOrder()
+	type occ struct {
+		rule int
+		pos  int
+	}
+	digramsSeen := map[digram]occ{}
+	refCount := map[*Rule]int{}
+	refExpGT1 := map[*Rule]bool{}
+	for ri, r := range rules {
+		if r.dead {
+			return fmt.Errorf("rule %d is dead but reachable", ri)
+		}
+		pos := 0
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.next.prev != s || s.prev.next != s {
+				return fmt.Errorf("rule %d pos %d: broken links", ri, pos)
+			}
+			if s.exp < 1 {
+				return fmt.Errorf("rule %d pos %d: exponent %d < 1", ri, pos, s.exp)
+			}
+			if s.rule != nil {
+				if s.rule.dead {
+					return fmt.Errorf("rule %d pos %d: references dead rule", ri, pos)
+				}
+				if _, ok := s.rule.users[s]; !ok {
+					return fmt.Errorf("rule %d pos %d: missing from users set", ri, pos)
+				}
+				refCount[s.rule]++
+				if s.exp > 1 {
+					refExpGT1[s.rule] = true
+				}
+			}
+			if !s.next.isGuard() {
+				if s.sameKind(s.next) {
+					return fmt.Errorf("rule %d pos %d: adjacent equal symbols not merged", ri, pos)
+				}
+				d := makeDigram(s, s.next)
+				if prev, dup := digramsSeen[d]; dup {
+					return fmt.Errorf("P1 violated: digram repeated (rule %d pos %d and rule %d pos %d)",
+						prev.rule, prev.pos, ri, pos)
+				}
+				digramsSeen[d] = occ{ri, pos}
+				if idx, ok := g.digrams[d]; ok && idx != s {
+					return fmt.Errorf("rule %d pos %d: digram indexed at wrong occurrence", ri, pos)
+				}
+			}
+			pos++
+		}
+		if r != g.start && pos == 0 {
+			return fmt.Errorf("rule %d: empty body", ri)
+		}
+	}
+	for i, r := range rules {
+		if r == g.start {
+			continue
+		}
+		if len(r.users) != refCount[r] {
+			return fmt.Errorf("rule %d: users set size %d != observed references %d", i, len(r.users), refCount[r])
+		}
+		if refCount[r] == 0 {
+			return fmt.Errorf("P2 violated: rule %d unreferenced", i)
+		}
+		if refCount[r] == 1 && !refExpGT1[r] {
+			return fmt.Errorf("P2 violated: rule %d referenced once with exponent 1", i)
+		}
+		if refCount[r] == 1 && r.bodyLen() == 1 {
+			return fmt.Errorf("rule %d: unreduced unit rule", i)
+		}
+	}
+	return nil
+}

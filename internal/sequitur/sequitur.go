@@ -1,0 +1,437 @@
+// Package sequitur implements the Sequitur grammar-inference algorithm
+// (Nevill-Manning & Witten, 1997) extended with the run-length
+// ("repetition count") optimization used by Pilgrim (SC '21, §2.2):
+// grammar symbols carry exponents, so a production A → B B becomes
+// A → B², and a loop of N identical iterations compresses to a single
+// O(1)-size rule A → Bᴺ instead of an O(log N) rule chain.
+//
+// The grammar is built incrementally, one terminal at a time, in
+// amortized linear time. Two invariants are maintained, mirroring the
+// paper:
+//
+//	P1 (digram uniqueness): no pair of adjacent symbols appears more
+//	    than once in the grammar. Because adjacent equal symbols merge
+//	    into one run-length symbol, a digram always joins two distinct
+//	    symbols, so occurrences can never overlap.
+//	P2 (rule utility): every rule is referenced either from more than
+//	    one site, or from a single site with exponent > 1.
+//
+// Terminals are non-negative int32 values (Pilgrim uses CST terminal
+// ids). Exponents are int64.
+package sequitur
+
+import "fmt"
+
+// symbol is a node in a doubly linked rule body. A symbol is either a
+// terminal (rule == nil) or a reference to a rule (rule != nil). Guard
+// nodes delimit rule bodies; they are identified by owner != nil.
+type symbol struct {
+	next, prev *symbol
+	value      int32 // terminal id when rule == nil
+	exp        int64 // repetition count, >= 1
+	rule       *Rule // referenced rule for non-terminals
+	owner      *Rule // non-nil for guard nodes only
+}
+
+func (s *symbol) isGuard() bool { return s.owner != nil }
+
+// alive reports whether s is still spliced into some rule body.
+// Symbols removed by unlink have their links cleared.
+func (s *symbol) alive() bool { return s.prev != nil && s.next != nil }
+
+// sameKind reports whether two symbols refer to the same terminal or
+// the same rule, ignoring exponents.
+func (s *symbol) sameKind(o *symbol) bool {
+	if s.rule != nil || o.rule != nil {
+		return s.rule == o.rule
+	}
+	return s.value == o.value
+}
+
+// digram is the hash key for an adjacent symbol pair. Exponents are
+// part of the identity: a³b and a²b are different digrams.
+type digram struct {
+	v1, v2 int32
+	e1, e2 int64
+	r1, r2 *Rule
+}
+
+func makeDigram(a, b *symbol) digram {
+	return digram{v1: a.value, v2: b.value, e1: a.exp, e2: b.exp, r1: a.rule, r2: b.rule}
+}
+
+// Rule is a grammar production. The body is a circular doubly linked
+// list threaded through a guard node.
+type Rule struct {
+	guard *symbol
+	users map[*symbol]struct{} // occurrence sites (excludes the start rule, which has none)
+	id    int                  // stable creation index, for deterministic serialization
+	dead  bool
+}
+
+func (r *Rule) first() *symbol { return r.guard.next }
+func (r *Rule) last() *symbol  { return r.guard.prev }
+
+func (r *Rule) bodyLen() int {
+	n := 0
+	for s := r.first(); !s.isGuard(); s = s.next {
+		n++
+	}
+	return n
+}
+
+// Grammar is an incrementally built context-free grammar that uniquely
+// generates the sequence of terminals appended to it.
+type Grammar struct {
+	start   *Rule
+	digrams map[digram]*symbol // digram -> first symbol of its unique occurrence
+	nextID  int
+	nTerms  int64 // number of terminals appended (uncompressed length)
+}
+
+// New returns an empty grammar.
+func New() *Grammar {
+	g := &Grammar{digrams: make(map[digram]*symbol)}
+	g.start = g.newRule()
+	return g
+}
+
+func (g *Grammar) newRule() *Rule {
+	r := &Rule{users: make(map[*symbol]struct{}), id: g.nextID}
+	g.nextID++
+	guard := &symbol{owner: r}
+	guard.next = guard
+	guard.prev = guard
+	r.guard = guard
+	return r
+}
+
+// InputLen returns the number of terminals appended so far (the length
+// of the uncompressed sequence the grammar generates).
+func (g *Grammar) InputLen() int64 { return g.nTerms }
+
+// Append adds one terminal to the end of the sequence.
+func (g *Grammar) Append(t int32) { g.AppendRun(t, 1) }
+
+// AppendRun adds k consecutive copies of terminal t.
+func (g *Grammar) AppendRun(t int32, k int64) {
+	if k <= 0 {
+		return
+	}
+	if t < 0 {
+		panic("sequitur: negative terminal")
+	}
+	g.nTerms += k
+	s := &symbol{value: t, exp: k}
+	g.insertAfter(g.start.last(), s)
+	g.linkMade(s.prev, s)
+}
+
+// insertAfter splices s into the list after pos. It does not perform
+// digram bookkeeping; callers use linkMade / removeDigram around it.
+func (g *Grammar) insertAfter(pos, s *symbol) {
+	s.prev = pos
+	s.next = pos.next
+	pos.next.prev = s
+	pos.next = s
+}
+
+// unlink removes s from its list, removes the digrams it participates
+// in from the index, and clears s's links so alive() turns false. The
+// link formed between its old neighbours is NOT checked here.
+func (g *Grammar) unlink(s *symbol) {
+	g.removeDigram(s.prev, s)
+	g.removeDigram(s, s.next)
+	s.prev.next = s.next
+	s.next.prev = s.prev
+	s.prev = nil
+	s.next = nil
+}
+
+// removeDigram deletes the digram (a,b) from the index if the indexed
+// occurrence is exactly this one.
+func (g *Grammar) removeDigram(a, b *symbol) {
+	if a == nil || b == nil || a.isGuard() || b.isGuard() {
+		return
+	}
+	d := makeDigram(a, b)
+	if g.digrams[d] == a {
+		delete(g.digrams, d)
+	}
+}
+
+// deref removes s from the user set of the rule it references and
+// inlines / eliminates that rule if it became useless (P2).
+func (g *Grammar) deref(s *symbol) {
+	r := s.rule
+	if r == nil {
+		return
+	}
+	delete(r.users, s)
+	g.maybeInline(r)
+}
+
+// maybeInline enforces P2: if r has exactly one remaining use with
+// exponent 1, the rule body is spliced in at that use and r deleted.
+func (g *Grammar) maybeInline(r *Rule) {
+	if r == g.start || r.dead || len(r.users) != 1 {
+		return
+	}
+	var use *symbol
+	for u := range r.users {
+		use = u
+	}
+	if use.exp != 1 || !use.alive() {
+		return
+	}
+	prev := use.prev
+	next := use.next
+	g.unlink(use)
+	delete(r.users, use)
+	r.dead = true
+	first := r.first()
+	last := r.last()
+	if first.isGuard() {
+		// Empty body (cannot normally happen); just close the gap.
+		g.linkMade(prev, next)
+		return
+	}
+	// Splice r's body between prev and next. Interior digrams stay
+	// indexed and valid; only the two boundary links are new.
+	prev.next = first
+	first.prev = prev
+	last.next = next
+	next.prev = last
+	if !g.linkMade(prev, first) && next.alive() {
+		g.linkMade(next.prev, next)
+	}
+}
+
+// linkMade is the heart of the algorithm: called whenever two symbols
+// become adjacent. It merges equal neighbours (run-length) and
+// otherwise enforces digram uniqueness (P1). It reports whether it
+// restructured the grammar (merged, substituted, or cascaded); callers
+// holding neighbouring pointers must treat them as stale when true.
+func (g *Grammar) linkMade(a, b *symbol) bool {
+	if a == nil || b == nil || a.isGuard() || b.isGuard() {
+		return false
+	}
+	if !a.alive() || !b.alive() || a.next != b {
+		return false
+	}
+	if a.sameKind(b) {
+		g.mergeRun(a, b)
+		return true
+	}
+	d := makeDigram(a, b)
+	match, ok := g.digrams[d]
+	if !ok {
+		g.digrams[d] = a
+		return false
+	}
+	if match == a {
+		return false
+	}
+	if !match.alive() || match.next == nil || makeDigram(match, match.next) != d {
+		// Stale index entry; repoint at the live occurrence.
+		g.digrams[d] = a
+		return false
+	}
+	g.processMatch(a, match)
+	return true
+}
+
+// mergeRun implements the run-length optimization: aᶦ aʲ → aᶦ⁺ʲ.
+func (g *Grammar) mergeRun(a, b *symbol) {
+	// Digrams touching either symbol change identity; drop them first.
+	g.removeDigram(a.prev, a)
+	g.unlink(b) // removes (a,b) and (b,b.next) entries
+	if b.rule != nil {
+		delete(b.rule.users, b)
+	}
+	a.exp += b.exp
+	// A body that collapsed to a single symbol makes its rule a unit
+	// rule; eliminate it.
+	if a.prev.isGuard() && a.next.isGuard() && a.prev.owner != g.start && !a.prev.owner.dead {
+		g.eliminateUnitRule(a.prev.owner)
+		return
+	}
+	if !g.linkMade(a.prev, a) && a.alive() {
+		g.linkMade(a, a.next)
+	}
+}
+
+// eliminateUnitRule removes a rule whose body is a single symbol Xᵉ by
+// rewriting every use Rᵏ as Xᵉᵏ.
+func (g *Grammar) eliminateUnitRule(r *Rule) {
+	body := r.first()
+	if body.isGuard() || !body.next.isGuard() {
+		return // not a unit rule
+	}
+	r.dead = true
+	inner := body
+	users := make([]*symbol, 0, len(r.users))
+	for u := range r.users {
+		users = append(users, u)
+	}
+	for _, u := range users {
+		delete(r.users, u)
+		if !u.alive() {
+			continue
+		}
+		g.removeDigram(u.prev, u)
+		g.removeDigram(u, u.next)
+		u.rule = inner.rule
+		u.value = inner.value
+		u.exp *= inner.exp
+		if inner.rule != nil {
+			inner.rule.users[u] = struct{}{}
+		}
+		if !g.linkMade(u.prev, u) && u.alive() {
+			g.linkMade(u, u.next)
+		}
+	}
+	// Drop the body symbol's own reference.
+	if inner.rule != nil {
+		delete(inner.rule.users, inner)
+		g.maybeInline(inner.rule)
+	}
+}
+
+// processMatch handles a repeated digram: (a, a.next) matches (m,
+// m.next) elsewhere. Either reuse an existing 2-symbol rule or create
+// a new one.
+func (g *Grammar) processMatch(a, m *symbol) {
+	if m.prev.isGuard() && m.next.next.isGuard() && !m.prev.owner.dead && m.prev.owner != g.start {
+		// The match is the complete body of an existing rule: reuse it.
+		g.substitute(a, m.prev.owner)
+		return
+	}
+	// Create a new rule from copies of the digram.
+	r := g.newRule()
+	c1 := &symbol{value: a.value, exp: a.exp, rule: a.rule}
+	c2 := &symbol{value: a.next.value, exp: a.next.exp, rule: a.next.rule}
+	if c1.rule != nil {
+		c1.rule.users[c1] = struct{}{}
+	}
+	if c2.rule != nil {
+		c2.rule.users[c2] = struct{}{}
+	}
+	g.insertAfter(r.guard, c1)
+	g.insertAfter(c1, c2)
+	d := makeDigram(c1, c2)
+	g.digrams[d] = c1 // rule body becomes the canonical occurrence
+	// Replace the new occurrence first (its pointers are known live),
+	// then the older one if cascades have not already consumed it.
+	g.substitute(a, r)
+	if m.alive() && m.next != nil && !m.next.isGuard() && makeDigram(m, m.next) == d && !r.dead {
+		g.substitute(m, r)
+	}
+	if !r.dead {
+		g.maybeInline(r)
+	}
+}
+
+// substitute replaces the digram starting at s with a reference to
+// rule r.
+func (g *Grammar) substitute(s *symbol, r *Rule) {
+	prev := s.prev
+	b := s.next
+	g.unlink(s)
+	g.unlink(b)
+	g.deref(s)
+	g.deref(b)
+	ref := &symbol{rule: r, exp: 1}
+	r.users[ref] = struct{}{}
+	g.insertAfter(prev, ref)
+	// A 2-symbol body shrank to 1: unit rule, eliminate it.
+	if prev.isGuard() && ref.next.isGuard() && prev.owner != g.start && !prev.owner.dead {
+		g.eliminateUnitRule(prev.owner)
+		return
+	}
+	if !g.linkMade(prev, ref) && ref.alive() {
+		g.linkMade(ref, ref.next)
+	}
+}
+
+// Walk streams the uncompressed sequence as (terminal, runLength)
+// pairs. Consecutive pairs may repeat the same terminal (runs are not
+// re-coalesced across rule boundaries). Walking stops early if yield
+// returns false.
+func (g *Grammar) Walk(yield func(t int32, k int64) bool) {
+	g.walkRule(g.start, 1, yield)
+}
+
+func (g *Grammar) walkRule(r *Rule, times int64, yield func(int32, int64) bool) bool {
+	for i := int64(0); i < times; i++ {
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.rule != nil {
+				if !g.walkRule(s.rule, s.exp, yield) {
+					return false
+				}
+			} else if !yield(s.value, s.exp) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Expand returns the full uncompressed terminal sequence. It panics if
+// the sequence exceeds max elements (pass max <= 0 for no limit); use
+// Walk for streaming access to huge sequences.
+func (g *Grammar) Expand(max int64) []int32 {
+	if max > 0 && g.nTerms > max {
+		panic(fmt.Sprintf("sequitur: expansion of %d terminals exceeds cap %d", g.nTerms, max))
+	}
+	out := make([]int32, 0, g.nTerms)
+	g.Walk(func(t int32, k int64) bool {
+		for i := int64(0); i < k; i++ {
+			out = append(out, t)
+		}
+		return true
+	})
+	return out
+}
+
+// Stats describes the size of a grammar.
+type Stats struct {
+	Rules       int   // number of productions, including the start rule
+	Symbols     int   // total symbols on all right-hand sides
+	InputLen    int64 // uncompressed sequence length
+	SerializedB int   // size in bytes of Serialize() output
+}
+
+// Stats returns size statistics for the grammar.
+func (g *Grammar) Stats() Stats {
+	var st Stats
+	st.InputLen = g.nTerms
+	for _, r := range g.rulesInOrder() {
+		st.Rules++
+		st.Symbols += r.bodyLen()
+	}
+	st.SerializedB = len(g.Serialize()) * 4
+	return st
+}
+
+// rulesInOrder returns the rules reachable from the start rule, start
+// first, in deterministic DFS order.
+func (g *Grammar) rulesInOrder() []*Rule {
+	var order []*Rule
+	seen := map[*Rule]bool{}
+	var visit func(r *Rule)
+	visit = func(r *Rule) {
+		if seen[r] {
+			return
+		}
+		seen[r] = true
+		order = append(order, r)
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.rule != nil {
+				visit(s.rule)
+			}
+		}
+	}
+	visit(g.start)
+	return order
+}

@@ -1,0 +1,432 @@
+package sequitur
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// build appends seq to a fresh grammar.
+func build(t *testing.T, seq []int32) *Grammar {
+	t.Helper()
+	g := New()
+	for _, v := range seq {
+		g.Append(v)
+	}
+	return g
+}
+
+// roundtrip asserts that the grammar regenerates exactly seq, both
+// from the live structure and from the serialized form.
+func roundtrip(t *testing.T, seq []int32) *Grammar {
+	t.Helper()
+	g := build(t, seq)
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after %d symbols: %v", len(seq), err)
+	}
+	got := g.Expand(0)
+	if !slices.Equal(got, seq) {
+		t.Fatalf("expand mismatch:\n got %v\nwant %v", got, seq)
+	}
+	sg := Serialized(g.Serialize())
+	if err := sg.Validate(); err != nil {
+		t.Fatalf("serialized validate: %v", err)
+	}
+	if got := sg.Expand(0); !slices.Equal(got, seq) {
+		t.Fatalf("serialized expand mismatch:\n got %v\nwant %v", got, seq)
+	}
+	if n := sg.InputLen(); n != int64(len(seq)) {
+		t.Fatalf("InputLen = %d, want %d", n, len(seq))
+	}
+	if n := g.InputLen(); n != int64(len(seq)) {
+		t.Fatalf("grammar InputLen = %d, want %d", n, len(seq))
+	}
+	return g
+}
+
+func TestEmpty(t *testing.T) {
+	g := New()
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Expand(0); len(got) != 0 {
+		t.Fatalf("expected empty expansion, got %v", got)
+	}
+	sg := Serialized(g.Serialize())
+	if err := sg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	roundtrip(t, []int32{7})
+}
+
+func TestTwoDistinct(t *testing.T) {
+	roundtrip(t, []int32{1, 2})
+}
+
+func TestRunMerging(t *testing.T) {
+	g := roundtrip(t, []int32{5, 5, 5, 5, 5, 5, 5})
+	st := g.Stats()
+	if st.Rules != 1 || st.Symbols != 1 {
+		t.Fatalf("a^7 should be a single run symbol, got %+v", st)
+	}
+}
+
+func TestAppendRun(t *testing.T) {
+	g := New()
+	g.AppendRun(3, 4)
+	g.AppendRun(3, 6)
+	g.Append(9)
+	want := []int32{3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 9}
+	if got := g.Expand(0); !slices.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Symbols != 2 {
+		t.Fatalf("3^10 9 should be two symbols, got %+v", st)
+	}
+}
+
+func TestAppendRunZeroIgnored(t *testing.T) {
+	g := New()
+	g.AppendRun(1, 0)
+	g.AppendRun(1, -3)
+	if g.InputLen() != 0 {
+		t.Fatal("non-positive runs must be ignored")
+	}
+}
+
+func TestNegativeTerminalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative terminal")
+		}
+	}()
+	New().Append(-1)
+}
+
+func TestSimpleLoop(t *testing.T) {
+	// (a b)^64 must compress to O(1) rules thanks to run-length.
+	var seq []int32
+	for i := 0; i < 64; i++ {
+		seq = append(seq, 1, 2)
+	}
+	g := roundtrip(t, seq)
+	st := g.Stats()
+	if st.Rules > 3 || st.Symbols > 6 {
+		t.Fatalf("(ab)^64 should be O(1) size, got %+v", st)
+	}
+}
+
+func TestLoopConstantSpace(t *testing.T) {
+	// The paper's claim: a loop of N identical iterations takes O(1)
+	// rules (exponents hold the count). Sizes must not grow with N.
+	sizes := map[int]int{}
+	for _, n := range []int{16, 256, 4096, 65536} {
+		g := New()
+		for i := 0; i < n; i++ {
+			g.Append(1)
+			g.Append(2)
+			g.Append(3)
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sizes[n] = g.Stats().Symbols
+	}
+	if sizes[65536] != sizes[16] {
+		t.Fatalf("grammar size grew with iteration count: %v", sizes)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// ((a b)^8 c)^32: outer and inner loops both collapse.
+	var seq []int32
+	for o := 0; o < 32; o++ {
+		for i := 0; i < 8; i++ {
+			seq = append(seq, 1, 2)
+		}
+		seq = append(seq, 3)
+	}
+	g := roundtrip(t, seq)
+	if st := g.Stats(); st.Symbols > 10 {
+		t.Fatalf("nested loop grammar too large: %+v", st)
+	}
+}
+
+func TestRuleReuse(t *testing.T) {
+	// abcdbc: bc should become one rule reused.
+	roundtrip(t, []int32{1, 2, 3, 4, 2, 3})
+}
+
+func TestRuleInlining(t *testing.T) {
+	// Classic P2 exercise: abcdbcabcd — intermediate rules get formed
+	// and partially inlined.
+	roundtrip(t, []int32{1, 2, 3, 4, 2, 3, 1, 2, 3, 4})
+}
+
+func TestPaperExample(t *testing.T) {
+	// Figure 1, rank 0: terminals 1 2 3 then 4^10.
+	seq := []int32{1, 2, 3}
+	for i := 0; i < 10; i++ {
+		seq = append(seq, 4)
+	}
+	g := roundtrip(t, seq)
+	if st := g.Stats(); st.Rules != 1 || st.Symbols != 4 {
+		t.Fatalf("expected a single rule with 4 symbols, got %+v", st)
+	}
+}
+
+func TestAlternatingPhases(t *testing.T) {
+	// Two different loop bodies interleaved in phases, like an app
+	// alternating compute/communicate epochs.
+	var seq []int32
+	for p := 0; p < 10; p++ {
+		for i := 0; i < 20; i++ {
+			seq = append(seq, 1, 2, 3)
+		}
+		for i := 0; i < 5; i++ {
+			seq = append(seq, 7, 8)
+		}
+	}
+	g := roundtrip(t, seq)
+	if st := g.Stats(); st.Symbols > 20 {
+		t.Fatalf("phase pattern should compress, got %+v", st)
+	}
+}
+
+func TestRandomSmallAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		alpha := 1 + rng.Intn(5)
+		seq := make([]int32, n)
+		for i := range seq {
+			seq[i] = int32(rng.Intn(alpha))
+		}
+		roundtrip(t, seq)
+	}
+}
+
+func TestRandomRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		g := New()
+		var want []int32
+		for i := 0; i < 100; i++ {
+			v := int32(rng.Intn(4))
+			k := 1 + rng.Intn(6)
+			g.AppendRun(v, int64(k))
+			for j := 0; j < k; j++ {
+				want = append(want, v)
+			}
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := g.Expand(0); !slices.Equal(got, want) {
+			t.Fatalf("trial %d: mismatch", trial)
+		}
+	}
+}
+
+func TestInvariantsAfterEveryAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seq := make([]int32, 200)
+	g := New()
+	for i := range seq {
+		seq[i] = int32(rng.Intn(3))
+		g.Append(seq[i])
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("after symbol %d (%v): %v", i, seq[:i+1], err)
+		}
+	}
+	if got := g.Expand(0); !slices.Equal(got, seq) {
+		t.Fatal("final expansion mismatch")
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		seq := make([]int32, len(raw))
+		for i, b := range raw {
+			seq[i] = int32(b % 6)
+		}
+		g := New()
+		for _, v := range seq {
+			g.Append(v)
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		if !slices.Equal(g.Expand(0), seq) {
+			return false
+		}
+		sg := Serialized(g.Serialize())
+		return slices.Equal(sg.Expand(0), seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeterministicSerialization(t *testing.T) {
+	// Same input sequence => identical serialized grammar (needed for
+	// the inter-process identity fast path).
+	f := func(raw []byte) bool {
+		seq := make([]int32, len(raw))
+		for i, b := range raw {
+			seq[i] = int32(b % 5)
+		}
+		g1, g2 := New(), New()
+		for _, v := range seq {
+			g1.Append(v)
+			g2.Append(v)
+		}
+		return reflect.DeepEqual(g1.Serialize(), g2.Serialize())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	g := build(t, []int32{1, 2, 1, 2, 1, 2, 3})
+	count := 0
+	g.Walk(func(t int32, k int64) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("walk did not stop early: %d", count)
+	}
+}
+
+func TestExpandCap(t *testing.T) {
+	g := build(t, []int32{1, 2, 3, 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when exceeding cap")
+		}
+	}()
+	g.Expand(2)
+}
+
+func TestSerializedRelabel(t *testing.T) {
+	seq := []int32{0, 1, 0, 1, 2}
+	g := build(t, seq)
+	sg := Serialized(g.Serialize())
+	m := map[int32]int32{0: 10, 1: 11, 2: 12}
+	rl, err := sg.Relabel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{10, 11, 10, 11, 12}
+	if got := rl.Expand(0); !slices.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if _, err := sg.Relabel(map[int32]int32{0: 1}); err == nil {
+		t.Fatal("expected error for missing mapping")
+	}
+}
+
+func TestConcatIdenticalAndDistinct(t *testing.T) {
+	a := Serialized(build(t, []int32{1, 2, 1, 2}).Serialize())
+	b := Serialized(build(t, []int32{3, 4}).Serialize())
+	merged := Concat(a, b, a)
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 2, 1, 2, 3, 4, 1, 2, 1, 2}
+	if got := merged.Expand(0); !slices.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestConcatEmptyParts(t *testing.T) {
+	empty := Serialized(New().Serialize())
+	merged := Concat(empty, empty)
+	if got := merged.Expand(0); len(got) != 0 {
+		t.Fatalf("expected empty, got %v", got)
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	// Concat of many identical grammars should recompress massively.
+	var seq []int32
+	for i := 0; i < 50; i++ {
+		seq = append(seq, 1, 2, 3)
+	}
+	one := Serialized(build(t, seq).Serialize())
+	parts := make([]Serialized, 64)
+	for i := range parts {
+		parts[i] = one
+	}
+	merged := Concat(parts...)
+	rebuilt := merged.Rebuild()
+	if err := rebuilt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rebuilt.InputLen(), int64(64*len(seq)); got != want {
+		t.Fatalf("rebuilt InputLen %d want %d", got, want)
+	}
+	if rebuilt.Bytes() >= merged.Bytes() {
+		t.Fatalf("rebuild did not shrink: %d -> %d", merged.Bytes(), rebuilt.Bytes())
+	}
+	if !slices.Equal(rebuilt.Expand(0), merged.Expand(0)) {
+		t.Fatal("rebuild changed the sequence")
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	bad := []Serialized{
+		{},
+		{0},
+		{1, 2, 5, 1, 0}, // truncated
+		{1, 1, -5, 1, 0},
+		{1, 1, 3, 0, 0}, // exponent 0
+		{2, 1, -1, 1, 0, 1, 4, 1, 0, 99},
+	}
+	for i, sg := range bad {
+		if err := sg.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestLongRandomStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		n := 20000
+		alpha := 2 + rng.Intn(8)
+		seq := make([]int32, n)
+		for i := range seq {
+			// Mix of random and looped regions to stress both paths.
+			if rng.Intn(4) == 0 {
+				seq[i] = int32(rng.Intn(alpha))
+			} else {
+				seq[i] = int32(i % 3)
+			}
+		}
+		g := New()
+		for _, v := range seq {
+			g.Append(v)
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !slices.Equal(g.Expand(0), seq) {
+			t.Fatalf("trial %d: roundtrip failed", trial)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package sequitur
+
+import "fmt"
+
+// Serialized grammar layout (all int32, matching the paper's "array of
+// integers" internal representation whose identity check is a memcmp):
+//
+//	[0]              number of rules R (start rule is rule 0)
+//	then, per rule:  bodyLen N, then N symbol triples
+//	symbol triple:   value, expLo, expHi
+//
+// value >= 0 is a terminal id; value < 0 is a rule reference encoding
+// rule index i as -(i+1). The exponent is a 64-bit count split into two
+// int32 halves (low 31 bits in expLo, rest in expHi) so the whole
+// grammar remains a flat []int32 comparable with slices.Equal.
+
+const expBase = 1 << 31
+
+func encExp(e int64) (lo, hi int32) {
+	return int32(e % expBase), int32(e / expBase)
+}
+
+func decExp(lo, hi int32) int64 {
+	return int64(hi)*expBase + int64(lo)
+}
+
+// Serialize flattens the grammar into an []int32. Two grammars built
+// from the same sequence of operations serialize identically, so the
+// inter-process identity check is a plain slice comparison.
+func (g *Grammar) Serialize() []int32 {
+	rules := g.rulesInOrder()
+	index := make(map[*Rule]int32, len(rules))
+	for i, r := range rules {
+		index[r] = int32(i)
+	}
+	out := make([]int32, 0, 1+len(rules)*4)
+	out = append(out, int32(len(rules)))
+	for _, r := range rules {
+		n := int32(r.bodyLen())
+		out = append(out, n)
+		for s := r.first(); !s.isGuard(); s = s.next {
+			v := s.value
+			if s.rule != nil {
+				v = -(index[s.rule] + 1)
+			}
+			lo, hi := encExp(s.exp)
+			out = append(out, v, lo, hi)
+		}
+	}
+	return out
+}
+
+// Serialized is a flattened grammar, the unit of inter-process
+// compression: identical ranks compare equal bytewise.
+type Serialized []int32
+
+// Validate checks structural sanity of a serialized grammar.
+func (sg Serialized) Validate() error {
+	if len(sg) == 0 {
+		return fmt.Errorf("sequitur: empty serialized grammar")
+	}
+	nRules := int(sg[0])
+	if nRules < 1 {
+		return fmt.Errorf("sequitur: %d rules", nRules)
+	}
+	p := 1
+	for r := 0; r < nRules; r++ {
+		if p >= len(sg) {
+			return fmt.Errorf("sequitur: truncated at rule %d", r)
+		}
+		n := int(sg[p])
+		p++
+		if n < 0 {
+			return fmt.Errorf("sequitur: rule %d negative body length", r)
+		}
+		for i := 0; i < n; i++ {
+			if p+2 >= len(sg)+1 && p+2 > len(sg) {
+				return fmt.Errorf("sequitur: truncated symbol in rule %d", r)
+			}
+			if p+3 > len(sg) {
+				return fmt.Errorf("sequitur: truncated symbol in rule %d", r)
+			}
+			v := sg[p]
+			if v < 0 {
+				ref := int(-v - 1)
+				if ref >= nRules {
+					return fmt.Errorf("sequitur: rule %d references rule %d of %d", r, ref, nRules)
+				}
+			}
+			if decExp(sg[p+1], sg[p+2]) < 1 {
+				return fmt.Errorf("sequitur: rule %d symbol %d exponent < 1", r, i)
+			}
+			p += 3
+		}
+	}
+	if p != len(sg) {
+		return fmt.Errorf("sequitur: %d trailing ints", len(sg)-p)
+	}
+	// A valid grammar is acyclic (a cyclic one would make Walk/Expand
+	// recurse forever — untrusted inputs must be rejected here).
+	rules := sg.rules()
+	state := make([]uint8, len(rules)) // 0 unvisited, 1 in-stack, 2 done
+	var visit func(r int) error
+	visit = func(r int) error {
+		switch state[r] {
+		case 1:
+			return fmt.Errorf("sequitur: grammar is cyclic at rule %d", r)
+		case 2:
+			return nil
+		}
+		state[r] = 1
+		for _, s := range rules[r] {
+			if s.val < 0 {
+				if err := visit(int(-s.val - 1)); err != nil {
+					return err
+				}
+			}
+		}
+		state[r] = 2
+		return nil
+	}
+	return visit(0)
+}
+
+// Bytes returns the serialized size in bytes.
+func (sg Serialized) Bytes() int { return len(sg) * 4 }
+
+// sym is a decoded serialized symbol.
+type sym struct {
+	val int32 // terminal >= 0, or rule ref encoded negative
+	exp int64
+}
+
+// rules decodes the serialized form into per-rule symbol slices.
+func (sg Serialized) rules() [][]sym {
+	nRules := int(sg[0])
+	out := make([][]sym, nRules)
+	p := 1
+	for r := 0; r < nRules; r++ {
+		n := int(sg[p])
+		p++
+		body := make([]sym, n)
+		for i := 0; i < n; i++ {
+			body[i] = sym{val: sg[p], exp: decExp(sg[p+1], sg[p+2])}
+			p += 3
+		}
+		out[r] = body
+	}
+	return out
+}
+
+func flatten(rules [][]sym) Serialized {
+	out := make([]int32, 0, 1+len(rules)*4)
+	out = append(out, int32(len(rules)))
+	for _, body := range rules {
+		out = append(out, int32(len(body)))
+		for _, s := range body {
+			lo, hi := encExp(s.exp)
+			out = append(out, s.val, lo, hi)
+		}
+	}
+	return out
+}
+
+// Relabel rewrites every terminal t as mapping[t]. It is used after
+// the inter-process CST merge assigns new global terminal ids. Unknown
+// terminals are an error.
+func (sg Serialized) Relabel(mapping map[int32]int32) (Serialized, error) {
+	rules := sg.rules()
+	for _, body := range rules {
+		for i, s := range body {
+			if s.val >= 0 {
+				nv, ok := mapping[s.val]
+				if !ok {
+					return nil, fmt.Errorf("sequitur: relabel: no mapping for terminal %d", s.val)
+				}
+				body[i].val = nv
+			}
+		}
+	}
+	return flatten(rules), nil
+}
+
+// WalkSerialized streams the uncompressed terminal sequence of a
+// serialized grammar without rebuilding the linked structure.
+func (sg Serialized) Walk(yield func(t int32, k int64) bool) {
+	rules := sg.rules()
+	var walk func(r int, times int64) bool
+	walk = func(r int, times int64) bool {
+		for i := int64(0); i < times; i++ {
+			for _, s := range rules[r] {
+				if s.val < 0 {
+					if !walk(int(-s.val-1), s.exp) {
+						return false
+					}
+				} else if !yield(s.val, s.exp) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	walk(0, 1)
+}
+
+// InputLen returns the uncompressed length generated by a serialized
+// grammar (computed bottom-up, so exponential expansions stay cheap).
+func (sg Serialized) InputLen() int64 {
+	rules := sg.rules()
+	memo := make([]int64, len(rules))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var size func(r int) int64
+	size = func(r int) int64 {
+		if memo[r] >= 0 {
+			return memo[r]
+		}
+		memo[r] = 0 // break cycles defensively; valid grammars are acyclic
+		var n int64
+		for _, s := range rules[r] {
+			if s.val < 0 {
+				n += s.exp * size(int(-s.val-1))
+			} else {
+				n += s.exp
+			}
+		}
+		memo[r] = n
+		return n
+	}
+	return size(0)
+}
+
+// Expand materializes the uncompressed sequence (panics above max
+// elements; max <= 0 disables the cap).
+func (sg Serialized) Expand(max int64) []int32 {
+	n := sg.InputLen()
+	if max > 0 && n > max {
+		panic(fmt.Sprintf("sequitur: expansion of %d terminals exceeds cap %d", n, max))
+	}
+	out := make([]int32, 0, n)
+	sg.Walk(func(t int32, k int64) bool {
+		for i := int64(0); i < k; i++ {
+			out = append(out, t)
+		}
+		return true
+	})
+	return out
+}
+
+// Concat merges serialized grammars by renaming rule ids and creating
+// a fresh start rule S → S₁ S₂ … Sₙ, the rename-and-concatenate step
+// of Pilgrim's inter-process grammar merge (§3.5.2, Figure 4). The
+// inputs' start rules become ordinary rules referenced once each.
+func Concat(parts ...Serialized) Serialized {
+	merged := make([][]sym, 1) // slot 0: new start rule
+	start := make([]sym, 0, len(parts))
+	for _, p := range parts {
+		off := int32(len(merged))
+		rules := p.rules()
+		for _, body := range rules {
+			nb := make([]sym, len(body))
+			for i, s := range body {
+				if s.val < 0 {
+					nb[i] = sym{val: -((-s.val - 1 + off) + 1), exp: s.exp}
+				} else {
+					nb[i] = s
+				}
+			}
+			merged = append(merged, nb)
+		}
+		start = append(start, sym{val: -(off + 1), exp: 1})
+	}
+	merged[0] = start
+	return flatten(merged)
+}
+
+// Rebuild runs a fresh Sequitur pass over the terminal stream of a
+// serialized grammar, the paper's "final Sequitur pass" after merging.
+// It is only safe for sequences of moderate expanded length; callers
+// that merged identical grammars avoid it by construction.
+func (sg Serialized) Rebuild() Serialized {
+	g := New()
+	sg.Walk(func(t int32, k int64) bool {
+		g.AppendRun(t, k)
+		return true
+	})
+	return g.Serialize()
+}
+
+// Sym is the exported form of a serialized grammar symbol: Val is a
+// terminal id when >= 0, otherwise a rule reference encoding rule
+// index i as -(i+1); Exp is the repetition count.
+type Sym struct {
+	Val int32
+	Exp int64
+}
+
+// Rules decodes the serialized grammar into per-rule symbol slices
+// (rule 0 is the start rule). Used by consumers that mirror the
+// grammar's structure, e.g. the mini-app source generator.
+func (sg Serialized) Rules() [][]Sym {
+	rs := sg.rules()
+	out := make([][]Sym, len(rs))
+	for i, body := range rs {
+		ob := make([]Sym, len(body))
+		for j, s := range body {
+			ob[j] = Sym{Val: s.val, Exp: s.exp}
+		}
+		out[i] = ob
+	}
+	return out
+}

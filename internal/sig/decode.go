@@ -1,0 +1,280 @@
+package sig
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+)
+
+// DecodedValue is one decoded signature field. Rank-like fields carry
+// their selector so consumers know whether I is a delta (selRel), an
+// absolute value (selAbs) or a special constant.
+type DecodedValue struct {
+	Kind mpispec.ParamKind
+	Sel  byte
+	I    int64
+	Off  uint64 // pointer displacement (heap pointers)
+	Dev  int64  // device id (heap pointers)
+	Arr  []DecodedValue
+	S    string
+}
+
+// Resolve returns the absolute value of a rank-like field given the
+// caller's rank in the relevant communicator.
+func (v DecodedValue) Resolve(base int64) int64 {
+	switch v.Sel {
+	case selRel:
+		return base + v.I
+	case selAbs:
+		return v.I
+	case selProcNull:
+		return procNull
+	case selAnySrc:
+		return anySource
+	case selUndef:
+		return undefined
+	}
+	return v.I
+}
+
+// Decoded is one reconstructed MPI call.
+type Decoded struct {
+	Func mpispec.FuncID
+	Args []DecodedValue
+}
+
+// reader is a cursor over signature bytes.
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("sig: truncated uvarint at %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("sig: truncated varint at %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, fmt.Errorf("sig: truncated selector at %d", r.pos)
+	}
+	b := r.b[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// Decode reconstructs a call from its signature bytes.
+func Decode(sigBytes []byte) (Decoded, error) {
+	r := &reader{b: sigBytes}
+	fid, err := r.uvarint()
+	if err != nil {
+		return Decoded{}, err
+	}
+	if fid >= uint64(mpispec.NumFuncs) {
+		return Decoded{}, fmt.Errorf("sig: unknown function id %d", fid)
+	}
+	d := Decoded{Func: mpispec.FuncID(fid)}
+	spec := mpispec.Spec[d.Func]
+	for _, p := range spec.Params {
+		v, err := decodeValue(r, p.Kind)
+		if err != nil {
+			return Decoded{}, fmt.Errorf("sig: %s.%s: %w", spec.Name, p.Name, err)
+		}
+		d.Args = append(d.Args, v)
+	}
+	if r.pos != len(r.b) {
+		return Decoded{}, fmt.Errorf("sig: %s: %d trailing bytes", spec.Name, len(r.b)-r.pos)
+	}
+	return d, nil
+}
+
+func decodeValue(r *reader, kind mpispec.ParamKind) (DecodedValue, error) {
+	v := DecodedValue{Kind: kind}
+	var err error
+	switch kind {
+	case mpispec.KInt, mpispec.KComm, mpispec.KDatatype, mpispec.KOp,
+		mpispec.KGroup, mpispec.KRequest:
+		v.I, err = r.varint()
+	case mpispec.KRank:
+		v.Sel, err = r.byte()
+		if err == nil && (v.Sel == selRel || v.Sel == selAbs) {
+			v.I, err = r.varint()
+		}
+	case mpispec.KTag, mpispec.KColor, mpispec.KKey:
+		v.Sel, err = r.byte()
+		if err == nil && (v.Sel == selRel || v.Sel == selAbs) {
+			v.I, err = r.varint()
+		}
+	case mpispec.KReqArray:
+		var n uint64
+		n, err = r.uvarint()
+		for i := uint64(0); err == nil && i < n; i++ {
+			var id int64
+			id, err = r.varint()
+			v.Arr = append(v.Arr, DecodedValue{Kind: mpispec.KRequest, I: id})
+		}
+	case mpispec.KStatus:
+		return decodeStatus(r)
+	case mpispec.KStatArray:
+		var n uint64
+		n, err = r.uvarint()
+		for i := uint64(0); err == nil && i < n; i++ {
+			var st DecodedValue
+			st, err = decodeStatus(r)
+			v.Arr = append(v.Arr, st)
+		}
+	case mpispec.KPtr:
+		v.Sel, err = r.byte()
+		if err == nil {
+			switch v.Sel {
+			case ptrHeap:
+				var id, dev uint64
+				id, err = r.uvarint()
+				if err == nil {
+					v.Off, err = r.uvarint()
+				}
+				if err == nil {
+					dev, err = r.uvarint()
+					v.Dev = int64(dev)
+				}
+				v.I = int64(id)
+			case ptrStack:
+				var id uint64
+				id, err = r.uvarint()
+				v.I = int64(id)
+			case ptrNil:
+			default:
+				err = fmt.Errorf("bad pointer selector %d", v.Sel)
+			}
+		}
+	case mpispec.KString:
+		var n uint64
+		n, err = r.uvarint()
+		if err == nil {
+			if r.pos+int(n) > len(r.b) {
+				err = fmt.Errorf("truncated string")
+			} else {
+				v.S = string(r.b[r.pos : r.pos+int(n)])
+				r.pos += int(n)
+			}
+		}
+	case mpispec.KIntArray, mpispec.KIndexArray:
+		var n uint64
+		n, err = r.uvarint()
+		for i := uint64(0); err == nil && i < n; i++ {
+			var x int64
+			x, err = r.varint()
+			v.Arr = append(v.Arr, DecodedValue{Kind: mpispec.KInt, I: x})
+		}
+	default:
+		err = fmt.Errorf("unhandled kind %v", kind)
+	}
+	return v, err
+}
+
+func decodeStatus(r *reader) (DecodedValue, error) {
+	v := DecodedValue{Kind: mpispec.KStatus}
+	sel, err := r.byte()
+	if err != nil {
+		return v, err
+	}
+	src := DecodedValue{Kind: mpispec.KRank, Sel: sel}
+	if sel == selRel || sel == selAbs {
+		src.I, err = r.varint()
+		if err != nil {
+			return v, err
+		}
+	}
+	tag, err := r.varint()
+	if err != nil {
+		return v, err
+	}
+	v.Arr = []DecodedValue{src, {Kind: mpispec.KTag, Sel: selAbs, I: tag}}
+	return v, nil
+}
+
+// String renders a decoded call like the paper's examples:
+// MPI_Send(buf=seg0+0, count=1, datatype=INT, dest=+1, tag=999, comm=0).
+func (d Decoded) String() string {
+	spec := mpispec.Spec[d.Func]
+	var sb strings.Builder
+	sb.WriteString(spec.Name)
+	sb.WriteByte('(')
+	for i, a := range d.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if i < len(spec.Params) {
+			sb.WriteString(spec.Params[i].Name)
+			sb.WriteByte('=')
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// String renders one decoded value.
+func (v DecodedValue) String() string {
+	switch v.Kind {
+	case mpispec.KRank, mpispec.KTag, mpispec.KColor, mpispec.KKey:
+		switch v.Sel {
+		case selRel:
+			return fmt.Sprintf("%+d", v.I)
+		case selAbs:
+			return fmt.Sprintf("%d", v.I)
+		case selProcNull:
+			return "PROC_NULL"
+		case selAnySrc:
+			if v.Kind == mpispec.KTag {
+				return "ANY_TAG"
+			}
+			return "ANY_SOURCE"
+		case selUndef:
+			return "UNDEFINED"
+		}
+		return fmt.Sprintf("%d", v.I)
+	case mpispec.KPtr:
+		switch v.Sel {
+		case ptrHeap:
+			if v.Dev != 0 {
+				return fmt.Sprintf("seg%d+%d@dev%d", v.I, v.Off, v.Dev)
+			}
+			return fmt.Sprintf("seg%d+%d", v.I, v.Off)
+		case ptrStack:
+			return fmt.Sprintf("stack%d", v.I)
+		default:
+			return "nil"
+		}
+	case mpispec.KString:
+		return fmt.Sprintf("%q", v.S)
+	case mpispec.KStatus:
+		if len(v.Arr) == 2 {
+			return fmt.Sprintf("{src=%s tag=%s}", v.Arr[0], v.Arr[1])
+		}
+		return "{}"
+	case mpispec.KReqArray, mpispec.KStatArray, mpispec.KIntArray, mpispec.KIndexArray:
+		parts := make([]string, len(v.Arr))
+		for i, x := range v.Arr {
+			parts[i] = x.String()
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	default:
+		return fmt.Sprintf("%d", v.I)
+	}
+}

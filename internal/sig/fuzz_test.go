@@ -1,0 +1,122 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+)
+
+// TestDecodeNeverPanics feeds random byte strings to the decoder; it
+// must reject or decode them, never panic.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Decode(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeBitFlips corrupts valid signatures one byte at a time; the
+// decoder must never panic and never silently accept trailing garbage.
+func TestDecodeBitFlips(t *testing.T) {
+	e := NewEncoder(0, nil)
+	e.MemAlloc(0x1000, 1024, 0)
+	sigs := [][]byte{
+		e.Encode(sendRec(0, 0x1000, 1, 999)),
+		e.Encode(rec(0, mpispec.FAlltoallv,
+			vp(0x1000), mpispec.Value{Kind: mpispec.KIntArray, Arr: []int64{1, 2}},
+			mpispec.Value{Kind: mpispec.KIntArray, Arr: []int64{0, 1}}, vdt(intHandle),
+			vp(0x1100), mpispec.Value{Kind: mpispec.KIntArray, Arr: []int64{2, 1}},
+			mpispec.Value{Kind: mpispec.KIntArray, Arr: []int64{0, 2}}, vdt(intHandle),
+			vc(1, 0))),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range sigs {
+		for trial := 0; trial < 200; trial++ {
+			mut := append([]byte(nil), s...)
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("decoder panicked on bit flip: %v", r)
+					}
+				}()
+				Decode(mut)
+			}()
+		}
+	}
+}
+
+// TestEncodeDecodeRandomRecords round-trips randomized (but
+// spec-shaped) records through encode+decode and checks the decoded
+// argument count and kinds.
+func TestEncodeDecodeRandomRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	e := NewEncoder(3, nil)
+	e.MemAlloc(0x1000, 1<<16, 0)
+	funcs := []mpispec.FuncID{mpispec.FSend, mpispec.FRecv, mpispec.FBcast,
+		mpispec.FAllreduce, mpispec.FBarrier, mpispec.FAlltoallv, mpispec.FCommSetName}
+	for trial := 0; trial < 500; trial++ {
+		fid := funcs[rng.Intn(len(funcs))]
+		spec := mpispec.Spec[fid]
+		args := make([]mpispec.Value, len(spec.Params))
+		for i, p := range spec.Params {
+			v := mpispec.Value{Kind: p.Kind}
+			switch p.Kind {
+			case mpispec.KInt:
+				v.I = int64(rng.Intn(1 << 20))
+			case mpispec.KRank:
+				v.I = int64(rng.Intn(64))
+			case mpispec.KTag, mpispec.KColor, mpispec.KKey:
+				v.I = int64(rng.Intn(2000) - 1)
+			case mpispec.KComm:
+				v.I = 1
+				v.Arr = []int64{3}
+			case mpispec.KDatatype:
+				v.I = intHandle
+			case mpispec.KOp:
+				v.I = 64
+			case mpispec.KPtr:
+				v.I = 0x1000 + int64(rng.Intn(1<<15))
+			case mpispec.KString:
+				v.S = "abcdefgh"[:rng.Intn(8)]
+			case mpispec.KIntArray, mpispec.KIndexArray:
+				n := rng.Intn(8)
+				for k := 0; k < n; k++ {
+					v.Arr = append(v.Arr, int64(rng.Intn(100)-5))
+				}
+			case mpispec.KStatus:
+				v.Arr = []int64{int64(rng.Intn(8)), int64(rng.Intn(100))}
+			case mpispec.KStatArray:
+				v.Arr = []int64{1, 2, 3, 4}
+			case mpispec.KRequest:
+				v.I = 0
+			case mpispec.KReqArray:
+				v.Arr = []int64{0, 0}
+			}
+			args[i] = v
+		}
+		s := e.Encode(&mpispec.CallRecord{Func: fid, Args: args, Rank: 3})
+		d, err := Decode(s)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, spec.Name, err)
+		}
+		if d.Func != fid || len(d.Args) != len(args) {
+			t.Fatalf("trial %d: decoded shape mismatch", trial)
+		}
+		for i, p := range spec.Params {
+			if d.Args[i].Kind != p.Kind {
+				t.Fatalf("trial %d arg %d: kind %v, want %v", trial, i, d.Args[i].Kind, p.Kind)
+			}
+		}
+	}
+}

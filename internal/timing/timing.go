@@ -1,0 +1,158 @@
+// Package timing implements Pilgrim's lossy timing compression (§3.2).
+//
+// In the default (aggregated) mode only the mean duration per CST
+// entry survives; that lives in the CST itself. This package provides
+// the non-aggregated mode: every call's duration and interval are
+// binned exponentially with a user-tunable base b (relative error at
+// most b−1) and the two resulting bin sequences are compressed with
+// two further Sequitur grammars, one for durations and one for
+// intervals.
+//
+// Durations: a duration d is stored as ⌈log_b d⌉ and recovered as
+// b^⌈log_b d⌉.
+//
+// Intervals: for each call signature, the stored intervals reconstruct
+// the call's start time as the running sum Σ b^îⱼ. Each new interval
+// is measured against that *reconstructed* time (not the true previous
+// time), so the error in a recovered wall-clock time never compounds:
+// it stays below b−1, relative.
+package timing
+
+import (
+	"math"
+
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/sequitur"
+)
+
+// binBias offsets bin indices so grammar terminals stay non-negative.
+// Terminal 0 is reserved for the exact value 0.
+const binBias = 128
+
+const zeroTerm = 0
+
+// Compressor builds the duration and interval grammars for one rank.
+type Compressor struct {
+	base     float64
+	perFunc  map[mpispec.FuncID]float64
+	durG     *sequitur.Grammar
+	intG     *sequitur.Grammar
+	perSig   map[int32]float64 // signature terminal -> Σ reconstructed intervals
+	recorded int64
+}
+
+// New returns a compressor with relative error bound base−1 (the
+// paper evaluates base = 1.2, i.e. 20%).
+func New(base float64) *Compressor {
+	if base <= 1 {
+		panic("timing: base must be > 1")
+	}
+	return &Compressor{
+		base:    base,
+		perFunc: map[mpispec.FuncID]float64{},
+		durG:    sequitur.New(),
+		intG:    sequitur.New(),
+		perSig:  map[int32]float64{},
+	}
+}
+
+// SetFuncBase overrides the base for one MPI function (the paper
+// allows per-function bases).
+func (c *Compressor) SetFuncBase(f mpispec.FuncID, base float64) {
+	if base <= 1 {
+		panic("timing: base must be > 1")
+	}
+	c.perFunc[f] = base
+}
+
+func (c *Compressor) baseFor(f mpispec.FuncID) float64 {
+	if b, ok := c.perFunc[f]; ok {
+		return b
+	}
+	return c.base
+}
+
+// binOf returns the grammar terminal for value v under base b:
+// 0 for v <= 0, otherwise ⌈log_b v⌉ + binBias.
+func binOf(v float64, b float64) int32 {
+	if v <= 0 {
+		return zeroTerm
+	}
+	bin := int32(math.Ceil(math.Log(v) / math.Log(b)))
+	// Values in (0,1] bin to 0 or below; clamp into the biased range.
+	t := bin + binBias
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// valueOf inverts binOf.
+func valueOf(term int32, b float64) float64 {
+	if term == zeroTerm {
+		return 0
+	}
+	return math.Pow(b, float64(term-binBias))
+}
+
+// Record adds one call's timing: term is the call's CST terminal (the
+// per-signature interval chains key on it), f its function id, and
+// tStart/tEnd its wall-clock entry and exit in nanoseconds.
+func (c *Compressor) Record(term int32, f mpispec.FuncID, tStart, tEnd int64) {
+	b := c.baseFor(f)
+	dur := float64(tEnd - tStart)
+	c.durG.Append(binOf(dur, b))
+
+	recon := c.perSig[term]
+	interval := float64(tStart) - recon
+	it := binOf(interval, b)
+	c.intG.Append(it)
+	c.perSig[term] = recon + valueOf(it, b)
+	c.recorded++
+}
+
+// Recorded returns the number of calls recorded.
+func (c *Compressor) Recorded() int64 { return c.recorded }
+
+// DurationGrammar returns the serialized duration grammar.
+func (c *Compressor) DurationGrammar() sequitur.Serialized {
+	return sequitur.Serialized(c.durG.Serialize())
+}
+
+// IntervalGrammar returns the serialized interval grammar.
+func (c *Compressor) IntervalGrammar() sequitur.Serialized {
+	return sequitur.Serialized(c.intG.Serialize())
+}
+
+// Reconstructor recovers per-call (tStart, tEnd) from the main call
+// sequence plus the two timing grammars.
+type Reconstructor struct {
+	base    float64
+	perFunc map[mpispec.FuncID]float64
+	perSig  map[int32]float64
+}
+
+// NewReconstructor mirrors the compressor configuration.
+func NewReconstructor(base float64) *Reconstructor {
+	return &Reconstructor{base: base, perFunc: map[mpispec.FuncID]float64{}, perSig: map[int32]float64{}}
+}
+
+// SetFuncBase mirrors Compressor.SetFuncBase.
+func (r *Reconstructor) SetFuncBase(f mpispec.FuncID, base float64) { r.perFunc[f] = base }
+
+func (r *Reconstructor) baseFor(f mpispec.FuncID) float64 {
+	if b, ok := r.perFunc[f]; ok {
+		return b
+	}
+	return r.base
+}
+
+// Next recovers the k-th call's times given its CST terminal, function
+// id, and the k-th terminals of the duration and interval grammars.
+func (r *Reconstructor) Next(term int32, f mpispec.FuncID, durTerm, intTerm int32) (tStart, tEnd int64) {
+	b := r.baseFor(f)
+	recon := r.perSig[term] + valueOf(intTerm, b)
+	r.perSig[term] = recon
+	dur := valueOf(durTerm, b)
+	return int64(recon), int64(recon + dur)
+}

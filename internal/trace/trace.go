@@ -1,0 +1,489 @@
+// Package trace defines Pilgrim's on-disk trace format: one file for
+// the whole job, holding the globally merged call signature table, the
+// set of unique per-rank grammars with a (grammar-compressed) rank →
+// grammar mapping, and optionally the per-rank timing grammars of the
+// non-aggregated mode.
+//
+// Internally everything is arrays of integers (as in the paper), so
+// identity checks during merging are flat comparisons, and the file is
+// a straightforward binary dump with varint framing.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/sequitur"
+)
+
+// Timing modes.
+const (
+	TimingAggregated = 0 // mean duration per CST entry only (default)
+	TimingLossy      = 1 // per-call duration+interval grammars, error < base-1
+)
+
+const magic = "PILGRIM1"
+
+// File is a complete compressed trace.
+type File struct {
+	NumRanks   int
+	TimingMode uint8
+	TimingBase float64
+
+	CST *cst.Table
+
+	// Grammars holds the unique per-rank grammars after the identity
+	// dedup of §3.5.2; RankMap is a grammar over unique-grammar
+	// indices whose expansion has one terminal per rank.
+	Grammars []sequitur.Serialized
+	RankMap  sequitur.Serialized
+
+	// Packed, if non-nil, is the final Sequitur pass over the unique
+	// grammars (§3.5.2): the serialized form stores it instead of
+	// Grammars when smaller. Readers repopulate Grammars from it.
+	Packed sequitur.Serialized
+
+	// Lossy timing (optional): unique timing grammars plus per-rank
+	// indices. PackedDur/PackedInt, when non-nil, are final Sequitur
+	// passes over the timing grammars, stored instead when smaller.
+	DurGrammars []sequitur.Serialized
+	DurIndex    []int32
+	IntGrammars []sequitur.Serialized
+	IntIndex    []int32
+	PackedDur   sequitur.Serialized
+	PackedInt   sequitur.Serialized
+}
+
+// GrammarIndex expands the rank map and returns, per rank, the index
+// of its grammar in Grammars.
+func (f *File) GrammarIndex() ([]int32, error) {
+	if n := f.RankMap.InputLen(); n != int64(f.NumRanks) {
+		return nil, fmt.Errorf("trace: rank map expands to %d entries for %d ranks", n, f.NumRanks)
+	}
+	idx := f.RankMap.Expand(int64(f.NumRanks) + 1)
+	if len(idx) != f.NumRanks {
+		return nil, fmt.Errorf("trace: rank map expands to %d entries for %d ranks", len(idx), f.NumRanks)
+	}
+	for _, i := range idx {
+		if int(i) >= len(f.Grammars) {
+			return nil, fmt.Errorf("trace: rank map references grammar %d of %d", i, len(f.Grammars))
+		}
+	}
+	return idx, nil
+}
+
+// maxCallsPerRank bounds in-memory expansion of one rank's call
+// stream (a corrupted trace could otherwise claim astronomically large
+// run-length exponents and exhaust memory).
+const maxCallsPerRank = 1 << 28
+
+// Terms expands rank r's grammar into its terminal sequence.
+func (f *File) Terms(rank int) ([]int32, error) {
+	if rank < 0 || rank >= f.NumRanks {
+		return nil, fmt.Errorf("trace: rank %d out of range", rank)
+	}
+	idx, err := f.GrammarIndex()
+	if err != nil {
+		return nil, err
+	}
+	g := f.Grammars[idx[rank]]
+	if n := g.InputLen(); n > maxCallsPerRank {
+		return nil, fmt.Errorf("trace: rank %d stream of %d calls exceeds the in-memory cap", rank, n)
+	}
+	return g.Expand(maxCallsPerRank), nil
+}
+
+// --- serialization -----------------------------------------------------------
+
+func writeBytes(w *bufio.Writer, b []byte) error {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(b)))
+	if _, err := w.Write(tmp[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func writeGrammar(w *bufio.Writer, g sequitur.Serialized) error {
+	buf := make([]byte, 0, len(g)*3)
+	buf = binary.AppendUvarint(buf, uint64(len(g)))
+	for _, v := range g {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return writeBytes(w, buf)
+}
+
+func writeGrammarSet(w *bufio.Writer, gs []sequitur.Serialized) error {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(gs)))
+	if _, err := w.Write(tmp[:n]); err != nil {
+		return err
+	}
+	for _, g := range gs {
+		if err := writeGrammar(w, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeIndex(w *bufio.Writer, idx []int32) error {
+	buf := make([]byte, 0, len(idx)*2+8)
+	buf = binary.AppendUvarint(buf, uint64(len(idx)))
+	for _, v := range idx {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return writeBytes(w, buf)
+}
+
+// WriteTo serializes the trace.
+func (f *File) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.WriteString(magic); err != nil {
+		return cw.n, err
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(f.NumRanks))
+	hdr = append(hdr, f.TimingMode)
+	hdr = binary.AppendUvarint(hdr, uint64(math.Float64bits(f.TimingBase)))
+	if _, err := bw.Write(hdr); err != nil {
+		return cw.n, err
+	}
+	if err := writeBytes(bw, f.CST.Serialize()); err != nil {
+		return cw.n, err
+	}
+	// Grammars section: packed (final Sequitur pass) when beneficial.
+	rawInts := 0
+	for _, g := range f.Grammars {
+		rawInts += len(g)
+	}
+	if f.Packed != nil && len(f.Packed) < rawInts {
+		if err := bw.WriteByte(1); err != nil {
+			return cw.n, err
+		}
+		if err := writeGrammar(bw, f.Packed); err != nil {
+			return cw.n, err
+		}
+	} else {
+		if err := bw.WriteByte(0); err != nil {
+			return cw.n, err
+		}
+		if err := writeGrammarSet(bw, f.Grammars); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeGrammar(bw, f.RankMap); err != nil {
+		return cw.n, err
+	}
+	if err := writePackable(bw, f.DurGrammars, f.PackedDur); err != nil {
+		return cw.n, err
+	}
+	if err := writeIndex(bw, f.DurIndex); err != nil {
+		return cw.n, err
+	}
+	if err := writePackable(bw, f.IntGrammars, f.PackedInt); err != nil {
+		return cw.n, err
+	}
+	if err := writeIndex(bw, f.IntIndex); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// writePackable writes a grammar set either raw or as its pack,
+// whichever is smaller, behind a selector byte.
+func writePackable(w *bufio.Writer, gs []sequitur.Serialized, pack sequitur.Serialized) error {
+	rawInts := 0
+	for _, g := range gs {
+		rawInts += len(g)
+	}
+	if pack != nil && len(pack) < rawInts {
+		if err := w.WriteByte(1); err != nil {
+			return err
+		}
+		return writeGrammar(w, pack)
+	}
+	if err := w.WriteByte(0); err != nil {
+		return err
+	}
+	return writeGrammarSet(w, gs)
+}
+
+// readPackable mirrors writePackable.
+func (br byteReader) readPackable() ([]sequitur.Serialized, sequitur.Serialized, error) {
+	flag, err := br.r.ReadByte()
+	if err != nil {
+		return nil, nil, err
+	}
+	if flag == 1 {
+		pack, err := br.grammar()
+		if err != nil {
+			return nil, nil, err
+		}
+		gs, err := sequitur.Unpack(pack)
+		if err != nil {
+			return nil, nil, err
+		}
+		return gs, pack, nil
+	}
+	gs, err := br.grammarSet()
+	return gs, nil, err
+}
+
+// SizeBytes returns the serialized size of the trace — the "trace file
+// size" every figure reports.
+func (f *File) SizeBytes() int {
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		return -1
+	}
+	return int(n)
+}
+
+// SectionSizes reports the main sections' serialized sizes (CST,
+// call grammars incl. rank map, timing grammars), for the overhead
+// and Figure 10 style breakdowns.
+func (f *File) SectionSizes() (cstB, cfgB, durB, intB int) {
+	cstB = len(f.CST.Serialize())
+	cfgB = len(f.RankMap) * 4
+	rawInts := 0
+	for _, g := range f.Grammars {
+		rawInts += len(g)
+	}
+	if f.Packed != nil && len(f.Packed) < rawInts {
+		cfgB += len(f.Packed) * 4
+	} else {
+		cfgB += rawInts * 4
+	}
+	durB = packableInts(f.DurGrammars, f.PackedDur) * 4
+	intB = packableInts(f.IntGrammars, f.PackedInt) * 4
+	return
+}
+
+func packableInts(gs []sequitur.Serialized, pack sequitur.Serialized) int {
+	raw := 0
+	for _, g := range gs {
+		raw += len(g)
+	}
+	if pack != nil && len(pack) < raw {
+		return len(pack)
+	}
+	return raw
+}
+
+// --- reading -----------------------------------------------------------------
+
+type byteReader struct {
+	r *bufio.Reader
+}
+
+func (br byteReader) bytes() ([]byte, error) {
+	n, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		return nil, err
+	}
+	// Never trust a length from the wire: read in bounded chunks so a
+	// corrupt huge length fails at EOF instead of exhausting memory.
+	const chunk = 1 << 20
+	var b []byte
+	for remaining := n; remaining > 0; {
+		step := remaining
+		if step > chunk {
+			step = chunk
+		}
+		start := len(b)
+		b = append(b, make([]byte, step)...)
+		if _, err := io.ReadFull(br.r, b[start:]); err != nil {
+			return nil, err
+		}
+		remaining -= step
+	}
+	return b, nil
+}
+
+func (br byteReader) grammar() (sequitur.Serialized, error) {
+	b, err := br.bytes()
+	if err != nil {
+		return nil, err
+	}
+	rd := bytes.NewReader(b)
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b)) { // every int costs at least one byte
+		return nil, fmt.Errorf("trace: grammar claims %d ints in %d bytes", n, len(b))
+	}
+	g := make(sequitur.Serialized, n)
+	for i := range g {
+		v, err := binary.ReadVarint(rd)
+		if err != nil {
+			return nil, err
+		}
+		g[i] = int32(v)
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("trace: trailing grammar bytes")
+	}
+	if len(g) > 0 {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func (br byteReader) grammarSet() ([]sequitur.Serialized, error) {
+	n, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		return nil, err
+	}
+	gs := make([]sequitur.Serialized, n)
+	for i := range gs {
+		if gs[i], err = br.grammar(); err != nil {
+			return nil, err
+		}
+	}
+	return gs, nil
+}
+
+func (br byteReader) index() ([]int32, error) {
+	b, err := br.bytes()
+	if err != nil {
+		return nil, err
+	}
+	rd := bytes.NewReader(b)
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("trace: index claims %d entries in %d bytes", n, len(b))
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		v, err := binary.ReadVarint(rd)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = int32(v)
+	}
+	return idx, nil
+}
+
+// Read parses a trace file.
+func Read(r io.Reader) (*File, error) {
+	br := byteReader{r: bufio.NewReader(r)}
+	m := make([]byte, len(magic))
+	if _, err := io.ReadFull(br.r, m); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if string(m) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	f := &File{}
+	n, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		return nil, err
+	}
+	const maxRanks = 1 << 24
+	if n > maxRanks {
+		return nil, fmt.Errorf("trace: implausible rank count %d", n)
+	}
+	f.NumRanks = int(n)
+	mode, err := br.r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	f.TimingMode = mode
+	baseBits, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		return nil, err
+	}
+	f.TimingBase = math.Float64frombits(baseBits)
+	cstBytes, err := br.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if f.CST, err = cst.Deserialize(cstBytes); err != nil {
+		return nil, err
+	}
+	packedFlag, err := br.r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if packedFlag == 1 {
+		if f.Packed, err = br.grammar(); err != nil {
+			return nil, err
+		}
+		if f.Grammars, err = sequitur.Unpack(f.Packed); err != nil {
+			return nil, err
+		}
+	} else {
+		if f.Grammars, err = br.grammarSet(); err != nil {
+			return nil, err
+		}
+	}
+	if f.RankMap, err = br.grammar(); err != nil {
+		return nil, err
+	}
+	if f.DurGrammars, f.PackedDur, err = br.readPackable(); err != nil {
+		return nil, err
+	}
+	if f.DurIndex, err = br.index(); err != nil {
+		return nil, err
+	}
+	if f.IntGrammars, f.PackedInt, err = br.readPackable(); err != nil {
+		return nil, err
+	}
+	if f.IntIndex, err = br.index(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Save writes the trace to a file path.
+func (f *File) Save(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	if _, err := f.WriteTo(fh); err != nil {
+		return err
+	}
+	return fh.Close()
+}
+
+// Load reads a trace from a file path.
+func Load(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return Read(fh)
+}

@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/sequitur"
+)
+
+func mkGrammar(seq []int32) sequitur.Serialized {
+	g := sequitur.New()
+	for _, v := range seq {
+		g.Append(v)
+	}
+	return sequitur.Serialized(g.Serialize())
+}
+
+func mkFile(t *testing.T) *File {
+	t.Helper()
+	table := cst.New()
+	table.Add([]byte("sigA"), 100)
+	table.Add([]byte("sigB"), 200)
+	table.Add([]byte("sigC"), 300)
+	g0 := mkGrammar([]int32{0, 1, 0, 1, 2})
+	g1 := mkGrammar([]int32{2, 2, 2})
+	rankMap := mkGrammar([]int32{0, 1, 0, 0})
+	return &File{
+		NumRanks: 4, TimingMode: TimingAggregated, TimingBase: 1.2,
+		CST: table, Grammars: []sequitur.Serialized{g0, g1}, RankMap: rankMap,
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	f := mkFile(t)
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != buf.Len() {
+		t.Fatalf("WriteTo reported %d, wrote %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRanks != 4 || got.CST.Len() != 3 || len(got.Grammars) != 2 {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	for r := 0; r < 4; r++ {
+		a, err1 := f.Terms(r)
+		b, err2 := got.Terms(r)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("rank %d terms differ", r)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rank %d term %d differs", r, i)
+			}
+		}
+	}
+}
+
+func TestPackedRoundtrip(t *testing.T) {
+	f := mkFile(t)
+	// Force a pack and make it profitable by duplicating rules.
+	f.Packed = sequitur.Pack(f.Grammars)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Grammars) != len(f.Grammars) {
+		t.Fatalf("packed read produced %d grammars", len(got.Grammars))
+	}
+	for i := range f.Grammars {
+		a := f.Grammars[i].Expand(0)
+		b := got.Grammars[i].Expand(0)
+		if len(a) != len(b) {
+			t.Fatalf("grammar %d length mismatch", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("grammar %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestTermsErrors(t *testing.T) {
+	f := mkFile(t)
+	if _, err := f.Terms(-1); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := f.Terms(4); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	// Rank map referencing a missing grammar.
+	f.RankMap = mkGrammar([]int32{0, 1, 2, 0}) // grammar 2 does not exist
+	if _, err := f.Terms(0); err == nil {
+		t.Error("dangling grammar reference accepted")
+	}
+	// Rank map of the wrong length.
+	f2 := mkFile(t)
+	f2.RankMap = mkGrammar([]int32{0, 1})
+	if _, err := f2.Terms(0); err == nil {
+		t.Error("short rank map accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte("NOTAPILG rest"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	f := mkFile(t)
+	var buf bytes.Buffer
+	f.WriteTo(&buf)
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	f := mkFile(t)
+	path := t.TempDir() + "/x.pilgrim"
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRanks != f.NumRanks {
+		t.Fatal("load mismatch")
+	}
+	if _, err := Load(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSizeBytesMatchesWrite(t *testing.T) {
+	f := mkFile(t)
+	var buf bytes.Buffer
+	f.WriteTo(&buf)
+	if f.SizeBytes() != buf.Len() {
+		t.Fatalf("SizeBytes %d != written %d", f.SizeBytes(), buf.Len())
+	}
+}
+
+func TestSectionSizesConsistent(t *testing.T) {
+	f := mkFile(t)
+	cstB, cfgB, durB, intB := f.SectionSizes()
+	if cstB <= 0 || cfgB <= 0 {
+		t.Fatalf("sections: %d %d", cstB, cfgB)
+	}
+	if durB != 0 || intB != 0 {
+		t.Fatalf("unexpected timing sections: %d %d", durB, intB)
+	}
+}
+
+func TestReadNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// Random garbage with the right magic prefix, to reach the parsers.
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(400)
+		data := make([]byte, n+8)
+		copy(data, "PILGRIM1")
+		rng.Read(data[8:])
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Read panicked on random input: %v", r)
+				}
+			}()
+			Read(bytes.NewReader(data))
+		}()
+	}
+}
+
+func TestReadNeverPanicsOnTruncations(t *testing.T) {
+	f := mkFile(t)
+	f.Packed = sequitur.Pack(f.Grammars)
+	var buf bytes.Buffer
+	f.WriteTo(&buf)
+	data := buf.Bytes()
+	for cut := 0; cut <= len(data); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Read panicked at truncation %d: %v", cut, r)
+				}
+			}()
+			Read(bytes.NewReader(data[:cut]))
+		}()
+	}
+	// Single-byte corruptions of a valid file.
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), data...)
+		mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Read panicked on corruption: %v", r)
+				}
+			}()
+			if got, err := Read(bytes.NewReader(mut)); err == nil && got != nil {
+				// Accepted: the decode surface must still be safe.
+				for r := 0; r < got.NumRanks && r < 4; r++ {
+					got.Terms(r)
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,197 @@
+package workloads
+
+import "github.com/hpcrepro/pilgrim/mpi"
+
+// FlashConfig parameterizes the FLASH simulation skeletons.
+type FlashConfig struct {
+	Iters int
+}
+
+func (c FlashConfig) def(iters int) FlashConfig {
+	if c.Iters == 0 {
+		c.Iters = 200
+	}
+	return c
+}
+
+// flashSetup models the common initialization: parameter broadcasts
+// and an initial block-count allgather.
+func flashSetup(p *mpi.Proc, buf *mpi.Buffer) {
+	w := p.World()
+	for i := 0; i < 8; i++ {
+		must(p.Bcast(buf.Ptr(i*8), 1, mpi.Double, 0, w))
+	}
+	must(p.Allgather(buf.Ptr(0), 1, mpi.Int, buf.Ptr(1024), 1, mpi.Int, w))
+	must(p.Barrier(w))
+}
+
+// guard-cell message geometry: one message per block face, 16 doubles.
+const (
+	gcCount = 16
+	gcMsgB  = gcCount * 8
+	// gcBufB accommodates 6 directions x 12 blocks of either sends or
+	// receives without any region overlapping another outstanding one.
+	gcBufB = 6 * 12 * gcMsgB
+)
+
+// guardCellFill is the PARAMESH-style guard cell exchange: each rank
+// sends one message per local block to each of its six grid
+// neighbours and posts one receive per *neighbour* block, via
+// Isend/Irecv/Waitall. Block counts vary per rank (load balancing), so
+// the posting pattern must honour the neighbour's count — nblocksOf
+// computes any rank's count from shared state, as PARAMESH's block
+// tree does. Outstanding receives each get a disjoint region of recvB.
+func guardCellFill(p *mpi.Proc, cart *mpi.Comm, recvB, sendB *mpi.Buffer, nblocksOf func(rank int) int) {
+	var reqs []*mpi.Request
+	ri, si := 0, 0
+	mine := nblocksOf(p.Rank())
+	for dim := 0; dim < 3; dim++ {
+		for _, disp := range []int{1, -1} {
+			src, dst, err := p.CartShift(cart, dim, disp)
+			must(err)
+			nrecv := 0
+			if src != mpi.ProcNull {
+				// src is a rank within the cart comm, whose group is
+				// world-rank ordered in this runtime.
+				nrecv = nblocksOf(cart.GroupRanks()[src])
+			}
+			for b := 0; b < nrecv; b++ {
+				reqs = append(reqs, must1(p.Irecv(recvB.Ptr(ri*gcMsgB), gcCount, mpi.Double, src, 800+b, cart)))
+				ri++
+			}
+			nsend := mine
+			if dst == mpi.ProcNull {
+				nsend = 0
+			}
+			for b := 0; b < nsend; b++ {
+				reqs = append(reqs, must1(p.Isend(sendB.Ptr(si*gcMsgB), gcCount, mpi.Double, dst, 800+b, cart)))
+				si++
+			}
+		}
+	}
+	must(p.Waitall(reqs, make([]mpi.Status, len(reqs))))
+}
+
+// Sedov is the Sedov blast-wave skeleton (fixed grid, AMR disabled):
+// per step a guard-cell fill, a dt all-reduce, and the output path
+// where rank 0 fetches the minimum-dt datum from its owner — an owner
+// that drifts every few hundred steps, which is what makes the Sedov
+// trace grow slowly with iteration count (Figure 6d).
+func Sedov(cfg FlashConfig) func(p *mpi.Proc) {
+	cfg = cfg.def(200)
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		n := p.Size()
+		dims := make([]int, 3)
+		must(p.DimsCreate(n, 3, dims))
+		cart := must1(p.CartCreate(w, dims, []bool{false, false, false}, false))
+		buf := p.Alloc(1 << 13)
+		recvB := p.Alloc(gcBufB)
+		sendB := p.Alloc(gcBufB)
+		flashSetup(p, buf)
+		nblocksOf := func(rank int) int { return 2 + int(hash64(int64(rank))%3) }
+		for it := 0; it < cfg.Iters; it++ {
+			p.Compute(400000)
+			guardCellFill(p, cart, recvB, sendB, nblocksOf)
+			must(p.Allreduce(buf.Ptr(0), buf.Ptr(64), 1, mpi.Double, mpi.OpMin, w)) // dt
+			// Output path: rank 0 pulls the min-dt datum; its owner
+			// changes every ~300 iterations.
+			owner := int(hash64(int64(it/300))%uint64(n-1)) + 1
+			if n > 1 {
+				if p.Rank() == 0 {
+					must(p.Recv(buf.Ptr(128), 1, mpi.Double, owner, 900, w, nil))
+				} else if p.Rank() == owner {
+					must(p.Send(buf.Ptr(128), 1, mpi.Double, 0, 900, w))
+				}
+			}
+		}
+		buf.Free()
+		recvB.Free()
+		sendB.Free()
+		must(p.Finalize())
+	}
+}
+
+// Cellular is the cellular detonation skeleton with AMR enabled: the
+// PARAMESH block tree refines every refineInterval steps, after which
+// Morton-order rebalancing moves blocks between ranks with
+// point-to-point transfers whose partners and counts change at every
+// refinement epoch — the trace grows with both iterations and process
+// count (Figures 6b/6e).
+func Cellular(cfg FlashConfig) func(p *mpi.Proc) {
+	cfg = cfg.def(200)
+	const refineInterval = 50
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		n := p.Size()
+		dims := make([]int, 3)
+		must(p.DimsCreate(n, 3, dims))
+		cart := must1(p.CartCreate(w, dims, []bool{false, false, false}, false))
+		buf := p.Alloc(1 << 13)
+		recvB := p.Alloc(gcBufB)
+		sendB := p.Alloc(gcBufB)
+		flashSetup(p, buf)
+		for it := 0; it < cfg.Iters; it++ {
+			epoch := it / refineInterval
+			nblocksOf := func(rank int) int {
+				nb := 2 + epoch + int(hash64(int64(rank), int64(epoch))%2)
+				if nb > 12 {
+					nb = 12
+				}
+				return nb
+			}
+			p.Compute(500000)
+			guardCellFill(p, cart, recvB, sendB, nblocksOf)
+			must(p.Allreduce(buf.Ptr(0), buf.Ptr(64), 1, mpi.Double, mpi.OpMin, w))
+			if it%refineInterval == refineInterval-1 && n > 1 {
+				// Refinement: gather per-rank block counts, then Morton
+				// rebalancing moves blocks to an epoch-dependent partner.
+				must(p.Allgather(buf.Ptr(0), 1, mpi.Int, buf.Ptr(2048), 1, mpi.Int, w))
+				shift := int(hash64(int64(epoch))%uint64(n-1)) + 1
+				dst := (p.Rank() + shift) % n
+				src := (p.Rank() - shift + n) % n
+				moved := 32 * (1 + int(hash64(int64(p.Rank()), int64(epoch), 7)%4))
+				var reqs []*mpi.Request
+				reqs = append(reqs,
+					must1(p.Irecv(recvB.Ptr(0), 128, mpi.Double, src, 950+epoch, w)),
+					must1(p.Isend(sendB.Ptr(0), moved, mpi.Double, dst, 950+epoch, w)))
+				must(p.Waitall(reqs, make([]mpi.Status, len(reqs))))
+			}
+		}
+		buf.Free()
+		recvB.Free()
+		sendB.Free()
+		must(p.Finalize())
+	}
+}
+
+// StirTurb is the stirred-turbulence skeleton with AMR disabled: a
+// fixed uniform grid, a fixed stencil exchange, and a forcing-term
+// reduction — a perfectly regular pattern whose trace stays a few KB
+// regardless of scale (Figures 6c/6f).
+func StirTurb(cfg FlashConfig) func(p *mpi.Proc) {
+	cfg = cfg.def(200)
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		dims := make([]int, 3)
+		must(p.DimsCreate(p.Size(), 3, dims))
+		cart := must1(p.CartCreate(w, dims, []bool{true, true, true}, false))
+		buf := p.Alloc(1 << 13)
+		recvB := p.Alloc(gcBufB)
+		sendB := p.Alloc(gcBufB)
+		flashSetup(p, buf)
+		for it := 0; it < cfg.Iters; it++ {
+			p.Compute(450000)
+			guardCellFill(p, cart, recvB, sendB, func(int) int { return 2 })
+			must(p.Allreduce(buf.Ptr(0), buf.Ptr(64), 4, mpi.Double, mpi.OpSum, w)) // forcing terms
+			must(p.Allreduce(buf.Ptr(128), buf.Ptr(192), 1, mpi.Double, mpi.OpMin, w))
+		}
+		buf.Free()
+		recvB.Free()
+		sendB.Free()
+		must(p.Finalize())
+	}
+}

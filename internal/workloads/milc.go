@@ -1,0 +1,125 @@
+package workloads
+
+import "github.com/hpcrepro/pilgrim/mpi"
+
+// MILCConfig parameterizes the su3_rmd (refreshed molecular dynamics)
+// skeleton from MILC's clover_dynamical application.
+type MILCConfig struct {
+	Trajectories int // MD trajectories
+	Steps        int // MD steps per trajectory
+	CGIters      int // conjugate-gradient iterations per step
+	// Lattice is the global lattice (x,y,z,t). Zero means weak scaling
+	// with a fixed 16×16×16×32 per-process block (as in the paper).
+	Lattice [4]int
+}
+
+func (c MILCConfig) withDefaults() MILCConfig {
+	if c.Trajectories == 0 {
+		c.Trajectories = 2
+	}
+	if c.Steps == 0 {
+		c.Steps = 4
+	}
+	if c.CGIters == 0 {
+		c.CGIters = 10
+	}
+	return c
+}
+
+// MILC is the su3_rmd communication skeleton: a 4D periodic lattice
+// decomposition. Each MD step does a gauge-force halo exchange in all
+// eight directions, then a CG solve whose iterations each perform a
+// halo exchange plus two dot-product all-reduces, then a global
+// plaquette reduction per trajectory.
+//
+// Under weak scaling the per-process block is constant, so every rank
+// sees the same message sizes and the trace is constant in P; under
+// strong scaling the local block dimensions change with the process
+// grid, producing the paper's "stages" of unique grammars (Figure 9).
+func MILC(cfg MILCConfig) func(p *mpi.Proc) {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		n := p.Size()
+		dims := make([]int, 4)
+		must(p.DimsCreate(n, 4, dims))
+		// Local block: fixed for weak scaling, divided for strong.
+		local := [4]int{16, 16, 16, 32}
+		if cfg.Lattice != [4]int{} {
+			for i := 0; i < 4; i++ {
+				local[i] = cfg.Lattice[i] / dims[i]
+				if local[i] < 2 {
+					local[i] = 2
+				}
+			}
+		}
+		// 4D periodic neighbours via row-major rank arithmetic.
+		coords := make([]int, 4)
+		r := p.Rank()
+		for i := 3; i >= 0; i-- {
+			coords[i] = r % dims[i]
+			r /= dims[i]
+		}
+		rankOf := func(cs []int) int {
+			rank := 0
+			for i, c := range cs {
+				c = ((c % dims[i]) + dims[i]) % dims[i]
+				rank = rank*dims[i] + c
+			}
+			return rank
+		}
+		neighbour := func(dim, disp int) int {
+			cs := make([]int, 4)
+			copy(cs, coords)
+			cs[dim] += disp
+			return rankOf(cs)
+		}
+		// Face sizes: product of the other three local dims (surface
+		// volume), in su3 matrices (18 doubles each, scaled down).
+		faceCount := func(dim int) int {
+			c := 1
+			for i := 0; i < 4; i++ {
+				if i != dim {
+					c *= local[i]
+				}
+			}
+			c /= 16 // scale the skeleton's message volume down
+			if c < 4 {
+				c = 4
+			}
+			return c
+		}
+		buf := p.Alloc(1 << 18)
+		haloExchange := func(tag int) {
+			var reqs []*mpi.Request
+			off := 0
+			for dim := 0; dim < 4; dim++ {
+				cnt := faceCount(dim)
+				for _, disp := range []int{1, -1} {
+					peerF := neighbour(dim, disp)
+					peerB := neighbour(dim, -disp)
+					reqs = append(reqs,
+						must1(p.Irecv(buf.Ptr(off%(1<<17)), cnt, mpi.Double, peerB, tag+dim, w)),
+						must1(p.Isend(buf.Ptr((off+65536)%(1<<17)), cnt, mpi.Double, peerF, tag+dim, w)))
+					off += 8192
+				}
+			}
+			must(p.Waitall(reqs, make([]mpi.Status, len(reqs))))
+		}
+		for traj := 0; traj < cfg.Trajectories; traj++ {
+			for step := 0; step < cfg.Steps; step++ {
+				p.Compute(600000)
+				haloExchange(1100) // gauge force
+				for cg := 0; cg < cfg.CGIters; cg++ {
+					haloExchange(1200) // dslash
+					must(p.Allreduce(buf.Ptr(0), buf.Ptr(64), 1, mpi.Double, mpi.OpSum, w))
+					must(p.Allreduce(buf.Ptr(128), buf.Ptr(192), 1, mpi.Double, mpi.OpSum, w))
+				}
+			}
+			must(p.Allreduce(buf.Ptr(0), buf.Ptr(64), 2, mpi.Double, mpi.OpSum, w)) // plaquette
+		}
+		buf.Free()
+		must(p.Finalize())
+	}
+}

@@ -1,0 +1,261 @@
+package workloads
+
+import "github.com/hpcrepro/pilgrim/mpi"
+
+// NPBConfig parameterizes the NAS Parallel Benchmark skeletons. Iters
+// counts outer iterations (defaults approximate the class-C iteration
+// structure, scaled down).
+type NPBConfig struct {
+	Iters int
+}
+
+func (c NPBConfig) def(iters int) NPBConfig {
+	if c.Iters == 0 {
+		c.Iters = iters
+	}
+	return c
+}
+
+// IS is the integer-sort skeleton: per iteration an MPI_Allreduce of
+// bucket totals, an MPI_Alltoall exchanging send counts, and the key
+// redistribution MPI_Alltoallv (uniform counts: IS distributes keys
+// evenly), followed by a neighbour verification exchange whose count
+// carries the per-rank, per-iteration redistribution jitter — the
+// irregularity that defeats identity-based inter-process merging.
+func IS(cfg NPBConfig) func(p *mpi.Proc) {
+	cfg = cfg.def(10)
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		n := p.Size()
+		const buckets = 256
+		keysPer := 1 << 12
+		bucketBuf := p.Alloc(buckets * 4)
+		bucketOut := p.Alloc(buckets * 4)
+		countsBuf := p.Alloc(n * 4)
+		countsOut := p.Alloc(n * 4)
+		keys := p.Alloc(keysPer * 4)
+		keysOut := p.Alloc(keysPer * 4 * 2)
+		counts := make([]int, n)
+		displs := make([]int, n)
+		for i := range counts {
+			counts[i] = keysPer / n
+			displs[i] = i * (keysPer / n)
+		}
+		for it := 0; it < cfg.Iters; it++ {
+			p.Compute(int64(keysPer) * 30)
+			must(p.Allreduce(bucketBuf.Ptr(0), bucketOut.Ptr(0), buckets, mpi.Int, mpi.OpSum, w))
+			must(p.Alltoall(countsBuf.Ptr(0), 1, mpi.Int, countsOut.Ptr(0), 1, mpi.Int, w))
+			must(p.Alltoallv(keys.Ptr(0), counts, displs, mpi.Int,
+				keysOut.Ptr(0), counts, displs, mpi.Int, w))
+			// Post-redistribution verification with the neighbour: the
+			// received key count varies slightly per rank and step.
+			jitter := int(hash64(int64(p.Rank()), int64(it)) % 4)
+			vc := keysPer/n + jitter
+			right := (p.Rank() + 1) % n
+			left := (p.Rank() - 1 + n) % n
+			must(p.Sendrecv(keys.Ptr(0), vc, mpi.Int, right, 1000,
+				keysOut.Ptr(0), keysPer/n+3, mpi.Int, left, 1000, w, nil))
+		}
+		must(p.Allreduce(bucketBuf.Ptr(0), bucketOut.Ptr(0), 1, mpi.Int, mpi.OpSum, w))
+		must(p.Finalize())
+	}
+}
+
+// MG is the multigrid skeleton: V-cycles over grid levels. At level L
+// only every 2^L-th rank participates, exchanging halos with its
+// neighbours at stride 2^L; message sizes shrink with depth. The
+// participation pattern is what differentiates ranks.
+func MG(cfg NPBConfig) func(p *mpi.Proc) {
+	cfg = cfg.def(20)
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		n := p.Size()
+		levels := 1
+		for 1<<levels < n && levels < 8 {
+			levels++
+		}
+		buf := p.Alloc(1 << 16)
+		exchange := func(lev int) {
+			stride := 1 << lev
+			if p.Rank()%stride != 0 {
+				return
+			}
+			count := 256 >> lev
+			if count < 8 {
+				count = 8
+			}
+			var reqs []*mpi.Request
+			up := p.Rank() + stride
+			down := p.Rank() - stride
+			if up >= n {
+				up = mpi.ProcNull
+			}
+			if down < 0 {
+				down = mpi.ProcNull
+			}
+			reqs = append(reqs,
+				must1(p.Irecv(buf.Ptr(0), count, mpi.Double, down, 300+lev, w)),
+				must1(p.Irecv(buf.Ptr(8*count), count, mpi.Double, up, 301+lev, w)),
+				must1(p.Isend(buf.Ptr(16*count), count, mpi.Double, up, 300+lev, w)),
+				must1(p.Isend(buf.Ptr(24*count), count, mpi.Double, down, 301+lev, w)))
+			must(p.Waitall(reqs, make([]mpi.Status, len(reqs))))
+		}
+		for it := 0; it < cfg.Iters; it++ {
+			p.Compute(200000)
+			for lev := 0; lev < levels; lev++ { // restriction
+				exchange(lev)
+			}
+			for lev := levels - 1; lev >= 0; lev-- { // prolongation
+				exchange(lev)
+			}
+			must(p.Allreduce(buf.Ptr(0), buf.Ptr(64), 1, mpi.Double, mpi.OpMax, w)) // residual norm
+		}
+		must(p.Finalize())
+	}
+}
+
+// CG is the conjugate-gradient skeleton: ranks form a 2D grid; each
+// iteration exchanges a vector segment with the transpose partner (a
+// per-rank-unique peer, the source of CG's gentle per-rank growth) and
+// performs two dot-product reductions within the row communicator.
+func CG(cfg NPBConfig) func(p *mpi.Proc) {
+	cfg = cfg.def(25)
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		n := p.Size()
+		// Row/col decomposition: npcols x nprows with npcols >= nprows.
+		nprows := 1
+		for (nprows*2)*(nprows*2) <= n {
+			nprows *= 2
+		}
+		for n%nprows != 0 {
+			nprows /= 2
+		}
+		npcols := n / nprows
+		row := p.Rank() / npcols
+		col := p.Rank() % npcols
+		rowComm := must1(p.CommSplit(w, row, col))
+		// Exchange partner (modeled on NPB CG's reduce_exch_proc): a
+		// per-rank-unique peer. Pairing must be an involution so the
+		// Sendrecv matches; mirror pairing gives every rank a distinct
+		// offset while partner(partner(r)) == r.
+		partner := n - 1 - p.Rank()
+		seg := p.Alloc(8 * 1024)
+		tmp := p.Alloc(8 * 1024)
+		for it := 0; it < cfg.Iters; it++ {
+			p.Compute(150000)
+			must(p.Sendrecv(seg.Ptr(0), 512, mpi.Double, partner, 500,
+				tmp.Ptr(0), 512, mpi.Double, partner, 500, w, nil))
+			must(p.Allreduce(seg.Ptr(0), tmp.Ptr(0), 1, mpi.Double, mpi.OpSum, rowComm))
+			must(p.Allreduce(seg.Ptr(8), tmp.Ptr(8), 1, mpi.Double, mpi.OpSum, rowComm))
+		}
+		must(p.CommFree(rowComm))
+		must(p.Finalize())
+	}
+}
+
+// LU is the SSOR wavefront skeleton on a 2D grid: blocking receives
+// from north/west, compute, blocking sends to south/east, swept in
+// both diagonal directions, with a residual reduction every few
+// iterations. All peers are at fixed relative offsets, which is why LU
+// compresses to a constant for both tools (Figure 5).
+func LU(cfg NPBConfig) func(p *mpi.Proc) {
+	cfg = cfg.def(50)
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		n := p.Size()
+		// 2D decomposition as square as possible.
+		dims := make([]int, 2)
+		must(p.DimsCreate(n, 2, dims))
+		rows, cols := dims[0], dims[1]
+		r, c := p.Rank()/cols, p.Rank()%cols
+		north, south, west, east := mpi.ProcNull, mpi.ProcNull, mpi.ProcNull, mpi.ProcNull
+		if r > 0 {
+			north = p.Rank() - cols
+		}
+		if r < rows-1 {
+			south = p.Rank() + cols
+		}
+		if c > 0 {
+			west = p.Rank() - 1
+		}
+		if c < cols-1 {
+			east = p.Rank() + 1
+		}
+		buf := p.Alloc(8 * 512)
+		sweep := func(recvA, recvB, sendA, sendB int) {
+			must(p.Recv(buf.Ptr(0), 128, mpi.Double, recvA, 600, w, nil))
+			must(p.Recv(buf.Ptr(1024), 128, mpi.Double, recvB, 601, w, nil))
+			p.Compute(80000)
+			must(p.Send(buf.Ptr(2048), 128, mpi.Double, sendA, 600, w))
+			must(p.Send(buf.Ptr(3072), 128, mpi.Double, sendB, 601, w))
+		}
+		for it := 0; it < cfg.Iters; it++ {
+			sweep(north, west, south, east) // lower-triangular sweep
+			sweep(south, east, north, west) // upper-triangular sweep
+			if it%5 == 0 {
+				must(p.Allreduce(buf.Ptr(0), buf.Ptr(64), 5, mpi.Double, mpi.OpSum, w))
+			}
+		}
+		must(p.Finalize())
+	}
+}
+
+// adi builds the BT/SP ADI skeleton: a square process grid, three
+// sweep dimensions per iteration, each sweep running `stages`
+// successive Isend/Irecv/Waitall steps along rows or columns with
+// cell sizes that vary per rank and stage (the multi-partition
+// scheme), which makes every rank's stream unique — both tools grow
+// near-linearly on BT/SP (Figure 5), with Pilgrim ahead on constant.
+func adi(iters, faces int) func(p *mpi.Proc) {
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		s := checkSquare(p, "BT/SP")
+		row := p.Rank() / s
+		col := p.Rank() % s
+		buf := p.Alloc(1 << 16)
+		for it := 0; it < iters; it++ {
+			p.Compute(300000)
+			for dim := 0; dim < 3; dim++ {
+				for stage := 0; stage < s; stage++ {
+					// Neighbour along the sweep direction.
+					var peerFwd, peerBack int
+					if dim%2 == 0 {
+						peerFwd = row*s + (col+1)%s
+						peerBack = row*s + (col-1+s)%s
+					} else {
+						peerFwd = ((row+1)%s)*s + col
+						peerBack = ((row-1+s)%s)*s + col
+					}
+					// Multi-partition cell size: depends on rank & stage.
+					count := 64 + int(hash64(int64(p.Rank()), int64(stage), int64(dim))%3)*16
+					var reqs []*mpi.Request
+					for f := 0; f < faces; f++ {
+						reqs = append(reqs,
+							must1(p.Irecv(buf.Ptr(f*4096), count, mpi.Double, peerBack, 700+dim, w)),
+							must1(p.Isend(buf.Ptr(f*4096+2048), count, mpi.Double, peerFwd, 700+dim, w)))
+					}
+					must(p.Waitall(reqs, make([]mpi.Status, len(reqs))))
+				}
+			}
+		}
+		must(p.Finalize())
+	}
+}
+
+// BT is the block-tridiagonal skeleton (square process count).
+func BT(cfg NPBConfig) func(p *mpi.Proc) {
+	cfg = cfg.def(20)
+	return adi(cfg.Iters, 2)
+}
+
+// SP is the scalar-pentadiagonal skeleton (square process count).
+func SP(cfg NPBConfig) func(p *mpi.Proc) {
+	cfg = cfg.def(20)
+	return adi(cfg.Iters, 1)
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import "github.com/hpcrepro/pilgrim/mpi"
+
+// OSUConfig parameterizes the OSU microbenchmark skeletons.
+type OSUConfig struct {
+	Iters   int // iterations per message size
+	MaxSize int // largest message in bytes (sweep doubles from 1)
+}
+
+func (c OSUConfig) withDefaults() OSUConfig {
+	if c.Iters == 0 {
+		c.Iters = 100
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 1 << 16
+	}
+	return c
+}
+
+// OSULatency is osu_latency: rank 0 and rank 1 ping-pong messages of
+// doubling sizes; other ranks only synchronize on the final barrier.
+func OSULatency(cfg OSUConfig) func(p *mpi.Proc) {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		buf := p.Alloc(cfg.MaxSize)
+		for size := 1; size <= cfg.MaxSize; size *= 2 {
+			for i := 0; i < cfg.Iters; i++ {
+				if p.Rank() == 0 {
+					must(p.Send(buf.Ptr(0), size, mpi.Byte, 1, 1, w))
+					must(p.Recv(buf.Ptr(0), size, mpi.Byte, 1, 1, w, nil))
+				} else if p.Rank() == 1 {
+					must(p.Recv(buf.Ptr(0), size, mpi.Byte, 0, 1, w, nil))
+					must(p.Send(buf.Ptr(0), size, mpi.Byte, 0, 1, w))
+				}
+			}
+		}
+		must(p.Barrier(w))
+		buf.Free()
+		must(p.Finalize())
+	}
+}
+
+// OSUBandwidth is osu_bw: rank 0 posts a window of non-blocking sends,
+// rank 1 a window of receives, then an ack flows back.
+func OSUBandwidth(cfg OSUConfig) func(p *mpi.Proc) {
+	cfg = cfg.withDefaults()
+	const window = 64
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		buf := p.Alloc(cfg.MaxSize)
+		ack := p.Alloc(4)
+		for size := 1; size <= cfg.MaxSize; size *= 4 {
+			for i := 0; i < cfg.Iters/4+1; i++ {
+				switch p.Rank() {
+				case 0:
+					reqs := make([]*mpi.Request, window)
+					for k := range reqs {
+						reqs[k] = must1(p.Isend(buf.Ptr(0), size, mpi.Byte, 1, 2, w))
+					}
+					must(p.Waitall(reqs, make([]mpi.Status, window)))
+					must(p.Recv(ack.Ptr(0), 1, mpi.Int, 1, 3, w, nil))
+				case 1:
+					reqs := make([]*mpi.Request, window)
+					for k := range reqs {
+						reqs[k] = must1(p.Irecv(buf.Ptr(0), size, mpi.Byte, 0, 2, w))
+					}
+					must(p.Waitall(reqs, make([]mpi.Status, window)))
+					must(p.Send(ack.Ptr(0), 1, mpi.Int, 0, 3, w))
+				}
+			}
+		}
+		must(p.Barrier(w))
+		buf.Free()
+		ack.Free()
+		must(p.Finalize())
+	}
+}
+
+// OSUAllreduce is osu_allreduce: allreduce latency over doubling
+// message sizes, all ranks participating.
+func OSUAllreduce(cfg OSUConfig) func(p *mpi.Proc) {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		s := p.Alloc(cfg.MaxSize)
+		r := p.Alloc(cfg.MaxSize)
+		for size := 8; size <= cfg.MaxSize; size *= 2 {
+			for i := 0; i < cfg.Iters; i++ {
+				must(p.Allreduce(s.Ptr(0), r.Ptr(0), size/8, mpi.Double, mpi.OpSum, w))
+			}
+		}
+		s.Free()
+		r.Free()
+		must(p.Finalize())
+	}
+}
+
+// OSUAlltoall is osu_alltoall.
+func OSUAlltoall(cfg OSUConfig) func(p *mpi.Proc) {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		n := p.Size()
+		maxPer := cfg.MaxSize / n
+		if maxPer < 8 {
+			maxPer = 8
+		}
+		s := p.Alloc(maxPer * n)
+		r := p.Alloc(maxPer * n)
+		for size := 8; size <= maxPer; size *= 2 {
+			for i := 0; i < cfg.Iters/2+1; i++ {
+				must(p.Alltoall(s.Ptr(0), size, mpi.Byte, r.Ptr(0), size, mpi.Byte, w))
+			}
+		}
+		s.Free()
+		r.Free()
+		must(p.Finalize())
+	}
+}
+
+// OSUBcast is osu_bcast.
+func OSUBcast(cfg OSUConfig) func(p *mpi.Proc) {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		w := p.World()
+		buf := p.Alloc(cfg.MaxSize)
+		for size := 1; size <= cfg.MaxSize; size *= 2 {
+			for i := 0; i < cfg.Iters; i++ {
+				must(p.Bcast(buf.Ptr(0), size, mpi.Byte, 0, w))
+			}
+		}
+		buf.Free()
+		must(p.Finalize())
+	}
+}

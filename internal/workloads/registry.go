@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+// Info describes a registered workload.
+type Info struct {
+	Name        string
+	Description string
+	// Build constructs the SPMD body; iters <= 0 selects the default.
+	Build func(iters int) func(p *mpi.Proc)
+	// ProcsOK validates a process count (nil = any).
+	ProcsOK func(n int) error
+}
+
+var registry = map[string]Info{
+	"stencil2d": {
+		Name:        "stencil2d",
+		Description: "2D 5-point stencil, non-periodic boundaries (§4.1)",
+		Build:       func(it int) func(p *mpi.Proc) { return Stencil2D(StencilConfig{Iters: it}) },
+	},
+	"stencil3d": {
+		Name:        "stencil3d",
+		Description: "3D 7-point stencil, periodic boundaries (§4.1)",
+		Build:       func(it int) func(p *mpi.Proc) { return Stencil3D(StencilConfig{Iters: it}) },
+	},
+	"osu_latency": {
+		Name:        "osu_latency",
+		Description: "OSU ping-pong latency",
+		Build:       func(it int) func(p *mpi.Proc) { return OSULatency(OSUConfig{Iters: it}) },
+		ProcsOK:     atLeast(2),
+	},
+	"osu_bw": {
+		Name:        "osu_bw",
+		Description: "OSU windowed bandwidth",
+		Build:       func(it int) func(p *mpi.Proc) { return OSUBandwidth(OSUConfig{Iters: it}) },
+		ProcsOK:     atLeast(2),
+	},
+	"osu_allreduce": {
+		Name:        "osu_allreduce",
+		Description: "OSU allreduce latency",
+		Build:       func(it int) func(p *mpi.Proc) { return OSUAllreduce(OSUConfig{Iters: it}) },
+	},
+	"osu_alltoall": {
+		Name:        "osu_alltoall",
+		Description: "OSU alltoall latency",
+		Build:       func(it int) func(p *mpi.Proc) { return OSUAlltoall(OSUConfig{Iters: it}) },
+	},
+	"osu_bcast": {
+		Name:        "osu_bcast",
+		Description: "OSU broadcast latency",
+		Build:       func(it int) func(p *mpi.Proc) { return OSUBcast(OSUConfig{Iters: it}) },
+	},
+	"is": {
+		Name:        "is",
+		Description: "NPB IS: bucketed integer sort (allreduce/alltoall/alltoallv)",
+		Build:       func(it int) func(p *mpi.Proc) { return IS(NPBConfig{Iters: it}) },
+	},
+	"mg": {
+		Name:        "mg",
+		Description: "NPB MG: multigrid V-cycles with level-strided halos",
+		Build:       func(it int) func(p *mpi.Proc) { return MG(NPBConfig{Iters: it}) },
+	},
+	"cg": {
+		Name:        "cg",
+		Description: "NPB CG: transpose exchange + row reductions",
+		Build:       func(it int) func(p *mpi.Proc) { return CG(NPBConfig{Iters: it}) },
+	},
+	"lu": {
+		Name:        "lu",
+		Description: "NPB LU: SSOR wavefront sweeps",
+		Build:       func(it int) func(p *mpi.Proc) { return LU(NPBConfig{Iters: it}) },
+	},
+	"bt": {
+		Name:        "bt",
+		Description: "NPB BT: ADI multi-partition sweeps (square P)",
+		Build:       func(it int) func(p *mpi.Proc) { return BT(NPBConfig{Iters: it}) },
+		ProcsOK:     square(),
+	},
+	"sp": {
+		Name:        "sp",
+		Description: "NPB SP: ADI multi-partition sweeps (square P)",
+		Build:       func(it int) func(p *mpi.Proc) { return SP(NPBConfig{Iters: it}) },
+		ProcsOK:     square(),
+	},
+	"sedov": {
+		Name:        "sedov",
+		Description: "FLASH Sedov blast wave (AMR off, drifting dt owner)",
+		Build:       func(it int) func(p *mpi.Proc) { return Sedov(FlashConfig{Iters: it}) },
+	},
+	"cellular": {
+		Name:        "cellular",
+		Description: "FLASH Cellular detonation (PARAMESH AMR, Morton rebalancing)",
+		Build:       func(it int) func(p *mpi.Proc) { return Cellular(FlashConfig{Iters: it}) },
+	},
+	"stirturb": {
+		Name:        "stirturb",
+		Description: "FLASH StirTurb (AMR off, fixed pattern)",
+		Build:       func(it int) func(p *mpi.Proc) { return StirTurb(FlashConfig{Iters: it}) },
+	},
+	"milc": {
+		Name:        "milc",
+		Description: "MILC su3_rmd (4D lattice, weak scaling block)",
+		Build: func(it int) func(p *mpi.Proc) {
+			cfg := MILCConfig{}
+			if it > 0 {
+				cfg.Trajectories = it
+			}
+			return MILC(cfg)
+		},
+	},
+}
+
+func atLeast(k int) func(int) error {
+	return func(n int) error {
+		if n < k {
+			return fmt.Errorf("requires at least %d processes", k)
+		}
+		return nil
+	}
+}
+
+func square() func(int) error {
+	return func(n int) error {
+		s := 1
+		for s*s < n {
+			s++
+		}
+		if s*s != n {
+			return fmt.Errorf("requires a square process count, got %d", n)
+		}
+		return nil
+	}
+}
+
+// Get returns a workload body by name.
+func Get(name string, iters int, procs int) (func(p *mpi.Proc), error) {
+	info, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (see List)", name)
+	}
+	if info.ProcsOK != nil {
+		if err := info.ProcsOK(procs); err != nil {
+			return nil, fmt.Errorf("workload %s: %w", name, err)
+		}
+	}
+	return info.Build(iters), nil
+}
+
+// List returns all registered workloads sorted by name.
+func List() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

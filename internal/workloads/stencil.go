@@ -1,0 +1,149 @@
+// Package workloads contains communication skeletons of the codes the
+// paper evaluates (Table 2): 2D/3D stencils, the OSU microbenchmarks,
+// the NAS Parallel Benchmarks, the FLASH simulations (Sedov, Cellular,
+// StirTurb) and MILC su3_rmd. Each skeleton reproduces the code's
+// communication *pattern* — which MPI functions are called, with which
+// argument regularities or per-rank irregularities — because trace
+// size and compressibility depend only on that pattern, not on the
+// numerics (see DESIGN.md §1).
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+// must panics on error: workload bodies run under mpi.Run, which
+// converts rank panics into errors.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
+}
+
+// StencilConfig parameterizes the stencil skeletons.
+type StencilConfig struct {
+	Iters  int // time steps
+	Points int // interior points per dimension per rank (message size driver)
+}
+
+func (c StencilConfig) withDefaults() StencilConfig {
+	if c.Iters == 0 {
+		c.Iters = 100
+	}
+	if c.Points == 0 {
+		c.Points = 64
+	}
+	return c
+}
+
+// Stencil2D is the paper's 2D 5-point stencil with non-periodic
+// boundaries (§4.1): a block-distributed mesh where each process
+// exchanges halos with its four neighbours via Isend/Irecv/Waitall.
+// Boundary processes talk to MPI_PROC_NULL, giving the 9 communication
+// classes (4 corners, 4 sides, interior) the paper counts.
+func Stencil2D(cfg StencilConfig) func(p *mpi.Proc) {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		dims := make([]int, 2)
+		must(p.DimsCreate(p.Size(), 2, dims))
+		cart := must1(p.CartCreate(p.World(), dims, []bool{false, false}, false))
+		if cart == nil {
+			must(p.Finalize())
+			return
+		}
+		haloBytes := cfg.Points * 8
+		send := p.Alloc(haloBytes * 4)
+		recv := p.Alloc(haloBytes * 4)
+		for it := 0; it < cfg.Iters; it++ {
+			p.Compute(int64(cfg.Points) * int64(cfg.Points) * 20)
+			var reqs []*mpi.Request
+			face := 0
+			for dim := 0; dim < 2; dim++ {
+				for _, disp := range []int{1, -1} {
+					src, dst, err := p.CartShift(cart, dim, disp)
+					must(err)
+					reqs = append(reqs,
+						must1(p.Irecv(recv.Ptr(face*haloBytes), cfg.Points, mpi.Double, src, 100+dim, cart)),
+						must1(p.Isend(send.Ptr(face*haloBytes), cfg.Points, mpi.Double, dst, 100+dim, cart)))
+					face++
+				}
+			}
+			must(p.Waitall(reqs, make([]mpi.Status, len(reqs))))
+		}
+		send.Free()
+		recv.Free()
+		must(p.Finalize())
+	}
+}
+
+// Stencil3D is the paper's 3D 7-point stencil with periodic
+// boundaries: every process has six neighbours (wrap-around), giving
+// at most 27 distinct communication classes under relative-rank
+// encoding.
+func Stencil3D(cfg StencilConfig) func(p *mpi.Proc) {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) {
+		must(p.Init())
+		dims := make([]int, 3)
+		must(p.DimsCreate(p.Size(), 3, dims))
+		cart := must1(p.CartCreate(p.World(), dims, []bool{true, true, true}, false))
+		if cart == nil {
+			must(p.Finalize())
+			return
+		}
+		haloBytes := cfg.Points * cfg.Points * 8
+		send := p.Alloc(haloBytes * 6)
+		recv := p.Alloc(haloBytes * 6)
+		count := cfg.Points * cfg.Points
+		for it := 0; it < cfg.Iters; it++ {
+			p.Compute(int64(cfg.Points) * int64(cfg.Points) * int64(cfg.Points) * 8)
+			var reqs []*mpi.Request
+			face := 0
+			for dim := 0; dim < 3; dim++ {
+				for _, disp := range []int{1, -1} {
+					src, dst, err := p.CartShift(cart, dim, disp)
+					must(err)
+					reqs = append(reqs,
+						must1(p.Irecv(recv.Ptr(face*haloBytes), count, mpi.Double, src, 200+dim, cart)),
+						must1(p.Isend(send.Ptr(face*haloBytes), count, mpi.Double, dst, 200+dim, cart)))
+					face++
+				}
+			}
+			must(p.Waitall(reqs, make([]mpi.Status, len(reqs))))
+		}
+		send.Free()
+		recv.Free()
+		must(p.Finalize())
+	}
+}
+
+// hash64 is a small deterministic mixer used by skeletons that need
+// reproducible pseudo-random per-rank parameters.
+func hash64(vs ...int64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range vs {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func checkSquare(p *mpi.Proc, name string) int {
+	n := p.Size()
+	s := 1
+	for s*s < n {
+		s++
+	}
+	if s*s != n {
+		panic(fmt.Sprintf("%s requires a square process count, got %d", name, n))
+	}
+	return s
+}

@@ -1,0 +1,477 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// collClock advances the caller's clock past a collective that moved
+// nbytes with groupwide synchronization at maxClk.
+func (p *Proc) collClock(maxClk int64, groupSize, nbytes int) {
+	p.raiseClock(maxClk + costLatency*int64(log2ceil(groupSize)) + int64(nbytes)/10)
+	p.advanceClock(costCallEntry)
+}
+
+// snapshot copies count*size bytes from a buffer.
+func snapshot(buf Ptr, nbytes int) []byte {
+	data := make([]byte, nbytes)
+	copy(data, buf.data)
+	return data
+}
+
+func (p *Proc) checkColl(c *Comm, dts ...*Datatype) error {
+	if err := c.checkUsable(); err != nil {
+		return err
+	}
+	if c.remote != nil {
+		return fmt.Errorf("mpi: collectives on inter-communicators are not supported by this simulator")
+	}
+	for _, dt := range dts {
+		if dt != nil {
+			if err := dt.checkUsable(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Barrier blocks until all members of c arrive.
+func (p *Proc) Barrier(c *Comm) error {
+	if err := p.checkColl(c); err != nil {
+		return err
+	}
+	args := []Value{vComm(c)}
+	p.icall(fBarrier, args, func() {
+		_, maxClk := p.commRendezvous(c, nil, nil)
+		p.collClock(maxClk, len(c.group), 0)
+	})
+	return nil
+}
+
+// Bcast broadcasts root's buffer to all members.
+func (p *Proc) Bcast(buf Ptr, count int, dt *Datatype, root int, c *Comm) error {
+	if err := p.checkColl(c, dt); err != nil {
+		return err
+	}
+	nbytes := count * dt.size
+	args := []Value{vPtr(buf), vInt(count), vType(dt), vRank(root), vComm(c)}
+	p.icall(fBcast, args, func() {
+		var contrib any
+		if c.myRank == root {
+			contrib = snapshot(buf, nbytes)
+		}
+		res, maxClk := p.commRendezvous(c, contrib, func(m map[int]any) any {
+			return m[root]
+		})
+		p.collClock(maxClk, len(c.group), nbytes)
+		if c.myRank != root {
+			if data, ok := res.([]byte); ok {
+				copy(buf.data, data)
+			}
+		}
+	})
+	return nil
+}
+
+// Gather collects equal-size contributions at root (rank order).
+func (p *Proc) Gather(sendbuf Ptr, sendcount int, sendtype *Datatype,
+	recvbuf Ptr, recvcount int, recvtype *Datatype, root int, c *Comm) error {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype),
+		vPtr(recvbuf), vInt(recvcount), vType(recvtype), vRank(root), vComm(c)}
+	p.icall(fGather, args, func() {
+		nbytes := sendcount * sendtype.size
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, nbytes), concatCompute(len(c.group)))
+		p.collClock(maxClk, len(c.group), nbytes)
+		if c.myRank == root {
+			copy(recvbuf.data, res.([]byte))
+		}
+	})
+	return nil
+}
+
+// Gatherv collects variable-size contributions at root.
+func (p *Proc) Gatherv(sendbuf Ptr, sendcount int, sendtype *Datatype,
+	recvbuf Ptr, recvcounts, displs []int, recvtype *Datatype, root int, c *Comm) error {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype),
+		vPtr(recvbuf), vIntArray(recvcounts), vIntArray(displs), vType(recvtype), vRank(root), vComm(c)}
+	p.icall(fGatherv, args, func() {
+		nbytes := sendcount * sendtype.size
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, nbytes), identityCompute)
+		m := res.(map[int]any)
+		p.collClock(maxClk, len(c.group), nbytes)
+		if c.myRank == root {
+			for i := 0; i < len(c.group) && i < len(recvcounts); i++ {
+				data, _ := m[i].([]byte)
+				off := displs[i] * recvtype.size
+				n := recvcounts[i] * recvtype.size
+				if off >= 0 && off+n <= len(recvbuf.data) {
+					copy(recvbuf.data[off:off+n], data)
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// Scatter distributes equal blocks of root's buffer (rank order).
+func (p *Proc) Scatter(sendbuf Ptr, sendcount int, sendtype *Datatype,
+	recvbuf Ptr, recvcount int, recvtype *Datatype, root int, c *Comm) error {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype),
+		vPtr(recvbuf), vInt(recvcount), vType(recvtype), vRank(root), vComm(c)}
+	p.icall(fScatter, args, func() {
+		blockBytes := sendcount * sendtype.size
+		var contrib any
+		if c.myRank == root {
+			contrib = snapshot(sendbuf, blockBytes*len(c.group))
+		}
+		res, maxClk := p.commRendezvous(c, contrib, func(m map[int]any) any { return m[root] })
+		p.collClock(maxClk, len(c.group), blockBytes)
+		if data, ok := res.([]byte); ok {
+			off := c.myRank * blockBytes
+			if off+blockBytes <= len(data) {
+				copy(recvbuf.data, data[off:off+blockBytes])
+			}
+		}
+	})
+	return nil
+}
+
+// Scatterv distributes variable blocks of root's buffer.
+func (p *Proc) Scatterv(sendbuf Ptr, sendcounts, displs []int, sendtype *Datatype,
+	recvbuf Ptr, recvcount int, recvtype *Datatype, root int, c *Comm) error {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vIntArray(sendcounts), vIntArray(displs), vType(sendtype),
+		vPtr(recvbuf), vInt(recvcount), vType(recvtype), vRank(root), vComm(c)}
+	p.icall(fScatterv, args, func() {
+		var contrib any
+		if c.myRank == root {
+			contrib = scattervContrib{data: snapshot(sendbuf, len(sendbuf.data)),
+				counts: append([]int(nil), sendcounts...), displs: append([]int(nil), displs...),
+				elem: sendtype.size}
+		}
+		res, maxClk := p.commRendezvous(c, contrib, func(m map[int]any) any { return m[root] })
+		p.collClock(maxClk, len(c.group), recvcount*recvtype.size)
+		if sc, ok := res.(scattervContrib); ok {
+			i := c.myRank
+			if i < len(sc.counts) {
+				off := sc.displs[i] * sc.elem
+				n := sc.counts[i] * sc.elem
+				if off >= 0 && off+n <= len(sc.data) {
+					copy(recvbuf.data, sc.data[off:off+n])
+				}
+			}
+		}
+	})
+	return nil
+}
+
+type scattervContrib struct {
+	data   []byte
+	counts []int
+	displs []int
+	elem   int
+}
+
+// Allgather gathers equal blocks to every member.
+func (p *Proc) Allgather(sendbuf Ptr, sendcount int, sendtype *Datatype,
+	recvbuf Ptr, recvcount int, recvtype *Datatype, c *Comm) error {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype),
+		vPtr(recvbuf), vInt(recvcount), vType(recvtype), vComm(c)}
+	p.icall(fAllgather, args, func() {
+		nbytes := sendcount * sendtype.size
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, nbytes), concatCompute(len(c.group)))
+		p.collClock(maxClk, len(c.group), nbytes*len(c.group))
+		copy(recvbuf.data, res.([]byte))
+	})
+	return nil
+}
+
+// Allgatherv gathers variable blocks to every member.
+func (p *Proc) Allgatherv(sendbuf Ptr, sendcount int, sendtype *Datatype,
+	recvbuf Ptr, recvcounts, displs []int, recvtype *Datatype, c *Comm) error {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype),
+		vPtr(recvbuf), vIntArray(recvcounts), vIntArray(displs), vType(recvtype), vComm(c)}
+	p.icall(fAllgatherv, args, func() {
+		nbytes := sendcount * sendtype.size
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, nbytes), identityCompute)
+		m := res.(map[int]any)
+		p.collClock(maxClk, len(c.group), nbytes*len(c.group))
+		for i := 0; i < len(c.group) && i < len(recvcounts); i++ {
+			data, _ := m[i].([]byte)
+			off := displs[i] * recvtype.size
+			n := recvcounts[i] * recvtype.size
+			if off >= 0 && off+n <= len(recvbuf.data) {
+				copy(recvbuf.data[off:off+n], data)
+			}
+		}
+	})
+	return nil
+}
+
+// Alltoall exchanges equal blocks between all pairs.
+func (p *Proc) Alltoall(sendbuf Ptr, sendcount int, sendtype *Datatype,
+	recvbuf Ptr, recvcount int, recvtype *Datatype, c *Comm) error {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype),
+		vPtr(recvbuf), vInt(recvcount), vType(recvtype), vComm(c)}
+	p.icall(fAlltoall, args, func() {
+		blockBytes := sendcount * sendtype.size
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, blockBytes*len(c.group)), identityCompute)
+		m := res.(map[int]any)
+		p.collClock(maxClk, len(c.group), blockBytes*len(c.group))
+		for i := 0; i < len(c.group); i++ {
+			data, _ := m[i].([]byte)
+			srcOff := c.myRank * blockBytes
+			dstOff := i * blockBytes
+			if srcOff+blockBytes <= len(data) && dstOff+blockBytes <= len(recvbuf.data) {
+				copy(recvbuf.data[dstOff:dstOff+blockBytes], data[srcOff:srcOff+blockBytes])
+			}
+		}
+	})
+	return nil
+}
+
+// Alltoallv exchanges variable blocks between all pairs.
+func (p *Proc) Alltoallv(sendbuf Ptr, sendcounts, sdispls []int, sendtype *Datatype,
+	recvbuf Ptr, recvcounts, rdispls []int, recvtype *Datatype, c *Comm) error {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vIntArray(sendcounts), vIntArray(sdispls), vType(sendtype),
+		vPtr(recvbuf), vIntArray(recvcounts), vIntArray(rdispls), vType(recvtype), vComm(c)}
+	p.icall(fAlltoallv, args, func() {
+		contrib := scattervContrib{data: snapshot(sendbuf, len(sendbuf.data)),
+			counts: append([]int(nil), sendcounts...), displs: append([]int(nil), sdispls...),
+			elem: sendtype.size}
+		res, maxClk := p.commRendezvous(c, contrib, identityCompute)
+		m := res.(map[int]any)
+		total := 0
+		for _, n := range recvcounts {
+			total += n
+		}
+		p.collClock(maxClk, len(c.group), total*recvtype.size)
+		for i := 0; i < len(c.group) && i < len(recvcounts); i++ {
+			sc, _ := m[i].(scattervContrib)
+			if c.myRank >= len(sc.counts) {
+				continue
+			}
+			srcOff := sc.displs[c.myRank] * sc.elem
+			n := sc.counts[c.myRank] * sc.elem
+			dstOff := rdispls[i] * recvtype.size
+			if srcOff >= 0 && srcOff+n <= len(sc.data) && dstOff >= 0 && dstOff+n <= len(recvbuf.data) {
+				copy(recvbuf.data[dstOff:dstOff+n], sc.data[srcOff:srcOff+n])
+			}
+		}
+	})
+	return nil
+}
+
+// Reduce combines contributions at root with op.
+func (p *Proc) Reduce(sendbuf, recvbuf Ptr, count int, dt *Datatype, op *Op, root int, c *Comm) error {
+	if err := p.checkColl(c, dt); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vPtr(recvbuf), vInt(count), vType(dt), vOp(op), vRank(root), vComm(c)}
+	p.icall(fReduce, args, func() {
+		nbytes := count * dt.size
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, nbytes), reduceCompute(op, dt, len(c.group)))
+		p.collClock(maxClk, len(c.group), nbytes)
+		if c.myRank == root {
+			copy(recvbuf.data, res.([]byte))
+		}
+	})
+	return nil
+}
+
+// Allreduce combines contributions and distributes the result to all.
+func (p *Proc) Allreduce(sendbuf, recvbuf Ptr, count int, dt *Datatype, op *Op, c *Comm) error {
+	if err := p.checkColl(c, dt); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vPtr(recvbuf), vInt(count), vType(dt), vOp(op), vComm(c)}
+	p.icall(fAllreduce, args, func() {
+		nbytes := count * dt.size
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, nbytes), reduceCompute(op, dt, len(c.group)))
+		p.collClock(maxClk, len(c.group), nbytes)
+		copy(recvbuf.data, res.([]byte))
+	})
+	return nil
+}
+
+// ReduceScatterBlock reduces and scatters equal blocks.
+func (p *Proc) ReduceScatterBlock(sendbuf, recvbuf Ptr, recvcount int, dt *Datatype, op *Op, c *Comm) error {
+	if err := p.checkColl(c, dt); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vPtr(recvbuf), vInt(recvcount), vType(dt), vOp(op), vComm(c)}
+	p.icall(fReduceScatterBlock, args, func() {
+		blockBytes := recvcount * dt.size
+		total := blockBytes * len(c.group)
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, total), reduceCompute(op, dt, len(c.group)))
+		p.collClock(maxClk, len(c.group), blockBytes)
+		data := res.([]byte)
+		off := c.myRank * blockBytes
+		if off+blockBytes <= len(data) {
+			copy(recvbuf.data, data[off:off+blockBytes])
+		}
+	})
+	return nil
+}
+
+// ReduceScatter reduces and scatters variable blocks.
+func (p *Proc) ReduceScatter(sendbuf, recvbuf Ptr, recvcounts []int, dt *Datatype, op *Op, c *Comm) error {
+	if err := p.checkColl(c, dt); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vPtr(recvbuf), vIntArray(recvcounts), vType(dt), vOp(op), vComm(c)}
+	p.icall(fReduceScatter, args, func() {
+		total := 0
+		for _, n := range recvcounts {
+			total += n
+		}
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, total*dt.size), reduceCompute(op, dt, len(c.group)))
+		myBytes := 0
+		if c.myRank < len(recvcounts) {
+			myBytes = recvcounts[c.myRank] * dt.size
+		}
+		p.collClock(maxClk, len(c.group), myBytes)
+		data := res.([]byte)
+		off := 0
+		for i := 0; i < c.myRank && i < len(recvcounts); i++ {
+			off += recvcounts[i] * dt.size
+		}
+		if off+myBytes <= len(data) {
+			copy(recvbuf.data, data[off:off+myBytes])
+		}
+	})
+	return nil
+}
+
+// Scan computes an inclusive prefix reduction.
+func (p *Proc) Scan(sendbuf, recvbuf Ptr, count int, dt *Datatype, op *Op, c *Comm) error {
+	if err := p.checkColl(c, dt); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vPtr(recvbuf), vInt(count), vType(dt), vOp(op), vComm(c)}
+	p.icall(fScan, args, func() {
+		nbytes := count * dt.size
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, nbytes), prefixCompute(op, dt, len(c.group), true))
+		p.collClock(maxClk, len(c.group), nbytes)
+		prefixes := res.([][]byte)
+		if c.myRank < len(prefixes) && prefixes[c.myRank] != nil {
+			copy(recvbuf.data, prefixes[c.myRank])
+		}
+	})
+	return nil
+}
+
+// Exscan computes an exclusive prefix reduction (rank 0's recvbuf is
+// untouched).
+func (p *Proc) Exscan(sendbuf, recvbuf Ptr, count int, dt *Datatype, op *Op, c *Comm) error {
+	if err := p.checkColl(c, dt); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vPtr(recvbuf), vInt(count), vType(dt), vOp(op), vComm(c)}
+	p.icall(fExscan, args, func() {
+		nbytes := count * dt.size
+		res, maxClk := p.commRendezvous(c, snapshot(sendbuf, nbytes), prefixCompute(op, dt, len(c.group), false))
+		p.collClock(maxClk, len(c.group), nbytes)
+		prefixes := res.([][]byte)
+		if c.myRank < len(prefixes) && prefixes[c.myRank] != nil {
+			copy(recvbuf.data, prefixes[c.myRank])
+		}
+	})
+	return nil
+}
+
+// --- compute helpers ---------------------------------------------------------
+
+// identityCompute returns the raw contribution map.
+func identityCompute(m map[int]any) any { return m }
+
+// concatCompute concatenates contributions in rank order.
+func concatCompute(n int) func(map[int]any) any {
+	return func(m map[int]any) any {
+		var out []byte
+		for i := 0; i < n; i++ {
+			if data, ok := m[i].([]byte); ok {
+				out = append(out, data...)
+			}
+		}
+		return out
+	}
+}
+
+// reduceCompute folds contributions in rank order with op.
+func reduceCompute(op *Op, dt *Datatype, n int) func(map[int]any) any {
+	return func(m map[int]any) any {
+		ranks := make([]int, 0, len(m))
+		for r := range m {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		var acc []byte
+		for _, r := range ranks {
+			data, ok := m[r].([]byte)
+			if !ok {
+				continue
+			}
+			if acc == nil {
+				acc = append([]byte(nil), data...)
+			} else {
+				op.combine(acc, data, dt)
+			}
+		}
+		return acc
+	}
+}
+
+// prefixCompute builds per-rank prefix reductions. inclusive=false
+// leaves rank 0's slot nil.
+func prefixCompute(op *Op, dt *Datatype, n int, inclusive bool) func(map[int]any) any {
+	return func(m map[int]any) any {
+		out := make([][]byte, n)
+		var acc []byte
+		for i := 0; i < n; i++ {
+			data, _ := m[i].([]byte)
+			if inclusive {
+				if acc == nil {
+					acc = append([]byte(nil), data...)
+				} else {
+					op.combine(acc, data, dt)
+				}
+				out[i] = append([]byte(nil), acc...)
+			} else {
+				if acc != nil {
+					out[i] = append([]byte(nil), acc...)
+				}
+				if acc == nil {
+					acc = append([]byte(nil), data...)
+				} else {
+					op.combine(acc, data, dt)
+				}
+			}
+		}
+		return out
+	}
+}

@@ -1,0 +1,523 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestCommDupIndependence(t *testing.T) {
+	run(t, 4, func(p *Proc) {
+		w := p.World()
+		dup, err := p.CommDup(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dup.Size() != w.Size() || dup.Rank() != w.Rank() {
+			t.Errorf("dup shape mismatch: %d/%d", dup.Size(), dup.Rank())
+		}
+		if dup.Context() == w.Context() {
+			t.Error("dup must have a fresh context")
+		}
+		if cmp, _ := p.CommCompare(w, dup); cmp != Congruent {
+			t.Errorf("CommCompare(w, dup) = %d, want Congruent", cmp)
+		}
+	})
+}
+
+func TestCommSplitColorsAndKeys(t *testing.T) {
+	run(t, 6, func(p *Proc) {
+		w := p.World()
+		// Even/odd split with reversed key ordering.
+		color := p.Rank() % 2
+		key := -p.Rank()
+		sub, err := p.CommSplit(w, color, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Size() != 3 {
+			t.Fatalf("split size = %d", sub.Size())
+		}
+		// Reversed keys: highest world rank gets rank 0 in the subcomm.
+		wantRank := map[int]int{0: 2, 2: 1, 4: 0, 1: 2, 3: 1, 5: 0}[p.Rank()]
+		if sub.Rank() != wantRank {
+			t.Errorf("world rank %d: split rank %d, want %d", p.Rank(), sub.Rank(), wantRank)
+		}
+	})
+}
+
+func TestCommSplitUndefined(t *testing.T) {
+	run(t, 4, func(p *Proc) {
+		color := 0
+		if p.Rank() >= 2 {
+			color = Undefined
+		}
+		sub, err := p.CommSplit(p.World(), color, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Rank() >= 2 && sub != nil {
+			t.Error("Undefined color should produce nil comm")
+		}
+		if p.Rank() < 2 && (sub == nil || sub.Size() != 2) {
+			t.Error("defined colors should form a comm of 2")
+		}
+	})
+}
+
+func TestCommCreateSubgroup(t *testing.T) {
+	run(t, 5, func(p *Proc) {
+		w := p.World()
+		g, err := p.CommGroup(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := p.GroupIncl(g, []int{0, 2, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := p.CommCreate(w, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inGroup := p.Rank()%2 == 0
+		if inGroup {
+			if nc == nil || nc.Size() != 3 || nc.Rank() != p.Rank()/2 {
+				t.Errorf("rank %d: bad subgroup comm", p.Rank())
+			}
+		} else if nc != nil {
+			t.Errorf("rank %d should not be in the new comm", p.Rank())
+		}
+	})
+}
+
+func TestCommIdup(t *testing.T) {
+	run(t, 4, func(p *Proc) {
+		w := p.World()
+		nc, req, err := p.CommIdup(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Wait(req, nil)
+		if nc.Context() == 0 || nc.Context() == w.Context() {
+			t.Error("idup comm has no fresh context after wait")
+		}
+		// The comm must be usable now.
+		buf := p.Alloc(4)
+		putInt32(buf.Bytes(), 1)
+		r := p.Alloc(4)
+		if err := p.Allreduce(buf.Ptr(0), r.Ptr(0), 1, Int, OpSum, nc); err != nil {
+			t.Fatal(err)
+		}
+		if getInt32(r.Bytes()) != 4 {
+			t.Errorf("allreduce on idup comm = %d", getInt32(r.Bytes()))
+		}
+	})
+}
+
+func TestCommSetGetName(t *testing.T) {
+	run(t, 2, func(p *Proc) {
+		w := p.World()
+		if p.Rank() == 0 {
+			if err := p.CommSetName(w, "my-comm"); err != nil {
+				t.Fatal(err)
+			}
+			name, _ := p.CommGetName(w)
+			if name != "my-comm" {
+				t.Errorf("name = %q", name)
+			}
+		}
+	})
+}
+
+func TestCommFreeThenUseFails(t *testing.T) {
+	run(t, 2, func(p *Proc) {
+		w := p.World()
+		dup, _ := p.CommDup(w)
+		if err := p.CommFree(dup); err != nil {
+			t.Fatal(err)
+		}
+		buf := p.Alloc(4)
+		if err := p.Send(buf.Ptr(0), 1, Int, ProcNull, 0, dup); err == nil {
+			t.Error("send on freed comm should fail")
+		}
+	})
+}
+
+func TestIntercommCreateAndMerge(t *testing.T) {
+	run(t, 6, func(p *Proc) {
+		w := p.World()
+		// Two halves of 3 ranks, bridged via world leaders 0 and 3.
+		half, err := p.CommSplit(w, p.Rank()/3, p.Rank())
+		if err != nil {
+			t.Fatal(err)
+		}
+		remoteLeader := 3
+		if p.Rank() >= 3 {
+			remoteLeader = 0
+		}
+		inter, err := p.IntercommCreate(half, 0, w, remoteLeader, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inter.IsInter() {
+			t.Fatal("not an intercomm")
+		}
+		if flag, _ := p.CommTestInter(inter); !flag {
+			t.Error("CommTestInter = false")
+		}
+		if n, _ := p.CommRemoteSize(inter); n != 3 {
+			t.Errorf("remote size = %d", n)
+		}
+		// p2p across the bridge: local rank i <-> remote rank i.
+		buf := p.Alloc(4)
+		putInt32(buf.Bytes(), int32(p.Rank()))
+		peer := inter.Rank() // same index on the other side
+		if p.Rank() < 3 {
+			p.Send(buf.Ptr(0), 1, Int, peer, 0, inter)
+			p.Recv(buf.Ptr(0), 1, Int, peer, 0, inter, nil)
+			if got := getInt32(buf.Bytes()); got != int32(p.Rank()+3) {
+				t.Errorf("intercomm recv = %d", got)
+			}
+		} else {
+			p.Recv(buf.Ptr(0), 1, Int, peer, 0, inter, nil)
+			if got := getInt32(buf.Bytes()); got != int32(p.Rank()-3) {
+				t.Errorf("intercomm recv = %d", got)
+			}
+			putInt32(buf.Bytes(), int32(p.Rank()))
+			p.Send(buf.Ptr(0), 1, Int, peer, 0, inter)
+		}
+		// Merge into a single intra-comm: low group (first half) first.
+		merged, err := p.IntercommMerge(inter, p.Rank() >= 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.Size() != 6 {
+			t.Fatalf("merged size = %d", merged.Size())
+		}
+		if merged.Rank() != p.Rank() {
+			t.Errorf("merged rank = %d, want %d", merged.Rank(), p.Rank())
+		}
+		// Collective on the merged comm works.
+		s := p.Alloc(4)
+		r := p.Alloc(4)
+		putInt32(s.Bytes(), 1)
+		if err := p.Allreduce(s.Ptr(0), r.Ptr(0), 1, Int, OpSum, merged); err != nil {
+			t.Fatal(err)
+		}
+		if getInt32(r.Bytes()) != 6 {
+			t.Errorf("merged allreduce = %d", getInt32(r.Bytes()))
+		}
+	})
+}
+
+func TestGroupOperations(t *testing.T) {
+	run(t, 6, func(p *Proc) {
+		w := p.World()
+		g, _ := p.CommGroup(w)
+		if p.GroupSize(g) != 6 || p.GroupRank(g) != p.Rank() {
+			t.Error("group size/rank mismatch")
+		}
+		evens, _ := p.GroupIncl(g, []int{0, 2, 4})
+		odds, _ := p.GroupExcl(g, []int{0, 2, 4})
+		if p.GroupSize(evens) != 3 || p.GroupSize(odds) != 3 {
+			t.Error("incl/excl sizes wrong")
+		}
+		if p.Rank()%2 == 0 {
+			if p.GroupRank(evens) != p.Rank()/2 {
+				t.Error("even rank wrong")
+			}
+			if p.GroupRank(odds) != Undefined {
+				t.Error("even rank should be Undefined in odds")
+			}
+		}
+		u, _ := p.GroupUnion(evens, odds)
+		if p.GroupSize(u) != 6 {
+			t.Error("union size")
+		}
+		i, _ := p.GroupIntersection(evens, odds)
+		if p.GroupSize(i) != 0 {
+			t.Error("intersection should be empty")
+		}
+		d, _ := p.GroupDifference(g, evens)
+		if p.GroupSize(d) != 3 {
+			t.Error("difference size")
+		}
+		tr, _ := p.GroupTranslateRanks(evens, []int{0, 1, 2}, g)
+		if tr[0] != 0 || tr[1] != 2 || tr[2] != 4 {
+			t.Errorf("translate = %v", tr)
+		}
+		p.GroupFree(evens)
+		p.GroupFree(odds)
+	})
+}
+
+func TestCommSplitType(t *testing.T) {
+	run(t, 20, func(p *Proc) {
+		node, err := p.CommSplitType(p.World(), CommTypeShared, p.Rank())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 16
+		if p.Rank() >= 16 {
+			want = 4
+		}
+		if node.Size() != want {
+			t.Errorf("rank %d node comm size %d, want %d", p.Rank(), node.Size(), want)
+		}
+	})
+}
+
+func TestCartTopology(t *testing.T) {
+	run(t, 6, func(p *Proc) {
+		w := p.World()
+		cart, err := p.CartCreate(w, []int{2, 3}, []bool{false, true}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coords, err := p.CartCoords(cart, cart.Rank())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if coords[0] != p.Rank()/3 || coords[1] != p.Rank()%3 {
+			t.Errorf("rank %d coords %v", p.Rank(), coords)
+		}
+		if r, _ := p.CartRank(cart, coords); r != cart.Rank() {
+			t.Errorf("CartRank inverse failed: %d", r)
+		}
+		// Dim 0 non-periodic: top row has no up neighbour.
+		src, dest, err := p.CartShift(cart, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if coords[0] == 0 && src != ProcNull {
+			t.Errorf("expected ProcNull up-source at top row, got %d", src)
+		}
+		if coords[0] == 1 && dest != ProcNull {
+			t.Errorf("expected ProcNull down-dest at bottom row, got %d", dest)
+		}
+		// Dim 1 periodic: always has neighbours.
+		src, dest, _ = p.CartShift(cart, 1, 1)
+		if src == ProcNull || dest == ProcNull {
+			t.Error("periodic dimension must wrap")
+		}
+		dims, periods, myCoords, _ := p.CartGet(cart)
+		if dims[0] != 2 || dims[1] != 3 || periods[0] || !periods[1] || myCoords[0] != coords[0] {
+			t.Error("CartGet mismatch")
+		}
+		if nd, _ := p.CartdimGet(cart); nd != 2 {
+			t.Error("CartdimGet")
+		}
+		// Sub-communicators: keep dim 1 (rows).
+		row, err := p.CartSub(cart, []bool{false, true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Size() != 3 {
+			t.Errorf("row size %d", row.Size())
+		}
+	})
+}
+
+func TestDimsCreate(t *testing.T) {
+	run(t, 1, func(p *Proc) {
+		dims := make([]int, 2)
+		if err := p.DimsCreate(12, 2, dims); err != nil {
+			t.Fatal(err)
+		}
+		if dims[0]*dims[1] != 12 || dims[0] < dims[1] {
+			t.Errorf("dims = %v", dims)
+		}
+		dims3 := make([]int, 3)
+		if err := p.DimsCreate(64, 3, dims3); err != nil {
+			t.Fatal(err)
+		}
+		if dims3[0] != 4 || dims3[1] != 4 || dims3[2] != 4 {
+			t.Errorf("dims3 = %v", dims3)
+		}
+		fixed := []int{0, 3}
+		if err := p.DimsCreate(12, 2, fixed); err != nil {
+			t.Fatal(err)
+		}
+		if fixed[0] != 4 || fixed[1] != 3 {
+			t.Errorf("fixed dims = %v", fixed)
+		}
+	})
+}
+
+func TestDatatypes(t *testing.T) {
+	run(t, 1, func(p *Proc) {
+		contig, err := p.TypeContiguous(4, Int)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Using before commit must fail.
+		buf := p.Alloc(64)
+		if err := p.Send(buf.Ptr(0), 1, contig, ProcNull, 0, p.World()); err == nil {
+			t.Error("uncommitted datatype should be rejected")
+		}
+		p.TypeCommit(contig)
+		if p.TypeSize(contig) != 16 {
+			t.Errorf("contig size = %d", p.TypeSize(contig))
+		}
+		if err := p.Send(buf.Ptr(0), 1, contig, ProcNull, 0, p.World()); err != nil {
+			t.Error(err)
+		}
+
+		vec, _ := p.TypeVector(3, 2, 4, Int)
+		p.TypeCommit(vec)
+		if p.TypeSize(vec) != 24 {
+			t.Errorf("vector size = %d", p.TypeSize(vec))
+		}
+		if _, ext := p.TypeGetExtent(vec); ext != ((3-1)*4+2)*4 {
+			t.Errorf("vector extent = %d", ext)
+		}
+
+		idx, _ := p.TypeIndexed([]int{1, 3}, []int{0, 5}, Int)
+		p.TypeCommit(idx)
+		if p.TypeSize(idx) != 16 {
+			t.Errorf("indexed size = %d", p.TypeSize(idx))
+		}
+
+		st, _ := p.TypeCreateStruct([]int{2, 1}, []int{0, 16}, []*Datatype{Int, Double})
+		p.TypeCommit(st)
+		if p.TypeSize(st) != 16 {
+			t.Errorf("struct size = %d", p.TypeSize(st))
+		}
+
+		dup, _ := p.TypeDup(contig)
+		if dup.Size() != contig.Size() {
+			t.Error("dup size mismatch")
+		}
+
+		if err := p.TypeFree(vec); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Send(buf.Ptr(0), 1, vec, ProcNull, 0, p.World()); err == nil {
+			t.Error("freed datatype should be rejected")
+		}
+		if err := p.TypeFree(Int); err == nil {
+			t.Error("freeing a predefined type should fail")
+		}
+	})
+}
+
+func TestSendWithDerivedType(t *testing.T) {
+	run(t, 2, func(p *Proc) {
+		w := p.World()
+		contig, _ := p.TypeContiguous(3, Int)
+		p.TypeCommit(contig)
+		buf := p.Alloc(12)
+		if p.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				putInt32(buf.Bytes()[i*4:], int32(i+7))
+			}
+			p.Send(buf.Ptr(0), 1, contig, 1, 0, w)
+		} else {
+			var st Status
+			p.Recv(buf.Ptr(0), 1, contig, 0, 0, w, &st)
+			if st.Count != 12 {
+				t.Errorf("count = %d", st.Count)
+			}
+			if n := p.GetCount(st, contig); n != 1 {
+				t.Errorf("GetCount = %d", n)
+			}
+			if n := p.GetElements(st, contig); n != 3 {
+				t.Errorf("GetElements = %d", n)
+			}
+			for i := 0; i < 3; i++ {
+				if getInt32(buf.Bytes()[i*4:]) != int32(i+7) {
+					t.Error("derived type payload corrupted")
+				}
+			}
+		}
+	})
+}
+
+func TestUserDefinedOp(t *testing.T) {
+	run(t, 3, func(p *Proc) {
+		// op: dst = dst*10 + src (non-commutative, order-sensitive).
+		op, err := p.OpCreate(func(dst, src []byte, dt *Datatype) {
+			a := getInt32(dst)
+			b := getInt32(src)
+			putInt32(dst, a*10+b)
+		}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.Alloc(4)
+		r := p.Alloc(4)
+		putInt32(s.Bytes(), int32(p.Rank()+1))
+		if err := p.Allreduce(s.Ptr(0), r.Ptr(0), 1, Int, op, p.World()); err != nil {
+			t.Fatal(err)
+		}
+		// Folded in rank order: ((1*10)+2)*10+3 = 123.
+		if got := getInt32(r.Bytes()); got != 123 {
+			t.Errorf("user op result = %d", got)
+		}
+		p.OpFree(op)
+	})
+}
+
+func TestOOBAllreduce(t *testing.T) {
+	run(t, 5, func(p *Proc) {
+		got := p.AllreduceMaxInt32(p.World().Handle(), int32(p.Rank()*3))
+		if got != 12 {
+			t.Errorf("OOB max = %d", got)
+		}
+		// Non-blocking variant.
+		tok := p.IAllreduceMaxInt32(p.World().Handle(), int32(100-p.Rank()))
+		for {
+			done, v := p.PollOOB(tok)
+			if done {
+				if v != 100 {
+					t.Errorf("OOB async max = %d", v)
+				}
+				break
+			}
+			yield()
+		}
+	})
+}
+
+func TestOOBOnIntercommSpansBothGroups(t *testing.T) {
+	run(t, 4, func(p *Proc) {
+		w := p.World()
+		half, _ := p.CommSplit(w, p.Rank()/2, p.Rank())
+		remoteLeader := 2
+		if p.Rank() >= 2 {
+			remoteLeader = 0
+		}
+		inter, err := p.IntercommCreate(half, 0, w, remoteLeader, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.AllreduceMaxInt32(inter.Handle(), int32(p.Rank()))
+		if got != 3 {
+			t.Errorf("OOB over intercomm = %d, want 3 (max world rank)", got)
+		}
+	})
+}
+
+func TestEnvCalls(t *testing.T) {
+	run(t, 2, func(p *Proc) {
+		if p.Initialized() {
+			t.Error("initialized before Init")
+		}
+		p.Init()
+		if !p.Initialized() {
+			t.Error("Initialized() false after Init")
+		}
+		if n := p.CommSize(p.World()); n != 2 {
+			t.Errorf("CommSize = %d", n)
+		}
+		if r := p.CommRank(p.World()); r != p.Rank() {
+			t.Errorf("CommRank = %d", r)
+		}
+		if name := p.GetProcessorName(); name == "" {
+			t.Error("empty processor name")
+		}
+		p.Finalize()
+		if !p.Finalized() {
+			t.Error("Finalized() false after Finalize")
+		}
+	})
+}

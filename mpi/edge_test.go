@@ -1,0 +1,380 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadWorldSize(t *testing.T) {
+	if err := Run(0, func(p *Proc) {}); err == nil {
+		t.Fatal("world size 0 accepted")
+	}
+	if err := Run(-3, func(p *Proc) {}); err == nil {
+		t.Fatal("negative world size accepted")
+	}
+}
+
+func TestRunTimeoutOnDeadlock(t *testing.T) {
+	err := RunOpt(2, Options{Timeout: 200 * time.Millisecond}, func(p *Proc) {
+		buf := p.Alloc(4)
+		// Both ranks receive, nobody sends: guaranteed deadlock.
+		p.Recv(buf.Ptr(0), 1, Int, 1-p.Rank(), 0, p.World(), nil)
+	})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestAbortPropagates(t *testing.T) {
+	err := RunOpt(2, Options{Timeout: 10 * time.Second}, func(p *Proc) {
+		if p.Rank() == 1 {
+			p.Abort(p.World(), 13)
+		}
+	})
+	if err == nil {
+		t.Fatal("MPI_Abort did not abort the run")
+	}
+}
+
+func TestSelfMessaging(t *testing.T) {
+	run(t, 2, func(p *Proc) {
+		// Send to self on MPI_COMM_SELF.
+		buf := p.Alloc(4)
+		putInt32(buf.Bytes(), int32(p.Rank()+40))
+		if err := p.Send(buf.Ptr(0), 1, Int, 0, 0, p.Self()); err != nil {
+			t.Error(err)
+		}
+		out := p.Alloc(4)
+		if err := p.Recv(out.Ptr(0), 1, Int, 0, 0, p.Self(), nil); err != nil {
+			t.Error(err)
+		}
+		if getInt32(out.Bytes()) != int32(p.Rank()+40) {
+			t.Error("self message corrupted")
+		}
+	})
+}
+
+func TestInvalidRankRejected(t *testing.T) {
+	run(t, 2, func(p *Proc) {
+		buf := p.Alloc(4)
+		if err := p.Send(buf.Ptr(0), 1, Int, 99, 0, p.World()); err == nil {
+			t.Error("out-of-range destination accepted")
+		}
+	})
+}
+
+func TestZeroCountMessages(t *testing.T) {
+	run(t, 2, func(p *Proc) {
+		w := p.World()
+		buf := p.Alloc(4)
+		if p.Rank() == 0 {
+			if err := p.Send(buf.Ptr(0), 0, Int, 1, 0, w); err != nil {
+				t.Error(err)
+			}
+		} else {
+			var st Status
+			if err := p.Recv(buf.Ptr(0), 0, Int, 0, 0, w, &st); err != nil {
+				t.Error(err)
+			}
+			if st.Count != 0 {
+				t.Errorf("zero-count message delivered %d bytes", st.Count)
+			}
+		}
+	})
+}
+
+func TestTruncatedReceive(t *testing.T) {
+	// Receiving into a smaller count than sent: only the posted count
+	// is delivered (this simulator truncates rather than erroring).
+	run(t, 2, func(p *Proc) {
+		w := p.World()
+		buf := p.Alloc(16)
+		if p.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				putInt32(buf.Bytes()[i*4:], int32(i+1))
+			}
+			p.Send(buf.Ptr(0), 4, Int, 1, 0, w)
+		} else {
+			var st Status
+			p.Recv(buf.Ptr(0), 2, Int, 0, 0, w, &st)
+			if st.Count != 8 {
+				t.Errorf("truncated recv count = %d", st.Count)
+			}
+		}
+	})
+}
+
+func TestBufferPtrBounds(t *testing.T) {
+	run(t, 1, func(p *Proc) {
+		buf := p.Alloc(16)
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range Ptr offset accepted")
+			}
+		}()
+		buf.Ptr(17)
+	})
+}
+
+func TestDoubleFreeBufferIsNoop(t *testing.T) {
+	count := &countingHooks{}
+	err := RunOpt(1, Options{Interceptors: []Interceptor{count}, Timeout: 5 * time.Second}, func(p *Proc) {
+		b := p.Alloc(8)
+		b.Free()
+		b.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.frees != 1 {
+		t.Fatalf("double free reported %d times", count.frees)
+	}
+}
+
+type countingHooks struct {
+	allocs, frees int
+}
+
+func (c *countingHooks) Pre(rec *CallRecord)                      {}
+func (c *countingHooks) Post(rec *CallRecord)                     {}
+func (c *countingHooks) MemAlloc(addr, size uint64, device int32) { c.allocs++ }
+func (c *countingHooks) MemFree(addr uint64)                      { c.frees++ }
+
+func TestDeviceAllocation(t *testing.T) {
+	run(t, 1, func(p *Proc) {
+		b := p.AllocDevice(64, 2)
+		if b.Device() != 2 {
+			t.Errorf("device = %d", b.Device())
+		}
+		if b.Len() != 64 {
+			t.Errorf("len = %d", b.Len())
+		}
+	})
+}
+
+func TestNegativeAllocPanics(t *testing.T) {
+	err := RunOpt(1, Options{Timeout: 5 * time.Second}, func(p *Proc) {
+		p.Alloc(-1)
+	})
+	if err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+}
+
+func TestDimsCreateErrors(t *testing.T) {
+	run(t, 1, func(p *Proc) {
+		// Over-constrained: fixed dims that do not divide nnodes.
+		dims := []int{5, 0}
+		if err := p.DimsCreate(12, 2, dims); err == nil {
+			t.Error("non-dividing fixed dim accepted")
+		}
+		if err := p.DimsCreate(12, 3, []int{0, 0}); err == nil {
+			t.Error("short dims slice accepted")
+		}
+	})
+}
+
+func TestCartCreateErrors(t *testing.T) {
+	run(t, 4, func(p *Proc) {
+		if _, err := p.CartCreate(p.World(), []int{5, 5}, []bool{false, false}, false); err == nil {
+			t.Error("oversized grid accepted")
+		}
+		if _, err := p.CartCreate(p.World(), []int{0}, []bool{false}, false); err == nil {
+			t.Error("zero dimension accepted")
+		}
+		// Non-cart comm queried for topology.
+		if _, err := p.CartCoords(p.World(), 0); err == nil {
+			t.Error("CartCoords on non-cart comm accepted")
+		}
+	})
+}
+
+func TestCartCreateExtraRanksGetNil(t *testing.T) {
+	run(t, 5, func(p *Proc) {
+		cart, err := p.CartCreate(p.World(), []int{2, 2}, []bool{false, false}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Rank() == 4 && cart != nil {
+			t.Error("rank beyond the grid should get nil")
+		}
+		if p.Rank() < 4 && cart == nil {
+			t.Error("grid member got nil comm")
+		}
+	})
+}
+
+func TestGroupInclErrors(t *testing.T) {
+	run(t, 2, func(p *Proc) {
+		g, _ := p.CommGroup(p.World())
+		if _, err := p.GroupIncl(g, []int{5}); err == nil {
+			t.Error("out-of-range group rank accepted")
+		}
+		if _, err := p.GroupExcl(g, []int{-1}); err == nil {
+			t.Error("negative group rank accepted")
+		}
+	})
+}
+
+func TestDeterministicVirtualClock(t *testing.T) {
+	// Equal seeds must produce identical virtual timelines.
+	trace := func(seed int64) []int64 {
+		var times []int64
+		err := RunOpt(2, Options{Seed: seed, Timeout: 10 * time.Second}, func(p *Proc) {
+			buf := p.Alloc(4)
+			for i := 0; i < 5; i++ {
+				p.Compute(1000)
+				p.Barrier(p.World())
+			}
+			if p.Rank() == 0 {
+				p.Send(buf.Ptr(0), 1, Int, 1, 0, p.World())
+				times = append(times, p.Now())
+			} else {
+				p.Recv(buf.Ptr(0), 1, Int, 0, 0, p.World(), nil)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a := trace(42)
+	b := trace(42)
+	c := trace(43)
+	if a[0] != b[0] {
+		t.Fatalf("same seed diverged: %d vs %d", a[0], b[0])
+	}
+	if a[0] == c[0] {
+		t.Fatal("different seeds produced identical noise (suspicious)")
+	}
+}
+
+func TestStartOnNonPersistentRejected(t *testing.T) {
+	run(t, 2, func(p *Proc) {
+		w := p.World()
+		buf := p.Alloc(4)
+		req, _ := p.Isend(buf.Ptr(0), 1, Int, ProcNull, 0, w)
+		if err := p.Start(req); err == nil {
+			t.Error("Start on non-persistent request accepted")
+		}
+		p.Wait(req, nil)
+		if err := p.Startall([]*Request{nil}); err == nil {
+			t.Error("Startall with nil accepted")
+		}
+	})
+}
+
+func TestRequestGetStatusDoesNotConsume(t *testing.T) {
+	run(t, 2, func(p *Proc) {
+		w := p.World()
+		buf := p.Alloc(4)
+		if p.Rank() == 0 {
+			p.Send(buf.Ptr(0), 1, Int, 1, 3, w)
+		} else {
+			req, _ := p.Irecv(buf.Ptr(0), 1, Int, 0, 3, w)
+			// Poll without consuming until complete.
+			for {
+				done, err := p.RequestGetStatus(req, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if done {
+					break
+				}
+				yield()
+			}
+			// The request is still live and must be waitable.
+			var st Status
+			if err := p.Wait(req, &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.Source != 0 || st.Tag != 3 {
+				t.Errorf("status after GetStatus+Wait: %+v", st)
+			}
+		}
+	})
+}
+
+func TestStackVarNotReportedToInterceptor(t *testing.T) {
+	count := &countingHooks{}
+	err := RunOpt(1, Options{Interceptors: []Interceptor{count}, Timeout: 5 * time.Second}, func(p *Proc) {
+		_ = p.StackVar(64)
+		_ = p.Alloc(64)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.allocs != 1 {
+		t.Fatalf("stack variable leaked into MemAlloc hooks: %d", count.allocs)
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress")
+	}
+	// 512 goroutine ranks doing a few collective rounds.
+	err := RunOpt(512, Options{Timeout: 2 * time.Minute}, func(p *Proc) {
+		buf := p.Alloc(8)
+		out := p.Alloc(8)
+		for i := 0; i < 5; i++ {
+			if err := p.Allreduce(buf.Ptr(0), out.Ptr(0), 1, Double, OpSum, p.World()); err != nil {
+				panic(err)
+			}
+			if err := p.Barrier(p.World()); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommCompareStates(t *testing.T) {
+	run(t, 4, func(p *Proc) {
+		w := p.World()
+		if c, _ := p.CommCompare(w, w); c != Ident {
+			t.Errorf("self-compare = %d", c)
+		}
+		dup, _ := p.CommDup(w)
+		if c, _ := p.CommCompare(w, dup); c != Congruent {
+			t.Errorf("dup compare = %d", c)
+		}
+		sub, _ := p.CommSplit(w, p.Rank()%2, p.Rank())
+		if c, _ := p.CommCompare(w, sub); c != Unequal {
+			t.Errorf("split compare = %d", c)
+		}
+	})
+}
+
+func TestRealloc(t *testing.T) {
+	count := &countingHooks{}
+	err := RunOpt(1, Options{Interceptors: []Interceptor{count}, Timeout: 5 * time.Second}, func(p *Proc) {
+		b := p.Alloc(8)
+		putInt32(b.Bytes(), 77)
+		nb := p.Realloc(b, 64)
+		if getInt32(nb.Bytes()) != 77 {
+			t.Error("realloc lost the prefix")
+		}
+		if nb.Len() != 64 {
+			t.Errorf("realloc size = %d", nb.Len())
+		}
+		if nb.Addr() == b.Addr() {
+			t.Error("realloc should move in this simulator")
+		}
+		// Realloc of a freed buffer degrades to a fresh allocation.
+		nb2 := p.Realloc(nil, 16)
+		if nb2.Len() != 16 {
+			t.Error("nil realloc failed")
+		}
+		nb.Free()
+		nb2.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.allocs != 3 || count.frees != 3 {
+		t.Fatalf("hooks saw %d allocs, %d frees", count.allocs, count.frees)
+	}
+}

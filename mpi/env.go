@@ -1,0 +1,236 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+)
+
+type funcIDT = mpispec.FuncID
+
+func yield() { runtime.Gosched() }
+
+// Init marks the process initialized (traced like MPI_Init).
+func (p *Proc) Init() error {
+	if p.initialized {
+		return fmt.Errorf("mpi: rank %d double MPI_Init", p.rank)
+	}
+	p.icall(fInit, nil, func() {
+		p.initialized = true
+	})
+	return nil
+}
+
+// Finalize marks the process finalized.
+func (p *Proc) Finalize() error {
+	if p.finalized {
+		return fmt.Errorf("mpi: rank %d double MPI_Finalize", p.rank)
+	}
+	p.icall(fFinalize, nil, func() {
+		p.finalized = true
+	})
+	return nil
+}
+
+// Initialized reports whether Init has been called.
+func (p *Proc) Initialized() bool {
+	args := []Value{vInt(0)}
+	var flag bool
+	p.icall(fInitialized, args, func() {
+		flag = p.initialized
+		args[0].I = b2i(flag)
+	})
+	return flag
+}
+
+// Finalized reports whether Finalize has been called.
+func (p *Proc) Finalized() bool {
+	args := []Value{vInt(0)}
+	var flag bool
+	p.icall(fFinalized, args, func() {
+		flag = p.finalized
+		args[0].I = b2i(flag)
+	})
+	return flag
+}
+
+// Abort terminates the simulated job by panicking in this rank (Run
+// converts the panic into an error).
+func (p *Proc) Abort(c *Comm, errorcode int) {
+	args := []Value{vComm(c), vInt(errorcode)}
+	p.icall(fAbort, args, func() {})
+	panic(fmt.Sprintf("MPI_Abort(comm=%s, errorcode=%d) on rank %d", c.name, errorcode, p.rank))
+}
+
+// GetProcessorName returns a synthetic host name for the rank.
+func (p *Proc) GetProcessorName() string {
+	name := fmt.Sprintf("node%04d", p.rank/16) // 16 ranks per simulated node
+	args := []Value{vString(""), vInt(0)}
+	p.icall(fGetProcessorName, args, func() {
+		args[0].S = name
+		args[1].I = int64(len(name))
+	})
+	return name
+}
+
+// CommSize returns the size of the communicator (traced).
+func (p *Proc) CommSize(c *Comm) int {
+	args := []Value{vComm(c), vInt(0)}
+	var n int
+	p.icall(fCommSize, args, func() {
+		n = len(c.group)
+		args[1].I = int64(n)
+	})
+	return n
+}
+
+// CommRank returns the calling process's rank in the communicator.
+func (p *Proc) CommRank(c *Comm) int {
+	args := []Value{vComm(c), vRank(0)}
+	var r int
+	p.icall(fCommRank, args, func() {
+		r = c.myRank
+		args[1].I = int64(r)
+	})
+	return r
+}
+
+// --- Persistent requests ----------------------------------------------------
+
+func (p *Proc) persistInitCommon(id funcIDT, buf Ptr, count int, dt *Datatype, peer, tag int, c *Comm, isRecv, syncMode bool) (*Request, error) {
+	if err := dt.checkUsable(); err != nil {
+		return nil, err
+	}
+	if err := c.checkUsable(); err != nil {
+		return nil, err
+	}
+	kind := rkPersistSend
+	if isRecv {
+		kind = rkPersistRecv
+	}
+	req := p.newRequest(kind)
+	req.persistent = true
+	args := []Value{vPtr(buf), vInt(count), vType(dt), vRank(peer), vTag(tag), vComm(c), vReq(req)}
+	p.icall(id, args, func() {
+		req.restart = func(r *Request) {
+			if peer == ProcNull {
+				r.complete(Status{Source: ProcNull, Tag: AnyTag}, p.clock.Load())
+				return
+			}
+			if isRecv {
+				nbytes := count * dt.size
+				dst := buf.data
+				if len(dst) > nbytes {
+					dst = dst[:nbytes]
+				}
+				rp := &recvPost{srcSel: peer, tagSel: tag, buf: dst, req: r}
+				r.post = rp
+				p.world.postRecv(c.ctx, p.rank, rp)
+				return
+			}
+			destWorld, err := c.resolveDest(peer)
+			if err != nil {
+				r.complete(Status{Source: Undefined, Tag: Undefined, Error: 1}, p.clock.Load())
+				return
+			}
+			nbytes := count * dt.size
+			data := make([]byte, nbytes)
+			copy(data, buf.data)
+			e := &envelope{src: c.senderRankFor(), tag: tag, data: data, sentAt: p.clock.Load()}
+			if syncMode {
+				e.sreq = r
+				p.world.postSend(c.ctx, destWorld, e)
+			} else {
+				p.world.postSend(c.ctx, destWorld, e)
+				r.complete(Status{Source: c.myRank, Tag: tag, Count: nbytes}, p.clock.Load())
+			}
+		}
+	})
+	return req, nil
+}
+
+// SendInit creates a persistent standard-mode send request.
+func (p *Proc) SendInit(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) (*Request, error) {
+	return p.persistInitCommon(fSendInit, buf, count, dt, dest, tag, c, false, false)
+}
+
+// BsendInit creates a persistent buffered send request.
+func (p *Proc) BsendInit(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) (*Request, error) {
+	return p.persistInitCommon(fBsendInit, buf, count, dt, dest, tag, c, false, false)
+}
+
+// SsendInit creates a persistent synchronous send request.
+func (p *Proc) SsendInit(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) (*Request, error) {
+	return p.persistInitCommon(fSsendInit, buf, count, dt, dest, tag, c, false, true)
+}
+
+// RsendInit creates a persistent ready send request.
+func (p *Proc) RsendInit(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) (*Request, error) {
+	return p.persistInitCommon(fRsendInit, buf, count, dt, dest, tag, c, false, false)
+}
+
+// RecvInit creates a persistent receive request.
+func (p *Proc) RecvInit(buf Ptr, count int, dt *Datatype, source, tag int, c *Comm) (*Request, error) {
+	return p.persistInitCommon(fRecvInit, buf, count, dt, source, tag, c, true, false)
+}
+
+// Start activates a persistent request.
+func (p *Proc) Start(r *Request) error {
+	if r == nil || !r.persistent || r.restart == nil {
+		return fmt.Errorf("mpi: Start on non-persistent request")
+	}
+	args := []Value{vReq(r)}
+	p.icall(fStart, args, func() {
+		p.mu.Lock()
+		r.active = true
+		p.mu.Unlock()
+		r.restart(r)
+	})
+	return nil
+}
+
+// Startall activates a set of persistent requests.
+func (p *Proc) Startall(rs []*Request) error {
+	for _, r := range rs {
+		if r == nil || !r.persistent || r.restart == nil {
+			return fmt.Errorf("mpi: Startall on non-persistent request")
+		}
+	}
+	args := []Value{vInt(len(rs)), vReqArray(rs)}
+	p.icall(fStartall, args, func() {
+		for _, r := range rs {
+			p.mu.Lock()
+			r.active = true
+			p.mu.Unlock()
+			r.restart(r)
+		}
+	})
+	return nil
+}
+
+// GetCount returns the number of dt elements described by a status.
+func (p *Proc) GetCount(st Status, dt *Datatype) int {
+	args := []Value{{Kind: mpispec.KStatus, Arr: []int64{int64(st.Source), int64(st.Tag)}}, vType(dt), vInt(0)}
+	var n int
+	p.icall(fGetCount, args, func() {
+		if dt.size > 0 {
+			n = st.Count / dt.size
+		}
+		args[2].I = int64(n)
+	})
+	return n
+}
+
+// GetElements returns the number of primitive elements in a status.
+func (p *Proc) GetElements(st Status, dt *Datatype) int {
+	args := []Value{{Kind: mpispec.KStatus, Arr: []int64{int64(st.Source), int64(st.Tag)}}, vType(dt), vInt(0)}
+	var n int
+	p.icall(fGetElements, args, func() {
+		if dt.lane > 0 {
+			n = st.Count / dt.lane
+		}
+		args[2].I = int64(n)
+	})
+	return n
+}

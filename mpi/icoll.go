@@ -1,0 +1,222 @@
+package mpi
+
+// Non-blocking collectives: the call is traced immediately (with its
+// request), and the collective body runs on a background goroutine
+// that completes the request. The background rendezvous uses the
+// sequence number drawn at call time, so call order defines matching
+// exactly as MPI requires.
+
+// Ibarrier starts a non-blocking barrier.
+func (p *Proc) Ibarrier(c *Comm) (*Request, error) {
+	if err := p.checkColl(c); err != nil {
+		return nil, err
+	}
+	req := p.newRequest(rkColl)
+	args := []Value{vComm(c), vReq(req)}
+	p.icall(fIbarrier, args, func() {
+		seq := c.seq.Add(1)
+		key := collKey{ctx: c.ctx, seq: seq}
+		clk := p.clock.Load()
+		go func() {
+			_, maxClk := p.world.rendezvous(key, len(c.group), c.myRank, clk, nil, nil)
+			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
+		}()
+	})
+	return req, nil
+}
+
+// Ibcast starts a non-blocking broadcast.
+func (p *Proc) Ibcast(buf Ptr, count int, dt *Datatype, root int, c *Comm) (*Request, error) {
+	if err := p.checkColl(c, dt); err != nil {
+		return nil, err
+	}
+	req := p.newRequest(rkColl)
+	args := []Value{vPtr(buf), vInt(count), vType(dt), vRank(root), vComm(c), vReq(req)}
+	p.icall(fIbcast, args, func() {
+		nbytes := count * dt.size
+		var contrib any
+		if c.myRank == root {
+			contrib = snapshot(buf, nbytes)
+		}
+		seq := c.seq.Add(1)
+		key := collKey{ctx: c.ctx, seq: seq}
+		clk := p.clock.Load()
+		me := c.myRank
+		go func() {
+			res, maxClk := p.world.rendezvous(key, len(c.group), me, clk, contrib,
+				func(m map[int]any) any { return m[root] })
+			if me != root {
+				if data, ok := res.([]byte); ok {
+					copy(buf.data, data)
+				}
+			}
+			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group)))+int64(nbytes)/10)
+		}()
+	})
+	return req, nil
+}
+
+// Igather starts a non-blocking gather.
+func (p *Proc) Igather(sendbuf Ptr, sendcount int, sendtype *Datatype,
+	recvbuf Ptr, recvcount int, recvtype *Datatype, root int, c *Comm) (*Request, error) {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return nil, err
+	}
+	req := p.newRequest(rkColl)
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype),
+		vPtr(recvbuf), vInt(recvcount), vType(recvtype), vRank(root), vComm(c), vReq(req)}
+	p.icall(fIgather, args, func() {
+		nbytes := sendcount * sendtype.size
+		contrib := snapshot(sendbuf, nbytes)
+		seq := c.seq.Add(1)
+		key := collKey{ctx: c.ctx, seq: seq}
+		clk := p.clock.Load()
+		me := c.myRank
+		go func() {
+			res, maxClk := p.world.rendezvous(key, len(c.group), me, clk, contrib, concatCompute(len(c.group)))
+			if me == root {
+				copy(recvbuf.data, res.([]byte))
+			}
+			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
+		}()
+	})
+	return req, nil
+}
+
+// Iscatter starts a non-blocking scatter.
+func (p *Proc) Iscatter(sendbuf Ptr, sendcount int, sendtype *Datatype,
+	recvbuf Ptr, recvcount int, recvtype *Datatype, root int, c *Comm) (*Request, error) {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return nil, err
+	}
+	req := p.newRequest(rkColl)
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype),
+		vPtr(recvbuf), vInt(recvcount), vType(recvtype), vRank(root), vComm(c), vReq(req)}
+	p.icall(fIscatter, args, func() {
+		blockBytes := sendcount * sendtype.size
+		var contrib any
+		if c.myRank == root {
+			contrib = snapshot(sendbuf, blockBytes*len(c.group))
+		}
+		seq := c.seq.Add(1)
+		key := collKey{ctx: c.ctx, seq: seq}
+		clk := p.clock.Load()
+		me := c.myRank
+		go func() {
+			res, maxClk := p.world.rendezvous(key, len(c.group), me, clk, contrib,
+				func(m map[int]any) any { return m[root] })
+			if data, ok := res.([]byte); ok {
+				off := me * blockBytes
+				if off+blockBytes <= len(data) {
+					copy(recvbuf.data, data[off:off+blockBytes])
+				}
+			}
+			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
+		}()
+	})
+	return req, nil
+}
+
+// Iallgather starts a non-blocking allgather.
+func (p *Proc) Iallgather(sendbuf Ptr, sendcount int, sendtype *Datatype,
+	recvbuf Ptr, recvcount int, recvtype *Datatype, c *Comm) (*Request, error) {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return nil, err
+	}
+	req := p.newRequest(rkColl)
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype),
+		vPtr(recvbuf), vInt(recvcount), vType(recvtype), vComm(c), vReq(req)}
+	p.icall(fIallgather, args, func() {
+		nbytes := sendcount * sendtype.size
+		contrib := snapshot(sendbuf, nbytes)
+		seq := c.seq.Add(1)
+		key := collKey{ctx: c.ctx, seq: seq}
+		clk := p.clock.Load()
+		go func() {
+			res, maxClk := p.world.rendezvous(key, len(c.group), c.myRank, clk, contrib, concatCompute(len(c.group)))
+			copy(recvbuf.data, res.([]byte))
+			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
+		}()
+	})
+	return req, nil
+}
+
+// Ialltoall starts a non-blocking all-to-all.
+func (p *Proc) Ialltoall(sendbuf Ptr, sendcount int, sendtype *Datatype,
+	recvbuf Ptr, recvcount int, recvtype *Datatype, c *Comm) (*Request, error) {
+	if err := p.checkColl(c, sendtype, recvtype); err != nil {
+		return nil, err
+	}
+	req := p.newRequest(rkColl)
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype),
+		vPtr(recvbuf), vInt(recvcount), vType(recvtype), vComm(c), vReq(req)}
+	p.icall(fIalltoall, args, func() {
+		blockBytes := sendcount * sendtype.size
+		contrib := snapshot(sendbuf, blockBytes*len(c.group))
+		seq := c.seq.Add(1)
+		key := collKey{ctx: c.ctx, seq: seq}
+		clk := p.clock.Load()
+		me := c.myRank
+		go func() {
+			res, maxClk := p.world.rendezvous(key, len(c.group), me, clk, contrib, identityCompute)
+			m := res.(map[int]any)
+			for i := 0; i < len(c.group); i++ {
+				data, _ := m[i].([]byte)
+				srcOff := me * blockBytes
+				dstOff := i * blockBytes
+				if srcOff+blockBytes <= len(data) && dstOff+blockBytes <= len(recvbuf.data) {
+					copy(recvbuf.data[dstOff:dstOff+blockBytes], data[srcOff:srcOff+blockBytes])
+				}
+			}
+			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
+		}()
+	})
+	return req, nil
+}
+
+// Ireduce starts a non-blocking reduce.
+func (p *Proc) Ireduce(sendbuf, recvbuf Ptr, count int, dt *Datatype, op *Op, root int, c *Comm) (*Request, error) {
+	if err := p.checkColl(c, dt); err != nil {
+		return nil, err
+	}
+	req := p.newRequest(rkColl)
+	args := []Value{vPtr(sendbuf), vPtr(recvbuf), vInt(count), vType(dt), vOp(op), vRank(root), vComm(c), vReq(req)}
+	p.icall(fIreduce, args, func() {
+		nbytes := count * dt.size
+		contrib := snapshot(sendbuf, nbytes)
+		seq := c.seq.Add(1)
+		key := collKey{ctx: c.ctx, seq: seq}
+		clk := p.clock.Load()
+		me := c.myRank
+		go func() {
+			res, maxClk := p.world.rendezvous(key, len(c.group), me, clk, contrib, reduceCompute(op, dt, len(c.group)))
+			if me == root {
+				copy(recvbuf.data, res.([]byte))
+			}
+			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
+		}()
+	})
+	return req, nil
+}
+
+// Iallreduce starts a non-blocking allreduce.
+func (p *Proc) Iallreduce(sendbuf, recvbuf Ptr, count int, dt *Datatype, op *Op, c *Comm) (*Request, error) {
+	if err := p.checkColl(c, dt); err != nil {
+		return nil, err
+	}
+	req := p.newRequest(rkColl)
+	args := []Value{vPtr(sendbuf), vPtr(recvbuf), vInt(count), vType(dt), vOp(op), vComm(c), vReq(req)}
+	p.icall(fIallreduce, args, func() {
+		nbytes := count * dt.size
+		contrib := snapshot(sendbuf, nbytes)
+		seq := c.seq.Add(1)
+		key := collKey{ctx: c.ctx, seq: seq}
+		clk := p.clock.Load()
+		go func() {
+			res, maxClk := p.world.rendezvous(key, len(c.group), c.myRank, clk, contrib, reduceCompute(op, dt, len(c.group)))
+			copy(recvbuf.data, res.([]byte))
+			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
+		}()
+	})
+	return req, nil
+}

@@ -1,0 +1,442 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// mailbox holds the unmatched sends and posted receives for one
+// (context, destination) pair. MPI's non-overtaking rule is preserved
+// by matching in arrival/post order.
+type mailbox struct {
+	mu    sync.Mutex
+	sends []*envelope
+	recvs []*recvPost
+}
+
+// envelope is a message in flight.
+type envelope struct {
+	src     int // comm rank of sender (in the receiver's addressing space)
+	tag     int
+	data    []byte
+	sentAt  int64    // sender virtual clock at send
+	sreq    *Request // synchronous send to complete on match (nil otherwise)
+	matched bool
+}
+
+// recvPost is a posted receive waiting for a matching send.
+type recvPost struct {
+	box       *mailbox
+	srcSel    int // comm rank or AnySource
+	tagSel    int // tag or AnyTag
+	buf       []byte
+	req       *Request
+	withdrawn bool
+}
+
+// withdraw removes the post from its mailbox (for Cancel). Reports
+// whether the post was still pending.
+func (rp *recvPost) withdraw() bool {
+	rp.box.mu.Lock()
+	defer rp.box.mu.Unlock()
+	for i, q := range rp.box.recvs {
+		if q == rp {
+			rp.box.recvs = append(rp.box.recvs[:i], rp.box.recvs[i+1:]...)
+			rp.withdrawn = true
+			return true
+		}
+	}
+	return false
+}
+
+func (w *World) box(ctx int64, destWorld int) *mailbox {
+	key := mbKey{ctx, destWorld}
+	w.mbMu.Lock()
+	defer w.mbMu.Unlock()
+	b := w.boxes[key]
+	if b == nil {
+		b = &mailbox{}
+		w.boxes[key] = b
+	}
+	return b
+}
+
+func (e *envelope) matches(rp *recvPost) bool {
+	return (rp.srcSel == AnySource || rp.srcSel == e.src) &&
+		(rp.tagSel == AnyTag || rp.tagSel == e.tag)
+}
+
+// deliver copies the payload into the post's buffer and completes the
+// receive request.
+func deliver(e *envelope, rp *recvPost) {
+	n := copy(rp.buf, e.data)
+	st := Status{Source: e.src, Tag: e.tag, Count: n}
+	avail := e.sentAt + transferCost(len(e.data))
+	rp.req.complete(st, avail)
+	if e.sreq != nil {
+		e.sreq.complete(Status{Source: e.src, Tag: e.tag, Count: len(e.data)}, avail)
+	}
+	e.matched = true
+}
+
+// postSend routes an envelope to the destination mailbox, matching a
+// posted receive if possible.
+func (w *World) postSend(ctx int64, destWorld int, e *envelope) {
+	b := w.box(ctx, destWorld)
+	b.mu.Lock()
+	for i, rp := range b.recvs {
+		if e.matches(rp) {
+			b.recvs = append(b.recvs[:i], b.recvs[i+1:]...)
+			b.mu.Unlock()
+			deliver(e, rp)
+			return
+		}
+	}
+	b.sends = append(b.sends, e)
+	b.mu.Unlock()
+}
+
+// postRecv registers a receive, matching a pending send if possible.
+func (w *World) postRecv(ctx int64, destWorld int, rp *recvPost) {
+	b := w.box(ctx, destWorld)
+	rp.box = b
+	b.mu.Lock()
+	for i, e := range b.sends {
+		if e.matches(rp) {
+			b.sends = append(b.sends[:i], b.sends[i+1:]...)
+			b.mu.Unlock()
+			deliver(e, rp)
+			return
+		}
+	}
+	b.recvs = append(b.recvs, rp)
+	b.mu.Unlock()
+}
+
+// probe looks for a matching pending send without removing it.
+func (p *Proc) probe(c *Comm, source, tag int) (Status, bool) {
+	b := p.world.box(c.ctx, p.rank)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.sends {
+		if (source == AnySource || source == e.src) && (tag == AnyTag || tag == e.tag) {
+			return Status{Source: e.src, Tag: e.tag, Count: len(e.data)}, true
+		}
+	}
+	return Status{}, false
+}
+
+// resolveDest maps a communicator-relative destination rank to a world
+// rank; intercommunicators address the remote group.
+func (c *Comm) resolveDest(rank int) (int, error) {
+	g := c.group
+	if c.remote != nil {
+		g = c.remote
+	}
+	if rank < 0 || rank >= len(g) {
+		return 0, fmt.Errorf("mpi: rank %d out of range for %s (size %d)", rank, c.name, len(g))
+	}
+	return g[rank], nil
+}
+
+// sendCommon implements the blocking sends. Standard mode buffers
+// (completes locally); synchronous mode waits for the match.
+func (p *Proc) sendCommon(id funcIDT, buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm, syncMode bool) error {
+	if err := dt.checkUsable(); err != nil {
+		return err
+	}
+	if err := c.checkUsable(); err != nil {
+		return err
+	}
+	args := []Value{vPtr(buf), vInt(count), vType(dt), vRank(dest), vTag(tag), vComm(c)}
+	var err error
+	p.icall(id, args, func() {
+		if dest == ProcNull {
+			return
+		}
+		var destWorld int
+		destWorld, err = c.resolveDest(dest)
+		if err != nil {
+			return
+		}
+		nbytes := count * dt.size
+		data := make([]byte, nbytes)
+		copy(data, buf.data)
+		p.advanceClock(transferCost(nbytes) / 4) // injection cost
+		e := &envelope{src: c.senderRankFor(), tag: tag, data: data, sentAt: p.clock.Load()}
+		if syncMode {
+			sreq := p.newRequest(rkSend)
+			e.sreq = sreq
+			p.world.postSend(c.ctx, destWorld, e)
+			sreq.waitDone()
+			sreq.consume()
+		} else {
+			p.world.postSend(c.ctx, destWorld, e)
+		}
+	})
+	return err
+}
+
+// senderRankFor returns the rank the receiver will see as the source:
+// the sender's rank within its own (local) group.
+func (c *Comm) senderRankFor() int { return c.myRank }
+
+// Send is the standard-mode blocking send (buffered in this
+// simulator, like eager-protocol MPI sends).
+func (p *Proc) Send(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) error {
+	return p.sendCommon(fSend, buf, count, dt, dest, tag, c, false)
+}
+
+// Bsend is the buffered send.
+func (p *Proc) Bsend(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) error {
+	return p.sendCommon(fBsend, buf, count, dt, dest, tag, c, false)
+}
+
+// Ssend is the synchronous send: returns only after the receiver
+// matched the message.
+func (p *Proc) Ssend(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) error {
+	return p.sendCommon(fSsend, buf, count, dt, dest, tag, c, true)
+}
+
+// Rsend is the ready send (treated as standard mode).
+func (p *Proc) Rsend(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) error {
+	return p.sendCommon(fRsend, buf, count, dt, dest, tag, c, false)
+}
+
+// Recv is the blocking receive. status may be nil.
+func (p *Proc) Recv(buf Ptr, count int, dt *Datatype, source, tag int, c *Comm, status *Status) error {
+	if err := dt.checkUsable(); err != nil {
+		return err
+	}
+	if err := c.checkUsable(); err != nil {
+		return err
+	}
+	args := []Value{vPtr(buf), vInt(count), vType(dt), vRank(source), vTag(tag), vComm(c), vStatus()}
+	var st Status
+	p.icall(fRecv, args, func() {
+		st = p.recvBody(buf, count, dt, source, tag, c)
+		setStatus(&args[6], st)
+	})
+	if status != nil {
+		*status = st
+	}
+	return nil
+}
+
+// recvBody blocks until a matching message arrives and returns its
+// status.
+func (p *Proc) recvBody(buf Ptr, count int, dt *Datatype, source, tag int, c *Comm) Status {
+	if source == ProcNull {
+		return Status{Source: ProcNull, Tag: AnyTag, Count: 0}
+	}
+	req := p.newRequest(rkRecv)
+	nbytes := count * dt.size
+	dst := buf.data
+	if len(dst) > nbytes {
+		dst = dst[:nbytes]
+	}
+	rp := &recvPost{srcSel: source, tagSel: tag, buf: dst, req: req}
+	req.post = rp
+	p.world.postRecv(c.ctx, p.rank, rp)
+	req.waitDone()
+	return req.consume()
+}
+
+// isendCommon implements the non-blocking sends.
+func (p *Proc) isendCommon(id funcIDT, buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm, syncMode bool) (*Request, error) {
+	if err := dt.checkUsable(); err != nil {
+		return nil, err
+	}
+	if err := c.checkUsable(); err != nil {
+		return nil, err
+	}
+	req := p.newRequest(rkSend)
+	args := []Value{vPtr(buf), vInt(count), vType(dt), vRank(dest), vTag(tag), vComm(c), vReq(req)}
+	var err error
+	p.icall(id, args, func() {
+		if dest == ProcNull {
+			req.complete(Status{Source: ProcNull, Tag: AnyTag}, p.clock.Load())
+			return
+		}
+		var destWorld int
+		destWorld, err = c.resolveDest(dest)
+		if err != nil {
+			return
+		}
+		nbytes := count * dt.size
+		data := make([]byte, nbytes)
+		copy(data, buf.data)
+		e := &envelope{src: c.senderRankFor(), tag: tag, data: data, sentAt: p.clock.Load()}
+		if syncMode {
+			e.sreq = req
+			p.world.postSend(c.ctx, destWorld, e)
+		} else {
+			p.world.postSend(c.ctx, destWorld, e)
+			req.complete(Status{Source: c.myRank, Tag: tag, Count: nbytes}, p.clock.Load())
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// Isend starts a standard-mode non-blocking send.
+func (p *Proc) Isend(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) (*Request, error) {
+	return p.isendCommon(fIsend, buf, count, dt, dest, tag, c, false)
+}
+
+// Ibsend starts a buffered non-blocking send.
+func (p *Proc) Ibsend(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) (*Request, error) {
+	return p.isendCommon(fIbsend, buf, count, dt, dest, tag, c, false)
+}
+
+// Issend starts a synchronous non-blocking send.
+func (p *Proc) Issend(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) (*Request, error) {
+	return p.isendCommon(fIssend, buf, count, dt, dest, tag, c, true)
+}
+
+// Irsend starts a ready-mode non-blocking send.
+func (p *Proc) Irsend(buf Ptr, count int, dt *Datatype, dest, tag int, c *Comm) (*Request, error) {
+	return p.isendCommon(fIrsend, buf, count, dt, dest, tag, c, false)
+}
+
+// Irecv starts a non-blocking receive.
+func (p *Proc) Irecv(buf Ptr, count int, dt *Datatype, source, tag int, c *Comm) (*Request, error) {
+	if err := dt.checkUsable(); err != nil {
+		return nil, err
+	}
+	if err := c.checkUsable(); err != nil {
+		return nil, err
+	}
+	req := p.newRequest(rkRecv)
+	args := []Value{vPtr(buf), vInt(count), vType(dt), vRank(source), vTag(tag), vComm(c), vReq(req)}
+	p.icall(fIrecv, args, func() {
+		if source == ProcNull {
+			req.complete(Status{Source: ProcNull, Tag: AnyTag}, p.clock.Load())
+			return
+		}
+		nbytes := count * dt.size
+		dst := buf.data
+		if len(dst) > nbytes {
+			dst = dst[:nbytes]
+		}
+		rp := &recvPost{srcSel: source, tagSel: tag, buf: dst, req: req}
+		req.post = rp
+		p.world.postRecv(c.ctx, p.rank, rp)
+	})
+	return req, nil
+}
+
+// Sendrecv performs a combined send and receive.
+func (p *Proc) Sendrecv(sendbuf Ptr, sendcount int, sendtype *Datatype, dest, sendtag int,
+	recvbuf Ptr, recvcount int, recvtype *Datatype, source, recvtag int, c *Comm, status *Status) error {
+	if err := sendtype.checkUsable(); err != nil {
+		return err
+	}
+	if err := recvtype.checkUsable(); err != nil {
+		return err
+	}
+	if err := c.checkUsable(); err != nil {
+		return err
+	}
+	args := []Value{vPtr(sendbuf), vInt(sendcount), vType(sendtype), vRank(dest), vTag(sendtag),
+		vPtr(recvbuf), vInt(recvcount), vType(recvtype), vRank(source), vTag(recvtag),
+		vComm(c), vStatus()}
+	var st Status
+	p.icall(fSendrecv, args, func() {
+		// Send side (buffered), then blocking receive.
+		if dest != ProcNull {
+			if destWorld, err := c.resolveDest(dest); err == nil {
+				nbytes := sendcount * sendtype.size
+				data := make([]byte, nbytes)
+				copy(data, sendbuf.data)
+				e := &envelope{src: c.senderRankFor(), tag: sendtag, data: data, sentAt: p.clock.Load()}
+				p.world.postSend(c.ctx, destWorld, e)
+			}
+		}
+		st = p.recvBody(recvbuf, recvcount, recvtype, source, recvtag, c)
+		setStatus(&args[11], st)
+	})
+	if status != nil {
+		*status = st
+	}
+	return nil
+}
+
+// SendrecvReplace sends and receives using a single buffer.
+func (p *Proc) SendrecvReplace(buf Ptr, count int, dt *Datatype, dest, sendtag, source, recvtag int, c *Comm, status *Status) error {
+	if err := dt.checkUsable(); err != nil {
+		return err
+	}
+	if err := c.checkUsable(); err != nil {
+		return err
+	}
+	args := []Value{vPtr(buf), vInt(count), vType(dt), vRank(dest), vTag(sendtag),
+		vRank(source), vTag(recvtag), vComm(c), vStatus()}
+	var st Status
+	p.icall(fSendrecvReplace, args, func() {
+		if dest != ProcNull {
+			if destWorld, err := c.resolveDest(dest); err == nil {
+				nbytes := count * dt.size
+				data := make([]byte, nbytes)
+				copy(data, buf.data)
+				e := &envelope{src: c.senderRankFor(), tag: sendtag, data: data, sentAt: p.clock.Load()}
+				p.world.postSend(c.ctx, destWorld, e)
+			}
+		}
+		st = p.recvBody(buf, count, dt, source, recvtag, c)
+		setStatus(&args[8], st)
+	})
+	if status != nil {
+		*status = st
+	}
+	return nil
+}
+
+// Iprobe checks for a matching message without receiving it.
+func (p *Proc) Iprobe(source, tag int, c *Comm, status *Status) (bool, error) {
+	if err := c.checkUsable(); err != nil {
+		return false, err
+	}
+	args := []Value{vRank(source), vTag(tag), vComm(c), vInt(0), vStatus()}
+	var found bool
+	var st Status
+	p.icall(fIprobe, args, func() {
+		st, found = p.probe(c, source, tag)
+		args[3].I = b2i(found)
+		if found {
+			setStatus(&args[4], st)
+		}
+	})
+	if status != nil && found {
+		*status = st
+	}
+	return found, nil
+}
+
+// Probe blocks until a matching message is available.
+func (p *Proc) Probe(source, tag int, c *Comm, status *Status) error {
+	if err := c.checkUsable(); err != nil {
+		return err
+	}
+	args := []Value{vRank(source), vTag(tag), vComm(c), vStatus()}
+	var st Status
+	p.icall(fProbe, args, func() {
+		for {
+			var found bool
+			st, found = p.probe(c, source, tag)
+			if found {
+				break
+			}
+			// Busy-wait politely: no cond is signalled on message
+			// arrival for probes, so yield.
+			yield()
+		}
+		setStatus(&args[3], st)
+	})
+	if status != nil {
+		*status = st
+	}
+	return nil
+}

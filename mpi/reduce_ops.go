@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Reduction combine kernels. Lanes are chosen by the datatype's base
+// kind: integer types reduce as int64 lanes of the type's size,
+// floating types as float64/float32. dst = dst OP src, elementwise.
+
+func lanes(dt *Datatype) (size int, float bool) {
+	base := dt.baseKind()
+	switch base {
+	case baseFloat32:
+		return 4, true
+	case baseFloat64:
+		return 8, true
+	default:
+		s := dt.laneSize()
+		if s <= 0 {
+			s = 1
+		}
+		return s, false
+	}
+}
+
+func eachLane(dst, src []byte, dt *Datatype, intF func(a, b int64) int64, fF func(a, b float64) float64) {
+	size, isFloat := lanes(dt)
+	n := min(len(dst), len(src))
+	for off := 0; off+size <= n; off += size {
+		if isFloat {
+			if size == 4 {
+				a := math.Float32frombits(binary.LittleEndian.Uint32(dst[off:]))
+				b := math.Float32frombits(binary.LittleEndian.Uint32(src[off:]))
+				binary.LittleEndian.PutUint32(dst[off:], math.Float32bits(float32(fF(float64(a), float64(b)))))
+			} else {
+				a := math.Float64frombits(binary.LittleEndian.Uint64(dst[off:]))
+				b := math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+				binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(fF(a, b)))
+			}
+			continue
+		}
+		a := readInt(dst[off:], size)
+		b := readInt(src[off:], size)
+		writeInt(dst[off:], size, intF(a, b))
+	}
+}
+
+func readInt(b []byte, size int) int64 {
+	switch size {
+	case 1:
+		return int64(int8(b[0]))
+	case 2:
+		return int64(int16(binary.LittleEndian.Uint16(b)))
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(b)))
+	default:
+		return int64(binary.LittleEndian.Uint64(b))
+	}
+}
+
+func writeInt(b []byte, size int, v int64) {
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, uint64(v))
+	}
+}
+
+func combineSum(dst, src []byte, dt *Datatype) {
+	eachLane(dst, src, dt, func(a, b int64) int64 { return a + b }, func(a, b float64) float64 { return a + b })
+}
+
+func combineProd(dst, src []byte, dt *Datatype) {
+	eachLane(dst, src, dt, func(a, b int64) int64 { return a * b }, func(a, b float64) float64 { return a * b })
+}
+
+func combineMax(dst, src []byte, dt *Datatype) {
+	eachLane(dst, src, dt, func(a, b int64) int64 { return max(a, b) }, math.Max)
+}
+
+func combineMin(dst, src []byte, dt *Datatype) {
+	eachLane(dst, src, dt, func(a, b int64) int64 { return min(a, b) }, math.Min)
+}
+
+func combineLand(dst, src []byte, dt *Datatype) {
+	eachLane(dst, src, dt, func(a, b int64) int64 {
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	}, func(a, b float64) float64 {
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+func combineLor(dst, src []byte, dt *Datatype) {
+	eachLane(dst, src, dt, func(a, b int64) int64 {
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	}, func(a, b float64) float64 {
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+func combineBand(dst, src []byte, dt *Datatype) {
+	eachLane(dst, src, dt, func(a, b int64) int64 { return a & b }, func(a, b float64) float64 { return a })
+}
+
+func combineBor(dst, src []byte, dt *Datatype) {
+	eachLane(dst, src, dt, func(a, b int64) int64 { return a | b }, func(a, b float64) float64 { return a })
+}

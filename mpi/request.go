@@ -1,0 +1,366 @@
+package mpi
+
+import "fmt"
+
+type reqKind uint8
+
+const (
+	rkSend reqKind = iota
+	rkRecv
+	rkColl
+	rkPersistSend
+	rkPersistRecv
+)
+
+// Request is a non-blocking operation handle. Persistent requests
+// (from *_init) stay allocated across Start/Wait cycles.
+type Request struct {
+	proc   *Proc
+	handle int64
+	kind   reqKind
+
+	// guarded by proc.mu
+	done      bool
+	status    Status
+	availAt   int64 // virtual time at which the result is available
+	cancelled bool
+	active    bool // persistent: between Start and completion
+
+	persistent bool
+	restart    func(r *Request) // persistent operation body
+
+	// recv bookkeeping so Cancel can withdraw the post
+	post *recvPost
+}
+
+// Handle returns the runtime handle of the request.
+func (r *Request) Handle() int64 { return r.handle }
+
+// newRequest allocates a request owned by p.
+func (p *Proc) newRequest(kind reqKind) *Request {
+	return &Request{proc: p, handle: p.newHandle(), kind: kind}
+}
+
+// complete marks the request done and wakes the owner's waiters.
+// Called with any rank's goroutine.
+func (r *Request) complete(st Status, availAt int64) {
+	p := r.proc
+	p.mu.Lock()
+	r.done = true
+	r.status = st
+	r.availAt = availAt
+	r.active = false
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// isDone reports completion status under the owner's lock.
+func (r *Request) isDone() bool {
+	r.proc.mu.Lock()
+	defer r.proc.mu.Unlock()
+	return r.done
+}
+
+// consume finalizes a completed request: non-persistent requests are
+// deactivated (the MPI library frees them); persistent ones are reset
+// to inactive. Returns the status. Caller holds no locks.
+func (r *Request) consume() Status {
+	p := r.proc
+	p.mu.Lock()
+	st := r.status
+	avail := r.availAt
+	r.done = false
+	if !r.persistent {
+		r.post = nil
+		r.restart = nil
+	}
+	p.mu.Unlock()
+	p.raiseClock(avail)
+	return st
+}
+
+// waitDone blocks until the request completes.
+func (r *Request) waitDone() {
+	p := r.proc
+	p.mu.Lock()
+	for !r.done {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// waitAnyDone blocks until at least one request in rs is done and
+// returns its index. Nil or inactive requests are skipped; if all are
+// nil/inactive, returns -1 immediately (MPI returns MPI_UNDEFINED).
+func waitAnyDone(p *Proc, rs []*Request) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		anyLive := false
+		for i, r := range rs {
+			if r == nil {
+				continue
+			}
+			if r.done {
+				return i
+			}
+			if !r.persistent || r.active {
+				anyLive = true
+			}
+		}
+		if !anyLive {
+			return -1
+		}
+		p.cond.Wait()
+	}
+}
+
+// --- Public completion calls -------------------------------------------------
+
+// Wait blocks until the request completes; status may be nil
+// (MPI_STATUS_IGNORE).
+func (p *Proc) Wait(r *Request, status *Status) error {
+	if r == nil {
+		return fmt.Errorf("mpi: Wait on nil request")
+	}
+	args := []Value{vReq(r), vStatus()}
+	var st Status
+	p.icall(fWait, args, func() {
+		r.waitDone()
+		st = r.consume()
+		setStatus(&args[1], st)
+	})
+	if status != nil {
+		*status = st
+	}
+	return nil
+}
+
+// Test checks for completion without blocking.
+func (p *Proc) Test(r *Request, status *Status) (bool, error) {
+	if r == nil {
+		return false, fmt.Errorf("mpi: Test on nil request")
+	}
+	args := []Value{vReq(r), vInt(0), vStatus()}
+	var flag bool
+	var st Status
+	p.icall(fTest, args, func() {
+		if r.isDone() {
+			flag = true
+			st = r.consume()
+			setStatus(&args[2], st)
+		}
+		args[1].I = b2i(flag)
+	})
+	if status != nil && flag {
+		*status = st
+	}
+	return flag, nil
+}
+
+// Waitall blocks until every request completes.
+func (p *Proc) Waitall(rs []*Request, statuses []Status) error {
+	args := []Value{vInt(len(rs)), vReqArray(rs), vStatArray()}
+	sts := make([]Status, len(rs))
+	p.icall(fWaitall, args, func() {
+		for i, r := range rs {
+			if r == nil {
+				continue
+			}
+			r.waitDone()
+			sts[i] = r.consume()
+		}
+		setStatArray(&args[2], sts)
+	})
+	copy(statuses, sts)
+	return nil
+}
+
+// Waitany blocks until one request completes; returns its index, or
+// Undefined if no active request exists.
+func (p *Proc) Waitany(rs []*Request, status *Status) (int, error) {
+	args := []Value{vInt(len(rs)), vReqArray(rs), vInt(0), vStatus()}
+	idx := Undefined
+	var st Status
+	p.icall(fWaitany, args, func() {
+		if i := waitAnyDone(p, rs); i >= 0 {
+			idx = i
+			st = rs[i].consume()
+			setStatus(&args[3], st)
+		}
+		args[2].I = int64(idx)
+	})
+	if status != nil && idx >= 0 {
+		*status = st
+	}
+	return idx, nil
+}
+
+// Waitsome blocks until at least one request completes and returns the
+// indices of all completed ones (or nil if none active).
+func (p *Proc) Waitsome(rs []*Request, statuses []Status) ([]int, error) {
+	args := []Value{vInt(len(rs)), vReqArray(rs), vInt(0), vIndexArray(), vStatArray()}
+	var idx []int
+	var sts []Status
+	p.icall(fWaitsome, args, func() {
+		if first := waitAnyDone(p, rs); first >= 0 {
+			for i, r := range rs {
+				if r != nil && r.isDone() {
+					st := r.consume()
+					idx = append(idx, i)
+					sts = append(sts, st)
+				}
+			}
+		}
+		args[2].I = int64(len(idx))
+		setIndexArray(&args[3], idx)
+		setStatArray(&args[4], sts)
+	})
+	copy(statuses, sts)
+	return idx, nil
+}
+
+// Testall reports whether all requests are complete, consuming them if
+// so.
+func (p *Proc) Testall(rs []*Request, statuses []Status) (bool, error) {
+	args := []Value{vInt(len(rs)), vReqArray(rs), vInt(0), vStatArray()}
+	all := true
+	var sts []Status
+	p.icall(fTestall, args, func() {
+		for _, r := range rs {
+			if r != nil && !r.isDone() {
+				all = false
+				break
+			}
+		}
+		if all {
+			sts = make([]Status, len(rs))
+			for i, r := range rs {
+				if r != nil {
+					sts[i] = r.consume()
+				}
+			}
+			setStatArray(&args[3], sts)
+		}
+		args[2].I = b2i(all)
+	})
+	if all {
+		copy(statuses, sts)
+	}
+	return all, nil
+}
+
+// Testany checks whether any request is complete.
+func (p *Proc) Testany(rs []*Request, status *Status) (idx int, flag bool, err error) {
+	args := []Value{vInt(len(rs)), vReqArray(rs), vInt(0), vInt(0), vStatus()}
+	idx = Undefined
+	var st Status
+	p.icall(fTestany, args, func() {
+		for i, r := range rs {
+			if r != nil && r.isDone() {
+				idx = i
+				flag = true
+				st = r.consume()
+				setStatus(&args[4], st)
+				break
+			}
+		}
+		args[2].I = int64(idx)
+		args[3].I = b2i(flag)
+	})
+	if status != nil && flag {
+		*status = st
+	}
+	return idx, flag, nil
+}
+
+// Testsome returns the indices of currently completed requests
+// (possibly empty), consuming them.
+func (p *Proc) Testsome(rs []*Request, statuses []Status) ([]int, error) {
+	args := []Value{vInt(len(rs)), vReqArray(rs), vInt(0), vIndexArray(), vStatArray()}
+	var idx []int
+	var sts []Status
+	p.icall(fTestsome, args, func() {
+		for i, r := range rs {
+			if r != nil && r.isDone() {
+				st := r.consume()
+				idx = append(idx, i)
+				sts = append(sts, st)
+			}
+		}
+		args[2].I = int64(len(idx))
+		setIndexArray(&args[3], idx)
+		setStatArray(&args[4], sts)
+	})
+	copy(statuses, sts)
+	return idx, nil
+}
+
+// RequestFree releases a request; an active operation still completes
+// in the background (as in MPI).
+func (p *Proc) RequestFree(r *Request) error {
+	if r == nil {
+		return fmt.Errorf("mpi: RequestFree on nil request")
+	}
+	args := []Value{vReq(r)}
+	p.icall(fRequestFree, args, func() {
+		p.mu.Lock()
+		r.restart = nil
+		r.persistent = false
+		p.mu.Unlock()
+	})
+	return nil
+}
+
+// RequestGetStatus checks completion without consuming the request.
+func (p *Proc) RequestGetStatus(r *Request, status *Status) (bool, error) {
+	if r == nil {
+		return false, fmt.Errorf("mpi: RequestGetStatus on nil request")
+	}
+	args := []Value{vReq(r), vInt(0), vStatus()}
+	var flag bool
+	var st Status
+	p.icall(fRequestGetStatus, args, func() {
+		p.mu.Lock()
+		flag = r.done
+		st = r.status
+		p.mu.Unlock()
+		args[1].I = b2i(flag)
+		if flag {
+			setStatus(&args[2], st)
+		}
+	})
+	if status != nil && flag {
+		*status = st
+	}
+	return flag, nil
+}
+
+// Cancel attempts to cancel a pending receive (sends are not
+// cancellable in this simulator, as in most MPI implementations).
+func (p *Proc) Cancel(r *Request) error {
+	if r == nil {
+		return fmt.Errorf("mpi: Cancel on nil request")
+	}
+	args := []Value{vReq(r)}
+	p.icall(fCancel, args, func() {
+		if r.post != nil {
+			if r.post.withdraw() {
+				r.proc.mu.Lock()
+				r.done = true
+				r.cancelled = true
+				r.status = Status{Source: Undefined, Tag: Undefined, Cancelled: true}
+				r.proc.cond.Broadcast()
+				r.proc.mu.Unlock()
+			}
+		}
+	})
+	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

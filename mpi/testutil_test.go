@@ -1,0 +1,11 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func putInt64(b []byte, v int64)   { binary.LittleEndian.PutUint64(b, uint64(v)) }
+func getInt64(b []byte) int64      { return int64(binary.LittleEndian.Uint64(b)) }
+func int64FromF64(v float64) int64 { return int64(math.Float64bits(v)) }
+func f64FromInt64(v int64) float64 { return math.Float64frombits(uint64(v)) }

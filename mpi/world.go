@@ -1,0 +1,348 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+)
+
+// World is one simulated MPI job: n ranks, a message router, and the
+// rendezvous state for collectives.
+type World struct {
+	n     int
+	procs []*Proc
+
+	mbMu  sync.Mutex
+	boxes map[mbKey]*mailbox
+
+	collMu sync.Mutex
+	colls  map[collKey]*collSlot
+
+	ctxSeq atomic.Int64
+	seed   int64
+}
+
+type mbKey struct {
+	ctx  int64
+	dest int // world rank
+}
+
+type collKey struct {
+	ctx int64
+	seq int64
+	oob bool
+}
+
+// Proc is one simulated MPI process. All MPI operations hang off it;
+// it is confined to the goroutine running the rank's body (the runtime
+// itself synchronizes cross-rank effects).
+type Proc struct {
+	rank  int
+	world *World
+
+	interceptor mpispec.Interceptor
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast whenever any of this proc's requests completes
+
+	clock         atomic.Int64 // virtual time, ns
+	rng           *rand.Rand
+	computeFactor float64
+
+	nextAddr   uint64
+	nextStack  uint64
+	nextHandle int64
+
+	commsMu sync.Mutex
+	comms   map[int64]*Comm // handle -> comm, for OOB lookups
+
+	oobMu      sync.Mutex
+	oobPending map[int64]*oobOp
+	oobSeq     int64
+
+	worldComm *Comm
+	selfComm  *Comm
+
+	initialized bool
+	finalized   bool
+}
+
+type oobOp struct {
+	done   bool
+	result int32
+}
+
+// Options configures a simulated run.
+type Options struct {
+	// Seed drives the per-rank noise model; runs with equal seeds see
+	// identical virtual timing. Zero means seed 1.
+	Seed int64
+	// Timeout aborts a deadlocked run. Zero means 2 minutes.
+	Timeout time.Duration
+	// Interceptors, if non-nil, is indexed by rank and attached before
+	// the body runs (so MPI_Init is already traced).
+	Interceptors []mpispec.Interceptor
+	// ComputeFactor makes Proc.Compute burn real CPU time: a call to
+	// Compute(d) busy-spins for d*ComputeFactor nanoseconds of wall
+	// time in addition to advancing the virtual clock. Zero keeps
+	// compute purely virtual (the default; size experiments need no
+	// real work). Overhead experiments set it so tracing cost is
+	// measured against a realistic application denominator.
+	ComputeFactor float64
+}
+
+// Run executes body as an SPMD program on n simulated ranks and blocks
+// until every rank returns. A panic in any rank aborts the run and is
+// returned as an error.
+func Run(n int, body func(p *Proc)) error {
+	return RunOpt(n, Options{}, body)
+}
+
+// RunOpt is Run with explicit options.
+func RunOpt(n int, opts Options, body func(p *Proc)) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: invalid world size %d", n)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	w := &World{
+		n:     n,
+		boxes: make(map[mbKey]*mailbox),
+		colls: make(map[collKey]*collSlot),
+		seed:  seed,
+	}
+	w.ctxSeq.Store(hDynamicBase) // context ids share the reserved space above predefined handles
+	w.procs = make([]*Proc, n)
+	worldGroup := make([]int, n)
+	for i := range worldGroup {
+		worldGroup[i] = i
+	}
+	for i := 0; i < n; i++ {
+		p := &Proc{
+			rank:          i,
+			world:         w,
+			computeFactor: opts.ComputeFactor,
+			rng:           rand.New(rand.NewSource(seed + int64(i)*7919)),
+			// Address-space bases diverge per rank, as real heaps do
+			// (ASLR, allocation history): absolute addresses are
+			// rank-specific, symbolic segment ids are not.
+			nextAddr:   0x10000 + uint64(i)*0x0010_0000,
+			nextStack:  0x7f00_0000_0000 + uint64(i)*0x0100_0000,
+			nextHandle: hDynamicBase,
+			comms:      make(map[int64]*Comm),
+			oobPending: make(map[int64]*oobOp),
+		}
+		p.cond = sync.NewCond(&p.mu)
+		p.worldComm = &Comm{proc: p, handle: hCommWorld, ctx: hCommWorld, group: worldGroup, myRank: i, name: "MPI_COMM_WORLD"}
+		p.selfComm = &Comm{proc: p, handle: hCommSelf, ctx: hCommSelf, group: []int{i}, myRank: 0, name: "MPI_COMM_SELF"}
+		p.comms[hCommWorld] = p.worldComm
+		p.comms[hCommSelf] = p.selfComm
+		if opts.Interceptors != nil && i < len(opts.Interceptors) {
+			p.interceptor = opts.Interceptors[i]
+		}
+		w.procs[i] = p
+	}
+
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Minute
+	}
+	errc := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 8192)
+					buf = buf[:runtime.Stack(buf, false)]
+					errc <- fmt.Errorf("mpi: rank %d panicked: %v\n%s", p.rank, r, buf)
+				}
+			}()
+			body(p)
+		}(w.procs[i])
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		select {
+		case err := <-errc:
+			return err
+		default:
+			return nil
+		}
+	case err := <-errc:
+		// A rank failed; others may be blocked on it forever. Report
+		// immediately (goroutines of the dead run are abandoned).
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("mpi: run of %d ranks timed out after %v (deadlock?)", n, timeout)
+	}
+}
+
+// Rank returns the world rank of this process.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.world.n }
+
+// World returns the MPI_COMM_WORLD communicator of this process.
+func (p *Proc) World() *Comm { return p.worldComm }
+
+// Self returns the MPI_COMM_SELF communicator.
+func (p *Proc) Self() *Comm { return p.selfComm }
+
+// SetInterceptor attaches the tracing hook (nil detaches). Typically
+// set via Options.Interceptors so MPI_Init is captured too.
+func (p *Proc) SetInterceptor(ic mpispec.Interceptor) { p.interceptor = ic }
+
+// Interceptor returns the attached hook, if any.
+func (p *Proc) Interceptor() mpispec.Interceptor { return p.interceptor }
+
+// Now returns the rank's virtual clock in nanoseconds.
+func (p *Proc) Now() int64 { return p.clock.Load() }
+
+// Compute advances the rank's virtual clock by d nanoseconds,
+// simulating local computation between MPI calls. With
+// Options.ComputeFactor set, it also burns the proportional amount of
+// real CPU time, so wall-clock overhead measurements have a realistic
+// application denominator.
+func (p *Proc) Compute(d int64) {
+	if d <= 0 {
+		return
+	}
+	p.clock.Add(d)
+	if p.computeFactor > 0 {
+		deadline := time.Now().Add(time.Duration(float64(d) * p.computeFactor))
+		for time.Now().Before(deadline) {
+		}
+	}
+}
+
+// advanceClock adds a modeled cost with multiplicative noise.
+func (p *Proc) advanceClock(base int64) {
+	if base <= 0 {
+		base = 1
+	}
+	noise := 1.0 + 0.1*p.rng.Float64()
+	p.clock.Add(int64(float64(base) * noise))
+}
+
+// raiseClock moves the clock forward to at least t.
+func (p *Proc) raiseClock(t int64) {
+	for {
+		cur := p.clock.Load()
+		if cur >= t {
+			return
+		}
+		if p.clock.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Cost model constants (virtual nanoseconds).
+const (
+	costLatency   = 1500 // p2p latency
+	costPerByte   = 1    // ~1GB/s modeled bandwidth, per byte cost in tenths handled below
+	costCallEntry = 120  // fixed software overhead per MPI call
+)
+
+func transferCost(bytes int) int64 {
+	return costLatency + int64(bytes)/10
+}
+
+// newHandle returns the next per-process object handle.
+func (p *Proc) newHandle() int64 {
+	h := p.nextHandle
+	p.nextHandle++
+	return h
+}
+
+// Alloc simulates a heap allocation of n bytes, reporting it to the
+// interceptor like an intercepted malloc.
+func (p *Proc) Alloc(n int) *Buffer { return p.allocDev(n, 0) }
+
+// AllocDevice simulates a device allocation (cudaMalloc-style) on the
+// given device id (>= 1).
+func (p *Proc) AllocDevice(n int, device int32) *Buffer { return p.allocDev(n, device) }
+
+func (p *Proc) allocDev(n int, device int32) *Buffer {
+	if n < 0 {
+		panic("mpi: negative allocation")
+	}
+	addr := p.nextAddr
+	p.nextAddr += uint64(n) + 64 // pad so allocations never abut
+	b := &Buffer{proc: p, addr: addr, data: make([]byte, n), device: device}
+	if ic := p.interceptor; ic != nil {
+		ic.MemAlloc(addr, uint64(n), device)
+	}
+	return b
+}
+
+// Realloc simulates realloc: the buffer moves to a fresh address with
+// its prefix preserved, and the interceptor sees the free and the new
+// allocation, exactly as an intercepted realloc would (§3.3.3).
+func (p *Proc) Realloc(b *Buffer, n int) *Buffer {
+	if b == nil || b.freed {
+		return p.Alloc(n)
+	}
+	nb := p.allocDev(n, b.device)
+	copy(nb.data, b.data)
+	b.Free()
+	return nb
+}
+
+// StackVar returns a pointer to simulated stack memory of n bytes: the
+// allocation is NOT reported to the interceptor, exercising the
+// tracer's conservative fallback for unknown addresses (§3.3.3).
+func (p *Proc) StackVar(n int) Ptr {
+	addr := p.nextStack
+	p.nextStack += uint64(n) + 16
+	return Ptr{addr: addr, data: make([]byte, n)}
+}
+
+// registerComm adds a comm to the handle registry (for OOB lookups).
+func (p *Proc) registerComm(c *Comm) {
+	p.commsMu.Lock()
+	p.comms[c.handle] = c
+	p.commsMu.Unlock()
+}
+
+func (p *Proc) lookupComm(handle int64) *Comm {
+	p.commsMu.Lock()
+	defer p.commsMu.Unlock()
+	return p.comms[handle]
+}
+
+// icall wraps an MPI call body with interception: Pre sees the input
+// argument values, body executes the call and fills output values in
+// place, Post sees the completed record.
+func (p *Proc) icall(id mpispec.FuncID, args []mpispec.Value, body func()) {
+	p.advanceClock(costCallEntry)
+	ic := p.interceptor
+	if ic == nil {
+		body()
+		p.advanceClock(costCallEntry)
+		return
+	}
+	rec := &mpispec.CallRecord{Func: id, Args: args, TStart: p.clock.Load(), Rank: p.rank}
+	ic.Pre(rec)
+	body()
+	// Exit-path software cost, so every call has a nonzero duration.
+	p.advanceClock(costCallEntry)
+	rec.TEnd = p.clock.Load()
+	ic.Post(rec)
+}

@@ -1,0 +1,118 @@
+// Package pilgrim is a Go reproduction of "Pilgrim: Scalable and
+// (near) Lossless MPI Tracing" (Wang, Balaji, Snir — SC '21): a
+// tracing tool that records every MPI call with every parameter and
+// compresses the stream online with a call signature table plus an
+// incrementally built context-free grammar (optimized Sequitur),
+// followed by inter-process compression at finalize.
+//
+// Since Go has no MPI bindings, the traced substrate is the bundled
+// simulated MPI runtime (package mpi): goroutine ranks with full MPI
+// matching semantics. The tracer attaches to it exactly as the real
+// tool attaches to PMPI.
+//
+// Quick start:
+//
+//	file, stats, err := pilgrim.Run(4, pilgrim.Options{}, func(p *mpi.Proc) {
+//	    p.Init()
+//	    // ... MPI program ...
+//	    p.Finalize()
+//	})
+//	fmt.Println(stats.TraceBytes, "bytes for", stats.TotalCalls, "calls")
+//	calls, _ := pilgrim.DecodeRank(file, 0)
+package pilgrim
+
+import (
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+// Options configures tracing. The zero value means aggregated timing
+// (mean duration per call signature) with verification off.
+type Options = core.Options
+
+// Timing modes for Options.TimingMode.
+const (
+	TimingAggregated = trace.TimingAggregated
+	TimingLossy      = trace.TimingLossy
+)
+
+// Tracer is the per-rank interceptor; attach it to a simulated rank
+// via mpi.Options.Interceptors or Proc.SetInterceptor.
+type Tracer = core.Tracer
+
+// TraceFile is a complete compressed trace (CST + unique grammars +
+// rank map + optional timing grammars).
+type TraceFile = trace.File
+
+// FinalizeStats reports trace size, call counts, and where the
+// compression time went.
+type FinalizeStats = core.FinalizeStats
+
+// DecodedCall is one reconstructed call from a compressed trace.
+type DecodedCall = core.DecodedCall
+
+// NewTracer builds a tracer for one rank. The OOB interface gives it
+// PMPI-level collectives for communicator-id agreement; pass the
+// rank's *mpi.Proc.
+func NewTracer(rank int, oob mpispec.OOB, opts Options) *Tracer {
+	return core.NewTracer(rank, oob, opts)
+}
+
+// Run executes body as an SPMD program on n simulated ranks with a
+// tracer attached to each, then performs inter-process compression and
+// returns the trace.
+func Run(n int, opts Options, body func(p *mpi.Proc)) (*TraceFile, FinalizeStats, error) {
+	return RunSim(n, opts, mpi.Options{}, body)
+}
+
+// RunSim is Run with explicit simulator options (seed, timeout).
+func RunSim(n int, opts Options, simOpts mpi.Options, body func(p *mpi.Proc)) (*TraceFile, FinalizeStats, error) {
+	tracers := make([]*Tracer, n)
+	ics := make([]mpi.Interceptor, n)
+	for i := 0; i < n; i++ {
+		tracers[i] = core.NewTracer(i, nil, opts)
+		ics[i] = tracers[i]
+	}
+	simOpts.Interceptors = ics
+	err := mpi.RunOpt(n, simOpts, func(p *mpi.Proc) {
+		// Late-bind the OOB interface: the Proc exists only now.
+		core.BindOOB(tracers[p.Rank()], p)
+		body(p)
+	})
+	if err != nil {
+		return nil, FinalizeStats{}, err
+	}
+	file, stats := core.Finalize(tracers)
+	return file, stats, nil
+}
+
+// BindOOB attaches a rank's out-of-band collective interface (its
+// *mpi.Proc) to a tracer built before the simulation started. RunSim
+// does this automatically; callers wiring tracers manually must call
+// it before any communicator-creating call is traced.
+func BindOOB(t *Tracer, oob mpispec.OOB) { core.BindOOB(t, oob) }
+
+// Finalize runs the inter-process compression over explicit tracers
+// (for callers managing their own simulation).
+func Finalize(tracers []*Tracer) (*TraceFile, FinalizeStats) {
+	return core.Finalize(tracers)
+}
+
+// DecodeRank reconstructs one rank's call stream from a trace.
+func DecodeRank(f *TraceFile, rank int) ([]DecodedCall, error) {
+	return core.DecodeRank(f, rank)
+}
+
+// VerifyLossless checks that the trace decodes to exactly the streams
+// the tracers saw (Options.Verify must have been set).
+func VerifyLossless(f *TraceFile, tracers []*Tracer) error {
+	return core.VerifyLossless(f, tracers)
+}
+
+// Load reads a trace file from disk.
+func Load(path string) (*TraceFile, error) { return trace.Load(path) }
+
+// Version is the library version.
+const Version = "1.0.0"
