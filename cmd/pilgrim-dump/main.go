@@ -42,6 +42,10 @@ func main() {
 
 	fmt.Fprintf(w, "# ranks=%d timing=%s cst=%d grammars=%d size=%dB\n",
 		file.NumRanks, timingName(file.TimingMode), file.CST.Len(), len(file.Grammars), file.SizeBytes())
+	if s := file.Salvage; s != nil {
+		fmt.Fprintf(w, "# SALVAGED trace: failed ranks=%v reason=%q\n", s.FailedRanks, s.Reason)
+		fmt.Fprintf(w, "# calls captured per rank: %v\n", s.Calls)
+	}
 
 	if *summary {
 		total := map[mpispec.FuncID]int{}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pilgrim-trace -workload stencil2d -procs 16 -iters 100 -o out.pilgrim
+//	pilgrim-trace -workload stencil2d -procs 8 -crash-rank 3 -crash-at 50 -salvage -o partial.pilgrim
 //	pilgrim-trace -list
 package main
 
@@ -15,6 +16,7 @@ import (
 
 	pilgrim "github.com/hpcrepro/pilgrim"
 	"github.com/hpcrepro/pilgrim/internal/workloads"
+	"github.com/hpcrepro/pilgrim/mpi"
 )
 
 func main() {
@@ -27,6 +29,13 @@ func main() {
 		base    = flag.Float64("timing-base", 1.2, "exponential bin base for lossy timing")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		verbose = flag.Bool("v", false, "print per-rank statistics")
+
+		salvage   = flag.Bool("salvage", false, "on failure, write the salvaged partial trace instead of exiting empty-handed")
+		seed      = flag.Int64("seed", 0, "simulator seed (0 = default)")
+		crashRank = flag.Int("crash-rank", -1, "inject: crash this rank (with -crash-at)")
+		crashAt   = flag.Int64("crash-at", 0, "inject: 1-based MPI call index the crash fires at")
+		dropRank  = flag.Int("drop-rank", -1, "inject: drop the next message this rank sends at/after -drop-at")
+		dropAt    = flag.Int64("drop-at", 0, "inject: 1-based MPI call index arming the message drop")
 	)
 	flag.Parse()
 
@@ -52,9 +61,34 @@ func main() {
 		fatal(fmt.Errorf("unknown timing mode %q", *timing))
 	}
 
-	file, stats, err := pilgrim.Run(*procs, opts, body)
+	simOpts := mpi.Options{Seed: *seed}
+	var plan mpi.FaultPlan
+	if *crashRank >= 0 {
+		plan.Faults = append(plan.Faults, mpi.Fault{Kind: mpi.FaultCrash, Rank: *crashRank, AtCall: *crashAt})
+	}
+	if *dropRank >= 0 {
+		plan.Faults = append(plan.Faults, mpi.Fault{Kind: mpi.FaultDropMsg, Rank: *dropRank, AtCall: *dropAt})
+	}
+	if len(plan.Faults) > 0 {
+		simOpts.FaultPlan = &plan
+	}
+
+	file, stats, err := pilgrim.RunSim(*procs, opts, simOpts, body)
 	if err != nil {
-		fatal(err)
+		if !*salvage || file == nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pilgrim-trace: run failed: %v\n", err)
+		if err := file.Save(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("salvaged partial trace: %s (%d bytes)\n", *out, stats.TraceBytes)
+		if file.Salvage != nil {
+			fmt.Printf("failed ranks: %v\n", file.Salvage.FailedRanks)
+			fmt.Printf("reason: %s\n", file.Salvage.Reason)
+		}
+		fmt.Printf("calls captured before failure: %d\n", stats.TotalCalls)
+		return
 	}
 	if err := file.Save(*out); err != nil {
 		fatal(err)

@@ -114,6 +114,27 @@ func VerifyLossless(f *trace.File, tracers []*Tracer) error {
 	return nil
 }
 
+// VerifySalvaged checks a salvaged trace: it must carry salvage info,
+// its per-rank recorded call counts must match what each tracer
+// actually captured, and the decoded streams must be lossless up to
+// each rank's failure point (survivors' full streams, failed ranks'
+// streams to their last intercepted call).
+func VerifySalvaged(f *trace.File, tracers []*Tracer) error {
+	if f.Salvage == nil {
+		return fmt.Errorf("core: trace carries no salvage info")
+	}
+	if len(f.Salvage.Calls) != len(tracers) {
+		return fmt.Errorf("core: salvage records %d ranks, %d tracers", len(f.Salvage.Calls), len(tracers))
+	}
+	for r, tr := range tracers {
+		if want := tr.Snapshot().Calls; f.Salvage.Calls[r] != want {
+			return fmt.Errorf("core: salvage records %d calls for rank %d, tracer captured %d",
+				f.Salvage.Calls[r], r, want)
+		}
+	}
+	return VerifyLossless(f, tracers)
+}
+
 func verifyTiming(f *trace.File, rank int, tr *Tracer) error {
 	calls, err := DecodeRank(f, rank)
 	if err != nil {

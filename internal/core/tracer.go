@@ -7,6 +7,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"github.com/hpcrepro/pilgrim/internal/cst"
@@ -41,16 +43,22 @@ func (o Options) withDefaults() Options {
 
 // Tracer is the per-rank interceptor: it implements
 // mpispec.Interceptor and accumulates the rank's CST and CFG.
+//
+// The interception hooks run on the rank's goroutine; mu additionally
+// makes the accumulated state readable from outside it (Snapshot), so
+// a monitor can serialize a crash-consistent copy while the rank runs.
 type Tracer struct {
 	Rank int
 	opts Options
 
+	mu    sync.Mutex
 	enc   *sig.Encoder
 	table *cst.Table
 	cfg   *sequitur.Grammar
 	tcomp *timing.Compressor
 
 	// Overhead accounting (intra-process tracing cost, wall time).
+	// Guarded by mu while the rank is live.
 	IntraNs int64
 	NCalls  int64
 
@@ -84,6 +92,8 @@ func (t *Tracer) Pre(rec *mpispec.CallRecord) {}
 // Post implements mpispec.Interceptor: the steps 3-5 of Figure 2.
 func (t *Tracer) Post(rec *mpispec.CallRecord) {
 	w0 := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	s := t.enc.Encode(rec)
 	term := t.table.Add(s, rec.TEnd-rec.TStart)
 	t.cfg.Append(term)
@@ -101,6 +111,8 @@ func (t *Tracer) Post(rec *mpispec.CallRecord) {
 // MemAlloc implements mpispec.Interceptor (malloc interception).
 func (t *Tracer) MemAlloc(addr, size uint64, device int32) {
 	w0 := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.enc.MemAlloc(addr, size, device)
 	t.IntraNs += time.Since(w0).Nanoseconds()
 }
@@ -108,6 +120,8 @@ func (t *Tracer) MemAlloc(addr, size uint64, device int32) {
 // MemFree implements mpispec.Interceptor (free interception).
 func (t *Tracer) MemFree(addr uint64) {
 	w0 := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.enc.MemFree(addr)
 	t.IntraNs += time.Since(w0).Nanoseconds()
 }
@@ -117,10 +131,18 @@ func (t *Tracer) MemFree(addr uint64) {
 func BindOOB(t *Tracer, oob mpispec.OOB) { t.enc.SetOOB(oob) }
 
 // CSTLen returns the number of unique call signatures seen so far.
-func (t *Tracer) CSTLen() int { return t.table.Len() }
+func (t *Tracer) CSTLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.table.Len()
+}
 
 // GrammarStats returns the current CFG size statistics.
-func (t *Tracer) GrammarStats() sequitur.Stats { return t.cfg.Stats() }
+func (t *Tracer) GrammarStats() sequitur.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cfg.Stats()
+}
 
 // RawSignatures returns the captured uncompressed signature stream
 // (Verify mode only).
@@ -143,30 +165,119 @@ type FinalizeStats struct {
 	TraceBytes int
 }
 
+// Snapshot is a crash-consistent copy of one rank's tracing state: an
+// immutable CST clone plus the serialized grammars. It can be taken
+// from any goroutine while the rank keeps tracing, and is the unit the
+// salvage path merges when a run fails before MPI_Finalize.
+type Snapshot struct {
+	Rank    int
+	Calls   int64
+	IntraNs int64
+
+	Table      *cst.Table
+	Grammar    sequitur.Serialized
+	DurGrammar sequitur.Serialized // lossy timing mode only
+	IntGrammar sequitur.Serialized // lossy timing mode only
+
+	// Verification capture copies (Options.Verify).
+	RawSigs  []string
+	RawTimes [][2]int64
+}
+
+// Snapshot serializes the tracer's current state under its lock. Safe
+// to call concurrently with interception from the rank goroutine.
+func (t *Tracer) Snapshot() *Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Snapshot{
+		Rank:     t.Rank,
+		Calls:    t.NCalls,
+		IntraNs:  t.IntraNs,
+		Table:    t.table.Clone(),
+		Grammar:  sequitur.Serialized(t.cfg.Serialize()),
+		RawSigs:  append([]string(nil), t.rawSigs...),
+		RawTimes: append([][2]int64(nil), t.rawTimes...),
+	}
+	if t.tcomp != nil {
+		s.DurGrammar = t.tcomp.DurationGrammar()
+		s.IntGrammar = t.tcomp.IntervalGrammar()
+	}
+	return s
+}
+
 // Finalize performs the inter-process compression over all ranks'
 // tracers and produces the trace file (§3.5). It corresponds to the
 // work Pilgrim does inside MPI_Finalize.
 func Finalize(tracers []*Tracer) (*trace.File, FinalizeStats) {
-	var st FinalizeStats
-	if len(tracers) == 0 {
-		return &trace.File{CST: cst.New(), RankMap: sequitur.Serialized(sequitur.New().Serialize())}, st
+	var opts Options
+	if len(tracers) > 0 {
+		opts = tracers[0].opts
 	}
-	opts := tracers[0].opts
+	return finalizeSnapshots(snapshotAll(tracers), opts, nil)
+}
+
+// SalvageFinalize is the failure-path finalize: it snapshots every
+// tracer (the ranks may be dead or unwound; any still running are
+// snapshotted consistently), runs the same §3.5 inter-process merge
+// over the survivors' full streams and the failed ranks' partial ones,
+// and tags the resulting trace with the failure. failed maps a rank to
+// its fatal error (crash/abort/panic); ranks absent from it survived
+// to the halt. reason is a one-line description of what stopped the
+// run.
+func SalvageFinalize(tracers []*Tracer, failed map[int]error, reason string) (*trace.File, FinalizeStats) {
+	var opts Options
+	if len(tracers) > 0 {
+		opts = tracers[0].opts
+	}
+	snaps := snapshotAll(tracers)
+	info := &trace.SalvageInfo{Reason: reason, Calls: make([]int64, len(snaps))}
+	ranks := make([]int, 0, len(failed))
+	for r := range failed {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		info.FailedRanks = append(info.FailedRanks, int32(r))
+	}
+	for i, s := range snaps {
+		info.Calls[i] = s.Calls
+	}
+	return finalizeSnapshots(snaps, opts, info)
+}
+
+// FinalizeSnapshots merges explicit snapshots (e.g. collected
+// incrementally by a monitor) into a trace tagged with salvage info.
+func FinalizeSnapshots(snaps []*Snapshot, opts Options, info *trace.SalvageInfo) (*trace.File, FinalizeStats) {
+	return finalizeSnapshots(snaps, opts.withDefaults(), info)
+}
+
+func snapshotAll(tracers []*Tracer) []*Snapshot {
+	snaps := make([]*Snapshot, len(tracers))
+	for i, tr := range tracers {
+		snaps[i] = tr.Snapshot()
+	}
+	return snaps
+}
+
+func finalizeSnapshots(snaps []*Snapshot, opts Options, info *trace.SalvageInfo) (*trace.File, FinalizeStats) {
+	var st FinalizeStats
+	if len(snaps) == 0 {
+		return &trace.File{CST: cst.New(), RankMap: sequitur.Serialized(sequitur.New().Serialize()), Salvage: info}, st
+	}
 
 	// Phase 1: merge CSTs pairwise and relabel every rank's grammar
 	// with the global terminals (§3.5.1).
 	t0 := time.Now()
-	tables := make([]*cst.Table, len(tracers))
-	for i, tr := range tracers {
-		tables[i] = tr.table
-		st.IntraNs += tr.IntraNs
-		st.TotalCalls += tr.NCalls
+	tables := make([]*cst.Table, len(snaps))
+	for i, s := range snaps {
+		tables[i] = s.Table
+		st.IntraNs += s.IntraNs
+		st.TotalCalls += s.Calls
 	}
 	merged := cst.MergePairwise(tables)
-	relabeled := make([]sequitur.Serialized, len(tracers))
-	for i, tr := range tracers {
-		sg := sequitur.Serialized(tr.cfg.Serialize())
-		rl, err := sg.Relabel(merged.Relabels[i])
+	relabeled := make([]sequitur.Serialized, len(snaps))
+	for i, s := range snaps {
+		rl, err := s.Grammar.Relabel(merged.Relabels[i])
 		if err != nil {
 			panic(fmt.Sprintf("core: relabel rank %d: %v", i, err))
 		}
@@ -193,20 +304,21 @@ func Finalize(tracers []*Tracer) (*trace.File, FinalizeStats) {
 	st.UniqueCFGs = len(uniq)
 
 	f := &trace.File{
-		NumRanks:   len(tracers),
+		NumRanks:   len(snaps),
 		TimingMode: opts.TimingMode,
 		TimingBase: opts.TimingBase,
 		CST:        merged.Table,
 		Grammars:   uniq,
 		Packed:     packed,
 		RankMap:    sequitur.Serialized(rankMap.Serialize()),
+		Salvage:    info,
 	}
 	if opts.TimingMode == trace.TimingLossy {
-		durs := make([]sequitur.Serialized, len(tracers))
-		ints := make([]sequitur.Serialized, len(tracers))
-		for i, tr := range tracers {
-			durs[i] = tr.tcomp.DurationGrammar()
-			ints[i] = tr.tcomp.IntervalGrammar()
+		durs := make([]sequitur.Serialized, len(snaps))
+		ints := make([]sequitur.Serialized, len(snaps))
+		for i, s := range snaps {
+			durs[i] = s.DurGrammar
+			ints[i] = s.IntGrammar
 		}
 		f.DurGrammars, f.DurIndex = dedupGrammars(durs)
 		f.IntGrammars, f.IntIndex = dedupGrammars(ints)

@@ -44,6 +44,21 @@ func (t *Table) Add(sig []byte, duration int64) int32 {
 	return term
 }
 
+// Clone returns a deep copy of the table. Used by crash-consistent
+// snapshots: the copy is immutable while the original keeps growing.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		bySig:  make(map[string]int32, len(t.bySig)),
+		sigs:   append([]string(nil), t.sigs...),
+		count:  append([]int64(nil), t.count...),
+		durSum: append([]int64(nil), t.durSum...),
+	}
+	for k, v := range t.bySig {
+		c.bySig[k] = v
+	}
+	return c
+}
+
 // Lookup returns the terminal for sig without inserting.
 func (t *Table) Lookup(sig []byte) (int32, bool) {
 	term, ok := t.bySig[string(sig)]

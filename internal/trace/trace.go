@@ -58,6 +58,26 @@ type File struct {
 	IntIndex    []int32
 	PackedDur   sequitur.Serialized
 	PackedInt   sequitur.Serialized
+
+	// Salvage, if non-nil, marks this as a partial trace recovered from
+	// a failed run: it names the failure and the ranks whose streams
+	// are truncated. Written as a trailing optional section, so normal
+	// traces are byte-identical to the pre-salvage format and old
+	// readers simply ignore the tail.
+	Salvage *SalvageInfo
+}
+
+// SalvageInfo tags a partial trace produced by SalvageFinalize.
+type SalvageInfo struct {
+	// FailedRanks lists the ranks that crashed or aborted; their call
+	// streams end at the failure point. Ranks not listed survived to
+	// the halt and their streams are complete up to it.
+	FailedRanks []int32
+	// Reason is a one-line description of the failure that halted the
+	// run (crash, abort, or deadlock diagnosis).
+	Reason string
+	// Calls holds every rank's recorded call count at salvage time.
+	Calls []int64
 }
 
 // GrammarIndex expands the rank map and returns, per rank, the index
@@ -195,10 +215,79 @@ func (f *File) WriteTo(w io.Writer) (int64, error) {
 	if err := writeIndex(bw, f.IntIndex); err != nil {
 		return cw.n, err
 	}
+	if f.Salvage != nil {
+		if err := bw.WriteByte(1); err != nil {
+			return cw.n, err
+		}
+		if err := writeBytes(bw, f.Salvage.serialize()); err != nil {
+			return cw.n, err
+		}
+	}
 	if err := bw.Flush(); err != nil {
 		return cw.n, err
 	}
 	return cw.n, nil
+}
+
+func (s *SalvageInfo) serialize() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(s.FailedRanks)))
+	for _, r := range s.FailedRanks {
+		buf = binary.AppendVarint(buf, int64(r))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Reason)))
+	buf = append(buf, s.Reason...)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Calls)))
+	for _, c := range s.Calls {
+		buf = binary.AppendVarint(buf, c)
+	}
+	return buf
+}
+
+func deserializeSalvage(data []byte) (*SalvageInfo, error) {
+	rd := bytes.NewReader(data)
+	s := &SalvageInfo{}
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("trace: truncated salvage rank count")
+	}
+	if n > uint64(len(data)) {
+		return nil, fmt.Errorf("trace: salvage claims %d failed ranks in %d bytes", n, len(data))
+	}
+	for i := uint64(0); i < n; i++ {
+		v, err := binary.ReadVarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated salvage rank %d", i)
+		}
+		s.FailedRanks = append(s.FailedRanks, int32(v))
+	}
+	l, err := binary.ReadUvarint(rd)
+	if err != nil || l > uint64(rd.Len()) {
+		return nil, fmt.Errorf("trace: truncated salvage reason")
+	}
+	reason := make([]byte, l)
+	if _, err := io.ReadFull(rd, reason); err != nil {
+		return nil, fmt.Errorf("trace: truncated salvage reason")
+	}
+	s.Reason = string(reason)
+	n, err = binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("trace: truncated salvage call counts")
+	}
+	if n > uint64(len(data)) {
+		return nil, fmt.Errorf("trace: salvage claims %d call counts in %d bytes", n, len(data))
+	}
+	for i := uint64(0); i < n; i++ {
+		v, err := binary.ReadVarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated salvage call count %d", i)
+		}
+		s.Calls = append(s.Calls, v)
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("trace: %d trailing salvage bytes", rd.Len())
+	}
+	return s, nil
 }
 
 type countingWriter struct {
@@ -460,6 +549,25 @@ func Read(r io.Reader) (*File, error) {
 		return nil, err
 	}
 	if f.IntIndex, err = br.index(); err != nil {
+		return nil, err
+	}
+	// Optional trailing salvage section: absent (EOF here) in normal
+	// traces and in files from older writers.
+	flag, err := br.r.ReadByte()
+	if err == io.EOF {
+		return f, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if flag != 1 {
+		return nil, fmt.Errorf("trace: bad trailing section flag %d", flag)
+	}
+	sb, err := br.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if f.Salvage, err = deserializeSalvage(sb); err != nil {
 		return nil, err
 	}
 	return f, nil

@@ -113,6 +113,7 @@ func (w *World) dropSlot(key collKey) {
 // clock. The slot is reclaimed when the last participant leaves.
 func (w *World) rendezvous(key collKey, need, rank int, clock int64, contrib any,
 	compute func(contrib map[int]any) any) (any, int64) {
+	w.progress.Add(1)
 	s := w.getSlot(key, need)
 	s.mu.Lock()
 	s.contrib[rank] = contrib
@@ -128,6 +129,13 @@ func (w *World) rendezvous(key collKey, need, rank int, clock int64, contrib any
 		s.cond.Broadcast()
 	} else {
 		for !s.computed {
+			if w.revoked.Load() {
+				// The job halted while we waited for the other members:
+				// unwind (the slot leaks, but the world is being torn
+				// down anyway).
+				s.mu.Unlock()
+				panic(jobRevoked{})
+			}
 			s.cond.Wait()
 		}
 	}
@@ -143,10 +151,14 @@ func (w *World) rendezvous(key collKey, need, rank int, clock int64, contrib any
 }
 
 // commRendezvous is a rendezvous over the members of c using its
-// per-process collective sequence number.
+// per-process collective sequence number. It runs on the rank's own
+// goroutine (blocking collectives), so it registers in the deadlock
+// registry; the non-blocking variants register via their request's
+// wait target instead.
 func (p *Proc) commRendezvous(c *Comm, contrib any, compute func(map[int]any) any) (any, int64) {
 	seq := c.seq.Add(1)
 	key := collKey{ctx: c.ctx, seq: seq}
+	defer p.world.setBlocked(p, collTarget(p.world, key, c.group, p.rank, c.name))()
 	return p.world.rendezvous(key, len(c.group), c.myRank, p.clock.Load(), contrib, compute)
 }
 
@@ -209,12 +221,14 @@ func (p *Proc) CommIdup(c *Comm) (*Comm, *Request, error) {
 	p.icall(fCommIdup, args, func() {
 		seq := c.seq.Add(1)
 		key := collKey{ctx: c.ctx, seq: seq}
-		go func() {
-			res, maxClk := p.world.rendezvous(key, len(c.group), c.myRank, p.clock.Load(), nil,
+		req.target = collTarget(p.world, key, c.group, p.rank, c.name)
+		clk := p.clock.Load()
+		p.goBackground(func() {
+			res, maxClk := p.world.rendezvous(key, len(c.group), c.myRank, clk, nil,
 				func(m map[int]any) any { return p.world.ctxSeq.Add(1) })
 			nc.ctx = res.(int64)
 			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
-		}()
+		})
 	})
 	return nc, req, nil
 }
@@ -470,6 +484,14 @@ func (p *Proc) IntercommCreate(localComm *Comm, localLeader int, peerComm *Comm,
 		if localComm.myRank == localLeader {
 			// Leaders meet on an out-of-band slot keyed by peer ctx+tag.
 			key := collKey{ctx: peerComm.ctx, seq: int64(tag) | (1 << 40), oob: true}
+			remoteLeaderWorld := -1
+			if remoteLeader >= 0 && remoteLeader < len(peerComm.group) {
+				remoteLeaderWorld = peerComm.group[remoteLeader]
+			}
+			dereg := p.world.setBlocked(p, &waitTarget{
+				detail: fmt.Sprintf("leader exchange, peer comm=%s, tag=%d", peerComm.name, tag),
+				peers:  staticPeers(remoteLeaderWorld),
+			})
 			res, _ := p.world.rendezvous(key, 2, peerComm.myRank, p.clock.Load(),
 				leaderInfo{group: localComm.group}, func(m map[int]any) any {
 					groups := map[int][]int{}
@@ -478,6 +500,7 @@ func (p *Proc) IntercommCreate(localComm *Comm, localLeader int, peerComm *Comm,
 					}
 					return map[string]any{"ctx": p.world.ctxSeq.Add(1), "groups": groups}
 				})
+			dereg()
 			rm := res.(map[string]any)
 			ctx = rm["ctx"].(int64)
 			for r, g := range rm["groups"].(map[int][]int) {
@@ -533,6 +556,10 @@ func (p *Proc) IntercommMerge(c *Comm, high bool) (*Comm, error) {
 		need := len(c.group) + len(c.remote)
 		seq := c.seq.Add(1)
 		key := collKey{ctx: c.ctx, seq: seq}
+		members := make([]int, 0, need)
+		members = append(members, c.group...)
+		members = append(members, c.remote...)
+		defer p.world.setBlocked(p, collTargetWorldKeyed(p.world, key, members, p.rank, c.name))()
 		res, maxClk := p.world.rendezvous(key, need, p.rank, p.clock.Load(),
 			mergeContrib{high: high, worldRank: p.rank}, func(m map[int]any) any {
 				var lows, highs []int

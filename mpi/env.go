@@ -55,12 +55,16 @@ func (p *Proc) Finalized() bool {
 	return flag
 }
 
-// Abort terminates the simulated job by panicking in this rank (Run
-// converts the panic into an error).
+// Abort terminates the whole simulated job, as MPI_Abort does: the
+// world is revoked so every other rank unblocks promptly with an
+// ErrRevoked-wrapped error, and this rank unwinds with an AbortError
+// (Run returns both inside a *RunError).
 func (p *Proc) Abort(c *Comm, errorcode int) {
 	args := []Value{vComm(c), vInt(errorcode)}
 	p.icall(fAbort, args, func() {})
-	panic(fmt.Sprintf("MPI_Abort(comm=%s, errorcode=%d) on rank %d", c.name, errorcode, p.rank))
+	err := &AbortError{Rank: p.rank, Code: errorcode, Comm: c.name}
+	p.world.revoke(err)
+	panic(err)
 }
 
 // GetProcessorName returns a synthetic host name for the rank.
@@ -119,6 +123,7 @@ func (p *Proc) persistInitCommon(id funcIDT, buf Ptr, count int, dt *Datatype, p
 				return
 			}
 			if isRecv {
+				r.target = recvTarget(c, peer, tag)
 				nbytes := count * dt.size
 				dst := buf.data
 				if len(dst) > nbytes {
@@ -140,9 +145,10 @@ func (p *Proc) persistInitCommon(id funcIDT, buf Ptr, count int, dt *Datatype, p
 			e := &envelope{src: c.senderRankFor(), tag: tag, data: data, sentAt: p.clock.Load()}
 			if syncMode {
 				e.sreq = r
-				p.world.postSend(c.ctx, destWorld, e)
+				r.target = sendTarget(c, destWorld, peer, tag)
+				p.postEnvelope(c.ctx, destWorld, e)
 			} else {
-				p.world.postSend(c.ctx, destWorld, e)
+				p.postEnvelope(c.ctx, destWorld, e)
 				r.complete(Status{Source: c.myRank, Tag: tag, Count: nbytes}, p.clock.Load())
 			}
 		}

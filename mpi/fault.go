@@ -1,0 +1,291 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fault injection: a FaultPlan attached to Options deterministically
+// perturbs a run — crash a rank at its Nth MPI call, delay or drop a
+// point-to-point message, or fail a collective. Faults trigger on the
+// per-rank MPI call counter (and, optionally, a probability sampled
+// from the rank's own RNG), so two runs with the same seed and plan
+// observe identical failures. This is the substrate for testing the
+// crash-consistent trace salvage path and the deadlock diagnoser.
+
+// FaultKind selects what an injected fault does.
+type FaultKind int
+
+const (
+	// FaultCrash kills the rank at the triggering call, as if the
+	// process died: everything it already posted (sends, collective
+	// arrivals) stays visible, nothing after does. Other ranks keep
+	// running until they finish or block on the dead rank; the idle
+	// detector then halts the job promptly with a diagnosis, which
+	// keeps the surviving ranks' call streams deterministic.
+	FaultCrash FaultKind = iota
+	// FaultDelayMsg adds Delay virtual nanoseconds to the next
+	// point-to-point message the rank sends at or after the
+	// triggering call.
+	FaultDelayMsg
+	// FaultDropMsg silently discards the next point-to-point message
+	// the rank sends at or after the triggering call. Receivers (and
+	// synchronous senders) waiting on it block and are diagnosed by
+	// the deadlock detector.
+	FaultDropMsg
+	// FaultCollFail makes the rank refuse the triggering collective:
+	// it dies at the call without arriving at the rendezvous, so the
+	// remaining members block and the failure is diagnosed.
+	FaultCollFail
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultDelayMsg:
+		return "delay-msg"
+	case FaultDropMsg:
+		return "drop-msg"
+	case FaultCollFail:
+		return "coll-fail"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is one injected failure.
+type Fault struct {
+	Kind FaultKind
+	// Rank is the world rank the fault applies to.
+	Rank int
+	// AtCall triggers the fault at the rank's Nth MPI call (1-based).
+	// Zero means "any call", gated by Probability.
+	AtCall int64
+	// Probability, when AtCall is zero, samples the fault once per
+	// call from the rank's deterministic RNG. Ignored otherwise.
+	Probability float64
+	// Delay is the virtual-nanosecond delay for FaultDelayMsg.
+	Delay int64
+}
+
+// FaultPlan is the set of faults for one run.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// faultState is the per-rank view of the plan (rank goroutine only).
+type faultState struct {
+	faults []Fault // this rank's faults
+	fired  []bool
+}
+
+func newFaultState(plan *FaultPlan, rank int) *faultState {
+	if plan == nil {
+		return nil
+	}
+	var mine []Fault
+	for _, f := range plan.Faults {
+		if f.Rank == rank {
+			mine = append(mine, f)
+		}
+	}
+	if len(mine) == 0 {
+		return nil
+	}
+	return &faultState{faults: mine, fired: make([]bool, len(mine))}
+}
+
+// checkFaults runs at every MPI call entry on the rank goroutine.
+// call is the 1-based index of the call being attempted. Crash-style
+// faults panic with a typed value the runner recognizes; message
+// faults arm the proc's pending-delay/drop state consumed by the next
+// posted envelope.
+func (p *Proc) checkFaults(call int64) {
+	fs := p.faults
+	if fs == nil {
+		return
+	}
+	for i := range fs.faults {
+		f := &fs.faults[i]
+		if fs.fired[i] {
+			continue
+		}
+		if f.AtCall > 0 {
+			if call != f.AtCall {
+				continue
+			}
+		} else if f.Probability <= 0 || p.rng.Float64() >= f.Probability {
+			continue
+		}
+		fs.fired[i] = true
+		switch f.Kind {
+		case FaultCrash:
+			panic(&CrashError{Rank: p.rank, Call: call, Injected: true})
+		case FaultCollFail:
+			panic(&CrashError{Rank: p.rank, Call: call, Injected: true, Collective: true})
+		case FaultDelayMsg:
+			p.msgDelay += f.Delay
+		case FaultDropMsg:
+			p.msgDrop++
+		}
+	}
+}
+
+// applySendFaults consumes any armed message fault for the envelope
+// about to be posted. It reports whether the envelope should actually
+// be delivered (false = dropped).
+func (p *Proc) applySendFaults(e *envelope) bool {
+	if p.msgDrop > 0 {
+		p.msgDrop--
+		return false
+	}
+	if p.msgDelay > 0 {
+		e.sentAt += p.msgDelay
+		p.msgDelay = 0
+	}
+	return true
+}
+
+// postEnvelope routes an envelope through the fault layer to the
+// destination mailbox. All send paths go through here.
+func (p *Proc) postEnvelope(ctx int64, destWorld int, e *envelope) {
+	if !p.applySendFaults(e) {
+		// Dropped: a synchronous sender still waits on e.sreq, and the
+		// receiver never matches; both show up in the deadlock report.
+		return
+	}
+	p.world.postSend(ctx, destWorld, e)
+}
+
+// --- Typed failure errors ----------------------------------------------------
+
+// ErrRevoked marks operations aborted because the job failed on
+// another rank (in the spirit of ULFM's MPI_ERR_REVOKED): when a rank
+// crashes, aborts, or a deadlock is diagnosed, every other blocked
+// rank unwinds with an error wrapping ErrRevoked instead of hanging.
+var ErrRevoked = errors.New("mpi: operation revoked (job failure on another rank)")
+
+// CrashError reports an injected rank crash (FaultCrash/FaultCollFail).
+type CrashError struct {
+	Rank       int
+	Call       int64 // 1-based index of the call the rank died at
+	Injected   bool
+	Collective bool
+}
+
+func (e *CrashError) Error() string {
+	what := "crashed"
+	if e.Collective {
+		what = "failed a collective"
+	}
+	inj := ""
+	if e.Injected {
+		inj = " (injected fault)"
+	}
+	return fmt.Sprintf("mpi: rank %d %s at MPI call %d%s", e.Rank, what, e.Call, inj)
+}
+
+// AbortError reports an MPI_Abort.
+type AbortError struct {
+	Rank int
+	Code int
+	Comm string
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("mpi: MPI_Abort(comm=%s, errorcode=%d) on rank %d", e.Comm, e.Code, e.Rank)
+}
+
+// PanicError reports a panic escaping a rank body.
+type PanicError struct {
+	Rank  int
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("mpi: rank %d panicked: %v\n%s", e.Rank, e.Value, e.Stack)
+}
+
+// jobRevoked is the panic value blocking operations raise when the
+// world has been revoked; the runner converts it into an
+// ErrRevoked-wrapped rank error, and background helper goroutines
+// swallow it.
+type jobRevoked struct{}
+
+// RunError is the aggregate failure of a run: the precipitating cause
+// plus every rank's individual error (crashes, aborts, panics, and the
+// ErrRevoked unwinds of ranks that were blocked when the job halted).
+type RunError struct {
+	// Cause is the failure that halted the job: a *CrashError,
+	// *AbortError, *PanicError, or *DeadlockError. May equal one of
+	// the per-rank errors.
+	Cause error
+	// Ranks maps world rank to that rank's error (ranks that returned
+	// cleanly are absent).
+	Ranks map[int]error
+	// Abandoned counts rank goroutines that still had not unwound
+	// when the bounded post-failure grace period expired.
+	Abandoned int
+}
+
+// Error formats the cause followed by each rank's error.
+func (e *RunError) Error() string {
+	var b strings.Builder
+	if e.Cause != nil {
+		b.WriteString(e.Cause.Error())
+	} else {
+		b.WriteString("mpi: run failed")
+	}
+	for _, r := range e.FailedRanks() {
+		err := e.Ranks[r]
+		if err == e.Cause {
+			continue
+		}
+		b.WriteString("\n")
+		b.WriteString(err.Error())
+	}
+	if e.Abandoned > 0 {
+		fmt.Fprintf(&b, "\n%d rank goroutine(s) abandoned after grace period", e.Abandoned)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the cause and every rank error, so errors.Is/As see
+// all of them (the errors.Join contract).
+func (e *RunError) Unwrap() []error {
+	out := make([]error, 0, len(e.Ranks)+1)
+	if e.Cause != nil {
+		out = append(out, e.Cause)
+	}
+	for _, r := range e.FailedRanks() {
+		if e.Ranks[r] != e.Cause {
+			out = append(out, e.Ranks[r])
+		}
+	}
+	return out
+}
+
+// FailedRanks returns the ranks with errors, sorted.
+func (e *RunError) FailedRanks() []int {
+	out := make([]int, 0, len(e.Ranks))
+	for r := range e.Ranks {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FailedRanks extracts the per-rank failure map from an error returned
+// by Run/RunOpt (nil if err is not a *RunError). Trace-salvage callers
+// use it to tag which ranks' streams are truncated.
+func FailedRanks(err error) map[int]error {
+	var re *RunError
+	if errors.As(err, &re) {
+		return re.Ranks
+	}
+	return nil
+}

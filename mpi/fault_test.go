@@ -1,0 +1,215 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ringBody is an SPMD loop of sendrecv-style traffic used by the fault
+// tests: each rank passes a token around the ring iters times.
+func ringBody(iters int) func(p *Proc) {
+	return func(p *Proc) {
+		w := p.World()
+		n := p.Size()
+		buf := p.Alloc(8)
+		out := p.Alloc(8)
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() - 1 + n) % n
+		for i := 0; i < iters; i++ {
+			p.Sendrecv(buf.Ptr(0), 1, Double, right, 7,
+				out.Ptr(0), 1, Double, left, 7, w, nil)
+		}
+	}
+}
+
+func TestInjectedCrashPromptReturn(t *testing.T) {
+	// Rank 2 dies at its 10th call; the other ranks block on the ring
+	// and must be unblocked by the idle detector well before the run
+	// timeout (the acceptance bound is sub-second beyond the quiesce
+	// window).
+	plan := &FaultPlan{Faults: []Fault{{Kind: FaultCrash, Rank: 2, AtCall: 10}}}
+	start := time.Now()
+	err := RunOpt(4, Options{Timeout: 60 * time.Second, FaultPlan: plan}, ringBody(1000))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected a run error after injected crash")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("run took %v to halt after crash; want prompt return", elapsed)
+	}
+	ranks := FailedRanks(err)
+	if ranks == nil {
+		t.Fatalf("error is not a *RunError: %v", err)
+	}
+	var ce *CrashError
+	if !errors.As(ranks[2], &ce) || !ce.Injected || ce.Call != 10 {
+		t.Fatalf("rank 2 error = %v, want injected CrashError at call 10", ranks[2])
+	}
+	// Satellite: RunOpt aggregates every rank's error, so the blocked
+	// survivors show up too, wrapping ErrRevoked.
+	revoked := 0
+	for r, e := range ranks {
+		if r == 2 {
+			continue
+		}
+		if !errors.Is(e, ErrRevoked) {
+			t.Errorf("rank %d error = %v, want ErrRevoked wrap", r, e)
+		}
+		revoked++
+	}
+	if revoked == 0 {
+		t.Error("no surviving rank recorded an ErrRevoked unwind")
+	}
+	// The report names the dead rank.
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("cause %v does not carry a diagnosis", err)
+	}
+	if len(de.Crashed) != 1 || de.Crashed[0] != 2 {
+		t.Errorf("diagnosis crashed=%v, want [2]", de.Crashed)
+	}
+}
+
+func TestFaultDelayMsg(t *testing.T) {
+	// A delayed message still arrives (run succeeds) and carries its
+	// virtual delay: the receiver's clock must have advanced past it.
+	const delay = int64(5_000_000_000) // 5 virtual seconds
+	plan := &FaultPlan{Faults: []Fault{{Kind: FaultDelayMsg, Rank: 0, AtCall: 1, Delay: delay}}}
+	clocks := make([]int64, 2)
+	err := RunOpt(2, Options{Timeout: 30 * time.Second, FaultPlan: plan}, func(p *Proc) {
+		w := p.World()
+		buf := p.Alloc(8)
+		if p.Rank() == 0 {
+			putInt64(buf.Bytes(), 99)
+			if err := p.Send(buf.Ptr(0), 1, Double, 1, 3, w); err != nil {
+				t.Error(err)
+			}
+		} else {
+			if err := p.Recv(buf.Ptr(0), 1, Double, 0, 3, w, nil); err != nil {
+				t.Error(err)
+			}
+			if got := getInt64(buf.Bytes()); got != 99 {
+				t.Errorf("payload %d, want 99", got)
+			}
+		}
+		clocks[p.Rank()] = p.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clocks[1] < delay {
+		t.Errorf("receiver clock %d did not absorb the %d ns injected delay", clocks[1], delay)
+	}
+}
+
+func TestFaultDropMsgDiagnosed(t *testing.T) {
+	// Rank 0's only send is silently dropped; rank 1 blocks in the
+	// matching Recv and rank 0 in a barrier. The idle detector must
+	// halt the job and name the stuck receive.
+	plan := &FaultPlan{Faults: []Fault{{Kind: FaultDropMsg, Rank: 0, AtCall: 1}}}
+	err := RunOpt(2, Options{Timeout: 60 * time.Second, FaultPlan: plan}, func(p *Proc) {
+		w := p.World()
+		buf := p.Alloc(8)
+		if p.Rank() == 0 {
+			p.Send(buf.Ptr(0), 1, Double, 1, 11, w)
+			p.Barrier(w)
+		} else {
+			p.Recv(buf.Ptr(0), 1, Double, 0, 11, w, nil)
+			p.Barrier(w)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected dropped message to be diagnosed as a hang")
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v carries no diagnosis", err)
+	}
+	msg := de.Error()
+	if !strings.Contains(msg, "MPI_Recv") || !strings.Contains(msg, "src=0, tag=11") {
+		t.Errorf("report does not name the stuck receive:\n%s", msg)
+	}
+	if !strings.Contains(msg, "MPI_Barrier") {
+		t.Errorf("report does not name the stuck barrier:\n%s", msg)
+	}
+}
+
+// crashSignature condenses a run error into the deterministic part of
+// the failure: which ranks died, at which call, by what kind.
+func crashSignature(err error) string {
+	var parts []string
+	re := &RunError{}
+	if !errors.As(err, &re) {
+		return "<none>"
+	}
+	for _, r := range re.FailedRanks() {
+		var ce *CrashError
+		if errors.As(re.Ranks[r], &ce) {
+			parts = append(parts, ce.Error())
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+func TestFaultPlanDeterminismAcrossRuns(t *testing.T) {
+	// Probability faults sample the per-rank deterministic RNG: two
+	// runs with the same seed and plan must fail identically.
+	plan := &FaultPlan{Faults: []Fault{
+		{Kind: FaultCrash, Rank: 1, Probability: 0.02},
+		{Kind: FaultCrash, Rank: 3, Probability: 0.02},
+	}}
+	sig := ""
+	for i := 0; i < 2; i++ {
+		err := RunOpt(4, Options{Seed: 42, Timeout: 60 * time.Second, FaultPlan: plan}, ringBody(500))
+		if err == nil {
+			t.Fatal("expected probabilistic crash to fire within 500 iterations")
+		}
+		s := crashSignature(err)
+		if s == "<none>" || s == "" {
+			t.Fatalf("run %d: no crash recorded in %v", i, err)
+		}
+		if i == 0 {
+			sig = s
+		} else if s != sig {
+			t.Fatalf("crash signature diverged across identical runs:\n  first:  %s\n  second: %s", sig, s)
+		}
+	}
+}
+
+func TestCollectiveFaultDiagnosed(t *testing.T) {
+	// Rank 1 refuses its 5th collective: the remaining members block in
+	// the barrier and the report names them waiting on rank 1.
+	plan := &FaultPlan{Faults: []Fault{{Kind: FaultCollFail, Rank: 1, AtCall: 5}}}
+	err := RunOpt(3, Options{Timeout: 60 * time.Second, FaultPlan: plan}, func(p *Proc) {
+		w := p.World()
+		for i := 0; i < 10; i++ {
+			p.Barrier(w)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected collective fault to halt the job")
+	}
+	var ce *CrashError
+	if !errors.As(FailedRanks(err)[1], &ce) || !ce.Collective {
+		t.Fatalf("rank 1 error = %v, want collective CrashError", FailedRanks(err)[1])
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v carries no diagnosis", err)
+	}
+	found := false
+	for _, op := range de.Blocked {
+		if op.Op == "MPI_Barrier" {
+			for _, wr := range op.WaitsOn {
+				if wr == 1 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no blocked barrier waits on the dead rank:\n%s", de.Error())
+	}
+}

@@ -16,11 +16,12 @@ func (p *Proc) Ibarrier(c *Comm) (*Request, error) {
 	p.icall(fIbarrier, args, func() {
 		seq := c.seq.Add(1)
 		key := collKey{ctx: c.ctx, seq: seq}
+		req.target = collTarget(p.world, key, c.group, p.rank, c.name)
 		clk := p.clock.Load()
-		go func() {
+		p.goBackground(func() {
 			_, maxClk := p.world.rendezvous(key, len(c.group), c.myRank, clk, nil, nil)
 			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
-		}()
+		})
 	})
 	return req, nil
 }
@@ -40,9 +41,10 @@ func (p *Proc) Ibcast(buf Ptr, count int, dt *Datatype, root int, c *Comm) (*Req
 		}
 		seq := c.seq.Add(1)
 		key := collKey{ctx: c.ctx, seq: seq}
+		req.target = collTarget(p.world, key, c.group, p.rank, c.name)
 		clk := p.clock.Load()
 		me := c.myRank
-		go func() {
+		p.goBackground(func() {
 			res, maxClk := p.world.rendezvous(key, len(c.group), me, clk, contrib,
 				func(m map[int]any) any { return m[root] })
 			if me != root {
@@ -51,7 +53,7 @@ func (p *Proc) Ibcast(buf Ptr, count int, dt *Datatype, root int, c *Comm) (*Req
 				}
 			}
 			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group)))+int64(nbytes)/10)
-		}()
+		})
 	})
 	return req, nil
 }
@@ -70,15 +72,16 @@ func (p *Proc) Igather(sendbuf Ptr, sendcount int, sendtype *Datatype,
 		contrib := snapshot(sendbuf, nbytes)
 		seq := c.seq.Add(1)
 		key := collKey{ctx: c.ctx, seq: seq}
+		req.target = collTarget(p.world, key, c.group, p.rank, c.name)
 		clk := p.clock.Load()
 		me := c.myRank
-		go func() {
+		p.goBackground(func() {
 			res, maxClk := p.world.rendezvous(key, len(c.group), me, clk, contrib, concatCompute(len(c.group)))
 			if me == root {
 				copy(recvbuf.data, res.([]byte))
 			}
 			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
-		}()
+		})
 	})
 	return req, nil
 }
@@ -100,9 +103,10 @@ func (p *Proc) Iscatter(sendbuf Ptr, sendcount int, sendtype *Datatype,
 		}
 		seq := c.seq.Add(1)
 		key := collKey{ctx: c.ctx, seq: seq}
+		req.target = collTarget(p.world, key, c.group, p.rank, c.name)
 		clk := p.clock.Load()
 		me := c.myRank
-		go func() {
+		p.goBackground(func() {
 			res, maxClk := p.world.rendezvous(key, len(c.group), me, clk, contrib,
 				func(m map[int]any) any { return m[root] })
 			if data, ok := res.([]byte); ok {
@@ -112,7 +116,7 @@ func (p *Proc) Iscatter(sendbuf Ptr, sendcount int, sendtype *Datatype,
 				}
 			}
 			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
-		}()
+		})
 	})
 	return req, nil
 }
@@ -131,12 +135,13 @@ func (p *Proc) Iallgather(sendbuf Ptr, sendcount int, sendtype *Datatype,
 		contrib := snapshot(sendbuf, nbytes)
 		seq := c.seq.Add(1)
 		key := collKey{ctx: c.ctx, seq: seq}
+		req.target = collTarget(p.world, key, c.group, p.rank, c.name)
 		clk := p.clock.Load()
-		go func() {
+		p.goBackground(func() {
 			res, maxClk := p.world.rendezvous(key, len(c.group), c.myRank, clk, contrib, concatCompute(len(c.group)))
 			copy(recvbuf.data, res.([]byte))
 			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
-		}()
+		})
 	})
 	return req, nil
 }
@@ -155,9 +160,10 @@ func (p *Proc) Ialltoall(sendbuf Ptr, sendcount int, sendtype *Datatype,
 		contrib := snapshot(sendbuf, blockBytes*len(c.group))
 		seq := c.seq.Add(1)
 		key := collKey{ctx: c.ctx, seq: seq}
+		req.target = collTarget(p.world, key, c.group, p.rank, c.name)
 		clk := p.clock.Load()
 		me := c.myRank
-		go func() {
+		p.goBackground(func() {
 			res, maxClk := p.world.rendezvous(key, len(c.group), me, clk, contrib, identityCompute)
 			m := res.(map[int]any)
 			for i := 0; i < len(c.group); i++ {
@@ -169,7 +175,7 @@ func (p *Proc) Ialltoall(sendbuf Ptr, sendcount int, sendtype *Datatype,
 				}
 			}
 			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
-		}()
+		})
 	})
 	return req, nil
 }
@@ -186,15 +192,16 @@ func (p *Proc) Ireduce(sendbuf, recvbuf Ptr, count int, dt *Datatype, op *Op, ro
 		contrib := snapshot(sendbuf, nbytes)
 		seq := c.seq.Add(1)
 		key := collKey{ctx: c.ctx, seq: seq}
+		req.target = collTarget(p.world, key, c.group, p.rank, c.name)
 		clk := p.clock.Load()
 		me := c.myRank
-		go func() {
+		p.goBackground(func() {
 			res, maxClk := p.world.rendezvous(key, len(c.group), me, clk, contrib, reduceCompute(op, dt, len(c.group)))
 			if me == root {
 				copy(recvbuf.data, res.([]byte))
 			}
 			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
-		}()
+		})
 	})
 	return req, nil
 }
@@ -211,12 +218,13 @@ func (p *Proc) Iallreduce(sendbuf, recvbuf Ptr, count int, dt *Datatype, op *Op,
 		contrib := snapshot(sendbuf, nbytes)
 		seq := c.seq.Add(1)
 		key := collKey{ctx: c.ctx, seq: seq}
+		req.target = collTarget(p.world, key, c.group, p.rank, c.name)
 		clk := p.clock.Load()
-		go func() {
+		p.goBackground(func() {
 			res, maxClk := p.world.rendezvous(key, len(c.group), c.myRank, clk, contrib, reduceCompute(op, dt, len(c.group)))
 			copy(recvbuf.data, res.([]byte))
 			req.complete(Status{}, maxClk+costLatency*int64(log2ceil(len(c.group))))
-		}()
+		})
 	})
 	return req, nil
 }

@@ -17,16 +17,26 @@ func (p *Proc) AllreduceMaxInt32(commHandle int64, v int32) int32 {
 	if c == nil {
 		panic(fmt.Sprintf("mpi: OOB allreduce on unknown comm handle %d (rank %d)", commHandle, p.rank))
 	}
-	return p.oobAllreduceMax(c, v)
+	return p.oobAllreduceMax(c, v, true)
 }
 
-func (p *Proc) oobAllreduceMax(c *Comm, v int32) int32 {
+// oobAllreduceMax blocks in a rendezvous over c's members. register
+// must be true only when called on the rank's own goroutine (the
+// deadlock registry holds one entry per rank); the non-blocking
+// variant runs on a background goroutine and passes false.
+func (p *Proc) oobAllreduceMax(c *Comm, v int32, register bool) int32 {
 	need := len(c.group)
 	if c.remote != nil {
 		need += len(c.remote)
 	}
 	seq := c.oobSeq.Add(1)
 	key := collKey{ctx: c.ctx, seq: seq, oob: true}
+	if register {
+		members := make([]int, 0, need)
+		members = append(members, c.group...)
+		members = append(members, c.remote...)
+		defer p.world.setBlocked(p, collTargetWorldKeyed(p.world, key, members, p.rank, c.name+" (OOB)"))()
+	}
 	res, _ := p.world.rendezvous(key, need, p.rank, p.clock.Load(), v, func(m map[int]any) any {
 		best := int32(-1 << 31)
 		for _, x := range m {
@@ -52,8 +62,8 @@ func (p *Proc) IAllreduceMaxInt32(commHandle int64, v int32) int64 {
 	op := &oobOp{}
 	p.oobPending[token] = op
 	p.oobMu.Unlock()
-	go func() {
-		r := p.oobAllreduceMax(c, v)
+	p.goBackground(func() {
+		r := p.oobAllreduceMax(c, v, false)
 		p.oobMu.Lock()
 		op.result = r
 		op.done = true
@@ -62,7 +72,7 @@ func (p *Proc) IAllreduceMaxInt32(commHandle int64, v int32) int64 {
 		p.mu.Lock()
 		p.cond.Broadcast()
 		p.mu.Unlock()
-	}()
+	})
 	return token
 }
 

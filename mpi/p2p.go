@@ -82,6 +82,7 @@ func deliver(e *envelope, rp *recvPost) {
 // postSend routes an envelope to the destination mailbox, matching a
 // posted receive if possible.
 func (w *World) postSend(ctx int64, destWorld int, e *envelope) {
+	w.progress.Add(1)
 	b := w.box(ctx, destWorld)
 	b.mu.Lock()
 	for i, rp := range b.recvs {
@@ -98,6 +99,7 @@ func (w *World) postSend(ctx int64, destWorld int, e *envelope) {
 
 // postRecv registers a receive, matching a pending send if possible.
 func (w *World) postRecv(ctx int64, destWorld int, rp *recvPost) {
+	w.progress.Add(1)
 	b := w.box(ctx, destWorld)
 	rp.box = b
 	b.mu.Lock()
@@ -166,12 +168,13 @@ func (p *Proc) sendCommon(id funcIDT, buf Ptr, count int, dt *Datatype, dest, ta
 		e := &envelope{src: c.senderRankFor(), tag: tag, data: data, sentAt: p.clock.Load()}
 		if syncMode {
 			sreq := p.newRequest(rkSend)
+			sreq.target = sendTarget(c, destWorld, dest, tag)
 			e.sreq = sreq
-			p.world.postSend(c.ctx, destWorld, e)
+			p.postEnvelope(c.ctx, destWorld, e)
 			sreq.waitDone()
 			sreq.consume()
 		} else {
-			p.world.postSend(c.ctx, destWorld, e)
+			p.postEnvelope(c.ctx, destWorld, e)
 		}
 	})
 	return err
@@ -230,6 +233,7 @@ func (p *Proc) recvBody(buf Ptr, count int, dt *Datatype, source, tag int, c *Co
 		return Status{Source: ProcNull, Tag: AnyTag, Count: 0}
 	}
 	req := p.newRequest(rkRecv)
+	req.target = recvTarget(c, source, tag)
 	nbytes := count * dt.size
 	dst := buf.data
 	if len(dst) > nbytes {
@@ -269,9 +273,10 @@ func (p *Proc) isendCommon(id funcIDT, buf Ptr, count int, dt *Datatype, dest, t
 		e := &envelope{src: c.senderRankFor(), tag: tag, data: data, sentAt: p.clock.Load()}
 		if syncMode {
 			e.sreq = req
-			p.world.postSend(c.ctx, destWorld, e)
+			req.target = sendTarget(c, destWorld, dest, tag)
+			p.postEnvelope(c.ctx, destWorld, e)
 		} else {
-			p.world.postSend(c.ctx, destWorld, e)
+			p.postEnvelope(c.ctx, destWorld, e)
 			req.complete(Status{Source: c.myRank, Tag: tag, Count: nbytes}, p.clock.Load())
 		}
 	})
@@ -316,6 +321,7 @@ func (p *Proc) Irecv(buf Ptr, count int, dt *Datatype, source, tag int, c *Comm)
 			req.complete(Status{Source: ProcNull, Tag: AnyTag}, p.clock.Load())
 			return
 		}
+		req.target = recvTarget(c, source, tag)
 		nbytes := count * dt.size
 		dst := buf.data
 		if len(dst) > nbytes {
@@ -352,7 +358,7 @@ func (p *Proc) Sendrecv(sendbuf Ptr, sendcount int, sendtype *Datatype, dest, se
 				data := make([]byte, nbytes)
 				copy(data, sendbuf.data)
 				e := &envelope{src: c.senderRankFor(), tag: sendtag, data: data, sentAt: p.clock.Load()}
-				p.world.postSend(c.ctx, destWorld, e)
+				p.postEnvelope(c.ctx, destWorld, e)
 			}
 		}
 		st = p.recvBody(recvbuf, recvcount, recvtype, source, recvtag, c)
@@ -382,7 +388,7 @@ func (p *Proc) SendrecvReplace(buf Ptr, count int, dt *Datatype, dest, sendtag, 
 				data := make([]byte, nbytes)
 				copy(data, buf.data)
 				e := &envelope{src: c.senderRankFor(), tag: sendtag, data: data, sentAt: p.clock.Load()}
-				p.world.postSend(c.ctx, destWorld, e)
+				p.postEnvelope(c.ctx, destWorld, e)
 			}
 		}
 		st = p.recvBody(buf, count, dt, source, recvtag, c)
@@ -423,12 +429,14 @@ func (p *Proc) Probe(source, tag int, c *Comm, status *Status) error {
 	args := []Value{vRank(source), vTag(tag), vComm(c), vStatus()}
 	var st Status
 	p.icall(fProbe, args, func() {
+		defer p.world.setBlocked(p, recvTarget(c, source, tag))()
 		for {
 			var found bool
 			st, found = p.probe(c, source, tag)
 			if found {
 				break
 			}
+			p.world.checkRevoked()
 			// Busy-wait politely: no cond is signalled on message
 			// arrival for probes, so yield.
 			yield()

@@ -31,6 +31,10 @@ type Request struct {
 
 	// recv bookkeeping so Cancel can withdraw the post
 	post *recvPost
+
+	// target describes what completing this request depends on, for
+	// the deadlock report when the owner blocks in a Wait.
+	target *waitTarget
 }
 
 // Handle returns the runtime handle of the request.
@@ -45,6 +49,7 @@ func (p *Proc) newRequest(kind reqKind) *Request {
 // Called with any rank's goroutine.
 func (r *Request) complete(st Status, availAt int64) {
 	p := r.proc
+	p.world.progress.Add(1)
 	p.mu.Lock()
 	r.done = true
 	r.status = st
@@ -79,20 +84,51 @@ func (r *Request) consume() Status {
 	return st
 }
 
-// waitDone blocks until the request completes.
+// waitDone blocks until the request completes. Runs on the owning
+// rank's goroutine: it registers the wait in the deadlock registry and
+// unwinds (panicking jobRevoked) if the job halts meanwhile.
 func (r *Request) waitDone() {
 	p := r.proc
+	defer p.world.setBlocked(p, r.target)()
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	for !r.done {
+		p.world.checkRevoked()
 		p.cond.Wait()
 	}
-	p.mu.Unlock()
+}
+
+// anyTarget is the wait target of a Waitany/Waitsome over rs: the
+// union of the pending requests' targets, evaluated at report time.
+func anyTarget(p *Proc, rs []*Request) *waitTarget {
+	return &waitTarget{
+		detail: fmt.Sprintf("%d requests", len(rs)),
+		peers: func() []int {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			seen := map[int]bool{}
+			var out []int
+			for _, r := range rs {
+				if r == nil || r.done || r.target == nil || r.target.peers == nil {
+					continue
+				}
+				for _, wr := range r.target.peers() {
+					if !seen[wr] {
+						seen[wr] = true
+						out = append(out, wr)
+					}
+				}
+			}
+			return out
+		},
+	}
 }
 
 // waitAnyDone blocks until at least one request in rs is done and
 // returns its index. Nil or inactive requests are skipped; if all are
 // nil/inactive, returns -1 immediately (MPI returns MPI_UNDEFINED).
 func waitAnyDone(p *Proc, rs []*Request) int {
+	defer p.world.setBlocked(p, anyTarget(p, rs))()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
@@ -111,6 +147,7 @@ func waitAnyDone(p *Proc, rs []*Request) int {
 		if !anyLive {
 			return -1
 		}
+		p.world.checkRevoked()
 		p.cond.Wait()
 	}
 }

@@ -11,8 +11,9 @@ import (
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
 )
 
-// World is one simulated MPI job: n ranks, a message router, and the
-// rendezvous state for collectives.
+// World is one simulated MPI job: n ranks, a message router, the
+// rendezvous state for collectives, and the failure-handling state
+// (revocation, blocked-op registry, crash bookkeeping).
 type World struct {
 	n     int
 	procs []*Proc
@@ -25,6 +26,27 @@ type World struct {
 
 	ctxSeq atomic.Int64
 	seed   int64
+
+	// progress counts globally visible events (call entries, message
+	// posts, completions, rendezvous arrivals); the watchdog reads it
+	// to distinguish a quiescent (deadlocked) job from a slow one.
+	progress atomic.Int64
+	// finished counts rank goroutines that have returned or unwound.
+	finished atomic.Int64
+
+	// revocation: once revCause is set, every blocking operation wakes
+	// and unwinds with ErrRevoked instead of hanging.
+	revoked  atomic.Bool
+	revMu    sync.Mutex
+	revCause error
+
+	// blocked-op registry for deadlock diagnosis.
+	blkMu   sync.Mutex
+	blocked map[int]*blockEntry
+
+	// ranks that died (injected crash or panic) before the halt.
+	crashMu sync.Mutex
+	crashed []int
 }
 
 type mbKey struct {
@@ -53,6 +75,16 @@ type Proc struct {
 	clock         atomic.Int64 // virtual time, ns
 	rng           *rand.Rand
 	computeFactor float64
+
+	// fault injection (rank goroutine only).
+	faults    *faultState
+	msgDelay  int64 // armed delay for the next posted envelope
+	msgDrop   int   // armed drop count for upcoming envelopes
+	callCount int64 // 1-based MPI call counter
+
+	// curFunc is the FuncID of the MPI call currently executing,
+	// read by the deadlock registry from the watchdog goroutine.
+	curFunc atomic.Int32
 
 	nextAddr   uint64
 	nextStack  uint64
@@ -94,6 +126,10 @@ type Options struct {
 	// real work). Overhead experiments set it so tracing cost is
 	// measured against a realistic application denominator.
 	ComputeFactor float64
+	// FaultPlan, if non-nil, injects deterministic failures (crash a
+	// rank at call N, delay/drop a message, fail a collective). See
+	// the Fault type for semantics.
+	FaultPlan *FaultPlan
 }
 
 // Run executes body as an SPMD program on n simulated ranks and blocks
@@ -103,7 +139,11 @@ func Run(n int, body func(p *Proc)) error {
 	return RunOpt(n, Options{}, body)
 }
 
-// RunOpt is Run with explicit options.
+// RunOpt is Run with explicit options. On failure the returned error
+// is a *RunError carrying the precipitating cause (crash, abort,
+// panic, or deadlock diagnosis) plus every rank's individual error;
+// ranks that were blocked when the job halted unwind with errors
+// wrapping ErrRevoked rather than being silently abandoned.
 func RunOpt(n int, opts Options, body func(p *Proc)) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: invalid world size %d", n)
@@ -113,10 +153,11 @@ func RunOpt(n int, opts Options, body func(p *Proc)) error {
 		seed = 1
 	}
 	w := &World{
-		n:     n,
-		boxes: make(map[mbKey]*mailbox),
-		colls: make(map[collKey]*collSlot),
-		seed:  seed,
+		n:       n,
+		boxes:   make(map[mbKey]*mailbox),
+		colls:   make(map[collKey]*collSlot),
+		seed:    seed,
+		blocked: make(map[int]*blockEntry),
 	}
 	w.ctxSeq.Store(hDynamicBase) // context ids share the reserved space above predefined handles
 	w.procs = make([]*Proc, n)
@@ -147,6 +188,7 @@ func RunOpt(n int, opts Options, body func(p *Proc)) error {
 		if opts.Interceptors != nil && i < len(opts.Interceptors) {
 			p.interceptor = opts.Interceptors[i]
 		}
+		p.faults = newFaultState(opts.FaultPlan, i)
 		w.procs[i] = p
 	}
 
@@ -154,22 +196,56 @@ func RunOpt(n int, opts Options, body func(p *Proc)) error {
 	if timeout == 0 {
 		timeout = 2 * time.Minute
 	}
-	errc := make(chan error, n)
+
+	var errMu sync.Mutex
+	rankErrs := make(map[int]error)
+	record := func(rank int, err error) {
+		errMu.Lock()
+		rankErrs[rank] = err
+		errMu.Unlock()
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(p *Proc) {
 			defer wg.Done()
+			defer w.finished.Add(1)
 			defer func() {
-				if r := recover(); r != nil {
+				r := recover()
+				if r == nil {
+					return
+				}
+				switch v := r.(type) {
+				case jobRevoked:
+					record(p.rank, fmt.Errorf("mpi: rank %d: %w", p.rank, ErrRevoked))
+				case *CrashError:
+					// Injected crash: the rank dies, but the job is NOT
+					// revoked — survivors drain deterministically until
+					// they finish or block on the dead rank, at which
+					// point the watchdog halts the run with a diagnosis.
+					record(p.rank, v)
+					w.noteCrash(p.rank)
+				case *AbortError:
+					record(p.rank, v)
+					w.revoke(v)
+				default:
 					buf := make([]byte, 8192)
 					buf = buf[:runtime.Stack(buf, false)]
-					errc <- fmt.Errorf("mpi: rank %d panicked: %v\n%s", p.rank, r, buf)
+					pe := &PanicError{Rank: p.rank, Value: v, Stack: string(buf)}
+					record(p.rank, pe)
+					w.noteCrash(p.rank)
+					w.revoke(pe)
 				}
 			}()
 			body(p)
 		}(w.procs[i])
 	}
+
+	stopWatch := make(chan struct{})
+	go w.watchdog(stopWatch)
+	defer close(stopWatch)
+
 	done := make(chan struct{})
 	go func() {
 		wg.Wait()
@@ -177,19 +253,38 @@ func RunOpt(n int, opts Options, body func(p *Proc)) error {
 	}()
 	select {
 	case <-done:
-		select {
-		case err := <-errc:
-			return err
-		default:
-			return nil
-		}
-	case err := <-errc:
-		// A rank failed; others may be blocked on it forever. Report
-		// immediately (goroutines of the dead run are abandoned).
-		return err
 	case <-time.After(timeout):
-		return fmt.Errorf("mpi: run of %d ranks timed out after %v (deadlock?)", n, timeout)
+		// Timed out before the watchdog could decide (e.g. a rank
+		// stuck outside MPI): diagnose whatever is blocked, halt, and
+		// wait a bounded grace period for the unwound ranks.
+		w.revoke(w.diagnose(true))
+		select {
+		case <-done:
+		case <-time.After(revocationGrace):
+		}
 	}
+
+	abandoned := n - int(w.finished.Load())
+	cause := w.revokeCause()
+	errMu.Lock()
+	errs := make(map[int]error, len(rankErrs))
+	for r, e := range rankErrs {
+		errs[r] = e
+	}
+	errMu.Unlock()
+	if cause == nil && len(errs) == 0 && abandoned == 0 {
+		return nil
+	}
+	if cause == nil {
+		// A rank failed without triggering revocation (e.g. a crash
+		// whose survivors all completed): the lowest failed rank's
+		// error is the cause.
+		for _, r := range (&RunError{Ranks: errs}).FailedRanks() {
+			cause = errs[r]
+			break
+		}
+	}
+	return &RunError{Cause: cause, Ranks: errs, Abandoned: abandoned}
 }
 
 // Rank returns the world rank of this process.
@@ -214,6 +309,14 @@ func (p *Proc) Interceptor() mpispec.Interceptor { return p.interceptor }
 // Now returns the rank's virtual clock in nanoseconds.
 func (p *Proc) Now() int64 { return p.clock.Load() }
 
+// CallCount returns the number of MPI calls the rank has entered.
+func (p *Proc) CallCount() int64 { return p.callCount }
+
+// curFuncName names the MPI call currently executing on this rank.
+func (p *Proc) curFuncName() string {
+	return mpispec.FuncID(p.curFunc.Load()).Name()
+}
+
 // Compute advances the rank's virtual clock by d nanoseconds,
 // simulating local computation between MPI calls. With
 // Options.ComputeFactor set, it also burns the proportional amount of
@@ -226,7 +329,14 @@ func (p *Proc) Compute(d int64) {
 	p.clock.Add(d)
 	if p.computeFactor > 0 {
 		deadline := time.Now().Add(time.Duration(float64(d) * p.computeFactor))
-		for time.Now().Before(deadline) {
+		// Spin, but yield periodically so high ComputeFactor ranks
+		// don't starve other rank goroutines on small GOMAXPROCS, and
+		// notice a revoked job without waiting for the next MPI call.
+		for i := 0; time.Now().Before(deadline); i++ {
+			if i&1023 == 0 {
+				p.world.checkRevoked()
+				runtime.Gosched()
+			}
 		}
 	}
 }
@@ -329,8 +439,15 @@ func (p *Proc) lookupComm(handle int64) *Comm {
 
 // icall wraps an MPI call body with interception: Pre sees the input
 // argument values, body executes the call and fills output values in
-// place, Post sees the completed record.
+// place, Post sees the completed record. It is also where the fault
+// layer hooks in: a revoked job unwinds the rank here, and the rank's
+// fault plan is consulted against its call counter.
 func (p *Proc) icall(id mpispec.FuncID, args []mpispec.Value, body func()) {
+	p.world.checkRevoked()
+	p.world.progress.Add(1)
+	p.callCount++
+	p.curFunc.Store(int32(id))
+	p.checkFaults(p.callCount)
 	p.advanceClock(costCallEntry)
 	ic := p.interceptor
 	if ic == nil {

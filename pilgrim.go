@@ -22,6 +22,9 @@
 package pilgrim
 
 import (
+	"errors"
+	"strings"
+
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
 	"github.com/hpcrepro/pilgrim/internal/trace"
@@ -67,7 +70,13 @@ func Run(n int, opts Options, body func(p *mpi.Proc)) (*TraceFile, FinalizeStats
 	return RunSim(n, opts, mpi.Options{}, body)
 }
 
-// RunSim is Run with explicit simulator options (seed, timeout).
+// RunSim is Run with explicit simulator options (seed, timeout,
+// fault plan). When the simulation fails — injected crash, Abort,
+// deadlock, panic — RunSim salvages: it runs the same inter-process
+// merge over whatever every rank traced before the failure and returns
+// the partial trace (tagged with trace.SalvageInfo) alongside the
+// non-nil error. Callers that only check err keep the old behavior;
+// callers that want the partial trace use the file even when err != nil.
 func RunSim(n int, opts Options, simOpts mpi.Options, body func(p *mpi.Proc)) (*TraceFile, FinalizeStats, error) {
 	tracers := make([]*Tracer, n)
 	ics := make([]mpi.Interceptor, n)
@@ -82,11 +91,44 @@ func RunSim(n int, opts Options, simOpts mpi.Options, body func(p *mpi.Proc)) (*
 		body(p)
 	})
 	if err != nil {
-		return nil, FinalizeStats{}, err
+		file, stats := SalvageFinalize(tracers, err)
+		return file, stats, err
 	}
 	file, stats := core.Finalize(tracers)
 	return file, stats, nil
 }
+
+// SalvageFinalize performs the failure-path inter-process merge: it
+// snapshots every tracer, merges the survivors' full call streams with
+// the failed ranks' partial ones, and tags the trace with which ranks
+// originated the failure (ranks that merely unwound with ErrRevoked
+// are not listed as failed) and why. err is the error RunOpt returned.
+func SalvageFinalize(tracers []*Tracer, err error) (*TraceFile, FinalizeStats) {
+	failed := map[int]error{}
+	for r, e := range mpi.FailedRanks(err) {
+		// Revoked ranks were innocent bystanders torn down by the
+		// runtime; only ranks that crashed/aborted/paniced are "failed".
+		if !errors.Is(e, mpi.ErrRevoked) {
+			failed[r] = e
+		}
+	}
+	reason := ""
+	if err != nil {
+		reason, _, _ = strings.Cut(err.Error(), "\n")
+	}
+	return core.SalvageFinalize(tracers, failed, reason)
+}
+
+// VerifySalvaged checks a salvaged trace against the tracers: salvage
+// info present, recorded call counts matching, and the decoded streams
+// lossless up to each rank's failure point.
+func VerifySalvaged(f *TraceFile, tracers []*Tracer) error {
+	return core.VerifySalvaged(f, tracers)
+}
+
+// SalvageInfo tags a salvaged trace with the failure that ended the
+// run; TraceFile.Salvage is non-nil exactly for salvaged traces.
+type SalvageInfo = trace.SalvageInfo
 
 // BindOOB attaches a rank's out-of-band collective interface (its
 // *mpi.Proc) to a tracer built before the simulation started. RunSim
