@@ -219,6 +219,26 @@ func BenchmarkTracerPost(b *testing.B) {
 	}
 }
 
+// BenchmarkTracerPostMetrics is BenchmarkTracerPost with a metrics
+// collector attached: the delta between the two is the per-call cost
+// of the instrumented pipeline (stage timers + histograms + counters).
+func BenchmarkTracerPostMetrics(b *testing.B) {
+	tr := pilgrim.NewTracer(0, nil, pilgrim.Options{Collector: pilgrim.NewMetricsCollector()})
+	tr.MemAlloc(0x1000, 1<<16, 0)
+	rec := &mpispec.CallRecord{Func: mpispec.FSend, Args: []mpispec.Value{
+		{Kind: mpispec.KPtr, I: 0x1000},
+		{Kind: mpispec.KInt, I: 64},
+		{Kind: mpispec.KDatatype, I: 18},
+		{Kind: mpispec.KRank, I: 1},
+		{Kind: mpispec.KTag, I: 999},
+		{Kind: mpispec.KComm, I: 1, Arr: []int64{0}},
+	}, TStart: 0, TEnd: 1000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Post(rec)
+	}
+}
+
 func BenchmarkCSTMerge64Ranks(b *testing.B) {
 	mk := func(rank int) *cst.Table {
 		t := cst.New()

@@ -5,26 +5,68 @@
 //
 //	pilgrim-bench -exp all -scale standard
 //	pilgrim-bench -exp fig5 -scale full
+//	pilgrim-bench -exp stencil -scale quick -json
+//	pilgrim-bench -exp stencil -json=out/dir
 //
 // Experiments: table1, stencil, osu, fig5, fig6, fig7, fig8, fig9,
 // fig10, ablation, all.
+//
+// With -json, each experiment additionally writes BENCH_<exp>.json —
+// the experiment's data series plus the run's self-observability
+// metrics report — to the current directory (or the directory given as
+// -json=DIR). EXPERIMENTS.md documents the schema.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	pilgrim "github.com/hpcrepro/pilgrim"
 	"github.com/hpcrepro/pilgrim/internal/experiments"
 )
+
+// jsonFlag lets -json work both bare (write to the current directory)
+// and as -json=DIR.
+type jsonFlag struct {
+	set bool
+	dir string
+}
+
+func (j *jsonFlag) String() string { return j.dir }
+
+func (j *jsonFlag) Set(v string) error {
+	j.set = true
+	if v == "" || v == "true" {
+		j.dir = "."
+	} else {
+		j.dir = v
+	}
+	return nil
+}
+
+func (j *jsonFlag) IsBoolFlag() bool { return true }
+
+// benchRecord is the BENCH_<exp>.json schema (see EXPERIMENTS.md).
+type benchRecord struct {
+	Experiment string                 `json:"experiment"`
+	Scale      string                 `json:"scale"`
+	ElapsedSec float64                `json:"elapsed_sec"`
+	Result     any                    `json:"result"`
+	Metrics    *pilgrim.MetricsReport `json:"metrics,omitempty"`
+}
 
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment(s), comma separated")
 		scaleStr = flag.String("scale", "quick", "sweep scale: quick, standard, full")
+		jsonOut  jsonFlag
 	)
+	flag.Var(&jsonOut, "json", "also write BENCH_<exp>.json (optionally to `dir`)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -44,94 +86,137 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	run := func(name string, f func() error) {
+	w := os.Stdout
+	// run executes one experiment; f returns the result object that both
+	// prints the table and, under -json, lands in BENCH_<name>.json.
+	run := func(name string, f func() (any, error)) {
 		if !all && !want[name] {
 			return
 		}
+		var col *pilgrim.MetricsCollector
+		if jsonOut.set {
+			// A fresh collector per experiment so each BENCH file holds
+			// only its own run's metrics.
+			col = pilgrim.NewMetricsCollector()
+			experiments.SetCollector(col)
+			defer experiments.SetCollector(nil)
+		}
 		t0 := time.Now()
-		if err := f(); err != nil {
+		res, err := f()
+		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
-		fmt.Printf("(%s took %.1fs)\n", name, time.Since(t0).Seconds())
+		elapsed := time.Since(t0).Seconds()
+		fmt.Printf("(%s took %.1fs)\n", name, elapsed)
+		if jsonOut.set {
+			rec := benchRecord{
+				Experiment: name,
+				Scale:      *scaleStr,
+				ElapsedSec: elapsed,
+				Result:     res,
+			}
+			if col != nil {
+				rec.Metrics = col.Report()
+			}
+			if err := writeBench(jsonOut.dir, name, rec); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
-	w := os.Stdout
-	run("table1", func() error {
-		experiments.RunTable1().Print(w)
-		return nil
+	run("table1", func() (any, error) {
+		r := experiments.RunTable1()
+		r.Print(w)
+		return r, nil
 	})
-	run("stencil", func() error {
+	run("stencil", func() (any, error) {
 		r, err := experiments.RunStencil(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r.Print(w)
-		return nil
+		return r, nil
 	})
-	run("osu", func() error {
+	run("osu", func() (any, error) {
 		r, err := experiments.RunOSU(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r.Print(w)
-		return nil
+		return r, nil
 	})
-	run("fig5", func() error {
+	run("fig5", func() (any, error) {
 		r, err := experiments.RunFig5(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r.Print(w)
-		return nil
+		return r, nil
 	})
-	run("fig6", func() error {
+	run("fig6", func() (any, error) {
 		r, err := experiments.RunFig6(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r.Print(w)
-		return nil
+		return r, nil
 	})
-	run("fig7", func() error {
+	run("fig7", func() (any, error) {
 		r, err := experiments.RunFig7(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r.Print(w)
-		return nil
+		return r, nil
 	})
-	run("fig8", func() error {
+	run("fig8", func() (any, error) {
 		r, err := experiments.RunFig8(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r.Print(w)
-		return nil
+		return r, nil
 	})
-	run("fig9", func() error {
+	run("fig9", func() (any, error) {
 		r, err := experiments.RunFig9(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r.Print(w)
-		return nil
+		return r, nil
 	})
-	run("ablation", func() error {
+	run("ablation", func() (any, error) {
 		r, err := experiments.RunAblation(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r.Print(w)
-		return nil
+		return r, nil
 	})
-	run("fig10", func() error {
+	run("fig10", func() (any, error) {
 		r, err := experiments.RunFig10(scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r.Print(w)
-		return nil
+		return r, nil
 	})
+}
+
+func writeBench(dir, name string, rec benchRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("bench output dir: %w", err)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", name, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

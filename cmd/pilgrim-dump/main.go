@@ -42,6 +42,17 @@ func main() {
 
 	fmt.Fprintf(w, "# ranks=%d timing=%s cst=%d grammars=%d size=%dB\n",
 		file.NumRanks, timingName(file.TimingMode), file.CST.Len(), len(file.Grammars), file.SizeBytes())
+	// Section sizes are nominal (int32-width) pre-varint numbers; show
+	// the composition as shares of their own total, not of the file.
+	cstB, cfgB, durB, intB := file.SectionSizes()
+	secTotal := cstB + cfgB + durB + intB
+	fmt.Fprintf(w, "# sections: cst=%dB (%s) grammars=%dB (%s) duration=%dB (%s) interval=%dB (%s)\n",
+		cstB, pct(cstB, secTotal), cfgB, pct(cfgB, secTotal),
+		durB, pct(durB, secTotal), intB, pct(intB, secTotal))
+	if raw, total := file.UncompressedEstimate(), file.SizeBytes(); raw > 0 && total > 0 {
+		fmt.Fprintf(w, "# compression: %d calls replayed raw ≈ %dB, ratio %.1fx\n",
+			file.CST.Calls(), raw, float64(raw)/float64(total))
+	}
 	if s := file.Salvage; s != nil {
 		fmt.Fprintf(w, "# SALVAGED trace: failed ranks=%v reason=%q\n", s.FailedRanks, s.Reason)
 		fmt.Fprintf(w, "# calls captured per rank: %v\n", s.Calls)
@@ -136,6 +147,14 @@ func dumpGrammar(w *bufio.Writer, file *pilgrim.TraceFile, rank int) {
 			}
 		}
 	}
+}
+
+// pct formats part/total as a percentage.
+func pct(part, total int) string {
+	if total <= 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
 }
 
 func timingName(mode uint8) string {

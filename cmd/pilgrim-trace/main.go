@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,10 @@ func main() {
 		base    = flag.Float64("timing-base", 1.2, "exponential bin base for lossy timing")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		verbose = flag.Bool("v", false, "print per-rank statistics")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address during the run (e.g. :9090)")
+		metricsJSON = flag.String("metrics-json", "", "write the final metrics report as JSON to this file")
+		progress    = flag.Duration("progress", 0, "print a one-line progress report at this interval (e.g. 2s)")
 
 		salvage   = flag.Bool("salvage", false, "on failure, write the salvaged partial trace instead of exiting empty-handed")
 		seed      = flag.Int64("seed", 0, "simulator seed (0 = default)")
@@ -61,6 +66,12 @@ func main() {
 		fatal(fmt.Errorf("unknown timing mode %q", *timing))
 	}
 
+	if *metricsAddr != "" || *metricsJSON != "" || *progress > 0 {
+		opts.Collector = pilgrim.NewMetricsCollector()
+		opts.MetricsAddr = *metricsAddr
+		opts.ProgressEvery = *progress
+	}
+
 	simOpts := mpi.Options{Seed: *seed}
 	var plan mpi.FaultPlan
 	if *crashRank >= 0 {
@@ -88,6 +99,7 @@ func main() {
 			fmt.Printf("reason: %s\n", file.Salvage.Reason)
 		}
 		fmt.Printf("calls captured before failure: %d\n", stats.TotalCalls)
+		writeMetricsJSON(*metricsJSON, stats.Metrics)
 		return
 	}
 	if err := file.Save(*out); err != nil {
@@ -105,6 +117,26 @@ func main() {
 		fmt.Printf("compression time: intra=%.2fms cst-merge=%.2fms cfg-merge=%.2fms\n",
 			float64(stats.IntraNs)/1e6, float64(stats.CSTMergeNs)/1e6, float64(stats.CFGMergeNs)/1e6)
 	}
+	writeMetricsJSON(*metricsJSON, stats.Metrics)
+}
+
+// writeMetricsJSON dumps the final metrics report (nil-safe: nothing
+// happens unless both a path and a report exist).
+func writeMetricsJSON(path string, rep *pilgrim.MetricsReport) {
+	if path == "" {
+		return
+	}
+	if rep == nil {
+		fatal(fmt.Errorf("no metrics report produced (finalize did not run?)"))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics report: %s\n", path)
 }
 
 func fatal(err error) {

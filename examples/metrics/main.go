@@ -1,0 +1,87 @@
+// Self-observability demo: attach a metrics collector to a traced run,
+// serve the live Prometheus/expvar/pprof endpoint on an ephemeral
+// port, scrape it mid-run like a monitoring agent would, and print the
+// final report the tracer returns at finalize.
+//
+//	go run ./examples/metrics
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/workloads"
+)
+
+func main() {
+	col := pilgrim.NewMetricsCollector()
+	srv, err := pilgrim.ServeMetrics("127.0.0.1:0", col)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("metrics endpoint: http://%s/metrics (plus /debug/vars, /debug/pprof/)\n", srv.Addr())
+
+	// Run a stencil in the background with the collector attached.
+	type result struct {
+		stats pilgrim.FinalizeStats
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		body := workloads.Stencil2D(workloads.StencilConfig{Iters: 4000})
+		_, stats, err := pilgrim.Run(16, pilgrim.Options{Collector: col}, body)
+		done <- result{stats, err}
+	}()
+
+	// Scrape mid-run, once the tracer has seen some calls.
+	var scrape string
+	for i := 0; i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+		s, err := get("http://" + srv.Addr() + "/metrics")
+		if err == nil && strings.Contains(s, "pilgrim_tracer_calls_total") {
+			scrape = s
+			break
+		}
+	}
+	fmt.Println("\nlive scrape (selected families):")
+	for _, line := range strings.Split(scrape, "\n") {
+		if strings.HasPrefix(line, "pilgrim_tracer_calls_total") ||
+			strings.HasPrefix(line, "pilgrim_tracer_cst_entries") ||
+			strings.HasPrefix(line, "pilgrim_tracer_grammar_rules") {
+			fmt.Println(" ", line)
+		}
+	}
+
+	r := <-done
+	if r.err != nil {
+		log.Fatal(r.err)
+	}
+	rep := r.stats.Metrics
+	fmt.Println("\nfinal report:")
+	fmt.Printf("  tracer calls: %d, CST hits: %d, misses: %d\n",
+		rep.Counters["pilgrim_tracer_calls_total"],
+		rep.Counters["pilgrim_tracer_cst_hits_total"],
+		rep.Counters["pilgrim_tracer_cst_misses_total"])
+	if h, ok := rep.Histograms["pilgrim_tracer_post_ns"]; ok {
+		fmt.Printf("  per-call tracer overhead: mean %.0fns, p95 %.0fns\n", h.Mean, h.P95)
+	}
+	fmt.Printf("  trace bytes: %.0f, compression ratio: %.1fx\n",
+		rep.Gauges["pilgrim_trace_bytes"], rep.Gauges["pilgrim_trace_compression_ratio"])
+	fmt.Println("\nthe run self-observed its own tracer, runtime, and writer.")
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

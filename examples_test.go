@@ -21,6 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		{"amr", "Pilgrim recorded all of them"},
 		{"timing", "bound: 0.20"},
 		{"replay", "call-for-call identical"},
+		{"metrics", "self-observed"},
 	}
 	for _, c := range cases {
 		c := c

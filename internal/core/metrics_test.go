@@ -1,0 +1,168 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/hpcrepro/pilgrim/internal/metrics"
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+)
+
+// TestTracerMetricsCounts checks the instrumented Post path: every call
+// is either a CST hit or a miss, the stage histograms see every call,
+// and the final report carries the trace-writer gauges.
+func TestTracerMetricsCounts(t *testing.T) {
+	col := metrics.NewCollector()
+	tr := NewTracer(0, nil, Options{Collector: col})
+	tr.MemAlloc(0x1000, 64, 0)
+	const calls = 500
+	const distinct = 10
+	for i := 0; i < calls; i++ {
+		feed(tr, mpispec.FSend, sendArgs(int64(i%distinct), 999, 0), int64(i*10), int64(i*10+5))
+	}
+	rep := col.Report()
+	if got := rep.Counters["pilgrim_tracer_calls_total"]; got != calls {
+		t.Fatalf("calls = %d, want %d", got, calls)
+	}
+	misses := rep.Counters["pilgrim_tracer_cst_misses_total"]
+	hits := rep.Counters["pilgrim_tracer_cst_hits_total"]
+	if misses != distinct {
+		t.Fatalf("misses = %d, want %d", misses, distinct)
+	}
+	if hits+misses != calls {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, calls)
+	}
+	for _, name := range []string{
+		"pilgrim_tracer_post_ns",
+		"pilgrim_tracer_encode_ns",
+		"pilgrim_tracer_cst_ns",
+		"pilgrim_tracer_cfg_ns",
+	} {
+		h, ok := rep.Histograms[name]
+		if !ok || h.Count != calls {
+			t.Fatalf("%s count = %+v, want %d observations", name, h, calls)
+		}
+	}
+
+	f, stats := Finalize([]*Tracer{tr})
+	if stats.Metrics == nil {
+		t.Fatal("FinalizeStats.Metrics nil with collector attached")
+	}
+	if got := stats.Metrics.Gauges["pilgrim_trace_bytes"]; got != float64(f.SizeBytes()) {
+		t.Fatalf("trace bytes gauge = %v, want %d", got, f.SizeBytes())
+	}
+	if stats.Metrics.Gauges["pilgrim_trace_compression_ratio"] <= 1 {
+		t.Fatalf("compression ratio = %v, want > 1", stats.Metrics.Gauges["pilgrim_trace_compression_ratio"])
+	}
+	if got := stats.Metrics.Gauges["pilgrim_trace_total_calls"]; got != calls {
+		t.Fatalf("total calls gauge = %v", got)
+	}
+}
+
+// TestProbeMatchesTracerState checks that the live-state probe agrees
+// with the tracer's own accessors once the stream is quiescent.
+func TestProbeMatchesTracerState(t *testing.T) {
+	col := metrics.NewCollector()
+	tr := NewTracer(0, nil, Options{Collector: col})
+	tr.MemAlloc(0x1000, 64, 0)
+	for i := 0; i < 200; i++ {
+		feed(tr, mpispec.FSend, sendArgs(int64(i%7), int64(i%3), 0), int64(i*10), int64(i*10+5))
+	}
+	st := tr.ProbeStats()
+	if st.Calls != 200 {
+		t.Fatalf("probe calls = %d", st.Calls)
+	}
+	if st.CSTEntries != tr.CSTLen() {
+		t.Fatalf("probe CST = %d, tracer CST = %d", st.CSTEntries, tr.CSTLen())
+	}
+	gs := tr.GrammarStats()
+	if st.GrammarRules != gs.Rules || st.GrammarSymbols != gs.Symbols {
+		t.Fatalf("probe grammar = %d/%d, tracer = %d/%d", st.GrammarRules, st.GrammarSymbols, gs.Rules, gs.Symbols)
+	}
+	if st.LiveSegments != 1 {
+		t.Fatalf("live segments = %d, want 1", st.LiveSegments)
+	}
+}
+
+// TestSnapshotConcurrentWithProbes hammers Snapshot and ProbeStats
+// (and full collector scrapes) from background goroutines while the
+// rank goroutine keeps posting. Run under -race this checks the
+// locking; afterwards the counters must account for every call exactly
+// once — concurrent observation must never skew them.
+func TestSnapshotConcurrentWithProbes(t *testing.T) {
+	col := metrics.NewCollector()
+	tr := NewTracer(0, nil, Options{Collector: col})
+	remove := col.AddTracerProbe(tr.ProbeStats)
+	defer remove()
+	tr.MemAlloc(0x1000, 64, 0)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					tr.Snapshot()
+					tr.ProbeStats()
+					col.Report()
+				}
+			}
+		}()
+	}
+
+	const calls = 2000
+	for i := 0; i < calls; i++ {
+		feed(tr, mpispec.FSend, sendArgs(int64(i%13), 999, 0), int64(i*10), int64(i*10+5))
+		if i%50 == 0 {
+			// Yield so the observers interleave even on GOMAXPROCS=1.
+			runtime.Gosched()
+		}
+	}
+	// One snapshot from this goroutine so the counter assertion below
+	// cannot depend on scheduling.
+	tr.Snapshot()
+	close(stop)
+	wg.Wait()
+
+	rep := col.Report()
+	if got := rep.Counters["pilgrim_tracer_calls_total"]; got != calls {
+		t.Fatalf("calls = %d, want %d (skewed by concurrent observation)", got, calls)
+	}
+	hits := rep.Counters["pilgrim_tracer_cst_hits_total"]
+	misses := rep.Counters["pilgrim_tracer_cst_misses_total"]
+	if hits+misses != calls {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, calls)
+	}
+	if misses != 13 {
+		t.Fatalf("misses = %d, want 13", misses)
+	}
+	st := tr.ProbeStats()
+	if st.Calls != calls || st.CSTEntries != 13 {
+		t.Fatalf("final probe = %+v", st)
+	}
+	if rep.Counters["pilgrim_tracer_snapshots_total"] == 0 {
+		t.Fatal("snapshot counter did not move")
+	}
+}
+
+// TestSalvageIncrementsCounter checks the failure-path finalize
+// counter.
+func TestSalvageIncrementsCounter(t *testing.T) {
+	col := metrics.NewCollector()
+	tr := NewTracer(0, nil, Options{Collector: col})
+	tr.MemAlloc(0x1000, 64, 0)
+	feed(tr, mpispec.FSend, sendArgs(1, 999, 0), 0, 5)
+	_, stats := SalvageFinalize([]*Tracer{tr}, map[int]error{}, "test failure")
+	if stats.Metrics == nil {
+		t.Fatal("salvage finalize produced no metrics report")
+	}
+	if got := stats.Metrics.Counters["pilgrim_trace_salvages_total"]; got != 1 {
+		t.Fatalf("salvages = %d, want 1", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/metrics"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
 	"github.com/hpcrepro/pilgrim/internal/sequitur"
 	"github.com/hpcrepro/pilgrim/internal/sig"
@@ -32,6 +33,21 @@ type Options struct {
 	Verify bool
 	// Encoding disables individual encoding optimizations (ablations).
 	Encoding sig.Options
+
+	// Collector, when non-nil, receives live self-observability
+	// metrics: per-stage tracing overhead histograms, CST hit/miss
+	// counters, and finalize/trace-writer gauges. Nil (the default)
+	// keeps the hot path on a metrics-free code path whose only cost
+	// is one pointer comparison per call.
+	Collector *metrics.Collector
+	// MetricsAddr, when non-empty, makes pilgrim.RunSim serve the
+	// collector (Prometheus text, expvar JSON, pprof) on this
+	// host:port for the duration of the run, creating a Collector if
+	// none was supplied. The core package itself does not serve.
+	MetricsAddr string
+	// ProgressEvery, when positive, makes pilgrim.RunSim emit a
+	// one-line progress summary to stderr at this interval.
+	ProgressEvery time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +66,10 @@ func (o Options) withDefaults() Options {
 type Tracer struct {
 	Rank int
 	opts Options
+
+	// m is the attached metrics collector; nil means disabled, and
+	// the interception hot path branches on that single nil check.
+	m *metrics.Collector
 
 	mu    sync.Mutex
 	enc   *sig.Encoder
@@ -75,6 +95,7 @@ func NewTracer(rank int, oob mpispec.OOB, opts Options) *Tracer {
 	t := &Tracer{
 		Rank:  rank,
 		opts:  opts,
+		m:     opts.Collector,
 		enc:   sig.NewEncoderOpts(rank, oob, opts.Encoding),
 		table: cst.New(),
 		cfg:   sequitur.New(),
@@ -91,6 +112,10 @@ func (t *Tracer) Pre(rec *mpispec.CallRecord) {}
 
 // Post implements mpispec.Interceptor: the steps 3-5 of Figure 2.
 func (t *Tracer) Post(rec *mpispec.CallRecord) {
+	if t.m != nil {
+		t.postInstrumented(rec)
+		return
+	}
 	w0 := time.Now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -106,6 +131,66 @@ func (t *Tracer) Post(rec *mpispec.CallRecord) {
 	}
 	t.IntraNs += time.Since(w0).Nanoseconds()
 	t.NCalls++
+}
+
+// postInstrumented is Post with per-stage overhead histograms and CST
+// hit/miss counters. Stage boundaries are timed with monotonic reads;
+// observations happen after the tracer lock is released so a slow
+// scrape never extends the critical section.
+func (t *Tracer) postInstrumented(rec *mpispec.CallRecord) {
+	w0 := time.Now()
+	t.mu.Lock()
+	s := t.enc.Encode(rec)
+	tEnc := time.Now()
+	before := t.table.Len()
+	term := t.table.Add(s, rec.TEnd-rec.TStart)
+	tCST := time.Now()
+	t.cfg.Append(term)
+	tCFG := time.Now()
+	// The CFG boundary doubles as the end timestamp unless lossy
+	// timing or verification adds work after it — clock reads are the
+	// dominant instrumentation cost on virtualized clocksources.
+	wEnd := tCFG
+	if t.tcomp != nil || t.opts.Verify {
+		if t.tcomp != nil {
+			t.tcomp.Record(term, rec.Func, rec.TStart, rec.TEnd)
+		}
+		if t.opts.Verify {
+			t.rawSigs = append(t.rawSigs, string(s))
+			t.rawTimes = append(t.rawTimes, [2]int64{rec.TStart, rec.TEnd})
+		}
+		wEnd = time.Now()
+	}
+	miss := t.table.Len() != before
+	t.IntraNs += wEnd.Sub(w0).Nanoseconds()
+	t.NCalls++
+	t.mu.Unlock()
+
+	m := t.m
+	m.ObservePost(tEnc.Sub(w0).Nanoseconds(), tCST.Sub(tEnc).Nanoseconds(),
+		tCFG.Sub(tCST).Nanoseconds(), wEnd.Sub(w0).Nanoseconds())
+	m.TracerCalls.Inc()
+	if miss {
+		m.CSTMisses.Inc()
+	} else {
+		m.CSTHits.Inc()
+	}
+}
+
+// ProbeStats evaluates the tracer's live structural state under its
+// lock, for scrape-time metrics gauges. Safe to call from any
+// goroutine while the rank keeps tracing.
+func (t *Tracer) ProbeStats() metrics.TracerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	gs := t.cfg.Stats()
+	return metrics.TracerStats{
+		Calls:          t.NCalls,
+		CSTEntries:     t.table.Len(),
+		GrammarRules:   gs.Rules,
+		GrammarSymbols: gs.Symbols,
+		LiveSegments:   t.enc.LiveSegments(),
+	}
 }
 
 // MemAlloc implements mpispec.Interceptor (malloc interception).
@@ -163,6 +248,11 @@ type FinalizeStats struct {
 	TotalCalls int64
 	GlobalCST  int // entries in the merged table
 	TraceBytes int
+
+	// Metrics is the final self-observability report, populated when
+	// the run had a metrics Collector attached (Options.Collector or
+	// Options.MetricsAddr); nil otherwise.
+	Metrics *metrics.Report
 }
 
 // Snapshot is a crash-consistent copy of one rank's tracing state: an
@@ -187,6 +277,9 @@ type Snapshot struct {
 // Snapshot serializes the tracer's current state under its lock. Safe
 // to call concurrently with interception from the rank goroutine.
 func (t *Tracer) Snapshot() *Snapshot {
+	if t.m != nil {
+		t.m.Snapshots.Inc()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := &Snapshot{
@@ -228,6 +321,9 @@ func SalvageFinalize(tracers []*Tracer, failed map[int]error, reason string) (*t
 	var opts Options
 	if len(tracers) > 0 {
 		opts = tracers[0].opts
+	}
+	if opts.Collector != nil {
+		opts.Collector.Salvages.Inc()
 	}
 	snaps := snapshotAll(tracers)
 	info := &trace.SalvageInfo{Reason: reason, Calls: make([]int64, len(snaps))}
@@ -328,6 +424,13 @@ func finalizeSnapshots(snaps []*Snapshot, opts Options, info *trace.SalvageInfo)
 		st.CFGMergeNs += time.Since(t2).Nanoseconds()
 	}
 	st.TraceBytes = f.SizeBytes()
+	if c := opts.Collector; c != nil {
+		cstB, cfgB, durB, intB := f.SectionSizes()
+		c.RecordTraceSections(cstB, cfgB, durB, intB, st.TraceBytes,
+			f.UncompressedEstimate(), st.TotalCalls)
+		c.RecordFinalize(st.IntraNs, st.CSTMergeNs, st.CFGMergeNs)
+		st.Metrics = c.Report()
+	}
 	return f, st
 }
 

@@ -73,6 +73,21 @@ func (t *Table) Sig(term int32) []byte {
 // Len returns the number of unique signatures.
 func (t *Table) Len() int { return len(t.sigs) }
 
+// Count returns the number of calls recorded against a terminal.
+func (t *Table) Count(term int32) int64 { return t.count[term] }
+
+// RawBytes estimates the uncompressed signature-stream size: every
+// recorded call replayed as its full signature bytes. The ratio of
+// this to the serialized trace size is the compression ratio the
+// metrics layer and pilgrim-dump report.
+func (t *Table) RawBytes() int64 {
+	var n int64
+	for term, key := range t.sigs {
+		n += t.count[term] * int64(len(key))
+	}
+	return n
+}
+
 // Calls returns the total number of calls recorded (sum of counts).
 func (t *Table) Calls() int64 {
 	var n int64

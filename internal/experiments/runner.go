@@ -56,6 +56,16 @@ func (s Scale) capSweep(sweep []int) []int {
 
 const runTimeout = 10 * time.Minute
 
+// sharedCollector, when set via SetCollector, observes every traced
+// run an experiment performs (pilgrim-bench -json attaches one per
+// experiment and emits its final report alongside the table rows).
+var sharedCollector *pilgrim.MetricsCollector
+
+// SetCollector attaches (or, with nil, detaches) a metrics collector
+// to all subsequent experiment runs. Not safe to call concurrently
+// with a running experiment.
+func SetCollector(c *pilgrim.MetricsCollector) { sharedCollector = c }
+
 // Point is one measurement of one (workload, procs, iters) cell.
 type Point struct {
 	Workload   string
@@ -96,6 +106,9 @@ func RunPilgrimSim(name string, procs, iters int, opts pilgrim.Options, simOpts 
 	}
 	if simOpts.Timeout == 0 {
 		simOpts.Timeout = runTimeout
+	}
+	if opts.Collector == nil {
+		opts.Collector = sharedCollector
 	}
 	t0 := time.Now()
 	file, stats, err := pilgrim.RunSim(procs, opts, simOpts, body)

@@ -1,0 +1,567 @@
+// Package metrics is Pilgrim's self-observability layer: a
+// dependency-free, allocation-conscious metrics registry. The paper's
+// headline claims are about the tracer's own behaviour — per-call
+// overhead, fixed memory footprint, sub-linear trace growth (§4) — and
+// this package makes those quantities visible while a job runs instead
+// of only through the offline experiment harness.
+//
+// Primitives:
+//
+//   - Counter: a monotonically increasing atomic int64.
+//   - Gauge: an atomic float64 (set/add), for sizes and ratios.
+//   - GaugeFunc: a gauge evaluated at scrape time, for values that live
+//     in someone else's data structure (CST length, grammar size).
+//   - Histogram: lock-free and sharded, with exponential power-of-two
+//     buckets — the same binning idea as internal/timing's ⌈log_b v⌉
+//     compression, fixed at b = 2 so the hot path bins with
+//     bits.Len64 instead of a logarithm.
+//
+// The hot path (Inc/Add/Observe) performs no allocations and takes no
+// locks; registration and scraping are mutex-guarded. Output formats
+// are Prometheus text exposition and an expvar-compatible JSON object.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// --- Counter -----------------------------------------------------------------
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// --- Gauge -------------------------------------------------------------------
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// --- Histogram ---------------------------------------------------------------
+
+const (
+	// histShards spreads concurrent observers over independent
+	// cache-line-padded bucket arrays; the shard is picked from the
+	// observer's stack address, so distinct goroutines tend to land on
+	// distinct shards without any shared rendezvous state.
+	histShards = 8
+
+	// histBuckets power-of-two buckets: bucket i counts values v with
+	// bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i. 40 buckets cover
+	// nanosecond observations up to ~18 minutes; larger values clamp
+	// into the last bucket.
+	histBuckets = 40
+)
+
+type histShard struct {
+	// No separate observation counter: the count is the sum of the
+	// bucket counts, paid for at scrape time instead of per-observe.
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+	_       [64]byte // keep shards on separate cache lines
+}
+
+// Histogram is a lock-free sharded histogram with exponential
+// (power-of-two) buckets.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// shardHint derives a shard index from the caller's stack address:
+// goroutine stacks are distinct allocations, so concurrent observers
+// scatter across shards with zero coordination.
+func shardHint() uint64 {
+	var b byte
+	p := uint64(uintptr(unsafe.Pointer(&b)))
+	return (p >> 10) ^ (p >> 17)
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketBound returns the inclusive upper bound of bucket i.
+func bucketBound(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	return math.Ldexp(1, i) - 1 // 2^i - 1
+}
+
+// Observe records one value. Lock-free and allocation-free: one
+// bucket increment and one sum add on a stack-address-picked shard.
+func (h *Histogram) Observe(v int64) {
+	h.observeShard(shardHint()&(histShards-1), v)
+}
+
+func (h *Histogram) observeShard(i uint64, v int64) {
+	s := &h.shards[i]
+	s.sum.Add(v)
+	s.buckets[bucketOf(v)].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time merge of all shards.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64
+}
+
+// Snapshot merges all shards. Each shard is read atomically; the merge
+// across shards is not a single atomic cut, which is fine for
+// monitoring (counts only ever grow).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.Sum += sh.sum.Load()
+		for b := range sh.buckets {
+			s.Buckets[b] += sh.buckets[b].Load()
+		}
+	}
+	for _, c := range s.Buckets {
+		s.Count += c
+	}
+	return s
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1),
+// resolved to the containing bucket's bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= target {
+			return bucketBound(i)
+		}
+	}
+	return bucketBound(histBuckets - 1)
+}
+
+// --- Registry ----------------------------------------------------------------
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "gauge"
+}
+
+// family is one named metric family, scalar or with one label key.
+type family struct {
+	name  string
+	help  string
+	kind  metricKind
+	label string // label key; "" for scalar families
+
+	mu       sync.Mutex
+	children map[string]any // label value ("" for scalar) -> metric
+	order    []string
+}
+
+func (f *family) child(labelValue string, mk func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[labelValue]; ok {
+		return c
+	}
+	c := mk()
+	f.children[labelValue] = c
+	f.order = append(f.order, labelValue)
+	return c
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, label string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || f.label != label {
+			panic(fmt.Sprintf("metrics: %q re-registered as %v/%q (was %v/%q)",
+				name, kind, label, f.kind, f.label))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, label: label,
+		children: make(map[string]any)}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers (or returns the existing) scalar counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, "")
+	return f.child("", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or returns the existing) scalar gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, "")
+	return f.child("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge evaluated at scrape time. Re-registering
+// the same name replaces the function (a new run re-binds its probes).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindGaugeFunc, "")
+	f.mu.Lock()
+	if _, ok := f.children[""]; !ok {
+		f.order = append(f.order, "")
+	}
+	f.children[""] = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or returns the existing) scalar histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	f := r.family(name, help, kindHistogram, "")
+	return f.child("", func() any { return &Histogram{} }).(*Histogram)
+}
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, label)}
+}
+
+// With returns the child counter for a label value, creating it on
+// first use. Callers on hot paths should resolve children up front.
+func (v *CounterVec) With(value string) *Counter {
+	return v.f.child(value, func() any { return &Counter{} }).(*Counter)
+}
+
+// Sum returns the total over all children.
+func (v *CounterVec) Sum() int64 {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	var n int64
+	for _, c := range v.f.children {
+		n += c.(*Counter).Load()
+	}
+	return n
+}
+
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, label)}
+}
+
+// With returns the child gauge for a label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	return v.f.child(value, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family keyed by one label.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(name, help, label string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, kindHistogram, label)}
+}
+
+// With returns the child histogram for a label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	return v.f.child(value, func() any { return &Histogram{} }).(*Histogram)
+}
+
+// sortedFamilies returns the families in name order (deterministic
+// output for scrapes and tests).
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// snapshotChildren returns a family's children in insertion order.
+func (f *family) snapshotChildren() (values []string, children []any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	values = append(values, f.order...)
+	for _, v := range values {
+		children = append(children, f.children[v])
+	}
+	return
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// labelPair renders {key="value"} (or "" for scalars), with extra
+// appended inside the braces (for histogram le bounds).
+func labelPair(key, value, extra string) string {
+	switch {
+	case key == "" && extra == "":
+		return ""
+	case key == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return fmt.Sprintf("{%s=%q}", key, escapeLabel(value))
+	default:
+		return fmt.Sprintf("{%s=%q,%s}", key, escapeLabel(value), extra)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		values, children := f.snapshotChildren()
+		for i, lv := range values {
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name,
+					labelPair(f.label, lv, ""), children[i].(*Counter).Load())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name,
+					labelPair(f.label, lv, ""), formatFloat(children[i].(*Gauge).Load()))
+			case kindGaugeFunc:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name,
+					labelPair(f.label, lv, ""), formatFloat(children[i].(func() float64)()))
+			case kindHistogram:
+				err = writePromHistogram(w, f, lv, children[i].(*Histogram))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, f *family, labelValue string, h *Histogram) error {
+	s := h.Snapshot()
+	var cum int64
+	for i, c := range s.Buckets {
+		cum += c
+		if c == 0 && i != histBuckets-1 {
+			continue // keep the exposition small: skip interior empty buckets
+		}
+		le := fmt.Sprintf("le=%q", formatFloat(bucketBound(i)))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelPair(f.label, labelValue, le), cum); err != nil {
+			return err
+		}
+	}
+	lp := labelPair(f.label, labelValue, `le="+Inf"`)
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, lp, s.Count); err != nil {
+		return err
+	}
+	lp = labelPair(f.label, labelValue, "")
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.name, lp, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, lp, s.Count)
+	return err
+}
+
+// WriteExpvar renders the registry as one JSON object in the shape
+// expvar serves at /debug/vars: {"name{label}": value, ...}.
+// Histograms become {"count":..,"sum":..,"mean":..,"p50":..,"p95":..,
+// "p99":..}.
+func (r *Registry) WriteExpvar(w io.Writer) error {
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(key, val string) error {
+		sep := ",\n"
+		if first {
+			sep = "\n"
+			first = false
+		}
+		_, err := fmt.Fprintf(w, "%s%q: %s", sep, key, val)
+		return err
+	}
+	for _, f := range r.sortedFamilies() {
+		values, children := f.snapshotChildren()
+		for i, lv := range values {
+			key := f.name + labelPair(f.label, lv, "")
+			var err error
+			switch f.kind {
+			case kindCounter:
+				err = emit(key, strconv.FormatInt(children[i].(*Counter).Load(), 10))
+			case kindGauge:
+				err = emit(key, jsonFloat(children[i].(*Gauge).Load()))
+			case kindGaugeFunc:
+				err = emit(key, jsonFloat(children[i].(func() float64)()))
+			case kindHistogram:
+				s := children[i].(*Histogram).Snapshot()
+				err = emit(key, fmt.Sprintf(
+					`{"count": %d, "sum": %d, "mean": %s, "p50": %s, "p95": %s, "p99": %s}`,
+					s.Count, s.Sum, jsonFloat(s.Mean()),
+					jsonFloat(s.Quantile(0.50)), jsonFloat(s.Quantile(0.95)), jsonFloat(s.Quantile(0.99))))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}
+
+// jsonFloat renders a float as valid JSON (NaN/Inf become 0).
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return formatFloat(v)
+}
+
+// --- Report ------------------------------------------------------------------
+
+// HistogramSummary is the JSON-friendly digest of one histogram.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Report is a machine-readable snapshot of every metric, keyed by
+// "name" or `name{label="value"}`. It is what pilgrim.RunSim returns
+// in FinalizeStats.Metrics, pilgrim-trace -metrics-json writes, and
+// pilgrim-bench embeds into BENCH_*.json.
+type Report struct {
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Gauges     map[string]float64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+func summarize(h *Histogram) HistogramSummary {
+	s := h.Snapshot()
+	return HistogramSummary{
+		Count: s.Count, Sum: s.Sum, Mean: s.Mean(),
+		P50: s.Quantile(0.50), P95: s.Quantile(0.95), P99: s.Quantile(0.99),
+	}
+}
+
+// Report snapshots every metric in the registry.
+func (r *Registry) Report() *Report {
+	rep := &Report{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSummary{},
+	}
+	for _, f := range r.sortedFamilies() {
+		values, children := f.snapshotChildren()
+		for i, lv := range values {
+			key := f.name + labelPair(f.label, lv, "")
+			switch f.kind {
+			case kindCounter:
+				rep.Counters[key] = children[i].(*Counter).Load()
+			case kindGauge:
+				rep.Gauges[key] = children[i].(*Gauge).Load()
+			case kindGaugeFunc:
+				rep.Gauges[key] = children[i].(func() float64)()
+			case kindHistogram:
+				rep.Histograms[key] = summarize(children[i].(*Histogram))
+			}
+		}
+	}
+	return rep
+}

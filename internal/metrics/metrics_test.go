@@ -1,0 +1,365 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Set(2.5)
+	if got := g.Load(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.SetInt(7)
+	g.Add(0.5)
+	if got := g.Load(); got != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", got)
+	}
+	// Re-registering the same name returns the same instrument.
+	if r.Counter("c_total", "help") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_ns", "help")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if m := s.Mean(); math.Abs(m-500.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Exponential buckets: the p50 estimate must land within the
+	// bucket containing 500 (bound 511), p99 within the one for 990+.
+	p50 := s.Quantile(0.5)
+	if p50 < 255 || p50 > 1023 {
+		t.Fatalf("p50 = %v, want within [255,1023]", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 511 || p99 > 1023 {
+		t.Fatalf("p99 = %v, want within [511,1023]", p99)
+	}
+	if q := s.Quantile(0); q < 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "help")
+	h.Observe(0)
+	h.Observe(-5) // clamps to bucket 0
+	h.Observe(math.MaxInt64)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Buckets[0] != 2 {
+		t.Fatalf("bucket0 = %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[len(s.Buckets)-1] != 1 {
+		t.Fatalf("last bucket = %d, want 1", s.Buckets[len(s.Buckets)-1])
+	}
+}
+
+func TestVecsResolveAndSum(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("msgs_total", "help", "rank")
+	cv.With("0").Add(3)
+	cv.With("1").Add(4)
+	if cv.With("0") != cv.With("0") {
+		t.Fatal("With not idempotent")
+	}
+	if got := cv.Sum(); got != 7 {
+		t.Fatalf("sum = %d, want 7", got)
+	}
+	gv := r.GaugeVec("bytes", "help", "section")
+	gv.With("cst").SetInt(10)
+	gv.With("cfg").SetInt(20)
+	if got := gv.With("cst").Load(); got != 10 {
+		t.Fatalf("gauge = %v", got)
+	}
+}
+
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	h := r.Histogram("h_ns", "help")
+	cv := r.CounterVec("v_total", "help", "rank")
+	handles := []*Counter{cv.With("0"), cv.With("1"), cv.With("2"), cv.With("3")}
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				handles[w%len(handles)].Inc()
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not perturb totals.
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				r.WritePrometheus(&sb)
+				r.Report()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if s := h.Snapshot(); s.Count != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if got := cv.Sum(); got != workers*perWorker {
+		t.Fatalf("vec sum = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "a counter").Add(5)
+	r.Gauge("y", "a gauge").Set(1.5)
+	r.CounterVec("z_total", "labeled", "rank").With("3").Add(2)
+	r.Histogram("h_ns", "a histogram").Observe(100)
+	r.GaugeFunc("live", "computed", func() float64 { return 9 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP x_total a counter",
+		"# TYPE x_total counter",
+		"x_total 5",
+		"# TYPE y gauge",
+		"y 1.5",
+		`z_total{rank="3"} 2`,
+		"# TYPE h_ns histogram",
+		`h_ns_bucket{le="+Inf"} 1`,
+		"h_ns_sum 100",
+		"h_ns_count 1",
+		"live 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// A bucket line must carry a cumulative count for the value 100.
+	if !strings.Contains(out, `h_ns_bucket{le="127"} 1`) {
+		t.Errorf("expected cumulative bucket le=127 for value 100:\n%s", out)
+	}
+}
+
+func TestExpvarOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "h").Add(3)
+	r.CounterVec("b_total", "h", "rank").With("1").Add(4)
+	var sb strings.Builder
+	r.WriteExpvar(&sb)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &m); err != nil {
+		t.Fatalf("expvar output not JSON: %v\n%s", err, sb.String())
+	}
+	if m["a_total"].(float64) != 3 {
+		t.Fatalf("a_total = %v", m["a_total"])
+	}
+	if m[`b_total{rank="1"}`].(float64) != 4 {
+		t.Fatalf("b_total{rank=1} = %v", m[`b_total{rank="1"}`])
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h").Add(2)
+	r.Gauge("g", "h").Set(0.5)
+	h := r.Histogram("h_ns", "h")
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	rep := r.Report()
+	if rep.Counters["c_total"] != 2 {
+		t.Fatalf("counters = %v", rep.Counters)
+	}
+	if rep.Gauges["g"] != 0.5 {
+		t.Fatalf("gauges = %v", rep.Gauges)
+	}
+	hs, ok := rep.Histograms["h_ns"]
+	if !ok || hs.Count != 100 || hs.Sum != 1000 {
+		t.Fatalf("histograms = %+v", rep.Histograms)
+	}
+	// Round-trips through JSON.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c_total"] != 2 {
+		t.Fatalf("round-trip lost counters: %v", back.Counters)
+	}
+}
+
+func TestCollectorReportAndProbes(t *testing.T) {
+	c := NewCollector()
+	c.TracerCalls.Add(10)
+	c.CSTHits.Add(8)
+	c.PostNs.Observe(100)
+	remove := c.AddTracerProbe(func() TracerStats {
+		return TracerStats{CSTEntries: 5, GrammarRules: 3, GrammarSymbols: 7, LiveSegments: 2}
+	})
+	rep := c.Report()
+	if rep.Counters["pilgrim_tracer_calls_total"] != 10 {
+		t.Fatalf("calls = %v", rep.Counters)
+	}
+	if rep.Gauges["pilgrim_tracer_cst_entries"] != 5 {
+		t.Fatalf("cst gauge = %v", rep.Gauges["pilgrim_tracer_cst_entries"])
+	}
+	remove()
+	// Probe caches expire after ~20ms; after removal the gauge drops.
+	time.Sleep(25 * time.Millisecond)
+	rep = c.Report()
+	if rep.Gauges["pilgrim_tracer_cst_entries"] != 0 {
+		t.Fatalf("cst gauge after remove = %v", rep.Gauges["pilgrim_tracer_cst_entries"])
+	}
+}
+
+func TestRecordTraceSections(t *testing.T) {
+	c := NewCollector()
+	c.RecordTraceSections(100, 200, 0, 0, 400, 4000, 123)
+	rep := c.Report()
+	if rep.Gauges["pilgrim_trace_bytes"] != 400 {
+		t.Fatalf("trace bytes = %v", rep.Gauges["pilgrim_trace_bytes"])
+	}
+	if rep.Gauges["pilgrim_trace_compression_ratio"] != 10 {
+		t.Fatalf("ratio = %v", rep.Gauges["pilgrim_trace_compression_ratio"])
+	}
+	if rep.Gauges["pilgrim_trace_total_calls"] != 123 {
+		t.Fatalf("calls = %v", rep.Gauges["pilgrim_trace_total_calls"])
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	c := NewCollector()
+	c.TracerCalls.Add(5)
+	line := c.ProgressLine()
+	if !strings.Contains(line, "calls=5") {
+		t.Fatalf("progress line = %q", line)
+	}
+}
+
+func TestReporterEmits(t *testing.T) {
+	c := NewCollector()
+	c.TracerCalls.Add(1)
+	var mu sync.Mutex
+	var sb strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	stop := c.StartReporter(w, 5*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	mu.Lock()
+	out := sb.String()
+	mu.Unlock()
+	if !strings.Contains(out, "calls=1") {
+		t.Fatalf("reporter output = %q", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestServeEndpoints(t *testing.T) {
+	c := NewCollector()
+	c.TracerCalls.Add(7)
+	srv, err := Serve("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "pilgrim_tracer_calls_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, `"pilgrim_tracer_calls_total": 7`) {
+		t.Fatalf("/debug/vars missing counter:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+	if out := get("/"); !strings.Contains(out, "/metrics") {
+		t.Fatalf("index missing links:\n%s", out)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("127.0.0.1:-1", NewCollector()); err == nil {
+		t.Fatal("expected listen error")
+	}
+}
+
+func TestShardHintDistinctStacks(t *testing.T) {
+	// Different goroutines should usually land on different shards; at
+	// minimum the hint must be stable within one goroutine.
+	a := shardHint() & (histShards - 1)
+	b := shardHint() & (histShards - 1)
+	if a != b {
+		t.Fatalf("shard hint unstable within goroutine: %d vs %d", a, b)
+	}
+}

@@ -372,6 +372,18 @@ func (f *File) SectionSizes() (cstB, cfgB, durB, intB int) {
 	return
 }
 
+// UncompressedEstimate returns the approximate size of the raw
+// (uncompressed) signature stream this trace represents: every call
+// replayed as its full signature bytes, summed over all ranks. The
+// global CST carries per-entry call counts, so the estimate survives
+// compression and is available to any reader of the file.
+func (f *File) UncompressedEstimate() int64 {
+	if f.CST == nil {
+		return 0
+	}
+	return f.CST.RawBytes()
+}
+
 func packableInts(gs []sequitur.Serialized, pack sequitur.Serialized) int {
 	raw := 0
 	for _, g := range gs {

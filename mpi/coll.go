@@ -33,6 +33,9 @@ func (p *Proc) checkColl(c *Comm, dts ...*Datatype) error {
 			}
 		}
 	}
+	if m := p.world.metrics; m != nil {
+		m.noteCollective(p.rank)
+	}
 	return nil
 }
 

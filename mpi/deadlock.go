@@ -154,10 +154,17 @@ func (w *World) setBlocked(p *Proc, target *waitTarget) func() {
 	w.blkMu.Lock()
 	w.blocked[p.rank] = &blockEntry{op: op, target: target}
 	w.blkMu.Unlock()
+	var t0 time.Time
+	if w.metrics != nil {
+		t0 = time.Now()
+	}
 	return func() {
 		w.blkMu.Lock()
 		delete(w.blocked, p.rank)
 		w.blkMu.Unlock()
+		if w.metrics != nil {
+			w.metrics.col.BlockedNs.Observe(time.Since(t0).Nanoseconds())
+		}
 	}
 }
 

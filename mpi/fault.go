@@ -121,6 +121,9 @@ func (p *Proc) checkFaults(call int64) {
 			continue
 		}
 		fs.fired[i] = true
+		if m := p.world.metrics; m != nil {
+			m.noteFault(f.Kind)
+		}
 		switch f.Kind {
 		case FaultCrash:
 			panic(&CrashError{Rank: p.rank, Call: call, Injected: true})
@@ -156,6 +159,9 @@ func (p *Proc) postEnvelope(ctx int64, destWorld int, e *envelope) {
 		// Dropped: a synchronous sender still waits on e.sreq, and the
 		// receiver never matches; both show up in the deadlock report.
 		return
+	}
+	if m := p.world.metrics; m != nil {
+		m.noteSend(p.rank, len(e.data))
 	}
 	p.world.postSend(ctx, destWorld, e)
 }

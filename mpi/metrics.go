@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"errors"
+	"strconv"
+
+	"github.com/hpcrepro/pilgrim/internal/metrics"
+)
+
+// Self-observability wiring for the simulated runtime. When a run has
+// a metrics.Collector attached (Options.Metrics, set automatically by
+// pilgrim.RunSim), the world publishes per-rank message/byte/collective
+// counters, a blocked-time histogram fed from the blocked-operation
+// registry, fault-injection event counters, and — at halt — rank
+// failure counters classified through *RunError's error tree. With no
+// collector attached every hook is a nil check.
+
+// runMetrics is one run's pre-resolved metric handles: label lookups
+// happen once at world construction, never on a message path.
+type runMetrics struct {
+	col     *metrics.Collector
+	perRank []rankMetrics
+}
+
+type rankMetrics struct {
+	msgs  *metrics.Counter
+	bytes *metrics.Counter
+	colls *metrics.Counter
+}
+
+func newRunMetrics(col *metrics.Collector, n int) *runMetrics {
+	if col == nil {
+		return nil
+	}
+	rm := &runMetrics{col: col, perRank: make([]rankMetrics, n)}
+	for i := 0; i < n; i++ {
+		r := strconv.Itoa(i)
+		rm.perRank[i] = rankMetrics{
+			msgs:  col.MsgsSent.With(r),
+			bytes: col.BytesSent.With(r),
+			colls: col.Collectives.With(r),
+		}
+	}
+	return rm
+}
+
+// noteSend counts one posted point-to-point envelope.
+func (rm *runMetrics) noteSend(rank, payload int) {
+	rm.perRank[rank].msgs.Inc()
+	rm.perRank[rank].bytes.Add(int64(payload))
+}
+
+// noteCollective counts one collective participation.
+func (rm *runMetrics) noteCollective(rank int) {
+	rm.perRank[rank].colls.Inc()
+}
+
+// noteFault counts one fired fault-injection event.
+func (rm *runMetrics) noteFault(k FaultKind) {
+	rm.col.FaultEvents.With(k.String()).Inc()
+}
+
+// classifyRankError names a rank failure for the failure counters. It
+// leans on the error tree *RunError exposes: rank errors wrap
+// ErrRevoked, *CrashError, *AbortError, or *PanicError.
+func classifyRankError(err error) string {
+	var ce *CrashError
+	var ae *AbortError
+	var pe *PanicError
+	switch {
+	case errors.Is(err, ErrRevoked):
+		return "revoked"
+	case errors.As(err, &ce):
+		return "crash"
+	case errors.As(err, &ae):
+		return "abort"
+	case errors.As(err, &pe):
+		return "panic"
+	}
+	return "other"
+}
+
+// recordRunFailure publishes the classified failure counters for a
+// finished run. err is whatever RunOpt is about to return.
+func (rm *runMetrics) recordRunFailure(err error) {
+	if err == nil {
+		return
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		rm.col.RankFailures.With("other").Inc()
+		return
+	}
+	var de *DeadlockError
+	if errors.As(re.Cause, &de) {
+		rm.col.Deadlocks.Inc()
+	}
+	for _, r := range re.FailedRanks() {
+		rm.col.RankFailures.With(classifyRankError(re.Ranks[r])).Inc()
+	}
+}

@@ -1,0 +1,172 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/metrics"
+)
+
+// TestRunMetricsCounters checks the per-rank message/byte/collective
+// counters against a run with a known traffic pattern.
+func TestRunMetricsCounters(t *testing.T) {
+	col := metrics.NewCollector()
+	const n = 4
+	const iters = 10
+	err := RunOpt(n, Options{Metrics: col}, func(p *Proc) {
+		w := p.World()
+		buf := p.Alloc(8)
+		out := p.Alloc(8)
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() - 1 + n) % n
+		for i := 0; i < iters; i++ {
+			p.Sendrecv(buf.Ptr(0), 1, Double, right, 7,
+				out.Ptr(0), 1, Double, left, 7, w, nil)
+			p.Barrier(w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := col.Report()
+	// Each rank posts one 8-byte message per iteration.
+	wantMsgs := int64(n * iters)
+	if got := rep.Counters[fmt.Sprintf("pilgrim_mpi_messages_total{rank=%q}", "0")]; got != iters {
+		t.Fatalf("rank 0 messages = %d, want %d", got, iters)
+	}
+	if got := col.MsgsSent.Sum(); got != wantMsgs {
+		t.Fatalf("total messages = %d, want %d", got, wantMsgs)
+	}
+	if got := col.BytesSent.Sum(); got != wantMsgs*8 {
+		t.Fatalf("total bytes = %d, want %d", got, wantMsgs*8)
+	}
+	// One Barrier per iteration per rank.
+	if got := col.Collectives.Sum(); got != int64(n*iters) {
+		t.Fatalf("collectives = %d, want %d", got, n*iters)
+	}
+	// Blocked-time histogram saw at least the barrier rendezvous.
+	if s := col.BlockedNs.Snapshot(); s.Count == 0 {
+		t.Fatal("blocked-time histogram empty")
+	}
+	// No failures in a clean run.
+	if got := col.RankFailures.Sum(); got != 0 {
+		t.Fatalf("rank failures = %d in a clean run", got)
+	}
+}
+
+// TestFaultAndFailureMetrics checks fault-event counting and the
+// failure classification fed through *RunError's error tree.
+func TestFaultAndFailureMetrics(t *testing.T) {
+	col := metrics.NewCollector()
+	plan := &FaultPlan{Faults: []Fault{{Kind: FaultCrash, Rank: 1, AtCall: 5}}}
+	err := RunOpt(4, Options{Timeout: 30 * time.Second, FaultPlan: plan, Metrics: col}, ringBody(100))
+	if err == nil {
+		t.Fatal("expected run error")
+	}
+	rep := col.Report()
+	if got := rep.Counters[`pilgrim_mpi_fault_events_total{kind="crash"}`]; got != 1 {
+		t.Fatalf("crash fault events = %d, want 1", got)
+	}
+	if got := rep.Counters[`pilgrim_mpi_rank_failures_total{kind="crash"}`]; got != 1 {
+		t.Fatalf("crash failures = %d, want 1", got)
+	}
+	// The other three ranks unwound with ErrRevoked.
+	if got := rep.Counters[`pilgrim_mpi_rank_failures_total{kind="revoked"}`]; got != 3 {
+		t.Fatalf("revoked failures = %d, want 3", got)
+	}
+}
+
+// TestDeadlockMetric checks the watchdog counter.
+func TestDeadlockMetric(t *testing.T) {
+	col := metrics.NewCollector()
+	err := RunOpt(2, Options{Timeout: 30 * time.Second, Metrics: col}, func(p *Proc) {
+		// Both ranks receive first: classic cycle.
+		buf := p.Alloc(8)
+		p.Recv(buf.Ptr(0), 1, Double, 1-p.Rank(), 0, p.World(), nil)
+	})
+	if err == nil {
+		t.Fatal("expected deadlock")
+	}
+	if got := col.Deadlocks.Load(); got != 1 {
+		t.Fatalf("deadlocks = %d, want 1", got)
+	}
+	if got := col.RankFailures.Sum(); got != 2 {
+		t.Fatalf("rank failures = %d, want 2 (both revoked)", got)
+	}
+}
+
+// TestRunErrorUnwrapTree pins the errors.Is/As contract of *RunError:
+// Unwrap() []error exposes the cause and every rank error, which is
+// exactly what the metrics failure classifier traverses.
+func TestRunErrorUnwrapTree(t *testing.T) {
+	plan := &FaultPlan{Faults: []Fault{{Kind: FaultCrash, Rank: 0, AtCall: 3}}}
+	err := RunOpt(3, Options{Timeout: 30 * time.Second, FaultPlan: plan}, ringBody(50))
+	if err == nil {
+		t.Fatal("expected run error")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("not a *RunError: %v", err)
+	}
+	// errors.As finds the CrashError through the multi-error tree.
+	var ce *CrashError
+	if !errors.As(err, &ce) || ce.Rank != 0 {
+		t.Fatalf("errors.As(CrashError) = %v via %v", ce, err)
+	}
+	// errors.Is finds ErrRevoked (the bystander ranks' unwind).
+	if !errors.Is(err, ErrRevoked) {
+		t.Fatalf("errors.Is(ErrRevoked) false for %v", err)
+	}
+	// Unwrap returns cause first, then the remaining rank errors.
+	unwrapped := re.Unwrap()
+	if len(unwrapped) == 0 || unwrapped[0] != re.Cause {
+		t.Fatalf("Unwrap()[0] != Cause: %v", unwrapped)
+	}
+	seen := 0
+	for _, e := range unwrapped {
+		if errors.Is(e, ErrRevoked) {
+			seen++
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("revoked errors in Unwrap = %d, want 2", seen)
+	}
+	// And the classifier agrees with the tree.
+	if k := classifyRankError(re.Ranks[0]); k != "crash" {
+		t.Fatalf("classify(rank0) = %q", k)
+	}
+	for _, r := range []int{1, 2} {
+		if k := classifyRankError(re.Ranks[r]); k != "revoked" {
+			t.Fatalf("classify(rank%d) = %q", r, k)
+		}
+	}
+}
+
+// TestClassifyRankError covers the classifier's non-run branches.
+func TestClassifyRankError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{fmt.Errorf("wrap: %w", ErrRevoked), "revoked"},
+		{&CrashError{Rank: 1}, "crash"},
+		{&AbortError{Rank: 1}, "abort"},
+		{&PanicError{Rank: 1}, "panic"},
+		{errors.New("mystery"), "other"},
+	}
+	for _, c := range cases {
+		if got := classifyRankError(c.err); got != c.want {
+			t.Errorf("classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// TestMetricsDisabledNilSafe runs the same traffic with no collector:
+// every hook must be a nil check, not a panic.
+func TestMetricsDisabledNilSafe(t *testing.T) {
+	if err := RunOpt(2, Options{}, ringBody(5)); err != nil {
+		t.Fatal(err)
+	}
+}

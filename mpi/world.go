@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hpcrepro/pilgrim/internal/metrics"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
 )
 
@@ -47,6 +48,10 @@ type World struct {
 	// ranks that died (injected crash or panic) before the halt.
 	crashMu sync.Mutex
 	crashed []int
+
+	// metrics, when non-nil, publishes runtime self-observability
+	// counters (messages, bytes, collectives, blocked time, faults).
+	metrics *runMetrics
 }
 
 type mbKey struct {
@@ -130,6 +135,11 @@ type Options struct {
 	// rank at call N, delay/drop a message, fail a collective). See
 	// the Fault type for semantics.
 	FaultPlan *FaultPlan
+	// Metrics, if non-nil, receives runtime self-observability
+	// counters: per-rank message/byte/collective counts, blocked-time
+	// histograms, fault events, and classified rank failures.
+	// pilgrim.RunSim sets this automatically from its own collector.
+	Metrics *metrics.Collector
 }
 
 // Run executes body as an SPMD program on n simulated ranks and blocks
@@ -158,6 +168,7 @@ func RunOpt(n int, opts Options, body func(p *Proc)) error {
 		colls:   make(map[collKey]*collSlot),
 		seed:    seed,
 		blocked: make(map[int]*blockEntry),
+		metrics: newRunMetrics(opts.Metrics, n),
 	}
 	w.ctxSeq.Store(hDynamicBase) // context ids share the reserved space above predefined handles
 	w.procs = make([]*Proc, n)
@@ -284,7 +295,11 @@ func RunOpt(n int, opts Options, body func(p *Proc)) error {
 			break
 		}
 	}
-	return &RunError{Cause: cause, Ranks: errs, Abandoned: abandoned}
+	runErr := &RunError{Cause: cause, Ranks: errs, Abandoned: abandoned}
+	if w.metrics != nil {
+		w.metrics.recordRunFailure(runErr)
+	}
+	return runErr
 }
 
 // Rank returns the world rank of this process.

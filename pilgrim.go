@@ -23,9 +23,13 @@ package pilgrim
 
 import (
 	"errors"
+	"io"
+	"os"
 	"strings"
+	"time"
 
 	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/metrics"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
 	"github.com/hpcrepro/pilgrim/internal/trace"
 	"github.com/hpcrepro/pilgrim/mpi"
@@ -78,11 +82,41 @@ func Run(n int, opts Options, body func(p *mpi.Proc)) (*TraceFile, FinalizeStats
 // non-nil error. Callers that only check err keep the old behavior;
 // callers that want the partial trace use the file even when err != nil.
 func RunSim(n int, opts Options, simOpts mpi.Options, body func(p *mpi.Proc)) (*TraceFile, FinalizeStats, error) {
+	// Self-observability: an explicit Collector wins; otherwise asking
+	// for an endpoint or a progress reporter implies one.
+	col := opts.Collector
+	if col == nil && (opts.MetricsAddr != "" || opts.ProgressEvery > 0) {
+		col = metrics.NewCollector()
+		opts.Collector = col
+	}
+	if col != nil {
+		if opts.MetricsAddr != "" {
+			srv, err := metrics.Serve(opts.MetricsAddr, col)
+			if err != nil {
+				return nil, FinalizeStats{}, err
+			}
+			defer srv.Close()
+		}
+		if opts.ProgressEvery > 0 {
+			stop := col.StartReporter(os.Stderr, opts.ProgressEvery)
+			defer stop()
+		}
+		simOpts.Metrics = col
+	}
 	tracers := make([]*Tracer, n)
 	ics := make([]mpi.Interceptor, n)
 	for i := 0; i < n; i++ {
 		tracers[i] = core.NewTracer(i, nil, opts)
 		ics[i] = tracers[i]
+	}
+	if col != nil {
+		// Live-state probes feed the CST/grammar/memory gauges while the
+		// run is in flight; removed before return so a reused collector
+		// (pilgrim-bench sweeps) never double-counts finished runs.
+		for i := 0; i < n; i++ {
+			remove := col.AddTracerProbe(tracers[i].ProbeStats)
+			defer remove()
+		}
 	}
 	simOpts.Interceptors = ics
 	err := mpi.RunOpt(n, simOpts, func(p *mpi.Proc) {
@@ -155,6 +189,42 @@ func VerifyLossless(f *TraceFile, tracers []*Tracer) error {
 
 // Load reads a trace file from disk.
 func Load(path string) (*TraceFile, error) { return trace.Load(path) }
+
+// MetricsCollector is a run-scoped metrics registry plus pre-registered
+// instrument handles for the tracer, the simulated runtime, and the
+// trace writer. Attach one via Options.Collector to observe a run; nil
+// (the default) disables all instrumentation at a single pointer check
+// per call.
+type MetricsCollector = metrics.Collector
+
+// MetricsReport is the final snapshot of every instrument, returned in
+// FinalizeStats.Metrics and serialized by pilgrim-trace -metrics-json
+// and pilgrim-bench -json.
+type MetricsReport = metrics.Report
+
+// NewMetricsCollector builds an empty collector. One collector may
+// observe several runs in sequence (counters accumulate); gauges always
+// reflect the latest run.
+func NewMetricsCollector() *MetricsCollector { return metrics.NewCollector() }
+
+// MetricsServer is a live observability endpoint: Prometheus text at
+// /metrics, expvar JSON at /debug/vars, and net/http/pprof under
+// /debug/pprof/.
+type MetricsServer = metrics.Server
+
+// ServeMetrics starts a MetricsServer on addr (use ":0" for an
+// ephemeral port; Addr() reports the bound address). RunSim starts one
+// automatically when Options.MetricsAddr is set.
+func ServeMetrics(addr string, c *MetricsCollector) (*MetricsServer, error) {
+	return metrics.Serve(addr, c)
+}
+
+// StartProgressReporter emits a one-line summary of c every interval
+// until the returned stop func is called. RunSim starts one
+// automatically when Options.ProgressEvery is set.
+func StartProgressReporter(w io.Writer, c *MetricsCollector, every time.Duration) (stop func()) {
+	return c.StartReporter(w, every)
+}
 
 // Version is the library version.
 const Version = "1.0.0"
