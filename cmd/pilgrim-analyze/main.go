@@ -1,0 +1,245 @@
+// pilgrim-analyze computes derived views of a compressed Pilgrim
+// trace: a rank×rank communication matrix, a per-function time
+// profile with load-imbalance factors, late-sender/late-receiver
+// statistics over matched point-to-point pairs, a critical-path
+// estimate, and exports to Chrome trace-event JSON (Perfetto) or CSV.
+//
+// Usage:
+//
+//	pilgrim-analyze trace.pilgrim                  # summary
+//	pilgrim-analyze -comm-matrix trace.pilgrim
+//	pilgrim-analyze -profile trace.pilgrim
+//	pilgrim-analyze -critical-path trace.pilgrim
+//	pilgrim-analyze -perfetto out.json trace.pilgrim
+//	pilgrim-analyze -csv outdir trace.pilgrim
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/analysis"
+)
+
+func main() {
+	var (
+		commMatrix = flag.Bool("comm-matrix", false, "print the rank×rank message/byte matrix")
+		profile    = flag.Bool("profile", false, "print the per-function time profile")
+		critPath   = flag.Bool("critical-path", false, "print the estimated critical path")
+		perfetto   = flag.String("perfetto", "", "write Chrome trace-event JSON to this file (load in ui.perfetto.dev)")
+		csvDir     = flag.String("csv", "", "write comm_matrix.csv, profile.csv and messages.csv into this directory")
+		topN       = flag.Int("top", 0, "limit profile/critical-path output to the top N rows (0 = all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pilgrim-analyze [flags] trace.pilgrim")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	file, err := pilgrim.Load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	a, err := pilgrim.Analyze(file)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	any := false
+	if *perfetto != "" {
+		any = true
+		if err := writePerfetto(a, *perfetto); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "wrote %s (%d events, %d flow pairs)\n", *perfetto, totalEvents(a), len(a.Matches))
+	}
+	if *csvDir != "" {
+		any = true
+		if err := writeCSVs(a, *csvDir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "wrote %s/{comm_matrix,profile,messages}.csv\n", *csvDir)
+	}
+	if *commMatrix {
+		any = true
+		printMatrix(w, a)
+	}
+	if *profile {
+		any = true
+		printProfile(w, a, *topN)
+	}
+	if *critPath {
+		any = true
+		printCriticalPath(w, a, *topN)
+	}
+	if !any {
+		printSummary(w, a)
+	}
+}
+
+func totalEvents(a *pilgrim.Analysis) int {
+	n := 0
+	for _, evs := range a.Events {
+		n += len(evs)
+	}
+	return n
+}
+
+func printSummary(w *bufio.Writer, a *pilgrim.Analysis) {
+	timing := "aggregated (synthesized per-rank timelines)"
+	if a.File.TimingMode == pilgrim.TimingLossy {
+		timing = "lossy (recovered per-call wall clock)"
+	}
+	fmt.Fprintf(w, "ranks:    %d\n", a.File.NumRanks)
+	fmt.Fprintf(w, "events:   %d MPI calls, wall %s\n", totalEvents(a), fmtNs(a.WallNs()))
+	fmt.Fprintf(w, "timing:   %s\n", timing)
+	fmt.Fprintf(w, "p2p:      %d sends, %d recvs, %d matched, %d/%d unmatched\n",
+		len(a.Sends), len(a.Recvs), len(a.Matches), len(a.UnmatchedSends), len(a.UnmatchedRecvs))
+	fmt.Fprintf(w, "traffic:  %d messages, %d bytes\n", a.Matrix.TotalMsgs(), a.Matrix.TotalBytes())
+	ls := a.Late
+	fmt.Fprintf(w, "late:     %d late senders (recv idle %s, max %s), %d late receivers (send ahead %s, max %s)\n",
+		ls.LateSenders, fmtNs(ls.RecvWaitNs), fmtNs(ls.MaxRecvWaitNs),
+		ls.LateReceivers, fmtNs(ls.SendWaitNs), fmtNs(ls.MaxSendWaitNs))
+	if len(a.Profile.Funcs) > 0 {
+		top := a.Profile.Funcs[0]
+		fmt.Fprintf(w, "top func: %s (%d calls, %s total, imbalance %.2f)\n",
+			top.Func.Name(), top.Calls, fmtNs(top.TotalNs), top.Imbalance)
+	}
+	fmt.Fprintln(w, "\nrun with -comm-matrix, -profile, -critical-path, -perfetto out.json, or -csv dir for details")
+}
+
+func printMatrix(w *bufio.Writer, a *pilgrim.Analysis) {
+	m := a.Matrix
+	fmt.Fprintln(w, "# communication matrix: messages (bytes) per src→dst pair")
+	fmt.Fprintf(w, "%6s", "")
+	for d := 0; d < m.Ranks; d++ {
+		fmt.Fprintf(w, " %14s", fmt.Sprintf("→%d", d))
+	}
+	fmt.Fprintln(w)
+	for s := 0; s < m.Ranks; s++ {
+		fmt.Fprintf(w, "%6d", s)
+		for d := 0; d < m.Ranks; d++ {
+			if m.Count[s][d] == 0 {
+				fmt.Fprintf(w, " %14s", ".")
+			} else {
+				fmt.Fprintf(w, " %14s", fmt.Sprintf("%d (%s)", m.Count[s][d], fmtBytes(m.Bytes[s][d])))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func printProfile(w *bufio.Writer, a *pilgrim.Analysis, topN int) {
+	fmt.Fprintf(w, "%-24s %9s %12s %12s %12s %12s %10s\n",
+		"function", "calls", "total", "min/rank", "mean/rank", "max/rank", "imbalance")
+	for i, fp := range a.Profile.Funcs {
+		if topN > 0 && i >= topN {
+			fmt.Fprintf(w, "... (%d more functions)\n", len(a.Profile.Funcs)-i)
+			break
+		}
+		fmt.Fprintf(w, "%-24s %9d %12s %12s %12s %12s %10.2f\n",
+			fp.Func.Name(), fp.Calls, fmtNs(fp.TotalNs),
+			fmtNs(fp.MinRankNs), fmtNs(int64(fp.MeanNs)), fmtNs(fp.MaxRankNs), fp.Imbalance)
+	}
+}
+
+func printCriticalPath(w *bufio.Writer, a *pilgrim.Analysis, topN int) {
+	path := a.CriticalPath()
+	if a.File.TimingMode != pilgrim.TimingLossy {
+		fmt.Fprintln(w, "# note: aggregated timing mode — per-rank timelines are synthesized, cross-rank ordering is approximate")
+	}
+	var onPath int64
+	for _, st := range path {
+		onPath += st.WaitNs
+	}
+	fmt.Fprintf(w, "# critical path: %d steps, wall %s\n", len(path), fmtNs(a.WallNs()))
+	fmt.Fprintf(w, "%-6s %-8s %-24s %14s %14s %6s\n", "rank", "call", "function", "end", "wait", "edge")
+	for i, st := range path {
+		if topN > 0 && i >= topN {
+			fmt.Fprintf(w, "... (%d more steps)\n", len(path)-i)
+			break
+		}
+		edge := ""
+		if st.ViaMsg {
+			edge = "msg"
+		}
+		fmt.Fprintf(w, "%-6d %-8d %-24s %14s %14s %6s\n",
+			st.Rank, st.Index, st.Func.Name(), fmtNs(st.TEnd), fmtNs(st.WaitNs), edge)
+	}
+}
+
+func writePerfetto(a *pilgrim.Analysis, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeCSVs(a *pilgrim.Analysis, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range []struct {
+		name  string
+		write func(*analysis.Analysis, *os.File) error
+	}{
+		{"comm_matrix.csv", func(a *analysis.Analysis, f *os.File) error { return a.WriteCommMatrixCSV(f) }},
+		{"profile.csv", func(a *analysis.Analysis, f *os.File) error { return a.WriteProfileCSV(f) }},
+		{"messages.csv", func(a *analysis.Analysis, f *os.File) error { return a.WriteMessagesCSV(f) }},
+	} {
+		f, err := os.Create(filepath.Join(dir, t.name))
+		if err != nil {
+			return err
+		}
+		if err := t.write(a, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pilgrim-analyze:", err)
+	os.Exit(1)
+}

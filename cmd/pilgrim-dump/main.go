@@ -25,6 +25,7 @@ func main() {
 	var (
 		rank    = flag.Int("rank", 0, "rank whose call stream to dump")
 		summary = flag.Bool("summary", false, "print per-function call counts for all ranks instead")
+		top     = flag.Int("top", 0, "print only the top N functions by call count (implies -summary)")
 		grammar = flag.Bool("grammar", false, "print the rank's grammar rules instead of the expanded stream")
 		limit   = flag.Int("n", 0, "dump at most n calls (0 = all)")
 	)
@@ -58,8 +59,9 @@ func main() {
 		fmt.Fprintf(w, "# calls captured per rank: %v\n", s.Calls)
 	}
 
-	if *summary {
+	if *summary || *top > 0 {
 		total := map[mpispec.FuncID]int{}
+		grand := 0
 		for r := 0; r < file.NumRanks; r++ {
 			calls, err := pilgrim.DecodeRank(file, r)
 			if err != nil {
@@ -67,6 +69,7 @@ func main() {
 			}
 			for f, n := range core.CallCounts(calls) {
 				total[f] += n
+				grand += n
 			}
 		}
 		type kv struct {
@@ -77,9 +80,18 @@ func main() {
 		for f, n := range total {
 			rows = append(rows, kv{f, n})
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
-		for _, r := range rows {
-			fmt.Fprintf(w, "%10d  %s\n", r.n, r.f.Name())
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].f < rows[j].f
+		})
+		for i, r := range rows {
+			if *top > 0 && i >= *top {
+				fmt.Fprintf(w, "... (%d more functions)\n", len(rows)-i)
+				break
+			}
+			fmt.Fprintf(w, "%10d  %5s  %s\n", r.n, pct(r.n, grand), r.f.Name())
 		}
 		return
 	}

@@ -22,6 +22,7 @@ func TestExamplesRun(t *testing.T) {
 		{"timing", "bound: 0.20"},
 		{"replay", "call-for-call identical"},
 		{"metrics", "self-observed"},
+		{"analyze", "flow events"},
 	}
 	for _, c := range cases {
 		c := c

@@ -1,0 +1,496 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/mpispec"
+)
+
+// Communicator-membership reconstruction.
+//
+// Signatures carry symbolic communicator ids agreed across ranks at
+// record time, but the id alone does not identify membership: disjoint
+// groups can legitimately agree on the same id (each side's group-max
+// allreduce runs independently). Membership is therefore re-derived by
+// replaying the communicator-creating *collectives* across all rank
+// streams in lockstep: a creation resolves once every member of the
+// parent communicator has reached a matching call, exactly the
+// rendezvous discipline of the traced program.
+
+// Special symbolic comm ids (mirroring the encoder's reserved space).
+const (
+	commWorld = 0
+	commSelf  = 1
+	commNil   = -1
+)
+
+// Wire sentinels for rank-like values (mpi.ProcNull / mpi.AnySource /
+// mpi.Undefined as sig.DecodedValue.Resolve returns them).
+const (
+	valProcNull  = -1
+	valAnySource = -2
+	valUndefined = -3
+)
+
+// simNodeSize mirrors the simulator's CommSplitType locality rule
+// (CommTypeShared groups 16 ranks per node); the trace records only
+// the split type, so the analysis re-derives colors the same way.
+const simNodeSize = 16
+
+// commTypeShared mirrors mpi.CommTypeShared.
+const commTypeShared = 1
+
+// commView is one rank's view of a communicator: member world ranks in
+// comm-rank order, the owner's rank within it, and (for Cartesian
+// communicators) the grid dims so CartSub can be resolved.
+type commView struct {
+	group    []int
+	myRank   int
+	cartDims []int
+}
+
+func (v *commView) contains(world int) bool { return v.indexOf(world) >= 0 }
+
+func (v *commView) indexOf(world int) int {
+	for i, w := range v.group {
+		if w == world {
+			return i
+		}
+	}
+	return -1
+}
+
+// commEvent is one comm- or group-affecting call of one rank.
+type commEvent struct {
+	idx  int // call index in the rank's stream
+	call core.DecodedCall
+}
+
+// isCommCollective reports whether a call creates a communicator and
+// must rendezvous with the rest of the parent comm to be resolved.
+func isCommCollective(f mpispec.FuncID) bool {
+	switch f {
+	case mpispec.FCommDup, mpispec.FCommIdup, mpispec.FCommSplit, mpispec.FCommSplitType,
+		mpispec.FCommCreate, mpispec.FCartCreate, mpispec.FCartSub:
+		return true
+	}
+	return false
+}
+
+// isGroupLocal reports whether a call manipulates group objects with
+// purely local semantics.
+func isGroupLocal(f mpispec.FuncID) bool {
+	switch f {
+	case mpispec.FCommGroup, mpispec.FGroupIncl, mpispec.FGroupExcl,
+		mpispec.FGroupUnion, mpispec.FGroupIntersection, mpispec.FGroupDifference,
+		mpispec.FGroupFree:
+		return true
+	}
+	return false
+}
+
+// parentCommArg returns the index of the parent communicator argument
+// of a comm-creating collective.
+func parentCommArg(f mpispec.FuncID) int {
+	// Every supported collective carries the parent comm first.
+	return 0
+}
+
+// newCommArg mirrors the encoder's commCreatingArg for the supported
+// collectives.
+func newCommArg(f mpispec.FuncID) int {
+	switch f {
+	case mpispec.FCommDup, mpispec.FCommIdup:
+		return 1
+	case mpispec.FCommSplit, mpispec.FCommSplitType:
+		return 3
+	case mpispec.FCommCreate, mpispec.FCartSub:
+		return 2
+	case mpispec.FCartCreate:
+		return 5
+	}
+	return -1
+}
+
+// resolverState is the per-rank state of the lockstep resolution.
+type resolverState struct {
+	views  map[int64]*commView
+	groups map[int64][]int // group id → member world ranks
+	events []commEvent
+	cursor int
+}
+
+// resolveComms derives every rank's comm id → membership view from the
+// decoded streams. Streams that create communicators this resolver
+// does not model (intercommunicators) produce an error.
+func resolveComms(perRank [][]core.DecodedCall) ([]map[int64]*commView, error) {
+	n := len(perRank)
+	states := make([]*resolverState, n)
+	for r := 0; r < n; r++ {
+		st := &resolverState{
+			views:  map[int64]*commView{},
+			groups: map[int64][]int{},
+		}
+		world := make([]int, n)
+		for i := range world {
+			world[i] = i
+		}
+		st.views[commWorld] = &commView{group: world, myRank: r}
+		st.views[commSelf] = &commView{group: []int{r}, myRank: 0}
+		for i, c := range perRank[r] {
+			switch {
+			case isCommCollective(c.Func), isGroupLocal(c.Func):
+				st.events = append(st.events, commEvent{idx: i, call: c})
+			case c.Func == mpispec.FIntercommCreate || c.Func == mpispec.FIntercommMerge:
+				return nil, fmt.Errorf("analysis: rank %d call %d: intercommunicators are not supported", r, i)
+			}
+		}
+		states[r] = st
+	}
+
+	for {
+		progress := false
+		// Drain local group bookkeeping first so collectives always see
+		// up-to-date group contents.
+		for r, st := range states {
+			for st.cursor < len(st.events) && isGroupLocal(st.events[st.cursor].call.Func) {
+				if err := st.applyGroupLocal(st.events[st.cursor].call); err != nil {
+					return nil, fmt.Errorf("analysis: rank %d: %w", r, err)
+				}
+				st.cursor++
+				progress = true
+			}
+		}
+		// Resolve one ready collective per round.
+		for r, st := range states {
+			if st.cursor >= len(st.events) {
+				continue
+			}
+			e := st.events[st.cursor]
+			if !isCommCollective(e.call.Func) {
+				continue
+			}
+			ready, members, err := collectiveReady(states, r, e)
+			if err != nil {
+				return nil, err
+			}
+			if !ready {
+				continue
+			}
+			if err := resolveCollective(states, members, e.call.Func); err != nil {
+				return nil, err
+			}
+			for _, m := range members {
+				states[m].cursor++
+			}
+			progress = true
+			break
+		}
+		if !progress {
+			break
+		}
+	}
+
+	for r, st := range states {
+		if st.cursor < len(st.events) {
+			e := st.events[st.cursor]
+			return nil, fmt.Errorf("analysis: rank %d call %d (%s): unresolvable communicator rendezvous (mismatched collective order?)",
+				r, e.idx, e.call.Func.Name())
+		}
+	}
+
+	out := make([]map[int64]*commView, n)
+	for r, st := range states {
+		out[r] = st.views
+	}
+	return out, nil
+}
+
+// collectiveReady checks whether every member of rank r's parent comm
+// has reached a matching creation call. It returns the member world
+// ranks in parent comm-rank order.
+func collectiveReady(states []*resolverState, r int, e commEvent) (bool, []int, error) {
+	st := states[r]
+	parentID := e.call.Args[parentCommArg(e.call.Func)].I
+	parent, ok := st.views[parentID]
+	if !ok {
+		return false, nil, fmt.Errorf("analysis: rank %d call %d (%s): unknown parent comm id %d",
+			r, e.idx, e.call.Func.Name(), parentID)
+	}
+	for _, m := range parent.group {
+		ms := states[m]
+		if ms.cursor >= len(ms.events) {
+			return false, nil, nil
+		}
+		me := ms.events[ms.cursor]
+		if me.call.Func != e.call.Func {
+			return false, nil, nil
+		}
+		if me.call.Args[parentCommArg(me.call.Func)].I != parentID {
+			return false, nil, nil
+		}
+		// Guard against id aliasing: the member must see the same group.
+		mp, ok := ms.views[parentID]
+		if !ok || !sameGroup(mp.group, parent.group) {
+			return false, nil, nil
+		}
+	}
+	return true, parent.group, nil
+}
+
+func sameGroup(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveCollective computes every member's view of the created
+// communicator(s) and installs them under the recorded symbolic ids.
+func resolveCollective(states []*resolverState, members []int, f mpispec.FuncID) error {
+	type part struct {
+		world      int
+		parentRank int
+		call       core.DecodedCall
+	}
+	parts := make([]part, len(members))
+	parentID := int64(0)
+	for i, m := range members {
+		c := states[m].events[states[m].cursor].call
+		parts[i] = part{world: m, parentRank: i, call: c}
+		parentID = c.Args[parentCommArg(f)].I
+	}
+	parent := states[members[0]].views[parentID]
+
+	install := func(world int, newID int64, group []int, cartDims []int) {
+		if newID == commNil || newID >= int64(1<<31-1) { // nil or still-pending id
+			return
+		}
+		v := &commView{group: group, cartDims: cartDims}
+		v.myRank = v.indexOf(world)
+		states[world].views[newID] = v
+	}
+
+	switch f {
+	case mpispec.FCommDup, mpispec.FCommIdup:
+		for _, p := range parts {
+			install(p.world, p.call.Args[newCommArg(f)].I, parent.group, parent.cartDims)
+		}
+
+	case mpispec.FCommSplit, mpispec.FCommSplitType:
+		type contrib struct {
+			part
+			color, key int64
+		}
+		byColor := map[int64][]contrib{}
+		var colors []int64
+		for _, p := range parts {
+			var color, key int64
+			if f == mpispec.FCommSplit {
+				color = p.call.Args[1].Resolve(int64(p.parentRank))
+				key = p.call.Args[2].Resolve(int64(p.parentRank))
+			} else {
+				// Split-by-locality: re-derive the simulator's node color.
+				color = valUndefined
+				if p.call.Args[1].I == commTypeShared {
+					color = int64(p.world / simNodeSize)
+				}
+				key = p.call.Args[2].Resolve(int64(p.parentRank))
+			}
+			if color == valUndefined {
+				continue
+			}
+			if _, seen := byColor[color]; !seen {
+				colors = append(colors, color)
+			}
+			byColor[color] = append(byColor[color], contrib{part: p, color: color, key: key})
+		}
+		sort.Slice(colors, func(i, j int) bool { return colors[i] < colors[j] })
+		for _, col := range colors {
+			cs := byColor[col]
+			sort.SliceStable(cs, func(i, j int) bool {
+				if cs[i].key != cs[j].key {
+					return cs[i].key < cs[j].key
+				}
+				return cs[i].parentRank < cs[j].parentRank
+			})
+			group := make([]int, len(cs))
+			for i, c := range cs {
+				group[i] = c.world
+			}
+			for _, c := range cs {
+				install(c.world, c.call.Args[newCommArg(f)].I, group, nil)
+			}
+		}
+
+	case mpispec.FCartCreate:
+		total := 1
+		for _, d := range parts[0].call.Args[2].Arr {
+			total *= int(d.I)
+		}
+		if total <= 0 || total > len(parent.group) {
+			return fmt.Errorf("analysis: CartCreate grid of %d on comm of %d", total, len(parent.group))
+		}
+		dims := make([]int, len(parts[0].call.Args[2].Arr))
+		for i, d := range parts[0].call.Args[2].Arr {
+			dims[i] = int(d.I)
+		}
+		group := append([]int(nil), parent.group[:total]...)
+		for _, p := range parts {
+			if p.parentRank < total {
+				install(p.world, p.call.Args[newCommArg(f)].I, group, dims)
+			}
+		}
+
+	case mpispec.FCartSub:
+		if parent.cartDims == nil {
+			return fmt.Errorf("analysis: CartSub on non-Cartesian communicator")
+		}
+		dims := parent.cartDims
+		remain := parts[0].call.Args[1].Arr
+		if len(remain) != len(dims) {
+			return fmt.Errorf("analysis: CartSub remain_dims length %d for %d dims", len(remain), len(dims))
+		}
+		// Members sharing coordinates on every dropped dimension form a
+		// sub-communicator; parent-rank (row-major) order within the
+		// class is row-major order over the remaining dims.
+		classOf := func(parentRank int) string {
+			coords := coordsOf(parentRank, dims)
+			key := ""
+			for d, rv := range remain {
+				if rv.I == 0 {
+					key += fmt.Sprintf("%d,", coords[d])
+				}
+			}
+			return key
+		}
+		var subDims []int
+		for d, rv := range remain {
+			if rv.I != 0 {
+				subDims = append(subDims, dims[d])
+			}
+		}
+		classes := map[string][]part{}
+		for _, p := range parts {
+			k := classOf(p.parentRank)
+			classes[k] = append(classes[k], p)
+		}
+		for _, cs := range classes {
+			group := make([]int, len(cs))
+			for i, c := range cs {
+				group[i] = c.world
+			}
+			for _, c := range cs {
+				install(c.world, c.call.Args[newCommArg(f)].I, group, subDims)
+			}
+		}
+
+	case mpispec.FCommCreate:
+		for _, p := range parts {
+			gid := p.call.Args[1].I
+			group, ok := states[p.world].groups[gid]
+			if !ok {
+				continue
+			}
+			if containsInt(group, p.world) {
+				install(p.world, p.call.Args[newCommArg(f)].I, append([]int(nil), group...), nil)
+			}
+		}
+
+	default:
+		return fmt.Errorf("analysis: unsupported comm collective %s", f.Name())
+	}
+	return nil
+}
+
+// applyGroupLocal tracks group-object contents (world-rank lists).
+func (st *resolverState) applyGroupLocal(c core.DecodedCall) error {
+	a := c.Args
+	switch c.Func {
+	case mpispec.FCommGroup:
+		v, ok := st.views[a[0].I]
+		if !ok {
+			return fmt.Errorf("CommGroup on unknown comm id %d", a[0].I)
+		}
+		st.groups[a[1].I] = append([]int(nil), v.group...)
+	case mpispec.FGroupIncl:
+		src := st.groups[a[0].I]
+		var out []int
+		for _, iv := range a[2].Arr {
+			if int(iv.I) < 0 || int(iv.I) >= len(src) {
+				return fmt.Errorf("GroupIncl index %d out of range", iv.I)
+			}
+			out = append(out, src[iv.I])
+		}
+		st.groups[a[3].I] = out
+	case mpispec.FGroupExcl:
+		src := st.groups[a[0].I]
+		excl := map[int]bool{}
+		for _, iv := range a[2].Arr {
+			excl[int(iv.I)] = true
+		}
+		var out []int
+		for i, w := range src {
+			if !excl[i] {
+				out = append(out, w)
+			}
+		}
+		st.groups[a[3].I] = out
+	case mpispec.FGroupUnion:
+		g1, g2 := st.groups[a[0].I], st.groups[a[1].I]
+		out := append([]int(nil), g1...)
+		for _, w := range g2 {
+			if !containsInt(out, w) {
+				out = append(out, w)
+			}
+		}
+		st.groups[a[2].I] = out
+	case mpispec.FGroupIntersection:
+		g1, g2 := st.groups[a[0].I], st.groups[a[1].I]
+		var out []int
+		for _, w := range g1 {
+			if containsInt(g2, w) {
+				out = append(out, w)
+			}
+		}
+		st.groups[a[2].I] = out
+	case mpispec.FGroupDifference:
+		g1, g2 := st.groups[a[0].I], st.groups[a[1].I]
+		var out []int
+		for _, w := range g1 {
+			if !containsInt(g2, w) {
+				out = append(out, w)
+			}
+		}
+		st.groups[a[2].I] = out
+	case mpispec.FGroupFree:
+		delete(st.groups, a[0].I)
+	}
+	return nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// coordsOf converts a row-major rank to grid coordinates.
+func coordsOf(rank int, dims []int) []int {
+	coords := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		coords[i] = rank % dims[i]
+		rank /= dims[i]
+	}
+	return coords
+}

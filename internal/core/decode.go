@@ -27,23 +27,6 @@ func DecodeRank(f *trace.File, rank int) ([]DecodedCall, error) {
 		return nil, err
 	}
 	out := make([]DecodedCall, 0, len(terms))
-
-	var recon *timing.Reconstructor
-	var durSeq, intSeq []int32
-	if f.TimingMode == trace.TimingLossy {
-		recon = timing.NewReconstructor(f.TimingBase)
-		if rank < len(f.DurIndex) && int(f.DurIndex[rank]) < len(f.DurGrammars) {
-			durSeq = f.DurGrammars[f.DurIndex[rank]].Expand(0)
-		}
-		if rank < len(f.IntIndex) && int(f.IntIndex[rank]) < len(f.IntGrammars) {
-			intSeq = f.IntGrammars[f.IntIndex[rank]].Expand(0)
-		}
-		if len(durSeq) != len(terms) || len(intSeq) != len(terms) {
-			return nil, fmt.Errorf("core: rank %d timing streams (%d/%d) do not match %d calls",
-				rank, len(durSeq), len(intSeq), len(terms))
-		}
-	}
-
 	for i, term := range terms {
 		if int(term) >= f.CST.Len() {
 			return nil, fmt.Errorf("core: rank %d call %d references CST entry %d of %d",
@@ -53,13 +36,47 @@ func DecodeRank(f *trace.File, rank int) ([]DecodedCall, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d call %d: %w", rank, i, err)
 		}
-		dc := DecodedCall{Decoded: d, AvgDuration: f.CST.AvgDuration(term)}
-		if recon != nil {
-			dc.TStart, dc.TEnd = recon.Next(term, d.Func, durSeq[i], intSeq[i])
+		out = append(out, DecodedCall{Decoded: d, AvgDuration: f.CST.AvgDuration(term)})
+	}
+
+	if f.TimingMode == trace.TimingLossy {
+		times, err := ReconstructTimes(f, rank, terms, out)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, dc)
+		for i := range out {
+			out[i].TStart, out[i].TEnd = times[i].Start, times[i].End
+		}
 	}
 	return out, nil
+}
+
+// ReconstructTimes recovers the per-call wall-clock timeline of one
+// rank from the trace's duration and interval grammars (lossy timing
+// mode only), via timing.Reconstructor.Series. Every recovered start
+// and duration is within TimingBase−1 relative error of the original
+// wall clock. terms and calls must describe the rank's stream, as
+// returned by f.Terms and the signature decode.
+func ReconstructTimes(f *trace.File, rank int, terms []int32, calls []DecodedCall) ([]timing.CallTime, error) {
+	if f.TimingMode != trace.TimingLossy {
+		return nil, fmt.Errorf("core: trace has no per-call timing (aggregated mode)")
+	}
+	var durSeq, intSeq []int32
+	if rank < len(f.DurIndex) && int(f.DurIndex[rank]) < len(f.DurGrammars) {
+		durSeq = f.DurGrammars[f.DurIndex[rank]].Expand(0)
+	}
+	if rank < len(f.IntIndex) && int(f.IntIndex[rank]) < len(f.IntGrammars) {
+		intSeq = f.IntGrammars[f.IntIndex[rank]].Expand(0)
+	}
+	if len(durSeq) != len(terms) || len(intSeq) != len(terms) {
+		return nil, fmt.Errorf("core: rank %d timing streams (%d/%d) do not match %d calls",
+			rank, len(durSeq), len(intSeq), len(terms))
+	}
+	funcs := make([]mpispec.FuncID, len(calls))
+	for i, c := range calls {
+		funcs[i] = c.Func
+	}
+	return timing.NewReconstructor(f.TimingBase).Series(terms, funcs, durSeq, intSeq)
 }
 
 // RankSignatures returns rank r's raw signature byte stream (the

@@ -265,7 +265,10 @@ func Deserialize(data []byte) (*Table, error) {
 			return nil, fmt.Errorf("cst: truncated entry %d length", i)
 		}
 		pos += k
-		if pos+int(l) > len(data) {
+		// Compare in uint64: int(l) may wrap negative and pos+int(l) may
+		// overflow, either of which would slip past an int comparison and
+		// panic on the slice below.
+		if l > uint64(len(data)-pos) {
 			return nil, fmt.Errorf("cst: truncated entry %d bytes", i)
 		}
 		key := string(data[pos : pos+int(l)])

@@ -1,0 +1,74 @@
+package cst
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Deserialize parses attacker-controllable bytes (it sits on the
+// trace.Read path); any malformed input must error, never panic.
+
+// TestDeserializeOverflowLength: a signature length of 2^63 wraps
+// negative when narrowed to int, which used to slip past the bounds
+// check and panic slicing the data.
+func TestDeserializeOverflowLength(t *testing.T) {
+	for _, l := range []uint64{1 << 63, 1<<64 - 1, 1 << 62} {
+		var data []byte
+		data = binary.AppendUvarint(data, 1) // one entry
+		data = binary.AppendUvarint(data, l) // absurd signature length
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Deserialize panicked on length %d: %v", l, r)
+			}
+		}()
+		if _, err := Deserialize(data); err == nil {
+			t.Fatalf("length %d accepted", l)
+		}
+	}
+}
+
+func TestDeserializeExhaustiveCorruption(t *testing.T) {
+	tb := New()
+	tb.Add([]byte("sigA"), 100)
+	tb.Add([]byte("sigB"), 200)
+	tb.Add([]byte("sigC"), 300)
+	data := tb.Serialize()
+	check := func(mut []byte, what string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Deserialize panicked on %s: %v", what, r)
+			}
+		}()
+		Deserialize(mut)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		check(data[:cut], "truncation")
+	}
+	for pos := 0; pos < len(data); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[pos] ^= 1 << bit
+			check(mut, "bit flip")
+		}
+	}
+}
+
+func FuzzDeserialize(f *testing.F) {
+	tb := New()
+	tb.Add([]byte("sigA"), 100)
+	tb.Add([]byte("sigB"), 200)
+	f.Add(tb.Serialize())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Deserialize(data)
+		if err != nil {
+			return
+		}
+		// Accepted tables must be internally consistent.
+		for i := int32(0); int(i) < got.Len(); i++ {
+			got.Sig(i)
+			got.AvgDuration(i)
+		}
+		got.Serialize()
+	})
+}

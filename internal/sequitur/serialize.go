@@ -1,6 +1,9 @@
 package sequitur
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Serialized grammar layout (all int32, matching the paper's "array of
 // integers" internal representation whose identity check is a memcmp):
@@ -205,6 +208,9 @@ func (sg Serialized) Walk(yield func(t int32, k int64) bool) {
 
 // InputLen returns the uncompressed length generated by a serialized
 // grammar (computed bottom-up, so exponential expansions stay cheap).
+// Arithmetic saturates at MaxInt64: a corrupt grammar can encode
+// expansions past int64, and a wrapped-negative length would slip
+// under every size cap downstream.
 func (sg Serialized) InputLen() int64 {
 	rules := sg.rules()
 	memo := make([]int64, len(rules))
@@ -220,15 +226,32 @@ func (sg Serialized) InputLen() int64 {
 		var n int64
 		for _, s := range rules[r] {
 			if s.val < 0 {
-				n += s.exp * size(int(-s.val-1))
+				n = satAdd(n, satMul(s.exp, size(int(-s.val-1))))
 			} else {
-				n += s.exp
+				n = satAdd(n, s.exp)
 			}
 		}
 		memo[r] = n
 		return n
 	}
 	return size(0)
+}
+
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
 }
 
 // Expand materializes the uncompressed sequence (panics above max

@@ -39,6 +39,16 @@ func (v DecodedValue) Resolve(base int64) int64 {
 	return v.I
 }
 
+// IsProcNull reports whether a rank-like field is MPI_PROC_NULL.
+func (v DecodedValue) IsProcNull() bool { return v.Sel == selProcNull }
+
+// IsWildcard reports whether a rank-like field is MPI_ANY_SOURCE (or,
+// for tags, MPI_ANY_TAG — the two share a selector).
+func (v DecodedValue) IsWildcard() bool { return v.Sel == selAnySrc }
+
+// IsUndefined reports whether a rank-like field is MPI_UNDEFINED.
+func (v DecodedValue) IsUndefined() bool { return v.Sel == selUndef }
+
 // Decoded is one reconstructed MPI call.
 type Decoded struct {
 	Func mpispec.FuncID

@@ -19,6 +19,7 @@
 package timing
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
@@ -156,3 +157,42 @@ func (r *Reconstructor) Next(term int32, f mpispec.FuncID, durTerm, intTerm int3
 	dur := valueOf(durTerm, b)
 	return int64(recon), int64(recon + dur)
 }
+
+// CallTime is one call's recovered wall-clock interval, in nanoseconds
+// since the rank's first recorded call.
+type CallTime struct {
+	Start, End int64
+}
+
+// Duration returns the recovered call duration.
+func (t CallTime) Duration() int64 { return t.End - t.Start }
+
+// Series recovers the full per-call timeline of one rank in a single
+// pass: terms and funcs describe the rank's call stream (CST terminal
+// and function id per call, in order), durTerms/intTerms are the
+// expanded duration and interval grammars. All four slices must have
+// equal length. Every recovered start time and duration carries the
+// paper's guarantee: relative error at most base−1 against the
+// original wall clock, never compounding across calls.
+//
+// The receiver is single-use for a given rank: it accumulates the
+// per-signature reconstructed interval chains, so reuse across ranks
+// (or interleaving with Next) corrupts the recovered times.
+func (r *Reconstructor) Series(terms []int32, funcs []mpispec.FuncID, durTerms, intTerms []int32) ([]CallTime, error) {
+	if len(funcs) != len(terms) || len(durTerms) != len(terms) || len(intTerms) != len(terms) {
+		return nil, fmt.Errorf("timing: stream lengths differ (terms=%d funcs=%d dur=%d int=%d)",
+			len(terms), len(funcs), len(durTerms), len(intTerms))
+	}
+	out := make([]CallTime, len(terms))
+	for i := range terms {
+		s, e := r.Next(terms[i], funcs[i], durTerms[i], intTerms[i])
+		out[i] = CallTime{Start: s, End: e}
+	}
+	return out, nil
+}
+
+// Bound returns the reconstructor's relative-error guarantee (base−1):
+// every CallTime Series or Next produces has |recovered−true|/true at
+// most this, for both start times and durations. Per-function base
+// overrides are reported by the function's own bound.
+func (r *Reconstructor) Bound(f mpispec.FuncID) float64 { return r.baseFor(f) - 1 }

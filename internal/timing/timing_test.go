@@ -87,6 +87,64 @@ func relErr(got, want float64) float64 {
 	return math.Abs(got-want) / want
 }
 
+func TestSeriesEveryCallWithinBound(t *testing.T) {
+	// The paper's §3.2 guarantee is per call, not on average: every
+	// reconstructed start time and duration must be within base−1
+	// relative error. Exercise the public batch API on a mixed stream
+	// (several signatures, bursty gaps, two orders of magnitude of
+	// durations) and assert the bound call by call.
+	const base = 1.2
+	rng := rand.New(rand.NewSource(7))
+	c := New(base)
+
+	var terms []int32
+	var funcs []mpispec.FuncID
+	var starts, durs []int64
+	now := int64(500)
+	fids := []mpispec.FuncID{mpispec.FSend, mpispec.FRecv, mpispec.FWaitall, mpispec.FAllreduce}
+	for i := 0; i < 3000; i++ {
+		term := int32(rng.Intn(7))
+		f := fids[rng.Intn(len(fids))]
+		dur := int64(200 + rng.Intn(200_000))
+		gap := int64(50 + rng.Intn(80_000))
+		if rng.Intn(20) == 0 { // occasional long silence (checkpoint-style)
+			gap += 5_000_000
+		}
+		now += gap
+		terms = append(terms, term)
+		funcs = append(funcs, f)
+		starts = append(starts, now)
+		durs = append(durs, dur)
+		c.Record(term, f, now, now+dur)
+		now += dur
+	}
+
+	r := NewReconstructor(base)
+	times, err := r.Series(terms, funcs, c.DurationGrammar().Expand(0), c.IntervalGrammar().Expand(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != len(terms) {
+		t.Fatalf("Series returned %d times for %d calls", len(times), len(terms))
+	}
+	bound := r.Bound(mpispec.FSend) + 1e-9
+	for i, ct := range times {
+		if e := relErr(float64(ct.Start), float64(starts[i])); e > bound {
+			t.Fatalf("call %d: start error %.4f exceeds per-call bound %.4f", i, e, bound)
+		}
+		if e := relErr(float64(ct.Duration()), float64(durs[i])); e > bound {
+			t.Fatalf("call %d: duration error %.4f exceeds per-call bound %.4f", i, e, bound)
+		}
+	}
+}
+
+func TestSeriesLengthMismatch(t *testing.T) {
+	r := NewReconstructor(1.2)
+	if _, err := r.Series([]int32{0, 1}, []mpispec.FuncID{mpispec.FSend}, []int32{0, 0}, []int32{0, 0}); err == nil {
+		t.Fatal("mismatched stream lengths must error")
+	}
+}
+
 func TestRegularLoopTimingCompressesWell(t *testing.T) {
 	// Identical durations and intervals in a loop: both grammars must
 	// stay O(1) regardless of iteration count.

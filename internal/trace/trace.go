@@ -320,8 +320,9 @@ func writePackable(w *bufio.Writer, gs []sequitur.Serialized, pack sequitur.Seri
 	return writeGrammarSet(w, gs)
 }
 
-// readPackable mirrors writePackable.
-func (br byteReader) readPackable() ([]sequitur.Serialized, sequitur.Serialized, error) {
+// readPackable mirrors writePackable. max bounds the grammar count of
+// an unpacked set (see grammarSet).
+func (br byteReader) readPackable(max int) ([]sequitur.Serialized, sequitur.Serialized, error) {
 	flag, err := br.r.ReadByte()
 	if err != nil {
 		return nil, nil, err
@@ -331,14 +332,35 @@ func (br byteReader) readPackable() ([]sequitur.Serialized, sequitur.Serialized,
 		if err != nil {
 			return nil, nil, err
 		}
-		gs, err := sequitur.Unpack(pack)
+		gs, err := unpackBounded(pack, max)
 		if err != nil {
 			return nil, nil, err
 		}
 		return gs, pack, nil
 	}
-	gs, err := br.grammarSet()
+	gs, err := br.grammarSet(max)
 	return gs, nil, err
+}
+
+// maxPackExpansion bounds the expanded symbol count of a grammar pack
+// (a structurally valid pack can still encode an exponential
+// expansion — run-length exponents nest multiplicatively).
+const maxPackExpansion = 1 << 28
+
+// unpackBounded is sequitur.Unpack with the expansion and set-size
+// caps every untrusted read path needs.
+func unpackBounded(pack sequitur.Serialized, max int) ([]sequitur.Serialized, error) {
+	if n := pack.InputLen(); n > maxPackExpansion {
+		return nil, fmt.Errorf("trace: grammar pack expands to %d symbols", n)
+	}
+	gs, err := sequitur.Unpack(pack)
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) > max {
+		return nil, fmt.Errorf("trace: packed grammar set of %d exceeds %d ranks", len(gs), max)
+	}
+	return gs, nil
 }
 
 // SizeBytes returns the serialized size of the trace — the "trace file
@@ -457,10 +479,16 @@ func (br byteReader) grammar() (sequitur.Serialized, error) {
 	return g, nil
 }
 
-func (br byteReader) grammarSet() ([]sequitur.Serialized, error) {
+func (br byteReader) grammarSet(max int) ([]sequitur.Serialized, error) {
 	n, err := binary.ReadUvarint(br.r)
 	if err != nil {
 		return nil, err
+	}
+	// Grammars are deduped per rank, so a set can never exceed the rank
+	// count; without the cap a corrupt count allocates gigabytes of
+	// slice headers before the first grammar parse can fail.
+	if n > uint64(max) {
+		return nil, fmt.Errorf("trace: grammar set of %d exceeds %d ranks", n, max)
 	}
 	gs := make([]sequitur.Serialized, n)
 	for i := range gs {
@@ -540,24 +568,24 @@ func Read(r io.Reader) (*File, error) {
 		if f.Packed, err = br.grammar(); err != nil {
 			return nil, err
 		}
-		if f.Grammars, err = sequitur.Unpack(f.Packed); err != nil {
+		if f.Grammars, err = unpackBounded(f.Packed, f.NumRanks); err != nil {
 			return nil, err
 		}
 	} else {
-		if f.Grammars, err = br.grammarSet(); err != nil {
+		if f.Grammars, err = br.grammarSet(f.NumRanks); err != nil {
 			return nil, err
 		}
 	}
 	if f.RankMap, err = br.grammar(); err != nil {
 		return nil, err
 	}
-	if f.DurGrammars, f.PackedDur, err = br.readPackable(); err != nil {
+	if f.DurGrammars, f.PackedDur, err = br.readPackable(f.NumRanks); err != nil {
 		return nil, err
 	}
 	if f.DurIndex, err = br.index(); err != nil {
 		return nil, err
 	}
-	if f.IntGrammars, f.PackedInt, err = br.readPackable(); err != nil {
+	if f.IntGrammars, f.PackedInt, err = br.readPackable(f.NumRanks); err != nil {
 		return nil, err
 	}
 	if f.IntIndex, err = br.index(); err != nil {

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/hpcrepro/pilgrim/internal/analysis"
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/metrics"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
@@ -189,6 +190,17 @@ func VerifyLossless(f *TraceFile, tracers []*Tracer) error {
 
 // Load reads a trace file from disk.
 func Load(path string) (*TraceFile, error) { return trace.Load(path) }
+
+// Analysis holds every derived view of one trace: per-rank event
+// timelines, the rank×rank communication matrix, the per-function
+// time profile, matched point-to-point pairs with late-sender /
+// late-receiver statistics, and exporters to Chrome trace-event JSON
+// (Perfetto) and CSV. See internal/analysis for the semantics.
+type Analysis = analysis.Analysis
+
+// Analyze decodes a whole trace and computes every derived view
+// (communication matrix, time profile, p2p matching, late statistics).
+func Analyze(f *TraceFile) (*Analysis, error) { return analysis.Analyze(f) }
 
 // MetricsCollector is a run-scoped metrics registry plus pre-registered
 // instrument handles for the tracer, the simulated runtime, and the
