@@ -166,6 +166,25 @@ func BenchmarkFig10Timing(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectIngest measures the networked collection path: one
+// traced run's snapshots streamed through a loopback collector, merged
+// on arrival, finalized, and fetched back. The custom metrics compare
+// what crosses the wire to the raw and final trace sizes.
+func BenchmarkCollectIngest(b *testing.B) {
+	var pt experiments.CollectPoint
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCollect(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt = r.Points[len(r.Points)-1]
+	}
+	b.ReportMetric(float64(pt.WireB), "wire-B")
+	b.ReportMetric(float64(pt.TraceB), "trace-B")
+	b.ReportMetric(pt.SnapsPerSec, "snaps/s")
+	b.ReportMetric(pt.MBPerSec, "MB/s")
+}
+
 // --- Component microbenchmarks -------------------------------------------------
 
 func BenchmarkSequiturAppendLoop(b *testing.B) {

@@ -1,0 +1,89 @@
+// pilgrim-collectd is the networked trace collector daemon: it
+// ingests per-rank tracer snapshots over TCP, runs the inter-process
+// merge server-side as ranks report, and writes each run's finalized
+// trace — byte-identical to an in-process finalize — under -out-dir.
+// An HTTP admin API lists runs, reports per-run status, serves
+// finalized traces, and exposes the daemon's Prometheus metrics.
+//
+// Usage:
+//
+//	pilgrim-collectd -listen :7777 -admin :7778 -out-dir ./traces
+//	pilgrim-trace -workload stencil2d -procs 16 -collector localhost:7777 -run-id demo
+//	curl localhost:7778/runs/demo
+//	curl -o demo.pilgrim localhost:7778/runs/demo/trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/collect"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7777", "TCP ingest address for tracer snapshots")
+		admin    = flag.String("admin", ":7778", "HTTP admin API address (runs, traces, metrics); empty disables")
+		outDir   = flag.String("out-dir", ".", "directory for finalized traces (<run-id>.pilgrim)")
+		deadline = flag.Duration("deadline", 0, "straggler deadline per run: finalize as a salvage trace once this elapses with ranks missing (0 = wait forever)")
+		idle     = flag.Duration("idle-timeout", 5*time.Minute, "drop ingest connections idle longer than this")
+		verbose  = flag.Bool("v", false, "log per-run lifecycle events")
+	)
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	srv, err := collect.Start(collect.Config{
+		Listen:            *listen,
+		OutDir:            *outDir,
+		StragglerDeadline: *deadline,
+		IdleTimeout:       *idle,
+		Logf:              logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("pilgrim-collectd: ingest on %s, traces to %s", srv.Addr(), *outDir)
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fatal(err)
+		}
+		adminSrv = &http.Server{
+			Handler:           collect.AdminHandler(srv),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go adminSrv.Serve(ln)
+		log.Printf("pilgrim-collectd: admin API on %s", ln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("pilgrim-collectd: shutting down")
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pilgrim-collectd:", err)
+	os.Exit(1)
+}

@@ -35,6 +35,9 @@ func main() {
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics report as JSON to this file")
 		progress    = flag.Duration("progress", 0, "print a one-line progress report at this interval (e.g. 2s)")
 
+		collector = flag.String("collector", "", "stream rank snapshots to a pilgrim-collectd at this address instead of merging locally (falls back to local merge if unreachable)")
+		runID     = flag.String("run-id", "", "run identifier at the collector (default: generated)")
+
 		salvage   = flag.Bool("salvage", false, "on failure, write the salvaged partial trace instead of exiting empty-handed")
 		seed      = flag.Int64("seed", 0, "simulator seed (0 = default)")
 		crashRank = flag.Int("crash-rank", -1, "inject: crash this rank (with -crash-at)")
@@ -71,6 +74,8 @@ func main() {
 		opts.MetricsAddr = *metricsAddr
 		opts.ProgressEvery = *progress
 	}
+	opts.CollectorAddr = *collector
+	opts.CollectorRunID = *runID
 
 	simOpts := mpi.Options{Seed: *seed}
 	var plan mpi.FaultPlan

@@ -1,0 +1,125 @@
+package pilgrim_test
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/collect"
+	"github.com/hpcrepro/pilgrim/internal/workloads"
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+// TestRunSimThroughCollector drives the full networked path: RunSim
+// with Options.CollectorAddr streams every rank's snapshot to a live
+// collector, the merge happens server-side, and the fetched trace is
+// a complete, decodable artifact also persisted under the collector's
+// out-dir.
+func TestRunSimThroughCollector(t *testing.T) {
+	const n = 8
+	dir := t.TempDir()
+	srv, err := collect.Start(collect.Config{Listen: "127.0.0.1:0", OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body, err := workloads.Get("stencil2d", 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := pilgrim.Options{CollectorAddr: srv.Addr(), CollectorRunID: "e2e"}
+	file, stats, err := pilgrim.RunSim(n, opts, mpi.Options{}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.NumRanks != n || stats.TotalCalls == 0 {
+		t.Fatalf("trace: %d ranks, %d calls", file.NumRanks, stats.TotalCalls)
+	}
+	for r := 0; r < n; r++ {
+		if _, err := pilgrim.DecodeRank(file, r); err != nil {
+			t.Fatalf("decode rank %d: %v", r, err)
+		}
+	}
+	// The remote path really ran: the collector finalized the run and
+	// wrote the trace file.
+	if srv.Metrics().FinalizedRuns.Load() != 1 {
+		t.Fatal("collector did not finalize the run (local fallback used?)")
+	}
+	onDisk, err := os.ReadFile(filepath.Join(dir, "e2e.pilgrim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != stats.TraceBytes {
+		t.Fatalf("on-disk trace %d bytes, stats say %d", len(onDisk), stats.TraceBytes)
+	}
+}
+
+// TestRunSimCollectorDown points RunSim at a dead address: the client
+// exhausts its retries and RunSim falls back to the local merge, so
+// the run still succeeds with a full trace.
+func TestRunSimCollectorDown(t *testing.T) {
+	const n = 4
+	body, err := workloads.Get("stencil2d", 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A listener we close immediately: the port is real but dead.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	file, stats, err := pilgrim.RunSim(n, pilgrim.Options{CollectorAddr: addr}, mpi.Options{}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file == nil || file.NumRanks != n || stats.TotalCalls == 0 {
+		t.Fatalf("fallback trace incomplete: %+v", stats)
+	}
+	for r := 0; r < n; r++ {
+		if _, err := pilgrim.DecodeRank(file, r); err != nil {
+			t.Fatalf("decode rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestRunSimCollectorKilledMidRun kills the collector while producers
+// are mid-conversation — connections accept and then reset — and the
+// run must still finish via the local fallback.
+func TestRunSimCollectorKilledMidRun(t *testing.T) {
+	const n = 4
+	body, err := workloads.Get("stencil2d", 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A "dying collector": accepts each connection, then severs it
+	// before any ack — what producers observe when the daemon is killed
+	// between connect and reply.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+
+	file, stats, err := pilgrim.RunSim(n, pilgrim.Options{CollectorAddr: ln.Addr().String()}, mpi.Options{}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file == nil || file.NumRanks != n || stats.TotalCalls == 0 {
+		t.Fatalf("fallback trace incomplete: %+v", stats)
+	}
+}

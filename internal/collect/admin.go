@@ -1,0 +1,76 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// AdminHandler exposes the collector's admin API:
+//
+//	GET /healthz          liveness + uptime
+//	GET /runs             every run's status, newest first
+//	GET /runs/{id}        one run's status
+//	GET /runs/{id}/trace  the finalized trace (application/octet-stream)
+//	GET /metrics          Prometheus text for the collector's registry
+//	GET /debug/vars       expvar-compatible JSON
+func AdminHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{
+			"ok":          true,
+			"ingest_addr": s.Addr(),
+			"uptime_sec":  time.Since(s.start).Seconds(),
+			"runs":        len(s.Runs()),
+		})
+	})
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, s.Runs())
+	})
+	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Run(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown run", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /runs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		data, ok := s.TraceBytes(id)
+		if !ok {
+			st, exists := s.Run(id)
+			if exists && st.State == "collecting" {
+				http.Error(w, "run still collecting", http.StatusConflict)
+			} else {
+				http.Error(w, "unknown run", http.StatusNotFound)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", id+".pilgrim"))
+		w.Write(data)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.m.Reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s.m.Reg.WriteExpvar(w)
+	})
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("pilgrim-collectd admin\n  /healthz         liveness\n  /runs            run list\n  /runs/{id}       run status\n  /runs/{id}/trace finalized trace\n  /metrics         Prometheus text\n  /debug/vars      expvar JSON\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,292 @@
+package collect
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+	"github.com/hpcrepro/pilgrim/internal/wire"
+)
+
+// RetryPolicy bounds the client's connect/send retry loop.
+type RetryPolicy struct {
+	// MaxAttempts per snapshot (default 5). Each attempt is a fresh
+	// connection: dial, hello, snapshot, ack.
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 50ms); each retry doubles
+	// it up to MaxDelay (default 2s), jittered to avoid a thundering
+	// herd of ranks retrying in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed fixes the jitter source for deterministic tests; 0 derives
+	// one from the clock.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// RunInfo identifies the run a client's snapshots belong to.
+type RunInfo struct {
+	RunID      string
+	WorldSize  int
+	Epoch      uint64
+	TimingMode uint8
+	TimingBase float64
+}
+
+// Client ships rank snapshots to a collector. Sends are idempotent —
+// the server dedupes on (run, rank, epoch) — so any failure is safely
+// retried with a full re-send.
+type Client struct {
+	Addr  string
+	Run   RunInfo
+	Retry RetryPolicy
+	// IOTimeout bounds each dial/read/write (default 30s). WaitTrace
+	// reads are exempt: they legitimately block until the run
+	// finalizes.
+	IOTimeout time.Duration
+	// Dial overrides the transport (tests inject flaky listeners);
+	// nil dials TCP.
+	Dial func(addr string) (net.Conn, error)
+	Logf func(format string, args ...any)
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Client) ioTimeout() time.Duration {
+	if c.IOTimeout > 0 {
+		return c.IOTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	if c.Dial != nil {
+		return c.Dial(c.Addr)
+	}
+	return net.DialTimeout("tcp", c.Addr, c.ioTimeout())
+}
+
+// backoff returns the jittered delay before retry attempt (1-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	p := c.Retry.withDefaults()
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	c.jitterMu.Lock()
+	if c.jitter == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		c.jitter = rand.New(rand.NewSource(seed))
+	}
+	// Half fixed, half uniform random: spreads lockstep ranks without
+	// ever collapsing the delay to zero.
+	d = d/2 + time.Duration(c.jitter.Int63n(int64(d/2)+1))
+	c.jitterMu.Unlock()
+	return d
+}
+
+func (c *Client) hello(rank int) *wire.Hello {
+	return &wire.Hello{
+		Version:    wire.Version,
+		RunID:      c.Run.RunID,
+		WorldSize:  c.Run.WorldSize,
+		Rank:       rank,
+		Epoch:      c.Run.Epoch,
+		TimingMode: c.Run.TimingMode,
+		TimingBase: c.Run.TimingBase,
+	}
+}
+
+// sendOnce runs one full attempt: dial, hello, snapshot, ack.
+func (c *Client) sendOnce(s *core.Snapshot) error {
+	conn, err := c.dial()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.ioTimeout())
+	conn.SetDeadline(deadline)
+	if err := wire.WriteFrame(conn, wire.TypeHello, c.hello(s.Rank).Encode()); err != nil {
+		return fmt.Errorf("send hello: %w", err)
+	}
+	if err := wire.WriteFrame(conn, wire.TypeSnapshot, wire.EncodeSnapshot(s)); err != nil {
+		return fmt.Errorf("send snapshot: %w", err)
+	}
+	typ, body, err := wire.ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("read ack: %w", err)
+	}
+	switch typ {
+	case wire.TypeAck:
+		ack, err := wire.DecodeAck(body)
+		if err != nil {
+			return err
+		}
+		if ack.Status == wire.AckError {
+			// The server understood us and said no (epoch mismatch, run
+			// already finalized): retrying the same bytes cannot succeed.
+			return &permanentError{fmt.Errorf("collector rejected rank %d: %s", s.Rank, ack.Detail)}
+		}
+		return nil // AckOK or AckDuplicate — the snapshot is merged
+	case wire.TypeError:
+		return &permanentError{fmt.Errorf("collector error: %s", body)}
+	default:
+		return fmt.Errorf("unexpected reply frame 0x%02x", typ)
+	}
+}
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// SendSnapshot ships one rank's snapshot, retrying transient failures
+// (refused connections, mid-stream resets) with exponential backoff.
+func (c *Client) SendSnapshot(s *core.Snapshot) error {
+	p := c.Retry.withDefaults()
+	var last error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		err := c.sendOnce(s)
+		if err == nil {
+			return nil
+		}
+		if pe, ok := err.(*permanentError); ok {
+			return pe.err
+		}
+		last = err
+		if attempt < p.MaxAttempts {
+			d := c.backoff(attempt)
+			c.logf("collect: rank %d attempt %d/%d failed (%v); retrying in %s",
+				s.Rank, attempt, p.MaxAttempts, err, d)
+			time.Sleep(d)
+		}
+	}
+	return fmt.Errorf("rank %d: %d attempts exhausted: %w", s.Rank, p.MaxAttempts, last)
+}
+
+// SendAll ships every snapshot over a bounded pool of connections and
+// returns the first failure (all sends still run to completion —
+// partial delivery is fine, the straggler deadline or a later retry
+// covers the rest).
+func (c *Client) SendAll(snaps []*core.Snapshot) error {
+	workers := 8
+	if len(snaps) < workers {
+		workers = len(snaps)
+	}
+	jobs := make(chan *core.Snapshot)
+	errs := make(chan error, len(snaps))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				errs <- c.SendSnapshot(s)
+			}
+		}()
+	}
+	for _, s := range snaps {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitTrace blocks until the run finalizes at the collector and
+// returns the serialized trace bytes.
+func (c *Client) WaitTrace() ([]byte, error) {
+	p := c.Retry.withDefaults()
+	var last error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		data, err := c.waitOnce()
+		if err == nil {
+			return data, nil
+		}
+		if pe, ok := err.(*permanentError); ok {
+			return nil, pe.err
+		}
+		last = err
+		if attempt < p.MaxAttempts {
+			time.Sleep(c.backoff(attempt))
+		}
+	}
+	return nil, fmt.Errorf("wait for trace: %d attempts exhausted: %w", p.MaxAttempts, last)
+}
+
+func (c *Client) waitOnce() ([]byte, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(c.ioTimeout()))
+	if err := wire.WriteFrame(conn, wire.TypeWait, (&wire.Wait{RunID: c.Run.RunID}).Encode()); err != nil {
+		return nil, fmt.Errorf("send wait: %w", err)
+	}
+	// No read deadline: the reply comes when the run finalizes. A dead
+	// collector closes the connection and we fall out with an error.
+	typ, body, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("read trace: %w", err)
+	}
+	switch typ {
+	case wire.TypeTrace:
+		return body, nil
+	case wire.TypeError:
+		return nil, &permanentError{fmt.Errorf("collector error: %s", body)}
+	default:
+		return nil, fmt.Errorf("unexpected reply frame 0x%02x", typ)
+	}
+}
+
+// Collect ships every snapshot and blocks for the finalized trace —
+// the remote equivalent of core.FinalizeSnapshots. Callers fall back
+// to the local merge on any error.
+func (c *Client) Collect(snaps []*core.Snapshot) (*trace.File, error) {
+	if err := c.SendAll(snaps); err != nil {
+		return nil, err
+	}
+	data, err := c.WaitTrace()
+	if err != nil {
+		return nil, err
+	}
+	file, err := trace.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("parse collected trace: %w", err)
+	}
+	return file, nil
+}

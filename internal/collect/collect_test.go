@@ -1,0 +1,470 @@
+package collect_test
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/collect"
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+	"github.com/hpcrepro/pilgrim/internal/workloads"
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+// traceWorkload runs a real workload on n simulated ranks with a
+// tracer per rank and returns every rank's snapshot — the same state
+// the collector path and the local finalize path both start from.
+func traceWorkload(t *testing.T, n int) []*core.Snapshot {
+	t.Helper()
+	tracers := make([]*core.Tracer, n)
+	ics := make([]mpi.Interceptor, n)
+	for i := 0; i < n; i++ {
+		tracers[i] = core.NewTracer(i, nil, core.Options{})
+		ics[i] = tracers[i]
+	}
+	body, err := workloads.Get("stencil2d", 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.RunOpt(n, mpi.Options{Interceptors: ics}, func(p *mpi.Proc) {
+		core.BindOOB(tracers[p.Rank()], p)
+		body(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := make([]*core.Snapshot, n)
+	for i, tr := range tracers {
+		snaps[i] = tr.Snapshot()
+	}
+	return snaps
+}
+
+func serialize(t *testing.T, f *trace.File) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func startServer(t *testing.T, cfg collect.Config) *collect.Server {
+	t.Helper()
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	srv, err := collect.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func client(srv *collect.Server, runID string, world int) *collect.Client {
+	return &collect.Client{
+		Addr:  srv.Addr(),
+		Run:   collect.RunInfo{RunID: runID, WorldSize: world},
+		Retry: collect.RetryPolicy{Seed: 1},
+	}
+}
+
+// TestStreamingMatchesLocalFinalize is the subsystem's core claim: a
+// 16-rank workload's snapshots streamed through the collector (in
+// arbitrary per-connection order, merged incrementally on arrival)
+// finalize to the exact bytes core.FinalizeSnapshots produces from the
+// same snapshots in-process.
+func TestStreamingMatchesLocalFinalize(t *testing.T) {
+	const n = 16
+	snaps := traceWorkload(t, n)
+
+	dir := t.TempDir()
+	srv := startServer(t, collect.Config{OutDir: dir})
+	c := client(srv, "byteident", n)
+	remote, err := c.Collect(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _ := core.FinalizeSnapshots(snaps, core.Options{}, nil)
+
+	remoteBytes := serialize(t, remote)
+	localBytes := serialize(t, local)
+	if !bytes.Equal(remoteBytes, localBytes) {
+		t.Fatalf("streamed trace differs from local finalize: %d vs %d bytes",
+			len(remoteBytes), len(localBytes))
+	}
+	// The trace written under OutDir is that same artifact.
+	onDisk, err := os.ReadFile(filepath.Join(dir, "byteident.pilgrim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, localBytes) {
+		t.Fatal("on-disk trace differs from local finalize")
+	}
+	// And it decodes: every rank's stream reconstructs.
+	for r := 0; r < n; r++ {
+		lc, err1 := core.DecodeRank(local, r)
+		rc, err2 := core.DecodeRank(remote, r)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("decode rank %d: %v / %v", r, err1, err2)
+		}
+		if len(lc) != len(rc) {
+			t.Fatalf("rank %d stream length %d != %d", r, len(rc), len(lc))
+		}
+	}
+	if got := srv.Metrics().IngestSnapshots.Load(); got != n {
+		t.Fatalf("ingest counter %d, want %d", got, n)
+	}
+}
+
+// TestArrivalOrderIrrelevant streams the same snapshots in reversed
+// order into a second run: the merge tree is fixed by world size, so
+// the bytes must still match.
+func TestArrivalOrderIrrelevant(t *testing.T) {
+	const n = 7
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{})
+
+	c1 := client(srv, "fwd", n)
+	for _, s := range snaps {
+		if err := c1.SendSnapshot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2 := client(srv, "rev", n)
+	for i := n - 1; i >= 0; i-- {
+		if err := c2.SendSnapshot(snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fwd, err := c1.WaitTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := c2.WaitTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fwd, rev) {
+		t.Fatal("arrival order changed the finalized trace")
+	}
+}
+
+// TestStragglerSalvage holds back one rank past the deadline: the run
+// must finalize as a salvage trace naming exactly the missing rank,
+// with the reported ranks' call counts intact.
+func TestStragglerSalvage(t *testing.T) {
+	const n = 4
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{StragglerDeadline: 300 * time.Millisecond})
+	c := client(srv, "straggler", n)
+	for _, s := range snaps {
+		if s.Rank == 2 {
+			continue // rank 2 never reports
+		}
+		if err := c.SendSnapshot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := c.WaitTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := trace.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Salvage == nil {
+		t.Fatal("straggler run finalized without salvage info")
+	}
+	if len(f.Salvage.FailedRanks) != 1 || f.Salvage.FailedRanks[0] != 2 {
+		t.Fatalf("failed ranks %v, want [2]", f.Salvage.FailedRanks)
+	}
+	if !strings.Contains(f.Salvage.Reason, "straggler deadline") {
+		t.Fatalf("reason %q does not name the deadline", f.Salvage.Reason)
+	}
+	for r := 0; r < n; r++ {
+		want := int64(0)
+		if r != 2 {
+			want = snaps[r].Calls
+		}
+		if f.Salvage.Calls[r] != want {
+			t.Fatalf("salvage calls[%d] = %d, want %d", r, f.Salvage.Calls[r], want)
+		}
+	}
+	// The reported ranks' streams decode; the straggler's is empty.
+	for r := 0; r < n; r++ {
+		calls, err := core.DecodeRank(f, r)
+		if err != nil {
+			t.Fatalf("decode rank %d: %v", r, err)
+		}
+		if r == 2 && len(calls) != 0 {
+			t.Fatalf("straggler rank decoded %d calls", len(calls))
+		}
+		if r != 2 && int64(len(calls)) != snaps[r].Calls {
+			t.Fatalf("rank %d decoded %d calls, want %d", r, len(calls), snaps[r].Calls)
+		}
+	}
+	if srv.Metrics().SalvagedRuns.Load() != 1 {
+		t.Fatal("salvaged-run counter not incremented")
+	}
+}
+
+// TestIdempotentResend re-sends every snapshot: the duplicates must be
+// acked (not errored) and merged exactly once.
+func TestIdempotentResend(t *testing.T) {
+	const n = 3
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{})
+	c := client(srv, "dup", n)
+	// First rank twice before the run completes, then the rest, then
+	// everything again after finalize.
+	if err := c.SendSnapshot(snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendSnapshot(snaps[0]); err != nil {
+		t.Fatalf("live duplicate rejected: %v", err)
+	}
+	for _, s := range snaps[1:] {
+		if err := c.SendSnapshot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range snaps {
+		if err := c.SendSnapshot(s); err != nil {
+			t.Fatalf("post-finalize duplicate rejected: %v", err)
+		}
+	}
+	m := srv.Metrics()
+	if got := m.IngestSnapshots.Load(); got != n {
+		t.Fatalf("merged %d snapshots, want %d", got, n)
+	}
+	if got := m.DupSnapshots.Load(); got != n+1 {
+		t.Fatalf("dedup counter %d, want %d", got, n+1)
+	}
+}
+
+// flakyDialer fails the first failDials dials outright and resets the
+// next failWrites connections mid-stream (the connection dies after a
+// few bytes), then behaves. Both failure modes must be absorbed by
+// the client's retry loop.
+type flakyDialer struct {
+	addr       string
+	mu         sync.Mutex
+	failDials  int
+	failWrites int
+}
+
+func (d *flakyDialer) dial(string) (net.Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failDials > 0 {
+		d.failDials--
+		return nil, &net.OpError{Op: "dial", Err: io.ErrClosedPipe}
+	}
+	conn, err := net.Dial("tcp", d.addr)
+	if err != nil {
+		return nil, err
+	}
+	if d.failWrites > 0 {
+		d.failWrites--
+		return &droppingConn{Conn: conn, budget: 9}, nil
+	}
+	return conn, nil
+}
+
+// droppingConn kills the connection after budget written bytes —
+// mid-frame, so the server sees a truncated stream.
+type droppingConn struct {
+	net.Conn
+	budget int64
+}
+
+func (c *droppingConn) Write(b []byte) (int, error) {
+	rem := atomic.AddInt64(&c.budget, -int64(len(b)))
+	if rem < 0 {
+		c.Conn.Close()
+		return 0, io.ErrClosedPipe
+	}
+	return c.Conn.Write(b)
+}
+
+func TestRetryAbsorbsFlakyTransport(t *testing.T) {
+	const n = 4
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{})
+	d := &flakyDialer{addr: srv.Addr(), failDials: 3, failWrites: 3}
+	c := client(srv, "flaky", n)
+	c.Retry = collect.RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 42}
+	c.Dial = d.dial
+	if err := c.SendAll(snaps); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitTrace(); err != nil {
+		t.Fatal(err)
+	}
+	m := srv.Metrics()
+	// Mid-stream resets may or may not have delivered a full snapshot
+	// before dying; dedupe guarantees exactly n merges either way.
+	if got := m.IngestSnapshots.Load(); got != n {
+		t.Fatalf("merged %d snapshots, want %d", got, n)
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	snaps := traceWorkload(t, 1)
+	c := &collect.Client{
+		Addr:  "127.0.0.1:1", // nothing listens here
+		Run:   collect.RunInfo{RunID: "nope", WorldSize: 1},
+		Retry: collect.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 7},
+	}
+	start := time.Now()
+	err := c.SendSnapshot(snaps[0])
+	if err == nil {
+		t.Fatal("send to dead address succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("error %q does not report exhausted attempts", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry loop took implausibly long")
+	}
+}
+
+// TestEpochSemantics: a retried producer with a higher epoch restarts
+// a finished run; an epoch mismatch against a live run is rejected.
+func TestEpochSemantics(t *testing.T) {
+	const n = 2
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{})
+
+	c0 := client(srv, "epochs", n)
+	for _, s := range snaps {
+		if err := c0.SendSnapshot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 1 on the finished run: fresh instance, collects again.
+	c1 := client(srv, "epochs", n)
+	c1.Run.Epoch = 1
+	if err := c1.SendSnapshot(snaps[0]); err != nil {
+		t.Fatalf("higher epoch on finished run rejected: %v", err)
+	}
+	// Epoch 0 now mismatches the live epoch-1 run: rejected, no retry.
+	if err := c0.SendSnapshot(snaps[1]); err == nil {
+		t.Fatal("stale epoch accepted against live run")
+	}
+	if srv.Metrics().RejectedSnapshots.Load() == 0 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+func TestBadRunIDRejected(t *testing.T) {
+	snaps := traceWorkload(t, 1)
+	srv := startServer(t, collect.Config{OutDir: t.TempDir()})
+	for _, id := range []string{"../escape", "a/b", ".hidden"} {
+		c := client(srv, id, 1)
+		if err := c.SendSnapshot(snaps[0]); err == nil {
+			t.Fatalf("run id %q accepted", id)
+		}
+	}
+}
+
+func TestAdminAPI(t *testing.T) {
+	const n = 2
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{})
+	admin := httptest.NewServer(collect.AdminHandler(srv))
+	defer admin.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := admin.Client().Get(admin.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(string(body), `"ok": true`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	if code, _ := get("/runs/ghost"); code != 404 {
+		t.Fatalf("unknown run status %d, want 404", code)
+	}
+
+	c := client(srv, "adminrun", n)
+	if err := c.SendSnapshot(snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/runs/adminrun"); code != 200 ||
+		!strings.Contains(string(body), `"state": "collecting"`) ||
+		!strings.Contains(string(body), `"missing"`) {
+		t.Fatalf("collecting status: %d %s", code, body)
+	}
+	if code, _ := get("/runs/adminrun/trace"); code != 409 {
+		t.Fatalf("trace of collecting run gave %d, want 409", code)
+	}
+
+	if err := c.SendSnapshot(snaps[1]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.WaitTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/runs/adminrun/trace"); code != 200 || !bytes.Equal(body, data) {
+		t.Fatalf("downloaded trace differs (%d, %d bytes vs %d)", code, len(body), len(data))
+	}
+	if code, body := get("/runs"); code != 200 || !strings.Contains(string(body), `"adminrun"`) {
+		t.Fatalf("run list: %d %s", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(string(body), "pilgrim_collect_ingest_snapshots_total 2") {
+		t.Fatalf("metrics: %d %s", code, body)
+	}
+}
+
+// TestWaitUnknownRun: waiting on a run nobody announced fails fast
+// (permanent error, no retry storm).
+func TestWaitUnknownRun(t *testing.T) {
+	srv := startServer(t, collect.Config{})
+	c := client(srv, "never-announced", 1)
+	start := time.Now()
+	if _, err := c.WaitTrace(); err == nil {
+		t.Fatal("wait on unknown run succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("unknown-run wait retried instead of failing fast")
+	}
+}
+
+// TestGarbageConnection: raw junk on the ingest port must not wedge or
+// crash the server.
+func TestGarbageConnection(t *testing.T) {
+	const n = 2
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{})
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(bytes.Repeat([]byte{0xAB}, 4096))
+	conn.Close()
+	// The server still collects a clean run afterwards.
+	c := client(srv, "after-garbage", n)
+	if _, err := c.Collect(snaps); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package collect
+
+import "github.com/hpcrepro/pilgrim/internal/metrics"
+
+// Metrics bundles the collector daemon's instrument handles, built on
+// the same registry primitives as the tracer's self-observability
+// layer so one Prometheus/expvar endpoint serves both.
+type Metrics struct {
+	Reg *metrics.Registry
+
+	IngestSnapshots   *metrics.Counter   // snapshots accepted into a merge
+	IngestBytes       *metrics.Counter   // wire frame body bytes ingested
+	DupSnapshots      *metrics.Counter   // idempotent re-sends deduplicated
+	RejectedSnapshots *metrics.Counter   // snapshots refused (bad run/epoch/decode)
+	MergeNs           *metrics.Histogram // per-snapshot incremental CST merge latency
+	FinalizeNs        *metrics.Histogram // per-run finalize (relabel+dedup+pack+write) latency
+	ActiveRuns        *metrics.Gauge     // runs currently collecting
+	ActiveConns       *metrics.Gauge     // open ingest connections
+	FinalizedRuns     *metrics.Counter   // runs finalized with every rank reported
+	SalvagedRuns      *metrics.Counter   // runs salvaged by the straggler deadline
+	TraceBytesOut     *metrics.Counter   // serialized trace bytes produced
+}
+
+// NewMetrics registers the collector families on reg (a fresh
+// registry when nil).
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Metrics{
+		Reg:               reg,
+		IngestSnapshots:   reg.Counter("pilgrim_collect_ingest_snapshots_total", "rank snapshots accepted into a run merge"),
+		IngestBytes:       reg.Counter("pilgrim_collect_ingest_bytes_total", "wire frame body bytes ingested"),
+		DupSnapshots:      reg.Counter("pilgrim_collect_duplicate_snapshots_total", "idempotent snapshot re-sends deduplicated by (run, rank, epoch)"),
+		RejectedSnapshots: reg.Counter("pilgrim_collect_rejected_snapshots_total", "snapshots refused (unknown run, epoch mismatch, decode error)"),
+		MergeNs:           reg.Histogram("pilgrim_collect_merge_ns", "incremental CST merge latency per arriving snapshot (ns)"),
+		FinalizeNs:        reg.Histogram("pilgrim_collect_finalize_ns", "per-run finalize latency: relabel, grammar dedup, pack, serialize (ns)"),
+		ActiveRuns:        reg.Gauge("pilgrim_collect_active_runs", "runs currently collecting snapshots"),
+		ActiveConns:       reg.Gauge("pilgrim_collect_active_conns", "open ingest connections"),
+		FinalizedRuns:     reg.Counter("pilgrim_collect_finalized_runs_total", "runs finalized with every rank reported"),
+		SalvagedRuns:      reg.Counter("pilgrim_collect_salvaged_runs_total", "runs salvaged at the straggler deadline with ranks missing"),
+		TraceBytesOut:     reg.Counter("pilgrim_collect_trace_bytes_total", "serialized trace bytes produced by finalized runs"),
+	}
+}

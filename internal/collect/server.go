@@ -1,0 +1,547 @@
+// Package collect is Pilgrim's networked trace collection subsystem:
+// a TCP collector server that ingests per-rank tracer snapshots
+// (framed by internal/wire), merges them incrementally as they
+// arrive, and finalizes each run into the same trace file an
+// in-process MPI_Finalize merge would have produced — byte for byte —
+// plus the client that ships snapshots with retry, backoff, and
+// idempotent re-send.
+//
+// The paper's §3.5 inter-process compression assumes every rank's
+// grammar and CST meet inside one job at MPI_Finalize. The collector
+// decouples that: producers stream their crash-consistent snapshots
+// out, and the log₂P pairwise merge tree runs server-side, each tree
+// node merging the moment both children have reported
+// (cst.Incremental). Ranks that never report are degraded to salvage
+// semantics at a straggler deadline, mirroring core.SalvageFinalize.
+package collect
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/sequitur"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+	"github.com/hpcrepro/pilgrim/internal/wire"
+)
+
+// Config configures a collector server.
+type Config struct {
+	// Listen is the TCP ingest address (host:port; port 0 picks a free
+	// one — read it back with Addr).
+	Listen string
+	// OutDir, when non-empty, is where finalized traces are written as
+	// <runID>.pilgrim.
+	OutDir string
+	// StragglerDeadline bounds how long a run may collect after its
+	// first snapshot arrives; when it fires with ranks missing, the run
+	// is finalized as a salvage trace (missing ranks listed as failed,
+	// their streams empty). Zero means wait forever.
+	StragglerDeadline time.Duration
+	// IdleTimeout bounds how long a connection may sit between frames
+	// (default 5 minutes).
+	IdleTimeout time.Duration
+	// Metrics receives the collector's instrumentation; nil creates a
+	// private registry (reachable via Server.Metrics).
+	Metrics *Metrics
+	// Logf, when non-nil, receives one-line operational logs.
+	Logf func(format string, args ...any)
+}
+
+// runState is a run's lifecycle position.
+type runState int
+
+const (
+	stateCollecting runState = iota
+	stateFinalized           // every rank reported
+	stateSalvaged            // straggler deadline fired with ranks missing
+)
+
+func (s runState) String() string {
+	switch s {
+	case stateCollecting:
+		return "collecting"
+	case stateFinalized:
+		return "finalized"
+	default:
+		return "salvaged"
+	}
+}
+
+// run is one trace collection in flight: the per-rank snapshots
+// received so far and the incremental merge over them.
+type run struct {
+	id      string
+	world   int
+	epoch   uint64
+	opts    core.Options
+	created time.Time
+
+	mu        sync.Mutex
+	snaps     []*core.Snapshot // by rank; nil until reported
+	received  int
+	inc       *cst.Incremental
+	mergeNs   int64
+	timer     *time.Timer
+	state     runState
+	reason    string // salvage reason, "" otherwise
+	traceData []byte
+	tracePath string
+	doneAt    time.Time
+	done      chan struct{} // closed once traceData is set
+}
+
+// Server is the collector daemon's core: TCP ingest plus the run
+// registry. HTTP administration is layered on via AdminHandler.
+type Server struct {
+	cfg Config
+	m   *Metrics
+	ln  net.Listener
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	start  time.Time
+}
+
+// Start listens on cfg.Listen and serves ingest connections in the
+// background until Close.
+func Start(cfg Config) (*Server, error) {
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		m:     cfg.Metrics,
+		ln:    ln,
+		runs:  make(map[string]*run),
+		conns: make(map[net.Conn]struct{}),
+		start: time.Now(),
+	}
+	if s.m == nil {
+		s.m = NewMetrics(nil)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound ingest address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Metrics returns the server's instrumentation bundle.
+func (s *Server) Metrics() *Metrics { return s.m }
+
+// Close stops accepting, severs open connections, and waits for
+// handlers to drain. In-flight runs are left unfinalized (producers
+// fall back to local finalize when the collector vanishes).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, r := range runs {
+		r.mu.Lock()
+		if r.timer != nil {
+			r.timer.Stop()
+		}
+		r.mu.Unlock()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.m.ActiveConns.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs one connection's frame loop. A connection carries
+// any sequence of (Hello, Snapshot) pairs — one per rank the producer
+// ships over it — and/or a Wait that blocks until its run finalizes.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.m.ActiveConns.Add(-1)
+	}()
+	var hello *wire.Hello
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		typ, body, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // EOF, deadline, or garbage — drop the connection
+		}
+		switch typ {
+		case wire.TypeHello:
+			h, err := wire.DecodeHello(body)
+			if err != nil {
+				s.m.RejectedSnapshots.Inc()
+				s.sendError(conn, err.Error())
+				return
+			}
+			s.m.IngestBytes.Add(int64(len(body)))
+			hello = h
+		case wire.TypeSnapshot:
+			if hello == nil {
+				s.sendError(conn, "snapshot before hello")
+				return
+			}
+			s.m.IngestBytes.Add(int64(len(body)))
+			ack := s.ingest(hello, body)
+			hello = nil
+			if err := s.send(conn, wire.TypeAck, ack.Encode()); err != nil {
+				return
+			}
+		case wire.TypeWait:
+			w, err := wire.DecodeWait(body)
+			if err != nil {
+				s.sendError(conn, err.Error())
+				return
+			}
+			if !s.serveWait(conn, w.RunID) {
+				return
+			}
+		default:
+			s.sendError(conn, fmt.Sprintf("unexpected frame type 0x%02x", typ))
+			return
+		}
+	}
+}
+
+func (s *Server) send(conn net.Conn, typ byte, body []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	return wire.WriteFrame(conn, typ, body)
+}
+
+func (s *Server) sendError(conn net.Conn, msg string) {
+	s.send(conn, wire.TypeError, []byte(msg))
+}
+
+// runIDOK rejects identifiers that could escape OutDir or bloat the
+// registry; the wire layer already bounds the length.
+func runIDOK(id string) bool {
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return id != "" && id[0] != '.'
+}
+
+// runFor resolves (creating if needed) the run a hello addresses.
+func (s *Server) runFor(h *wire.Hello) (*run, error) {
+	if !runIDOK(h.RunID) {
+		return nil, fmt.Errorf("invalid run id %q", h.RunID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("collector shutting down")
+	}
+	r, ok := s.runs[h.RunID]
+	if ok {
+		r.mu.Lock()
+		sameEpoch := r.epoch == h.Epoch
+		finished := r.state != stateCollecting
+		r.mu.Unlock()
+		if sameEpoch {
+			if r.world != h.WorldSize {
+				return nil, fmt.Errorf("run %s world size %d != announced %d", h.RunID, r.world, h.WorldSize)
+			}
+			return r, nil
+		}
+		// A higher epoch restarts a finished run (a producer retrying
+		// after a salvage); it can never mutate one mid-collection.
+		if !finished || h.Epoch < r.epoch {
+			return nil, fmt.Errorf("run %s is epoch %d; refusing epoch %d", h.RunID, r.epoch, h.Epoch)
+		}
+	}
+	r = &run{
+		id:      h.RunID,
+		world:   h.WorldSize,
+		epoch:   h.Epoch,
+		opts:    core.Options{TimingMode: h.TimingMode, TimingBase: h.TimingBase},
+		created: time.Now(),
+		snaps:   make([]*core.Snapshot, h.WorldSize),
+		inc:     cst.NewIncremental(h.WorldSize),
+		done:    make(chan struct{}),
+	}
+	if d := s.cfg.StragglerDeadline; d > 0 {
+		r.timer = time.AfterFunc(d, func() { s.salvageRun(r, d) })
+	}
+	s.runs[h.RunID] = r
+	s.m.ActiveRuns.Add(1)
+	s.logf("run %s: created (world=%d epoch=%d)", r.id, r.world, r.epoch)
+	return r, nil
+}
+
+// ingest decodes and merges one snapshot, returning the ack to send.
+// Re-sends of a (run, rank, epoch) already merged ack as duplicates —
+// the idempotency that makes client retry safe.
+func (s *Server) ingest(h *wire.Hello, body []byte) *wire.Ack {
+	snap, err := wire.DecodeSnapshot(body)
+	if err != nil {
+		s.m.RejectedSnapshots.Inc()
+		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}
+	}
+	if snap.Rank != h.Rank {
+		s.m.RejectedSnapshots.Inc()
+		return &wire.Ack{Status: wire.AckError, Detail: fmt.Sprintf("snapshot rank %d != hello rank %d", snap.Rank, h.Rank)}
+	}
+	r, err := s.runFor(h)
+	if err != nil {
+		s.m.RejectedSnapshots.Inc()
+		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.snaps[snap.Rank] != nil {
+		s.m.DupSnapshots.Inc()
+		return &wire.Ack{Status: wire.AckDuplicate, Detail: fmt.Sprintf("rank %d already merged", snap.Rank)}
+	}
+	if r.state != stateCollecting {
+		s.m.RejectedSnapshots.Inc()
+		return &wire.Ack{Status: wire.AckError, Detail: fmt.Sprintf("run %s already %s", r.id, r.state)}
+	}
+	t0 := time.Now()
+	if err := r.inc.Add(snap.Rank, snap.Table); err != nil {
+		s.m.RejectedSnapshots.Inc()
+		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}
+	}
+	mergeNs := time.Since(t0).Nanoseconds()
+	r.mergeNs += mergeNs
+	r.snaps[snap.Rank] = snap
+	r.received++
+	s.m.IngestSnapshots.Inc()
+	s.m.MergeNs.Observe(mergeNs)
+	if r.received == r.world {
+		s.finalizeLocked(r, nil)
+	}
+	return &wire.Ack{Status: wire.AckOK}
+}
+
+// salvageRun fires at the straggler deadline: missing ranks become
+// empty failed streams and the run finalizes as a salvage trace, the
+// same degradation core.SalvageFinalize applies to crashed ranks.
+func (s *Server) salvageRun(r *run, deadline time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != stateCollecting || r.received == r.world {
+		return
+	}
+	info := &trace.SalvageInfo{
+		Reason: fmt.Sprintf("collector: straggler deadline (%s): %d/%d ranks reported", deadline, r.received, r.world),
+		Calls:  make([]int64, r.world),
+	}
+	for rank := 0; rank < r.world; rank++ {
+		if r.snaps[rank] != nil {
+			info.Calls[rank] = r.snaps[rank].Calls
+			continue
+		}
+		info.FailedRanks = append(info.FailedRanks, int32(rank))
+		empty := &core.Snapshot{
+			Rank:    rank,
+			Table:   cst.New(),
+			Grammar: sequitur.Serialized(sequitur.New().Serialize()),
+		}
+		r.inc.Add(rank, empty.Table)
+		r.snaps[rank] = empty
+	}
+	s.finalizeLocked(r, info)
+}
+
+// finalizeLocked (r.mu held) runs the back half of the §3.5 merge and
+// publishes the trace: bytes for waiters, a file under OutDir.
+func (s *Server) finalizeLocked(r *run, info *trace.SalvageInfo) {
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	t0 := time.Now()
+	file, _ := core.FinalizePremerged(r.snaps, r.inc.Result(), r.mergeNs, r.opts, info)
+	var buf bytes.Buffer
+	if _, err := file.WriteTo(&buf); err != nil {
+		// Serialization of a just-merged trace cannot fail short of OOM;
+		// record the run as salvaged-with-no-bytes rather than crash.
+		s.logf("run %s: serialize failed: %v", r.id, err)
+	}
+	r.traceData = buf.Bytes()
+	if info != nil {
+		r.state = stateSalvaged
+		r.reason = info.Reason
+		s.m.SalvagedRuns.Inc()
+	} else {
+		r.state = stateFinalized
+		s.m.FinalizedRuns.Inc()
+	}
+	r.doneAt = time.Now()
+	if s.cfg.OutDir != "" {
+		path := filepath.Join(s.cfg.OutDir, r.id+".pilgrim")
+		if err := os.WriteFile(path, r.traceData, 0o644); err != nil {
+			s.logf("run %s: write %s: %v", r.id, path, err)
+		} else {
+			r.tracePath = path
+		}
+	}
+	s.m.ActiveRuns.Add(-1)
+	s.m.TraceBytesOut.Add(int64(len(r.traceData)))
+	s.m.FinalizeNs.Observe(time.Since(t0).Nanoseconds())
+	s.logf("run %s: %s (%d ranks, %d bytes)", r.id, r.state, r.world, len(r.traceData))
+	close(r.done)
+}
+
+// serveWait blocks until the run finalizes, then sends its trace.
+// Returns false when the connection should be dropped.
+func (s *Server) serveWait(conn net.Conn, runID string) bool {
+	s.mu.Lock()
+	r, ok := s.runs[runID]
+	s.mu.Unlock()
+	if !ok {
+		s.sendError(conn, fmt.Sprintf("unknown run %q", runID))
+		return false
+	}
+	// Clear the read deadline: the waiter legitimately idles until the
+	// run completes (bounded by the straggler deadline, if any).
+	conn.SetReadDeadline(time.Time{})
+	<-r.done
+	r.mu.Lock()
+	data := r.traceData
+	r.mu.Unlock()
+	return s.send(conn, wire.TypeTrace, data) == nil
+}
+
+// --- status ------------------------------------------------------------------
+
+// RunStatus is one run's externally visible state (admin API).
+type RunStatus struct {
+	ID         string  `json:"id"`
+	WorldSize  int     `json:"world_size"`
+	Epoch      uint64  `json:"epoch"`
+	State      string  `json:"state"`
+	Received   int     `json:"received"`
+	Missing    []int   `json:"missing,omitempty"`
+	Calls      int64   `json:"calls"`
+	TraceBytes int     `json:"trace_bytes"`
+	TracePath  string  `json:"trace_path,omitempty"`
+	Reason     string  `json:"reason,omitempty"`
+	CreatedSec float64 `json:"created_unix"`
+	DoneSec    float64 `json:"finalized_unix,omitempty"`
+}
+
+func (r *run) status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID: r.id, WorldSize: r.world, Epoch: r.epoch,
+		State: r.state.String(), Received: r.received,
+		TraceBytes: len(r.traceData), TracePath: r.tracePath,
+		Reason:     r.reason,
+		CreatedSec: float64(r.created.UnixNano()) / 1e9,
+	}
+	if !r.doneAt.IsZero() {
+		st.DoneSec = float64(r.doneAt.UnixNano()) / 1e9
+	}
+	for rank := 0; rank < r.world; rank++ {
+		if s := r.snaps[rank]; s != nil {
+			st.Calls += s.Calls
+		} else {
+			st.Missing = append(st.Missing, rank)
+		}
+	}
+	return st
+}
+
+// Runs lists every run's status, newest first.
+func (s *Server) Runs() []RunStatus {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	out := make([]RunStatus, len(runs))
+	for i, r := range runs {
+		out[i] = r.status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedSec > out[j].CreatedSec })
+	return out
+}
+
+// Run returns one run's status.
+func (s *Server) Run(id string) (RunStatus, bool) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return RunStatus{}, false
+	}
+	return r.status(), true
+}
+
+// TraceBytes returns a finalized run's serialized trace.
+func (s *Server) TraceBytes(id string) ([]byte, bool) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == stateCollecting {
+		return nil, false
+	}
+	return r.traceData, true
+}

@@ -48,6 +48,18 @@ type Options struct {
 	// ProgressEvery, when positive, makes pilgrim.RunSim emit a
 	// one-line progress summary to stderr at this interval.
 	ProgressEvery time.Duration
+
+	// CollectorAddr, when non-empty, makes pilgrim.RunSim stream every
+	// rank's finalize-time snapshot to the pilgrim-collectd at this
+	// host:port instead of merging locally; the merged trace is fetched
+	// back from the collector, so callers see the same *trace.File
+	// either way. If the collector is unreachable (or dies mid-run) the
+	// run falls back to the local merge. The core package itself never
+	// dials; the wiring lives in pilgrim.RunSim.
+	CollectorAddr string
+	// CollectorRunID names the run at the collector (admin API, output
+	// file). Empty means pilgrim.RunSim generates a unique one.
+	CollectorRunID string
 }
 
 func (o Options) withDefaults() Options {
@@ -356,21 +368,43 @@ func snapshotAll(tracers []*Tracer) []*Snapshot {
 }
 
 func finalizeSnapshots(snaps []*Snapshot, opts Options, info *trace.SalvageInfo) (*trace.File, FinalizeStats) {
-	var st FinalizeStats
 	if len(snaps) == 0 {
-		return &trace.File{CST: cst.New(), RankMap: sequitur.Serialized(sequitur.New().Serialize()), Salvage: info}, st
+		return &trace.File{CST: cst.New(), RankMap: sequitur.Serialized(sequitur.New().Serialize()), Salvage: info}, FinalizeStats{}
 	}
-
-	// Phase 1: merge CSTs pairwise and relabel every rank's grammar
-	// with the global terminals (§3.5.1).
 	t0 := time.Now()
 	tables := make([]*cst.Table, len(snaps))
 	for i, s := range snaps {
 		tables[i] = s.Table
+	}
+	merged := cst.MergePairwise(tables)
+	return finalizeMerged(snaps, merged, time.Since(t0).Nanoseconds(), opts, info)
+}
+
+// FinalizePremerged finishes the §3.5 merge over snapshots whose CSTs
+// were already unified — the collector daemon merges tables
+// incrementally (cst.Incremental) as ranks report and calls this once
+// the run completes. merged must cover exactly snaps in order (rank i
+// of the merge is snaps[i]); cstMergeNs is the time the caller spent
+// producing it. The resulting trace is identical to finalizing the
+// same snapshots locally, because cst.Incremental reproduces
+// MergePairwise exactly.
+func FinalizePremerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts Options, info *trace.SalvageInfo) (*trace.File, FinalizeStats) {
+	if len(snaps) == 0 {
+		return &trace.File{CST: cst.New(), RankMap: sequitur.Serialized(sequitur.New().Serialize()), Salvage: info}, FinalizeStats{}
+	}
+	return finalizeMerged(snaps, merged, cstMergeNs, opts.withDefaults(), info)
+}
+
+// finalizeMerged is the back half of the §3.5 merge: grammar relabel
+// against the global terminals (§3.5.1) plus the inter-process grammar
+// compression (§3.5.2).
+func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts Options, info *trace.SalvageInfo) (*trace.File, FinalizeStats) {
+	var st FinalizeStats
+	for _, s := range snaps {
 		st.IntraNs += s.IntraNs
 		st.TotalCalls += s.Calls
 	}
-	merged := cst.MergePairwise(tables)
+	t0 := time.Now()
 	relabeled := make([]sequitur.Serialized, len(snaps))
 	for i, s := range snaps {
 		rl, err := s.Grammar.Relabel(merged.Relabels[i])
@@ -379,7 +413,7 @@ func finalizeSnapshots(snaps []*Snapshot, opts Options, info *trace.SalvageInfo)
 		}
 		relabeled[i] = rl
 	}
-	st.CSTMergeNs = time.Since(t0).Nanoseconds()
+	st.CSTMergeNs = cstMergeNs + time.Since(t0).Nanoseconds()
 	st.GlobalCST = merged.Table.Len()
 
 	// Phase 2: inter-process grammar compression (§3.5.2): the

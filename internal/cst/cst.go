@@ -232,6 +232,127 @@ func compose(first, second map[int32]int32) map[int32]int32 {
 	return out
 }
 
+// --- incremental merge -------------------------------------------------------
+
+// Incremental performs the MergePairwise tree merge one rank at a
+// time, in any arrival order: a collector feeds tables as ranks report
+// and each internal tree node merges as soon as both children are
+// complete. The final Result is identical (including terminal
+// numbering) to MergePairwise over the same tables in rank order,
+// because the tree shape depends only on the rank count and mergeTwo
+// is deterministic in its inputs.
+type Incremental struct {
+	n     int
+	nodes []incNode
+	leaf  []int // rank -> leaf node index
+	root  int
+	added int
+}
+
+type incNode struct {
+	t     *Table
+	ranks []int
+	maps  []map[int32]int32
+	ready bool
+	// children; -1 for leaves. parent is -1 for the root.
+	left, right, parent int
+}
+
+// NewIncremental builds the merge tree for n ranks (n >= 1).
+func NewIncremental(n int) *Incremental {
+	inc := &Incremental{n: n, leaf: make([]int, n)}
+	current := make([]int, n)
+	for r := 0; r < n; r++ {
+		inc.nodes = append(inc.nodes, incNode{left: -1, right: -1, parent: -1})
+		inc.leaf[r] = r
+		current[r] = r
+	}
+	// Mirror MergePairwise's rounds: adjacent pairs merge, an odd
+	// trailing node carries into the next round unchanged.
+	for len(current) > 1 {
+		var next []int
+		for i := 0; i+1 < len(current); i += 2 {
+			id := len(inc.nodes)
+			inc.nodes = append(inc.nodes, incNode{left: current[i], right: current[i+1], parent: -1})
+			inc.nodes[current[i]].parent = id
+			inc.nodes[current[i+1]].parent = id
+			next = append(next, id)
+		}
+		if len(current)%2 == 1 {
+			next = append(next, current[len(current)-1])
+		}
+		current = next
+	}
+	inc.root = current[0]
+	return inc
+}
+
+// Add feeds one rank's table and merges every tree node that becomes
+// complete. The table is not mutated or retained past the merge.
+func (inc *Incremental) Add(rank int, t *Table) error {
+	if rank < 0 || rank >= inc.n {
+		return fmt.Errorf("cst: incremental merge rank %d out of range [0,%d)", rank, inc.n)
+	}
+	leaf := &inc.nodes[inc.leaf[rank]]
+	if leaf.ready {
+		return fmt.Errorf("cst: incremental merge rank %d added twice", rank)
+	}
+	ident := make(map[int32]int32, t.Len())
+	for k := 0; k < t.Len(); k++ {
+		ident[int32(k)] = int32(k)
+	}
+	leaf.t = t
+	leaf.ranks = []int{rank}
+	leaf.maps = []map[int32]int32{ident}
+	leaf.ready = true
+	inc.added++
+	// Propagate upward while both children of the parent are ready.
+	for id := inc.leaf[rank]; inc.nodes[id].parent != -1; {
+		p := inc.nodes[id].parent
+		pn := &inc.nodes[p]
+		a, b := &inc.nodes[pn.left], &inc.nodes[pn.right]
+		if !a.ready || !b.ready {
+			break
+		}
+		merged, mapA, mapB := mergeTwo(a.t, b.t)
+		pn.t = merged
+		for j, r := range a.ranks {
+			pn.ranks = append(pn.ranks, r)
+			pn.maps = append(pn.maps, compose(a.maps[j], mapA))
+		}
+		for j, r := range b.ranks {
+			pn.ranks = append(pn.ranks, r)
+			pn.maps = append(pn.maps, compose(b.maps[j], mapB))
+		}
+		pn.ready = true
+		// Drop child payloads: only the relabel maps live on in pn.
+		a.t, a.ranks, a.maps = nil, nil, nil
+		b.t, b.ranks, b.maps = nil, nil, nil
+		id = p
+	}
+	return nil
+}
+
+// Received returns how many ranks have been added.
+func (inc *Incremental) Received() int { return inc.added }
+
+// Done reports whether every rank has been added (Result is valid).
+func (inc *Incremental) Done() bool { return inc.added == inc.n }
+
+// Result returns the completed merge; it must not be called before
+// Done reports true.
+func (inc *Incremental) Result() Merged {
+	root := &inc.nodes[inc.root]
+	if !root.ready {
+		panic("cst: Incremental.Result before all ranks added")
+	}
+	out := Merged{Table: root.t, Relabels: make([]map[int32]int32, inc.n)}
+	for j, r := range root.ranks {
+		out.Relabels[r] = root.maps[j]
+	}
+	return out
+}
+
 // --- serialization -----------------------------------------------------------
 
 // Serialize flattens the table: varint count, then per entry
@@ -290,6 +411,69 @@ func Deserialize(data []byte) (*Table, error) {
 		t.sigs = append(t.sigs, key)
 		t.count = append(t.count, cnt)
 		t.durSum = append(t.durSum, avg*cnt)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("cst: %d trailing bytes", len(data)-pos)
+	}
+	return t, nil
+}
+
+// SerializeExact flattens the table keeping exact duration sums:
+// varint count, then per entry (len, bytes, callCount, durSum). The
+// on-disk format (Serialize) stores the average, which rounds; a
+// snapshot in flight to a collector must preserve the sum so the
+// merged global table — and therefore the final trace file — is
+// byte-identical to an in-process merge.
+func (t *Table) SerializeExact() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(t.sigs)))
+	for i, key := range t.sigs {
+		buf = binary.AppendUvarint(buf, uint64(len(key)))
+		buf = append(buf, key...)
+		buf = binary.AppendVarint(buf, t.count[i])
+		buf = binary.AppendVarint(buf, t.durSum[i])
+	}
+	return buf
+}
+
+// DeserializeExact parses a SerializeExact-encoded table.
+func DeserializeExact(data []byte) (*Table, error) {
+	t := New()
+	pos := 0
+	n, k := binary.Uvarint(data[pos:])
+	if k <= 0 {
+		return nil, fmt.Errorf("cst: truncated count")
+	}
+	pos += k
+	for i := uint64(0); i < n; i++ {
+		l, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("cst: truncated entry %d length", i)
+		}
+		pos += k
+		// Same uint64 comparison as Deserialize: int(l) may wrap.
+		if l > uint64(len(data)-pos) {
+			return nil, fmt.Errorf("cst: truncated entry %d bytes", i)
+		}
+		key := string(data[pos : pos+int(l)])
+		pos += int(l)
+		cnt, k := binary.Varint(data[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("cst: truncated entry %d count", i)
+		}
+		pos += k
+		sum, k := binary.Varint(data[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("cst: truncated entry %d duration sum", i)
+		}
+		pos += k
+		if _, dup := t.bySig[key]; dup {
+			return nil, fmt.Errorf("cst: duplicate signature in entry %d", i)
+		}
+		t.bySig[key] = int32(len(t.sigs))
+		t.sigs = append(t.sigs, key)
+		t.count = append(t.count, cnt)
+		t.durSum = append(t.durSum, sum)
 	}
 	if pos != len(data) {
 		return nil, fmt.Errorf("cst: %d trailing bytes", len(data)-pos)

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/collect"
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/workloads"
+	"github.com/hpcrepro/pilgrim/internal/wire"
+	"github.com/hpcrepro/pilgrim/mpi"
+)
+
+// CollectPoint measures the networked collection path at one rank
+// count: how many bytes cross the wire per rank (snapshot encoding)
+// versus the raw uncompressed trace and the final merged trace, and
+// how fast an in-process collector ingests and finalizes the run.
+type CollectPoint struct {
+	Procs int   `json:"procs"`
+	Calls int64 `json:"calls"`
+
+	WireB  int   `json:"wire_bytes"`  // encoded snapshots, all ranks
+	TraceB int   `json:"trace_bytes"` // finalized trace
+	RawB   int64 `json:"raw_bytes"`   // uncompressed per-call estimate
+
+	EncodeNs int64 `json:"encode_ns"` // wire-encode all snapshots
+	IngestNs int64 `json:"ingest_ns"` // stream + merge + finalize + fetch
+
+	SnapsPerSec float64 `json:"snaps_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+}
+
+// CollectResult is the "collect" experiment: the wire-format and
+// ingest-throughput profile of the collector subsystem across a rank
+// sweep (BENCH_collect.json).
+type CollectResult struct {
+	Workload string         `json:"workload"`
+	Iters    int            `json:"iters"`
+	Points   []CollectPoint `json:"points"`
+}
+
+// RunCollect sweeps rank counts, tracing the stencil workload once per
+// cell and then pushing its snapshots through a loopback collector.
+func RunCollect(scale Scale) (*CollectResult, error) {
+	res := &CollectResult{Workload: "stencil2d", Iters: 10}
+	for _, procs := range scale.capSweep([]int{8, 16, 32, 64, 128, 256, 512, 1024}) {
+		pt, err := collectPoint(res.Workload, procs, res.Iters)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func collectPoint(name string, procs, iters int) (CollectPoint, error) {
+	body, err := workloads.Get(name, iters, procs)
+	if err != nil {
+		return CollectPoint{}, err
+	}
+	tracers := make([]*core.Tracer, procs)
+	ics := make([]mpi.Interceptor, procs)
+	for i := range tracers {
+		tracers[i] = core.NewTracer(i, nil, core.Options{})
+		ics[i] = tracers[i]
+	}
+	err = mpi.RunOpt(procs, mpi.Options{Interceptors: ics, Timeout: runTimeout}, func(p *mpi.Proc) {
+		core.BindOOB(tracers[p.Rank()], p)
+		body(p)
+	})
+	if err != nil {
+		return CollectPoint{}, fmt.Errorf("%s/%d: %w", name, procs, err)
+	}
+	snaps := make([]*core.Snapshot, procs)
+	for i, tr := range tracers {
+		snaps[i] = tr.Snapshot()
+	}
+	pt := CollectPoint{Procs: procs}
+	for _, s := range snaps {
+		pt.Calls += s.Calls
+	}
+
+	t0 := time.Now()
+	for _, s := range snaps {
+		pt.WireB += len(wire.EncodeSnapshot(s))
+	}
+	pt.EncodeNs = time.Since(t0).Nanoseconds()
+
+	srv, err := collect.Start(collect.Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		return CollectPoint{}, err
+	}
+	defer srv.Close()
+	c := &collect.Client{
+		Addr: srv.Addr(),
+		Run:  collect.RunInfo{RunID: fmt.Sprintf("bench-%d", procs), WorldSize: procs},
+	}
+	t1 := time.Now()
+	file, err := c.Collect(snaps)
+	if err != nil {
+		return CollectPoint{}, fmt.Errorf("collect %s/%d: %w", name, procs, err)
+	}
+	pt.IngestNs = time.Since(t1).Nanoseconds()
+	pt.TraceB = file.SizeBytes()
+	pt.RawB = file.UncompressedEstimate()
+	sec := float64(pt.IngestNs) / 1e9
+	if sec > 0 {
+		pt.SnapsPerSec = float64(procs) / sec
+		pt.MBPerSec = float64(pt.WireB) / 1e6 / sec
+	}
+	return pt, nil
+}
+
+// Print renders the sweep as the evaluation table.
+func (r *CollectResult) Print(w io.Writer) {
+	header(w, "collect: wire format and ingest throughput (stencil2d)")
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %9s %10s %9s\n",
+		"procs", "calls", "raw KB", "wire KB", "trace KB", "ratio", "snaps/s", "MB/s")
+	for _, p := range r.Points {
+		ratio := "-"
+		if p.TraceB > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(p.WireB)/float64(p.TraceB))
+		}
+		fmt.Fprintf(w, "%6d %10d %10s %10s %10s %9s %10.0f %9.1f\n",
+			p.Procs, p.Calls, kb(int(p.RawB)), kb(p.WireB), kb(p.TraceB),
+			ratio, p.SnapsPerSec, p.MBPerSec)
+	}
+}

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSnapshot hammers the snapshot decoder with mutated
+// inputs. The invariants: never panic, never accept-and-crash later
+// (anything returned must expand/relabel safely), and allocation stays
+// bounded by the input size (enforced structurally: every count is
+// checked against remaining bytes before allocation).
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add(EncodeSnapshot(testSnapshot()))
+	f.Add(EncodeSnapshot(minimalSnapshot()))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		// A decoded snapshot must be internally safe: the grammar
+		// validated, so walking its input length cannot loop, and every
+		// CST accessor stays in range.
+		_ = s.Grammar.InputLen()
+		for i := 0; i < s.Table.Len(); i++ {
+			_ = s.Table.Sig(int32(i))
+			_ = s.Table.AvgDuration(int32(i))
+		}
+	})
+}
+
+// FuzzReadFrame hammers the frame reader: no panic, and anything it
+// accepts must re-frame to bytes the reader accepts again.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, TypeHello, (&Hello{Version: Version, RunID: "fuzz", WorldSize: 2, Rank: 0, TimingBase: 1.2}).Encode())
+	f.Add(buf.Bytes())
+	buf.Reset()
+	WriteFrame(&buf, TypeSnapshot, EncodeSnapshot(minimalSnapshot()))
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, TypeSnapshot})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, body, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, typ, body); err != nil {
+			t.Fatalf("re-frame of accepted frame failed: %v", err)
+		}
+		typ2, body2, err := ReadFrame(&out)
+		if err != nil || typ2 != typ || !bytes.Equal(body2, body) {
+			t.Fatalf("re-framed frame not stable: %v", err)
+		}
+	})
+}

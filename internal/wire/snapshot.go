@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/sequitur"
+)
+
+// Snapshot body layout (all integers varint unless noted):
+//
+//	rank, calls, intraNs
+//	CST: length-prefixed cst.SerializeExact bytes (exact duration
+//	     sums — the on-disk average form would break byte-equivalence
+//	     of the collector-side merge)
+//	call grammar (count + varints)
+//	flags byte: bit0 = timing grammars present, bit1 = raw verify capture
+//	[duration grammar, interval grammar]
+//	[raw capture: n sigs, n × (len, bytes), n × (tStart, tEnd)]
+
+const (
+	flagTiming = 1 << 0
+	flagRaw    = 1 << 1
+)
+
+// EncodeSnapshot serializes one rank's crash-consistent snapshot.
+func EncodeSnapshot(s *core.Snapshot) []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(s.Rank))
+	b = binary.AppendVarint(b, s.Calls)
+	b = binary.AppendVarint(b, s.IntraNs)
+	tb := s.Table.SerializeExact()
+	b = binary.AppendUvarint(b, uint64(len(tb)))
+	b = append(b, tb...)
+	b = appendGrammar(b, s.Grammar)
+	var flags byte
+	if s.DurGrammar != nil || s.IntGrammar != nil {
+		flags |= flagTiming
+	}
+	if s.RawSigs != nil {
+		flags |= flagRaw
+	}
+	b = append(b, flags)
+	if flags&flagTiming != 0 {
+		b = appendGrammar(b, s.DurGrammar)
+		b = appendGrammar(b, s.IntGrammar)
+	}
+	if flags&flagRaw != 0 {
+		b = binary.AppendUvarint(b, uint64(len(s.RawSigs)))
+		for _, sig := range s.RawSigs {
+			b = binary.AppendUvarint(b, uint64(len(sig)))
+			b = append(b, sig...)
+		}
+		for _, t := range s.RawTimes {
+			b = binary.AppendVarint(b, t[0])
+			b = binary.AppendVarint(b, t[1])
+		}
+	}
+	return b
+}
+
+func appendGrammar(b []byte, g sequitur.Serialized) []byte {
+	b = binary.AppendUvarint(b, uint64(len(g)))
+	for _, v := range g {
+		b = binary.AppendVarint(b, int64(v))
+	}
+	return b
+}
+
+// grammar decodes a count-prefixed grammar, validating structure so a
+// hostile snapshot cannot smuggle a cyclic or truncated grammar into
+// the merge. Empty (count 0) is allowed only when optional is set —
+// the call grammar of a rank that traced nothing is still the
+// one-empty-rule grammar, never length zero.
+func (d *dec) grammar(what string, optional bool) (sequitur.Serialized, error) {
+	n, err := d.uvarint(what + " count")
+	if err != nil {
+		return nil, err
+	}
+	// Every serialized int costs at least one body byte.
+	if n > uint64(d.remaining()) {
+		return nil, fmt.Errorf("wire: %s claims %d ints in %d bytes", what, n, d.remaining())
+	}
+	if n == 0 {
+		if optional {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wire: empty %s", what)
+	}
+	g := make(sequitur.Serialized, n)
+	for i := range g {
+		v, err := d.varint(what)
+		if err != nil {
+			return nil, err
+		}
+		if v < -(1<<31) || v > (1<<31)-1 {
+			return nil, fmt.Errorf("wire: %s int %d overflows int32", what, v)
+		}
+		g[i] = int32(v)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: %s: %w", what, err)
+	}
+	return g, nil
+}
+
+// DecodeSnapshot parses and validates a snapshot body. Allocation is
+// bounded by the (already capped) body size: every claimed count is
+// checked against the bytes actually present before anything sized by
+// it is allocated.
+func DecodeSnapshot(body []byte) (*core.Snapshot, error) {
+	d := &dec{b: body}
+	s := &core.Snapshot{}
+	rank, err := d.uvarint("snapshot rank")
+	if err != nil {
+		return nil, err
+	}
+	if rank >= MaxWorldSize {
+		return nil, fmt.Errorf("wire: snapshot rank %d exceeds cap", rank)
+	}
+	s.Rank = int(rank)
+	if s.Calls, err = d.varint("snapshot call count"); err != nil {
+		return nil, err
+	}
+	if s.Calls < 0 {
+		return nil, fmt.Errorf("wire: negative snapshot call count %d", s.Calls)
+	}
+	if s.IntraNs, err = d.varint("snapshot intra ns"); err != nil {
+		return nil, err
+	}
+	tb, err := d.bytes("snapshot cst")
+	if err != nil {
+		return nil, err
+	}
+	if s.Table, err = cst.DeserializeExact(tb); err != nil {
+		return nil, err
+	}
+	if s.Grammar, err = d.grammar("snapshot grammar", false); err != nil {
+		return nil, err
+	}
+	flags, err := d.byteVal("snapshot flags")
+	if err != nil {
+		return nil, err
+	}
+	if flags&^(flagTiming|flagRaw) != 0 {
+		return nil, fmt.Errorf("wire: unknown snapshot flags 0x%02x", flags)
+	}
+	if flags&flagTiming != 0 {
+		if s.DurGrammar, err = d.grammar("snapshot duration grammar", true); err != nil {
+			return nil, err
+		}
+		if s.IntGrammar, err = d.grammar("snapshot interval grammar", true); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagRaw != 0 {
+		n, err := d.uvarint("snapshot raw capture count")
+		if err != nil {
+			return nil, err
+		}
+		// Each sig costs ≥1 byte (its length prefix) and each time pair
+		// ≥2, so n is bounded by the remaining body.
+		if n > uint64(d.remaining()) {
+			return nil, fmt.Errorf("wire: raw capture claims %d entries in %d bytes", n, d.remaining())
+		}
+		s.RawSigs = make([]string, n)
+		for i := range s.RawSigs {
+			sig, err := d.bytes("raw signature")
+			if err != nil {
+				return nil, err
+			}
+			s.RawSigs[i] = string(sig)
+		}
+		s.RawTimes = make([][2]int64, n)
+		for i := range s.RawTimes {
+			if s.RawTimes[i][0], err = d.varint("raw start time"); err != nil {
+				return nil, err
+			}
+			if s.RawTimes[i][1], err = d.varint("raw end time"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, d.finish()
+}

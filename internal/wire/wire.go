@@ -1,0 +1,327 @@
+// Package wire is the network serialization of Pilgrim's trace
+// collection protocol: a versioned, length-prefixed, CRC32C-framed
+// binary encoding of crash-consistent tracer snapshots
+// (core.Snapshot) plus the small control messages the collector
+// protocol needs (hello, ack, wait, trace, error).
+//
+// Framing: every message on the stream is one frame
+//
+//	[4B little-endian body length][1B frame type][body][4B CRC32C]
+//
+// where the checksum (Castagnoli polynomial) covers the type byte and
+// the body. The reader rejects unknown types, oversized lengths, and
+// checksum mismatches, and reads bodies in bounded chunks so a
+// corrupt length field fails at EOF instead of exhausting memory —
+// the same discipline as the trace-file reader.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Version is the protocol version carried in every Hello; a collector
+// rejects versions it does not speak.
+const Version = 1
+
+// Frame types.
+const (
+	TypeHello    = 0x01 // client → collector: announce (run, rank, epoch)
+	TypeSnapshot = 0x02 // client → collector: one rank's snapshot
+	TypeAck      = 0x03 // collector → client: per-snapshot outcome
+	TypeWait     = 0x04 // client → collector: block until run finalizes
+	TypeTrace    = 0x05 // collector → client: the finalized trace file bytes
+	TypeError    = 0x06 // collector → client: terminal protocol error
+)
+
+// MaxFrame bounds one frame's body. Snapshots of realistic runs are
+// far smaller (the whole point of the tracer is that state stays
+// compressed); anything larger is corruption or abuse.
+const MaxFrame = 1 << 28 // 256 MiB
+
+// MaxRunID bounds the run identifier string.
+const MaxRunID = 256
+
+// MaxWorldSize mirrors the trace reader's rank-count sanity cap.
+const MaxWorldSize = 1 << 24
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, typ byte, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame body of %d bytes exceeds cap", len(body))
+	}
+	hdr := [5]byte{}
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	crc := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, body)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// ReadFrame reads and verifies one frame. It never allocates more
+// than a bounded chunk beyond what the stream actually delivers.
+func ReadFrame(r io.Reader) (typ byte, body []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	typ = hdr[4]
+	if typ < TypeHello || typ > TypeError {
+		return 0, nil, fmt.Errorf("wire: unknown frame type 0x%02x", typ)
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame body of %d bytes exceeds cap", n)
+	}
+	// Chunked read: a lying length field under the cap but past the
+	// stream's real end fails at EOF having allocated at most one
+	// chunk too much.
+	const chunk = 1 << 20
+	for remaining := n; remaining > 0; {
+		step := remaining
+		if step > chunk {
+			step = chunk
+		}
+		start := len(body)
+		body = append(body, make([]byte, step)...)
+		if _, err := io.ReadFull(r, body[start:]); err != nil {
+			return 0, nil, err
+		}
+		remaining -= step
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return 0, nil, err
+	}
+	want := binary.LittleEndian.Uint32(tail[:])
+	got := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, body)
+	if got != want {
+		return 0, nil, fmt.Errorf("wire: frame type 0x%02x checksum mismatch", typ)
+	}
+	return typ, body, nil
+}
+
+// --- bounded decoder ---------------------------------------------------------
+
+// dec is a position-tracked reader over one frame body with the
+// error-instead-of-panic discipline every untrusted-input path needs.
+type dec struct {
+	b   []byte
+	pos int
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.pos }
+
+func (d *dec) uvarint(what string) (uint64, error) {
+	v, k := binary.Uvarint(d.b[d.pos:])
+	if k <= 0 {
+		return 0, fmt.Errorf("wire: truncated %s", what)
+	}
+	d.pos += k
+	return v, nil
+}
+
+func (d *dec) varint(what string) (int64, error) {
+	v, k := binary.Varint(d.b[d.pos:])
+	if k <= 0 {
+		return 0, fmt.Errorf("wire: truncated %s", what)
+	}
+	d.pos += k
+	return v, nil
+}
+
+// bytes reads a uvarint-length-prefixed byte string, bounded by what
+// the body actually holds (so a corrupt length can never allocate
+// past the frame).
+func (d *dec) bytes(what string) ([]byte, error) {
+	n, err := d.uvarint(what + " length")
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.remaining()) {
+		return nil, fmt.Errorf("wire: %s of %d bytes exceeds %d remaining", what, n, d.remaining())
+	}
+	out := d.b[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+func (d *dec) byteVal(what string) (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("wire: truncated %s", what)
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *dec) finish() error {
+	if d.pos != len(d.b) {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.b)-d.pos)
+	}
+	return nil
+}
+
+// --- Hello -------------------------------------------------------------------
+
+// Hello announces one rank's snapshot upload: which run it belongs
+// to, the run's world size and tracing options (so the collector can
+// finalize without out-of-band configuration), and the send epoch
+// that keys idempotent re-sends.
+type Hello struct {
+	Version    uint32
+	RunID      string
+	WorldSize  int
+	Rank       int
+	Epoch      uint64
+	TimingMode uint8
+	TimingBase float64
+}
+
+// Encode serializes the hello body.
+func (h *Hello) Encode() []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(h.Version))
+	b = binary.AppendUvarint(b, uint64(len(h.RunID)))
+	b = append(b, h.RunID...)
+	b = binary.AppendUvarint(b, uint64(h.WorldSize))
+	b = binary.AppendUvarint(b, uint64(h.Rank))
+	b = binary.AppendUvarint(b, h.Epoch)
+	b = append(b, h.TimingMode)
+	b = binary.AppendUvarint(b, math.Float64bits(h.TimingBase))
+	return b
+}
+
+// DecodeHello parses and validates a hello body.
+func DecodeHello(body []byte) (*Hello, error) {
+	d := &dec{b: body}
+	h := &Hello{}
+	v, err := d.uvarint("hello version")
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, fmt.Errorf("wire: unsupported protocol version %d (speak %d)", v, Version)
+	}
+	h.Version = uint32(v)
+	id, err := d.bytes("hello run id")
+	if err != nil {
+		return nil, err
+	}
+	if len(id) == 0 || len(id) > MaxRunID {
+		return nil, fmt.Errorf("wire: run id length %d outside [1,%d]", len(id), MaxRunID)
+	}
+	h.RunID = string(id)
+	world, err := d.uvarint("hello world size")
+	if err != nil {
+		return nil, err
+	}
+	if world < 1 || world > MaxWorldSize {
+		return nil, fmt.Errorf("wire: world size %d outside [1,%d]", world, MaxWorldSize)
+	}
+	h.WorldSize = int(world)
+	rank, err := d.uvarint("hello rank")
+	if err != nil {
+		return nil, err
+	}
+	if rank >= world {
+		return nil, fmt.Errorf("wire: rank %d outside world of %d", rank, world)
+	}
+	h.Rank = int(rank)
+	if h.Epoch, err = d.uvarint("hello epoch"); err != nil {
+		return nil, err
+	}
+	if h.TimingMode, err = d.byteVal("hello timing mode"); err != nil {
+		return nil, err
+	}
+	bits, err := d.uvarint("hello timing base")
+	if err != nil {
+		return nil, err
+	}
+	h.TimingBase = math.Float64frombits(bits)
+	if math.IsNaN(h.TimingBase) || math.IsInf(h.TimingBase, 0) || h.TimingBase < 0 {
+		return nil, fmt.Errorf("wire: implausible timing base %v", h.TimingBase)
+	}
+	return h, d.finish()
+}
+
+// --- Ack ---------------------------------------------------------------------
+
+// Ack statuses.
+const (
+	AckOK        = 0 // snapshot ingested
+	AckDuplicate = 1 // (run, rank, epoch) already ingested — safe re-send
+	AckError     = 2 // rejected; Detail explains
+)
+
+// Ack is the collector's per-snapshot response.
+type Ack struct {
+	Status uint8
+	Detail string
+}
+
+// Encode serializes the ack body.
+func (a *Ack) Encode() []byte {
+	b := []byte{a.Status}
+	b = binary.AppendUvarint(b, uint64(len(a.Detail)))
+	return append(b, a.Detail...)
+}
+
+// DecodeAck parses an ack body.
+func DecodeAck(body []byte) (*Ack, error) {
+	d := &dec{b: body}
+	st, err := d.byteVal("ack status")
+	if err != nil {
+		return nil, err
+	}
+	if st > AckError {
+		return nil, fmt.Errorf("wire: unknown ack status %d", st)
+	}
+	detail, err := d.bytes("ack detail")
+	if err != nil {
+		return nil, err
+	}
+	return &Ack{Status: st, Detail: string(detail)}, d.finish()
+}
+
+// --- Wait --------------------------------------------------------------------
+
+// Wait asks the collector to respond with the run's finalized trace
+// (a Trace frame) once every rank has reported or the straggler
+// deadline salvaged the run.
+type Wait struct {
+	RunID string
+}
+
+// Encode serializes the wait body.
+func (w *Wait) Encode() []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(len(w.RunID)))
+	return append(b, w.RunID...)
+}
+
+// DecodeWait parses a wait body.
+func DecodeWait(body []byte) (*Wait, error) {
+	d := &dec{b: body}
+	id, err := d.bytes("wait run id")
+	if err != nil {
+		return nil, err
+	}
+	if len(id) == 0 || len(id) > MaxRunID {
+		return nil, fmt.Errorf("wire: run id length %d outside [1,%d]", len(id), MaxRunID)
+	}
+	return &Wait{RunID: string(id)}, d.finish()
+}

@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/sequitur"
+)
+
+// testSnapshot builds a representative snapshot: a CST with repeat
+// hits (non-trivial duration sums), a grammar with structure, timing
+// grammars, and a raw verify capture.
+func testSnapshot() *core.Snapshot {
+	table := cst.New()
+	terms := []int32{
+		table.Add([]byte("sig-send"), 3),
+		table.Add([]byte("sig-recv"), 4),
+		table.Add([]byte("sig-allreduce"), 11),
+	}
+	table.Add([]byte("sig-send"), 4) // sum 7 over 2 calls: avg form rounds
+	g := sequitur.New()
+	for i := 0; i < 6; i++ {
+		g.Append(terms[i%3])
+	}
+	dg := sequitur.New()
+	ig := sequitur.New()
+	for i := 0; i < 4; i++ {
+		dg.Append(int32(i % 2))
+		ig.Append(int32(i % 3))
+	}
+	return &core.Snapshot{
+		Rank:       5,
+		Calls:      6,
+		IntraNs:    12345,
+		Table:      table,
+		Grammar:    sequitur.Serialized(g.Serialize()),
+		DurGrammar: sequitur.Serialized(dg.Serialize()),
+		IntGrammar: sequitur.Serialized(ig.Serialize()),
+		RawSigs:    []string{"sig-send", "sig-recv"},
+		RawTimes:   [][2]int64{{10, 13}, {20, 24}},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := testSnapshot()
+	got, err := DecodeSnapshot(EncodeSnapshot(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != want.Rank || got.Calls != want.Calls || got.IntraNs != want.IntraNs {
+		t.Fatalf("header fields differ: %+v", got)
+	}
+	if !bytes.Equal(got.Table.SerializeExact(), want.Table.SerializeExact()) {
+		t.Fatal("CST not exactly preserved")
+	}
+	if !reflect.DeepEqual(got.Grammar, want.Grammar) ||
+		!reflect.DeepEqual(got.DurGrammar, want.DurGrammar) ||
+		!reflect.DeepEqual(got.IntGrammar, want.IntGrammar) {
+		t.Fatal("grammars differ")
+	}
+	if !reflect.DeepEqual(got.RawSigs, want.RawSigs) || !reflect.DeepEqual(got.RawTimes, want.RawTimes) {
+		t.Fatal("raw capture differs")
+	}
+}
+
+// minimalSnapshot is an empty rank's snapshot: empty table, the
+// one-empty-rule grammar, no optional sections.
+func minimalSnapshot() *core.Snapshot {
+	return &core.Snapshot{
+		Rank:    0,
+		Table:   cst.New(),
+		Grammar: sequitur.Serialized(sequitur.New().Serialize()),
+	}
+}
+
+func TestSnapshotRoundTripMinimal(t *testing.T) {
+	got, err := DecodeSnapshot(EncodeSnapshot(minimalSnapshot()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DurGrammar != nil || got.RawSigs != nil {
+		t.Fatal("optional sections materialized from nothing")
+	}
+}
+
+func TestSnapshotDecodeTruncation(t *testing.T) {
+	full := EncodeSnapshot(testSnapshot())
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeSnapshot(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(full))
+		}
+	}
+	if _, err := DecodeSnapshot(append(append([]byte(nil), full...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestSnapshotDecodeBitFlipsNeverPanic(t *testing.T) {
+	full := EncodeSnapshot(testSnapshot())
+	for i := range full {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), full...)
+			mut[i] ^= byte(1 << bit)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on flip byte %d bit %d: %v", i, bit, r)
+					}
+				}()
+				DecodeSnapshot(mut)
+			}()
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := map[byte][]byte{
+		TypeHello:    (&Hello{Version: Version, RunID: "r", WorldSize: 4, Rank: 1, TimingBase: 1.2}).Encode(),
+		TypeSnapshot: EncodeSnapshot(testSnapshot()),
+		TypeAck:      (&Ack{Status: AckDuplicate, Detail: "already have rank 1"}).Encode(),
+		TypeWait:     (&Wait{RunID: "r"}).Encode(),
+		TypeTrace:    []byte("PILGRIM1..."),
+		TypeError:    []byte("boom"),
+	}
+	for typ, body := range bodies {
+		if err := WriteFrame(&buf, typ, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[byte][]byte{}
+	for range bodies {
+		typ, body, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[typ] = body
+	}
+	for typ, want := range bodies {
+		if !bytes.Equal(seen[typ], want) {
+			t.Fatalf("type 0x%02x body mismatch", typ)
+		}
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeSnapshot, EncodeSnapshot(testSnapshot())); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one payload byte: CRC must catch it.
+	mut := append([]byte(nil), raw...)
+	mut[7] ^= 0x40
+	if _, _, err := ReadFrame(bytes.NewReader(mut)); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+	// Truncate at every prefix: must error, never panic or hang.
+	for cut := 0; cut < len(raw); cut++ {
+		if _, _, err := ReadFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncated frame (%d/%d bytes) accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestFrameOversizedLengthRejected(t *testing.T) {
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr, MaxFrame+1)
+	hdr[4] = TypeSnapshot
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+	// A huge-but-capped length over a short stream must fail at EOF
+	// without allocating the full claim.
+	binary.LittleEndian.PutUint32(hdr, MaxFrame)
+	if _, _, err := ReadFrame(bytes.NewReader(append(hdr, make([]byte, 64)...))); err == nil {
+		t.Fatal("lying length accepted")
+	}
+}
+
+func TestFrameUnknownTypeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0x7F, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("unknown frame type accepted")
+	}
+}
+
+func TestHelloRoundTripAndValidation(t *testing.T) {
+	want := &Hello{Version: Version, RunID: "run-42", WorldSize: 16, Rank: 15,
+		Epoch: 7, TimingMode: 1, TimingBase: 1.2}
+	got, err := DecodeHello(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: %+v != %+v", got, want)
+	}
+
+	bad := []*Hello{
+		{Version: Version + 1, RunID: "r", WorldSize: 2, Rank: 0, TimingBase: 1},
+		{Version: Version, RunID: "", WorldSize: 2, Rank: 0, TimingBase: 1},
+		{Version: Version, RunID: "r", WorldSize: 2, Rank: 2, TimingBase: 1},
+		{Version: Version, RunID: "r", WorldSize: 0, Rank: 0, TimingBase: 1},
+		{Version: Version, RunID: "r", WorldSize: MaxWorldSize + 1, Rank: 0, TimingBase: 1},
+		{Version: Version, RunID: "r", WorldSize: 2, Rank: 0, TimingBase: math.Inf(1)},
+	}
+	for i, h := range bad {
+		if _, err := DecodeHello(h.Encode()); err == nil {
+			t.Fatalf("bad hello %d accepted", i)
+		}
+	}
+}
+
+func TestAckWaitRoundTrip(t *testing.T) {
+	a, err := DecodeAck((&Ack{Status: AckError, Detail: "epoch mismatch"}).Encode())
+	if err != nil || a.Status != AckError || a.Detail != "epoch mismatch" {
+		t.Fatalf("ack round trip: %+v, %v", a, err)
+	}
+	if _, err := DecodeAck([]byte{9, 0}); err == nil {
+		t.Fatal("unknown ack status accepted")
+	}
+	w, err := DecodeWait((&Wait{RunID: "abc"}).Encode())
+	if err != nil || w.RunID != "abc" {
+		t.Fatalf("wait round trip: %+v, %v", w, err)
+	}
+	if _, err := DecodeWait([]byte{0}); err == nil {
+		t.Fatal("empty wait run id accepted")
+	}
+}

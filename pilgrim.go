@@ -23,12 +23,15 @@ package pilgrim
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/hpcrepro/pilgrim/internal/analysis"
+	"github.com/hpcrepro/pilgrim/internal/collect"
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/metrics"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
@@ -129,8 +132,58 @@ func RunSim(n int, opts Options, simOpts mpi.Options, body func(p *mpi.Proc)) (*
 		file, stats := SalvageFinalize(tracers, err)
 		return file, stats, err
 	}
+	if opts.CollectorAddr != "" {
+		file, stats := collectFinalize(tracers, opts)
+		if col != nil {
+			stats.Metrics = col.Report()
+		}
+		return file, stats, nil
+	}
 	file, stats := core.Finalize(tracers)
 	return file, stats, nil
+}
+
+// collectFinalize is the networked finalize path: every rank's
+// snapshot streams to the pilgrim-collectd at Options.CollectorAddr,
+// the log₂P merge runs server-side, and the finalized trace is fetched
+// back — byte-identical to what core.Finalize would have produced.
+// Any failure (collector down, network partition, rejection) falls
+// back to the local merge over the same snapshots, so the run always
+// succeeds.
+func collectFinalize(tracers []*Tracer, opts Options) (*TraceFile, FinalizeStats) {
+	snaps := make([]*core.Snapshot, len(tracers))
+	for i, tr := range tracers {
+		snaps[i] = tr.Snapshot()
+	}
+	runID := opts.CollectorRunID
+	if runID == "" {
+		runID = "run-" + strconv.FormatInt(time.Now().UnixNano(), 36) +
+			"-" + strconv.Itoa(os.Getpid())
+	}
+	client := &collect.Client{
+		Addr: opts.CollectorAddr,
+		Run: collect.RunInfo{
+			RunID:      runID,
+			WorldSize:  len(tracers),
+			TimingMode: opts.TimingMode,
+			TimingBase: opts.TimingBase,
+		},
+	}
+	file, err := client.Collect(snaps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pilgrim: collector %s unreachable (%v); finalizing locally\n",
+			opts.CollectorAddr, err)
+		return core.FinalizeSnapshots(snaps, opts, nil)
+	}
+	var st FinalizeStats
+	for _, s := range snaps {
+		st.TotalCalls += s.Calls
+		st.IntraNs += s.IntraNs
+	}
+	st.TraceBytes = file.SizeBytes()
+	st.GlobalCST = file.CST.Len()
+	st.UniqueCFGs = len(file.Grammars)
+	return file, st
 }
 
 // SalvageFinalize performs the failure-path inter-process merge: it
