@@ -29,12 +29,13 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":7777", "TCP ingest address for tracer snapshots")
-		admin    = flag.String("admin", ":7778", "HTTP admin API address (runs, traces, metrics); empty disables")
-		outDir   = flag.String("out-dir", ".", "directory for finalized traces (<run-id>.pilgrim)")
-		deadline = flag.Duration("deadline", 0, "straggler deadline per run: finalize as a salvage trace once this elapses with ranks missing (0 = wait forever)")
-		idle     = flag.Duration("idle-timeout", 5*time.Minute, "drop ingest connections idle longer than this")
-		verbose  = flag.Bool("v", false, "log per-run lifecycle events")
+		listen    = flag.String("listen", ":7777", "TCP ingest address for tracer snapshots")
+		admin     = flag.String("admin", ":7778", "HTTP admin API address (runs, traces, metrics); empty disables")
+		outDir    = flag.String("out-dir", ".", "directory for finalized traces (<run-id>.pilgrim)")
+		deadline  = flag.Duration("deadline", 0, "straggler deadline per run: finalize as a salvage trace once this elapses with ranks missing (0 = wait forever)")
+		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop ingest connections idle longer than this")
+		retention = flag.Duration("retention", 10*time.Minute, "keep a finalized run's trace in memory this long before serving it from -out-dir only (negative = forever)")
+		verbose   = flag.Bool("v", false, "log per-run lifecycle events")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		OutDir:            *outDir,
 		StragglerDeadline: *deadline,
 		IdleTimeout:       *idle,
+		Retention:         *retention,
 		Logf:              logf,
 	})
 	if err != nil {

@@ -57,6 +57,54 @@ func TestRunSimThroughCollector(t *testing.T) {
 	}
 }
 
+// TestRunSimReusedRunID runs two different workloads under the same
+// CollectorRunID: each run must finalize at the collector with its own
+// trace. RunSim derives a fresh epoch per run, so the second run
+// restarts the registry entry — without that, every snapshot of the
+// second run would ack as a duplicate of the first and WaitTrace would
+// silently hand back the first run's trace.
+func TestRunSimReusedRunID(t *testing.T) {
+	const n = 4
+	srv, err := collect.Start(collect.Config{Listen: "127.0.0.1:0", OutDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	opts := pilgrim.Options{CollectorAddr: srv.Addr(), CollectorRunID: "reused"}
+
+	small, err := workloads.Get("stencil2d", 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file1, _, err := pilgrim.RunSim(n, opts, mpi.Options{}, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := workloads.Get("stencil2d", 5, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file2, _, err := pilgrim.RunSim(n, opts, mpi.Options{}, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Metrics().FinalizedRuns.Load(); got != 2 {
+		t.Fatalf("collector finalized %d runs, want 2 (second run served stale trace?)", got)
+	}
+	calls1, err := pilgrim.DecodeRank(file1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls2, err := pilgrim.DecodeRank(file2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls2) <= len(calls1) {
+		t.Fatalf("second trace decodes %d calls on rank 0, first %d — got the first run's trace back",
+			len(calls2), len(calls1))
+	}
+}
+
 // TestRunSimCollectorDown points RunSim at a dead address: the client
 // exhausts its retries and RunSim falls back to the local merge, so
 // the run still succeeds with a full trace.

@@ -43,8 +43,15 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 
 // RunInfo identifies the run a client's snapshots belong to.
 type RunInfo struct {
-	RunID      string
-	WorldSize  int
+	RunID     string
+	WorldSize int
+	// Epoch keys the server's idempotent dedupe: re-sends of the same
+	// (RunID, Rank, Epoch) ack as duplicates, and a higher epoch
+	// restarts a finished run under the same RunID. Use a fresh value
+	// per logical run (pilgrim.RunSim uses wall-clock nanoseconds) —
+	// reusing a (RunID, Epoch) pair makes the collector treat the new
+	// run's snapshots as duplicates of the old one and serve the old
+	// trace back.
 	Epoch      uint64
 	TimingMode uint8
 	TimingBase float64

@@ -369,6 +369,81 @@ func TestEpochSemantics(t *testing.T) {
 	}
 }
 
+// TestCloseUnblocksWaiters: Close() while a waiter is parked on an
+// incomplete run (no straggler deadline — the run can never finalize)
+// must return promptly; the waiter errors out and its producer falls
+// back to local finalize.
+func TestCloseUnblocksWaiters(t *testing.T) {
+	const n = 2
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{})
+	c := client(srv, "halfrun", n)
+	if err := c.SendSnapshot(snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() {
+		w := client(srv, "halfrun", n)
+		w.Retry = collect.RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Seed: 3}
+		_, err := w.WaitTrace()
+		waitErr <- err
+	}()
+	// Let the wait frame land and its handler park on the run.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Metrics().ActiveConns.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a waiter parked on an incomplete run")
+	}
+	if err := <-waitErr; err == nil {
+		t.Fatal("waiter got a trace from an incomplete run")
+	}
+}
+
+// TestRetentionEvictsToDisk: after Retention elapses a finalized run's
+// trace bytes leave server memory, but waiters and admin fetches are
+// still served — from the OutDir copy.
+func TestRetentionEvictsToDisk(t *testing.T) {
+	const n = 2
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{OutDir: t.TempDir(), Retention: 20 * time.Millisecond})
+	c := client(srv, "evicted", n)
+	remote, err := c.Collect(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialize(t, remote)
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.TraceEvicted("evicted") {
+		if time.Now().After(deadline) {
+			t.Fatal("retention never evicted the finalized run's bytes")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, ok := srv.TraceBytes("evicted")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("post-eviction fetch: ok=%v, %d bytes, want %d", ok, len(got), len(want))
+	}
+	st, ok := srv.Run("evicted")
+	if !ok || st.TraceBytes != len(want) {
+		t.Fatalf("post-eviction status reports %d trace bytes, want %d", st.TraceBytes, len(want))
+	}
+	// A late waiter is served from disk too.
+	data, err := client(srv, "evicted", n).WaitTrace()
+	if err != nil || !bytes.Equal(data, want) {
+		t.Fatalf("post-eviction wait: %v, %d bytes, want %d", err, len(data), len(want))
+	}
+}
+
 func TestBadRunIDRejected(t *testing.T) {
 	snaps := traceWorkload(t, 1)
 	srv := startServer(t, collect.Config{OutDir: t.TempDir()})

@@ -1,0 +1,15 @@
+package collect
+
+// TraceEvicted reports whether a finalized run's in-memory trace
+// bytes have been dropped by retention (test hook).
+func (s *Server) TraceEvicted(id string) bool {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state != stateCollecting && r.traceData == nil
+}

@@ -48,6 +48,14 @@ type Config struct {
 	// IdleTimeout bounds how long a connection may sit between frames
 	// (default 5 minutes).
 	IdleTimeout time.Duration
+	// Retention bounds how long a finalized run's trace bytes stay in
+	// server memory once OutDir holds a disk copy; after it elapses the
+	// in-memory bytes are dropped and waiters/admin fetches are served
+	// from the file, so a long-running daemon does not grow without
+	// bound. Zero means a 10-minute default; negative retains forever.
+	// Runs without a disk copy (no OutDir, or the write failed) are
+	// never evicted.
+	Retention time.Duration
 	// Metrics receives the collector's instrumentation; nil creates a
 	// private registry (reachable via Server.Metrics).
 	Metrics *Metrics
@@ -90,12 +98,27 @@ type run struct {
 	inc       *cst.Incremental
 	mergeNs   int64
 	timer     *time.Timer
+	evict     *time.Timer // retention: drops traceData once on disk
 	state     runState
 	reason    string // salvage reason, "" otherwise
-	traceData []byte
+	traceData []byte // nil after eviction; reload via tracePath
+	traceLen  int
 	tracePath string
 	doneAt    time.Time
-	done      chan struct{} // closed once traceData is set
+	done      chan struct{} // closed once the run finalizes
+}
+
+// traceLocked returns the run's trace bytes (r.mu held), reloading
+// the on-disk copy when the in-memory one was evicted by retention.
+func (r *run) traceLocked() []byte {
+	if r.traceData != nil || r.tracePath == "" {
+		return r.traceData
+	}
+	data, err := os.ReadFile(r.tracePath)
+	if err != nil {
+		return nil
+	}
+	return data
 }
 
 // Server is the collector daemon's core: TCP ingest plus the run
@@ -105,12 +128,13 @@ type Server struct {
 	m   *Metrics
 	ln  net.Listener
 
-	mu     sync.Mutex
-	runs   map[string]*run
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
-	start  time.Time
+	mu       sync.Mutex
+	runs     map[string]*run
+	conns    map[net.Conn]struct{}
+	closed   bool
+	shutdown chan struct{} // closed in Close; unblocks parked waiters
+	wg       sync.WaitGroup
+	start    time.Time
 }
 
 // Start listens on cfg.Listen and serves ingest connections in the
@@ -124,12 +148,13 @@ func Start(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		m:     cfg.Metrics,
-		ln:    ln,
-		runs:  make(map[string]*run),
-		conns: make(map[net.Conn]struct{}),
-		start: time.Now(),
+		cfg:      cfg,
+		m:        cfg.Metrics,
+		ln:       ln,
+		runs:     make(map[string]*run),
+		conns:    make(map[net.Conn]struct{}),
+		shutdown: make(chan struct{}),
+		start:    time.Now(),
 	}
 	if s.m == nil {
 		s.m = NewMetrics(nil)
@@ -155,6 +180,11 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Unblock every handler parked in serveWait on an incomplete run:
+	// closing its connection does not wake a goroutine blocked on the
+	// run's done channel, and with the run timers about to stop, an
+	// incomplete run would never finalize — wg.Wait would hang forever.
+	close(s.shutdown)
 	for c := range s.conns {
 		c.Close()
 	}
@@ -168,6 +198,9 @@ func (s *Server) Close() error {
 		r.mu.Lock()
 		if r.timer != nil {
 			r.timer.Stop()
+		}
+		if r.evict != nil {
+			r.evict.Stop()
 		}
 		r.mu.Unlock()
 	}
@@ -348,6 +381,11 @@ func (s *Server) ingest(h *wire.Hello, body []byte) *wire.Ack {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// The duplicate check precedes the state check so a retry whose ack
+	// was lost still succeeds after the run finalized. That is safe only
+	// because runFor keyed the run by (id, epoch): a new logical run
+	// reusing the id arrives with a fresh epoch and restarts the run
+	// instead of landing here.
 	if r.snaps[snap.Rank] != nil {
 		s.m.DupSnapshots.Inc()
 		return &wire.Ack{Status: wire.AckDuplicate, Detail: fmt.Sprintf("rank %d already merged", snap.Rank)}
@@ -418,6 +456,7 @@ func (s *Server) finalizeLocked(r *run, info *trace.SalvageInfo) {
 		s.logf("run %s: serialize failed: %v", r.id, err)
 	}
 	r.traceData = buf.Bytes()
+	r.traceLen = len(r.traceData)
 	if info != nil {
 		r.state = stateSalvaged
 		r.reason = info.Reason
@@ -435,11 +474,33 @@ func (s *Server) finalizeLocked(r *run, info *trace.SalvageInfo) {
 			r.tracePath = path
 		}
 	}
+	// Retention: with the trace safely on disk, the in-memory copy is a
+	// cache — drop it after a while so the registry never grows by the
+	// full trace size per run for the daemon's lifetime.
+	if r.tracePath != "" {
+		retain := s.cfg.Retention
+		if retain == 0 {
+			retain = 10 * time.Minute
+		}
+		if retain > 0 {
+			r.evict = time.AfterFunc(retain, func() { s.evictRun(r) })
+		}
+	}
 	s.m.ActiveRuns.Add(-1)
 	s.m.TraceBytesOut.Add(int64(len(r.traceData)))
 	s.m.FinalizeNs.Observe(time.Since(t0).Nanoseconds())
 	s.logf("run %s: %s (%d ranks, %d bytes)", r.id, r.state, r.world, len(r.traceData))
 	close(r.done)
+}
+
+// evictRun drops a finalized run's in-memory trace bytes; the on-disk
+// copy under OutDir keeps serving waiters and admin fetches.
+func (s *Server) evictRun(r *run) {
+	r.mu.Lock()
+	if r.state != stateCollecting && r.tracePath != "" {
+		r.traceData = nil
+	}
+	r.mu.Unlock()
 }
 
 // serveWait blocks until the run finalizes, then sends its trace.
@@ -455,9 +516,15 @@ func (s *Server) serveWait(conn net.Conn, runID string) bool {
 	// Clear the read deadline: the waiter legitimately idles until the
 	// run completes (bounded by the straggler deadline, if any).
 	conn.SetReadDeadline(time.Time{})
-	<-r.done
+	select {
+	case <-r.done:
+	case <-s.shutdown:
+		// Close() must not wait on an incomplete run; the producer's
+		// WaitTrace errors out and it falls back to local finalize.
+		return false
+	}
 	r.mu.Lock()
-	data := r.traceData
+	data := r.traceLocked()
 	r.mu.Unlock()
 	return s.send(conn, wire.TypeTrace, data) == nil
 }
@@ -486,7 +553,7 @@ func (r *run) status() RunStatus {
 	st := RunStatus{
 		ID: r.id, WorldSize: r.world, Epoch: r.epoch,
 		State: r.state.String(), Received: r.received,
-		TraceBytes: len(r.traceData), TracePath: r.tracePath,
+		TraceBytes: r.traceLen, TracePath: r.tracePath,
 		Reason:     r.reason,
 		CreatedSec: float64(r.created.UnixNano()) / 1e9,
 	}
@@ -543,5 +610,5 @@ func (s *Server) TraceBytes(id string) ([]byte, bool) {
 	if r.state == stateCollecting {
 		return nil, false
 	}
-	return r.traceData, true
+	return r.traceLocked(), true
 }

@@ -160,27 +160,37 @@ func DecodeSnapshot(body []byte) (*core.Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Each sig costs ≥1 byte (its length prefix) and each time pair
-		// ≥2, so n is bounded by the remaining body.
-		if n > uint64(d.remaining()) {
+		// Each entry costs at least 3 body bytes: a one-byte signature
+		// length prefix plus one varint byte per time value. A looser
+		// bound would let a small hostile frame claim a huge count and
+		// force ~32 bytes of slice headers per claimed entry below.
+		if n > uint64(d.remaining())/3 {
 			return nil, fmt.Errorf("wire: raw capture claims %d entries in %d bytes", n, d.remaining())
 		}
-		s.RawSigs = make([]string, n)
-		for i := range s.RawSigs {
+		// Grow with append under a capped initial size: allocation then
+		// tracks bytes actually decoded, never the claimed count alone.
+		capHint := n
+		if capHint > 4096 {
+			capHint = 4096
+		}
+		s.RawSigs = make([]string, 0, capHint)
+		for i := uint64(0); i < n; i++ {
 			sig, err := d.bytes("raw signature")
 			if err != nil {
 				return nil, err
 			}
-			s.RawSigs[i] = string(sig)
+			s.RawSigs = append(s.RawSigs, string(sig))
 		}
-		s.RawTimes = make([][2]int64, n)
-		for i := range s.RawTimes {
-			if s.RawTimes[i][0], err = d.varint("raw start time"); err != nil {
+		s.RawTimes = make([][2]int64, 0, capHint)
+		for i := uint64(0); i < n; i++ {
+			var t [2]int64
+			if t[0], err = d.varint("raw start time"); err != nil {
 				return nil, err
 			}
-			if s.RawTimes[i][1], err = d.varint("raw end time"); err != nil {
+			if t[1], err = d.varint("raw end time"); err != nil {
 				return nil, err
 			}
+			s.RawTimes = append(s.RawTimes, t)
 		}
 	}
 	return s, d.finish()

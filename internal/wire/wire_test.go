@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/hpcrepro/pilgrim/internal/core"
@@ -115,6 +116,29 @@ func TestSnapshotDecodeBitFlipsNeverPanic(t *testing.T) {
 				DecodeSnapshot(mut)
 			}()
 		}
+	}
+}
+
+// TestSnapshotRawCountOverClaimRejected: the raw-capture count must be
+// bounded by remaining/3 (each entry costs ≥3 body bytes), so a small
+// frame claiming a huge count is rejected by the bound check itself —
+// before any count-sized allocation — not by a later truncation error.
+func TestSnapshotRawCountOverClaimRejected(t *testing.T) {
+	base := EncodeSnapshot(minimalSnapshot())
+	// Rewrite the trailing flags byte (0 for a minimal snapshot) to
+	// announce a raw capture, then claim one entry per remaining byte —
+	// the old ≤remaining bound accepted this and pre-allocated ~32
+	// bytes of slice headers per claimed entry.
+	body := append(append([]byte(nil), base[:len(base)-1]...), flagRaw)
+	const filler = 300
+	body = binary.AppendUvarint(body, filler)
+	body = append(body, make([]byte, filler)...)
+	_, err := DecodeSnapshot(body)
+	if err == nil {
+		t.Fatal("over-claimed raw capture count accepted")
+	}
+	if !strings.Contains(err.Error(), "raw capture claims") {
+		t.Fatalf("rejected by %q, want the allocation bound check", err)
 	}
 }
 

@@ -163,8 +163,14 @@ func collectFinalize(tracers []*Tracer, opts Options) (*TraceFile, FinalizeStats
 	client := &collect.Client{
 		Addr: opts.CollectorAddr,
 		Run: collect.RunInfo{
-			RunID:      runID,
-			WorldSize:  len(tracers),
+			RunID:     runID,
+			WorldSize: len(tracers),
+			// A fresh epoch per run: the collector dedupes snapshots on
+			// (run, rank, epoch), so a reused CollectorRunID must restart
+			// the run under a new epoch — with a stale epoch every send
+			// would ack as a duplicate of the previous run and WaitTrace
+			// would silently hand back the previous run's trace.
+			Epoch:      uint64(time.Now().UnixNano()),
 			TimingMode: opts.TimingMode,
 			TimingBase: opts.TimingBase,
 		},
