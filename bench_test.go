@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/cst"
 	"github.com/hpcrepro/pilgrim/internal/experiments"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
@@ -278,6 +279,37 @@ func BenchmarkCSTMerge64Ranks(b *testing.B) {
 		cst.MergePairwise(tables)
 	}
 }
+
+// benchmarkFinalize compares the sequential and parallel finalize
+// pipeline over deterministic synthetic snapshots at one rank count;
+// on a multi-core runner the "par" sub-benchmark should beat "seq" by
+// roughly the core count once the merge tree dominates.
+func benchmarkFinalize(b *testing.B, procs int) {
+	snaps := experiments.SyntheticSnapshots(procs)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1},
+		{"par", 0}, // GOMAXPROCS
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := core.Options{FinalizeWorkers: cfg.workers}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var stats core.FinalizeStats
+			for i := 0; i < b.N; i++ {
+				_, stats = core.FinalizeSnapshots(snaps, opts, nil)
+			}
+			b.ReportMetric(float64(stats.GlobalCST), "cst-entries")
+			b.ReportMetric(float64(stats.UniqueCFGs), "unique-cfgs")
+		})
+	}
+}
+
+func BenchmarkFinalize64(b *testing.B)   { benchmarkFinalize(b, 64) }
+func BenchmarkFinalize1024(b *testing.B) { benchmarkFinalize(b, 1024) }
+func BenchmarkFinalize4096(b *testing.B) { benchmarkFinalize(b, 4096) }
 
 func BenchmarkTraceStencil64(b *testing.B) {
 	body := workloads.Stencil2D(workloads.StencilConfig{Iters: 20})

@@ -9,7 +9,7 @@
 //	pilgrim-bench -exp stencil -json=out/dir
 //
 // Experiments: table1, stencil, osu, fig5, fig6, fig7, fig8, fig9,
-// fig10, ablation, collect, all.
+// fig10, ablation, collect, finalize, all.
 //
 // With -json, each experiment additionally writes BENCH_<exp>.json —
 // the experiment's data series plus the run's self-observability
@@ -203,6 +203,14 @@ func main() {
 	})
 	run("collect", func() (any, error) {
 		r, err := experiments.RunCollect(scale)
+		if err != nil {
+			return nil, err
+		}
+		r.Print(w)
+		return r, nil
+	})
+	run("finalize", func() (any, error) {
+		r, err := experiments.RunFinalize(scale)
 		if err != nil {
 			return nil, err
 		}

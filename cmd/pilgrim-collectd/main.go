@@ -35,6 +35,7 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "straggler deadline per run: finalize as a salvage trace once this elapses with ranks missing (0 = wait forever)")
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop ingest connections idle longer than this")
 		retention = flag.Duration("retention", 10*time.Minute, "keep a finalized run's trace in memory this long before serving it from -out-dir only (negative = forever)")
+		workers   = flag.Int("finalize-workers", 0, "worker pool size for run finalization (0 = GOMAXPROCS, 1 = sequential; output identical either way)")
 		verbose   = flag.Bool("v", false, "log per-run lifecycle events")
 	)
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 		StragglerDeadline: *deadline,
 		IdleTimeout:       *idle,
 		Retention:         *retention,
+		FinalizeWorkers:   *workers,
 		Logf:              logf,
 	})
 	if err != nil {

@@ -56,6 +56,11 @@ type Config struct {
 	// Runs without a disk copy (no OutDir, or the write failed) are
 	// never evicted.
 	Retention time.Duration
+	// FinalizeWorkers bounds the worker pool used when finalizing a
+	// run (relabel fan-out, grammar hashing, timing packing). 0 means
+	// GOMAXPROCS, 1 forces sequential; output bytes are identical for
+	// every setting.
+	FinalizeWorkers int
 	// Metrics receives the collector's instrumentation; nil creates a
 	// private registry (reachable via Server.Metrics).
 	Metrics *Metrics
@@ -346,7 +351,7 @@ func (s *Server) runFor(h *wire.Hello) (*run, error) {
 		id:      h.RunID,
 		world:   h.WorldSize,
 		epoch:   h.Epoch,
-		opts:    core.Options{TimingMode: h.TimingMode, TimingBase: h.TimingBase},
+		opts:    core.Options{TimingMode: h.TimingMode, TimingBase: h.TimingBase, FinalizeWorkers: s.cfg.FinalizeWorkers},
 		created: time.Now(),
 		snaps:   make([]*core.Snapshot, h.WorldSize),
 		inc:     cst.NewIncremental(h.WorldSize),

@@ -14,6 +14,7 @@ import (
 	"github.com/hpcrepro/pilgrim/internal/cst"
 	"github.com/hpcrepro/pilgrim/internal/metrics"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/par"
 	"github.com/hpcrepro/pilgrim/internal/sequitur"
 	"github.com/hpcrepro/pilgrim/internal/sig"
 	"github.com/hpcrepro/pilgrim/internal/timing"
@@ -60,6 +61,15 @@ type Options struct {
 	// CollectorRunID names the run at the collector (admin API, output
 	// file). Empty means pilgrim.RunSim generates a unique one.
 	CollectorRunID string
+
+	// FinalizeWorkers caps the worker pool the finalize pipeline (§3.5)
+	// fans out on: the level-parallel pairwise CST merge, the per-rank
+	// grammar relabel, snapshotting, and grammar hashing. 0 (the
+	// default) means GOMAXPROCS; 1 forces the fully sequential path.
+	// The produced trace is byte-identical for every worker count — the
+	// merge tree's shape is fixed by the rank count and all cross-rank
+	// ordering decisions are taken in deterministic sequential passes.
+	FinalizeWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -83,11 +93,12 @@ type Tracer struct {
 	// the interception hot path branches on that single nil check.
 	m *metrics.Collector
 
-	mu    sync.Mutex
-	enc   *sig.Encoder
-	table *cst.Table
-	cfg   *sequitur.Grammar
-	tcomp *timing.Compressor
+	mu     sync.Mutex
+	enc    *sig.Encoder
+	table  *cst.Table
+	cfg    *sequitur.Grammar
+	tcomp  *timing.Compressor
+	sigBuf []byte // per-call signature scratch; alloc-free once warm
 
 	// Overhead accounting (intra-process tracing cost, wall time).
 	// Guarded by mu while the rank is live.
@@ -131,7 +142,8 @@ func (t *Tracer) Post(rec *mpispec.CallRecord) {
 	w0 := time.Now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s := t.enc.Encode(rec)
+	s := t.enc.EncodeTo(t.sigBuf[:0], rec)
+	t.sigBuf = s
 	term := t.table.Add(s, rec.TEnd-rec.TStart)
 	t.cfg.Append(term)
 	if t.tcomp != nil {
@@ -152,7 +164,8 @@ func (t *Tracer) Post(rec *mpispec.CallRecord) {
 func (t *Tracer) postInstrumented(rec *mpispec.CallRecord) {
 	w0 := time.Now()
 	t.mu.Lock()
-	s := t.enc.Encode(rec)
+	s := t.enc.EncodeTo(t.sigBuf[:0], rec)
+	t.sigBuf = s
 	tEnc := time.Now()
 	before := t.table.Len()
 	term := t.table.Add(s, rec.TEnd-rec.TStart)
@@ -318,7 +331,7 @@ func Finalize(tracers []*Tracer) (*trace.File, FinalizeStats) {
 	if len(tracers) > 0 {
 		opts = tracers[0].opts
 	}
-	return finalizeSnapshots(snapshotAll(tracers), opts, nil)
+	return finalizeSnapshots(snapshotAll(tracers, opts), opts, nil)
 }
 
 // SalvageFinalize is the failure-path finalize: it snapshots every
@@ -337,7 +350,7 @@ func SalvageFinalize(tracers []*Tracer, failed map[int]error, reason string) (*t
 	if opts.Collector != nil {
 		opts.Collector.Salvages.Inc()
 	}
-	snaps := snapshotAll(tracers)
+	snaps := snapshotAll(tracers, opts)
 	info := &trace.SalvageInfo{Reason: reason, Calls: make([]int64, len(snaps))}
 	ranks := make([]int, 0, len(failed))
 	for r := range failed {
@@ -359,11 +372,15 @@ func FinalizeSnapshots(snaps []*Snapshot, opts Options, info *trace.SalvageInfo)
 	return finalizeSnapshots(snaps, opts.withDefaults(), info)
 }
 
-func snapshotAll(tracers []*Tracer) []*Snapshot {
+// snapshotAll snapshots every tracer, fanning out on the finalize
+// worker pool: each Snapshot serializes that rank's grammars (and, in
+// lossy timing mode, its two timing grammars) under the rank's own
+// lock, so the per-rank serialization loop parallelizes trivially.
+func snapshotAll(tracers []*Tracer, opts Options) []*Snapshot {
 	snaps := make([]*Snapshot, len(tracers))
-	for i, tr := range tracers {
-		snaps[i] = tr.Snapshot()
-	}
+	par.For(len(tracers), par.Workers(opts.FinalizeWorkers), func(i int) {
+		snaps[i] = tracers[i].Snapshot()
+	})
 	return snaps
 }
 
@@ -376,7 +393,7 @@ func finalizeSnapshots(snaps []*Snapshot, opts Options, info *trace.SalvageInfo)
 	for i, s := range snaps {
 		tables[i] = s.Table
 	}
-	merged := cst.MergePairwise(tables)
+	merged := cst.MergePairwiseN(tables, par.Workers(opts.FinalizeWorkers))
 	return finalizeMerged(snaps, merged, time.Since(t0).Nanoseconds(), opts, info)
 }
 
@@ -399,19 +416,24 @@ func FinalizePremerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, o
 // against the global terminals (§3.5.1) plus the inter-process grammar
 // compression (§3.5.2).
 func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts Options, info *trace.SalvageInfo) (*trace.File, FinalizeStats) {
+	workers := par.Workers(opts.FinalizeWorkers)
 	var st FinalizeStats
 	for _, s := range snaps {
 		st.IntraNs += s.IntraNs
 		st.TotalCalls += s.Calls
 	}
 	t0 := time.Now()
+	// Per-rank relabel against the global terminals (§3.5.1): each rank
+	// rewrites only its own grammar, so the loop fans out freely.
 	relabeled := make([]sequitur.Serialized, len(snaps))
-	for i, s := range snaps {
-		rl, err := s.Grammar.Relabel(merged.Relabels[i])
+	relabelErrs := make([]error, len(snaps))
+	par.For(len(snaps), workers, func(i int) {
+		relabeled[i], relabelErrs[i] = snaps[i].Grammar.Relabel(merged.Relabels[i])
+	})
+	for i, err := range relabelErrs {
 		if err != nil {
 			panic(fmt.Sprintf("core: relabel rank %d: %v", i, err))
 		}
-		relabeled[i] = rl
 	}
 	st.CSTMergeNs = cstMergeNs + time.Since(t0).Nanoseconds()
 	st.GlobalCST = merged.Table.Len()
@@ -420,7 +442,7 @@ func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts
 	// identity fast path keeps one copy per unique grammar, and a
 	// final Sequitur pass compresses the rank → grammar sequence.
 	t1 := time.Now()
-	uniq, rankIdx := dedupGrammars(relabeled)
+	uniq, rankIdx := dedupGrammars(relabeled, workers)
 	rankMap := sequitur.New()
 	for _, idx := range rankIdx {
 		rankMap.Append(idx)
@@ -450,11 +472,19 @@ func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts
 			durs[i] = s.DurGrammar
 			ints[i] = s.IntGrammar
 		}
-		f.DurGrammars, f.DurIndex = dedupGrammars(durs)
-		f.IntGrammars, f.IntIndex = dedupGrammars(ints)
 		t2 := time.Now()
-		f.PackedDur = sequitur.Pack(f.DurGrammars)
-		f.PackedInt = sequitur.Pack(f.IntGrammars)
+		// The duration and interval streams are independent: dedup and
+		// pack them as two parallel branches (each dedup's hashing fans
+		// out further on the shared pool).
+		par.For(2, workers, func(branch int) {
+			if branch == 0 {
+				f.DurGrammars, f.DurIndex = dedupGrammars(durs, workers)
+				f.PackedDur = sequitur.Pack(f.DurGrammars)
+			} else {
+				f.IntGrammars, f.IntIndex = dedupGrammars(ints, workers)
+				f.PackedInt = sequitur.Pack(f.IntGrammars)
+			}
+		})
 		st.CFGMergeNs += time.Since(t2).Nanoseconds()
 	}
 	st.TraceBytes = f.SizeBytes()
@@ -469,13 +499,20 @@ func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts
 }
 
 // dedupGrammars keeps one copy per distinct serialized grammar (the
-// memcmp identity check of §3.5.2) and returns per-input indices.
-func dedupGrammars(gs []sequitur.Serialized) ([]sequitur.Serialized, []int32) {
+// memcmp identity check of §3.5.2) and returns per-input indices. The
+// per-grammar key hashing fans out across workers; the identity pass
+// itself stays sequential so first-seen ordering (and therefore the
+// unique-grammar numbering) is byte-identical for any worker count.
+func dedupGrammars(gs []sequitur.Serialized, workers int) ([]sequitur.Serialized, []int32) {
+	keys := make([]string, len(gs))
+	par.For(len(gs), workers, func(i int) {
+		keys[i] = grammarKey(gs[i])
+	})
 	seen := map[string]int32{}
 	var uniq []sequitur.Serialized
 	idx := make([]int32, len(gs))
 	for i, g := range gs {
-		key := grammarKey(g)
+		key := keys[i]
 		j, ok := seen[key]
 		if !ok {
 			j = int32(len(uniq))

@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"github.com/hpcrepro/pilgrim/internal/par"
 )
 
 // Table is one process's call signature table.
@@ -28,14 +30,18 @@ func New() *Table {
 }
 
 // Add returns the terminal for sig, creating a new entry on first
-// sight, and accumulates the call's duration into the entry.
+// sight, and accumulates the call's duration into the entry. The hit
+// path — by far the common case once an application's signature set
+// has been seen — is allocation-free: the map is probed with a
+// compiler-elided string conversion, and the key string is only
+// materialized for a genuinely new signature.
 func (t *Table) Add(sig []byte, duration int64) int32 {
-	key := string(sig)
-	if term, ok := t.bySig[key]; ok {
+	if term, ok := t.bySig[string(sig)]; ok {
 		t.count[term]++
 		t.durSum[term] += duration
 		return term
 	}
+	key := string(sig)
 	term := int32(len(t.sigs))
 	t.bySig[key] = term
 	t.sigs = append(t.sigs, key)
@@ -106,11 +112,12 @@ func (t *Table) AvgDuration(term int32) int64 {
 }
 
 // Merged is the result of the inter-process merge: a single global
-// table plus, for each input rank, the old-terminal → new-terminal
-// relabel map to apply to its grammar.
+// table plus, for each input rank, the dense old-terminal →
+// new-terminal relabel slice to apply to its grammar (terminals are
+// contiguous, so Relabels[rank][old] = new).
 type Merged struct {
 	Table    *Table
-	Relabels []map[int32]int32
+	Relabels [][]int32
 }
 
 // Merge unifies the tables of all ranks, keeping only globally unique
@@ -120,9 +127,9 @@ type Merged struct {
 // first-occurrence) order, which makes the merged table deterministic.
 func Merge(tables []*Table) Merged {
 	g := New()
-	relabels := make([]map[int32]int32, len(tables))
+	relabels := make([][]int32, len(tables))
 	for r, t := range tables {
-		m := make(map[int32]int32, len(t.sigs))
+		m := make([]int32, len(t.sigs))
 		for old, key := range t.sigs {
 			term, ok := g.bySig[key]
 			if !ok {
@@ -134,102 +141,140 @@ func Merge(tables []*Table) Merged {
 			}
 			g.count[term] += t.count[old]
 			g.durSum[term] += t.durSum[old]
-			m[int32(old)] = term
+			m[old] = term
 		}
 		relabels[r] = m
 	}
 	return Merged{Table: g, Relabels: relabels}
 }
 
+// node is one position in the pairwise merge tree's working set: a
+// table plus the relabel slices of the ranks folded into it so far.
+// owned reports whether the table belongs to the merge (an internal
+// node) and may therefore be extended in place; leaf tables are the
+// caller's and are never mutated.
+type node struct {
+	t     *Table
+	ranks []int
+	maps  [][]int32
+	owned bool
+}
+
+// leafNode wraps one input table.
+func leafNode(rank int, t *Table) *node {
+	return &node{t: t, ranks: []int{rank}, maps: [][]int32{identity(t.Len())}}
+}
+
+func identity(n int) []int32 {
+	m := make([]int32, n)
+	for i := range m {
+		m[i] = int32(i)
+	}
+	return m
+}
+
+// mergePair folds b into a, producing the parent node. a's terminals
+// keep their numbering (its relabel slices transfer unchanged); b's
+// entries are appended in first-occurrence order and its relabel
+// slices are composed in place. Both children are consumed.
+func mergePair(a, b *node) *node {
+	dst := a.t
+	if !a.owned {
+		dst = a.t.Clone()
+	}
+	mapB := mergeInto(dst, b.t)
+	nn := &node{t: dst, owned: true}
+	nn.ranks = append(a.ranks, b.ranks...)
+	nn.maps = a.maps
+	for _, m := range b.maps {
+		nn.maps = append(nn.maps, composeInPlace(m, mapB))
+	}
+	return nn
+}
+
 // MergePairwise performs the same merge with an explicit log₂P
-// pairwise tree (the structure the paper times in Figure 8). The
-// resulting global table equals Merge's up to terminal numbering; the
-// relabel maps are composed across rounds.
+// pairwise tree (the structure the paper times in Figure 8),
+// sequentially. The resulting global table equals Merge's up to
+// terminal numbering; the relabel slices are composed across rounds.
 func MergePairwise(tables []*Table) Merged {
+	return MergePairwiseN(tables, 1)
+}
+
+// MergePairwiseN is MergePairwise with each round's pair merges
+// running on up to workers goroutines, mirroring the paper's §3.5
+// observation that the log₂P rounds run in parallel across the
+// machine. The tree shape is a pure function of len(tables), every
+// pair merge is deterministic in its two inputs, and round k+1 only
+// reads round k's outputs — so the result, including terminal
+// numbering, is identical for every worker count. workers <= 0 means
+// GOMAXPROCS.
+func MergePairwiseN(tables []*Table, workers int) Merged {
 	n := len(tables)
 	if n == 0 {
 		return Merged{Table: New()}
 	}
-	// working set: each entry owns a table and the relabel maps of the
-	// ranks folded into it so far.
-	type node struct {
-		t     *Table
-		ranks []int
-		maps  []map[int32]int32
-	}
+	workers = par.Workers(workers)
 	nodes := make([]*node, n)
-	for i, t := range tables {
-		ident := make(map[int32]int32, t.Len())
-		for k := 0; k < t.Len(); k++ {
-			ident[int32(k)] = int32(k)
-		}
-		nodes[i] = &node{t: t, ranks: []int{i}, maps: []map[int32]int32{ident}}
-	}
+	par.For(n, workers, func(i int) {
+		nodes[i] = leafNode(i, tables[i])
+	})
 	for len(nodes) > 1 {
-		var next []*node
-		for i := 0; i+1 < len(nodes); i += 2 {
-			a, b := nodes[i], nodes[i+1]
-			merged, mapA, mapB := mergeTwo(a.t, b.t)
-			nn := &node{t: merged}
-			for j, r := range a.ranks {
-				nn.ranks = append(nn.ranks, r)
-				nn.maps = append(nn.maps, compose(a.maps[j], mapA))
-			}
-			for j, r := range b.ranks {
-				nn.ranks = append(nn.ranks, r)
-				nn.maps = append(nn.maps, compose(b.maps[j], mapB))
-			}
-			next = append(next, nn)
-		}
+		pairs := len(nodes) / 2
+		next := make([]*node, 0, pairs+1)
+		merged := make([]*node, pairs)
+		par.For(pairs, workers, func(i int) {
+			merged[i] = mergePair(nodes[2*i], nodes[2*i+1])
+		})
+		next = append(next, merged...)
 		if len(nodes)%2 == 1 {
 			next = append(next, nodes[len(nodes)-1])
 		}
 		nodes = next
 	}
 	root := nodes[0]
-	out := Merged{Table: root.t, Relabels: make([]map[int32]int32, n)}
+	out := Merged{Table: root.t, Relabels: make([][]int32, n)}
 	for j, r := range root.ranks {
 		out.Relabels[r] = root.maps[j]
 	}
+	// The root may still be an unowned leaf (n == 1): hand the caller a
+	// table it may treat as its own.
+	if !root.owned {
+		out.Table = root.t.Clone()
+	}
 	return out
 }
 
-// mergeTwo merges b into a copy of a, as in Figure 3: signatures
-// already present keep their terminal, new ones get fresh terminals.
-func mergeTwo(a, b *Table) (merged *Table, mapA, mapB map[int32]int32) {
-	merged = New()
-	mapA = make(map[int32]int32, a.Len())
-	mapB = make(map[int32]int32, b.Len())
-	for old, key := range a.sigs {
-		term := int32(len(merged.sigs))
-		merged.bySig[key] = term
-		merged.sigs = append(merged.sigs, key)
-		merged.count = append(merged.count, a.count[old])
-		merged.durSum = append(merged.durSum, a.durSum[old])
-		mapA[int32(old)] = term
-	}
-	for old, key := range b.sigs {
-		term, ok := merged.bySig[key]
+// mergeInto absorbs src into dst, as in Figure 3: signatures already
+// present keep their terminal, new ones get fresh terminals appended
+// in src's first-occurrence order. Returns src's dense relabel slice;
+// dst's existing terminals are unchanged (its relabel is the
+// identity). src is only read.
+func mergeInto(dst, src *Table) []int32 {
+	mapB := make([]int32, len(src.sigs))
+	for old, key := range src.sigs {
+		term, ok := dst.bySig[key]
 		if !ok {
-			term = int32(len(merged.sigs))
-			merged.bySig[key] = term
-			merged.sigs = append(merged.sigs, key)
-			merged.count = append(merged.count, 0)
-			merged.durSum = append(merged.durSum, 0)
+			term = int32(len(dst.sigs))
+			dst.bySig[key] = term
+			dst.sigs = append(dst.sigs, key)
+			dst.count = append(dst.count, 0)
+			dst.durSum = append(dst.durSum, 0)
 		}
-		merged.count[term] += b.count[old]
-		merged.durSum[term] += b.durSum[old]
-		mapB[int32(old)] = term
+		dst.count[term] += src.count[old]
+		dst.durSum[term] += src.durSum[old]
+		mapB[old] = term
 	}
-	return merged, mapA, mapB
+	return mapB
 }
 
-func compose(first, second map[int32]int32) map[int32]int32 {
-	out := make(map[int32]int32, len(first))
+// composeInPlace rewrites first[k] = second[first[k]] and returns
+// first. The caller owns first (it is a leaf identity or a prior
+// composition private to this tree node).
+func composeInPlace(first, second []int32) []int32 {
 	for k, v := range first {
-		out[k] = second[v]
+		first[k] = second[v]
 	}
-	return out
+	return first
 }
 
 // --- incremental merge -------------------------------------------------------
@@ -252,8 +297,11 @@ type Incremental struct {
 type incNode struct {
 	t     *Table
 	ranks []int
-	maps  []map[int32]int32
+	maps  [][]int32
 	ready bool
+	// owned reports the node's table belongs to the merge and may be
+	// extended in place; leaf tables are the caller's and stay intact.
+	owned bool
 	// children; -1 for leaves. parent is -1 for the root.
 	left, right, parent int
 }
@@ -297,13 +345,9 @@ func (inc *Incremental) Add(rank int, t *Table) error {
 	if leaf.ready {
 		return fmt.Errorf("cst: incremental merge rank %d added twice", rank)
 	}
-	ident := make(map[int32]int32, t.Len())
-	for k := 0; k < t.Len(); k++ {
-		ident[int32(k)] = int32(k)
-	}
 	leaf.t = t
 	leaf.ranks = []int{rank}
-	leaf.maps = []map[int32]int32{ident}
+	leaf.maps = [][]int32{identity(t.Len())}
 	leaf.ready = true
 	inc.added++
 	// Propagate upward while both children of the parent are ready.
@@ -314,18 +358,20 @@ func (inc *Incremental) Add(rank int, t *Table) error {
 		if !a.ready || !b.ready {
 			break
 		}
-		merged, mapA, mapB := mergeTwo(a.t, b.t)
-		pn.t = merged
-		for j, r := range a.ranks {
-			pn.ranks = append(pn.ranks, r)
-			pn.maps = append(pn.maps, compose(a.maps[j], mapA))
+		dst := a.t
+		if !a.owned {
+			dst = a.t.Clone()
 		}
-		for j, r := range b.ranks {
-			pn.ranks = append(pn.ranks, r)
-			pn.maps = append(pn.maps, compose(b.maps[j], mapB))
+		mapB := mergeInto(dst, b.t)
+		pn.t = dst
+		pn.owned = true
+		pn.ranks = append(a.ranks, b.ranks...)
+		pn.maps = a.maps
+		for _, m := range b.maps {
+			pn.maps = append(pn.maps, composeInPlace(m, mapB))
 		}
 		pn.ready = true
-		// Drop child payloads: only the relabel maps live on in pn.
+		// Drop child payloads: only the relabel slices live on in pn.
 		a.t, a.ranks, a.maps = nil, nil, nil
 		b.t, b.ranks, b.maps = nil, nil, nil
 		id = p
@@ -346,9 +392,14 @@ func (inc *Incremental) Result() Merged {
 	if !root.ready {
 		panic("cst: Incremental.Result before all ranks added")
 	}
-	out := Merged{Table: root.t, Relabels: make([]map[int32]int32, inc.n)}
+	out := Merged{Table: root.t, Relabels: make([][]int32, inc.n)}
 	for j, r := range root.ranks {
 		out.Relabels[r] = root.maps[j]
+	}
+	// A single-rank merge never ran mergeInto: return a table the
+	// caller may own without mutating the rank's snapshot table.
+	if !root.owned {
+		out.Table = root.t.Clone()
 	}
 	return out
 }

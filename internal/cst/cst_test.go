@@ -87,7 +87,7 @@ func TestMergeIdenticalTablesIsIdentity(t *testing.T) {
 	}
 	for r := range tables {
 		for old, nw := range m.Relabels[r] {
-			if old != nw {
+			if int32(old) != nw {
 				t.Fatalf("rank %d: identical tables should relabel identically (%d->%d)", r, old, nw)
 			}
 		}
@@ -126,6 +126,68 @@ func TestMergePairwiseEquivalent(t *testing.T) {
 	}
 	if flat.Table.Calls() != tree.Table.Calls() {
 		t.Fatal("call counts diverge between merge strategies")
+	}
+}
+
+// TestMergePairwiseWorkersIdentical pins the determinism argument the
+// parallel finalize rests on: the pairwise tree's shape is a pure
+// function of the rank count, so any worker count yields the same
+// global table (bytes) and the same relabel slices.
+func TestMergePairwiseWorkersIdentical(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 33, 64} {
+		tables := mkTables(n)
+		want := MergePairwiseN(tables, 1)
+		for _, workers := range []int{2, 3, 8, 0} {
+			got := MergePairwiseN(tables, workers)
+			if !bytes.Equal(got.Table.SerializeExact(), want.Table.SerializeExact()) {
+				t.Fatalf("n=%d workers=%d: merged table differs from sequential", n, workers)
+			}
+			for r := 0; r < n; r++ {
+				if len(got.Relabels[r]) != len(want.Relabels[r]) {
+					t.Fatalf("n=%d workers=%d rank %d: relabel length differs", n, workers, r)
+				}
+				for old, nw := range want.Relabels[r] {
+					if got.Relabels[r][old] != nw {
+						t.Fatalf("n=%d workers=%d rank %d: relabel[%d]=%d, want %d",
+							n, workers, r, old, got.Relabels[r][old], nw)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergePairwiseLeavesInputsIntact guards the in-place absorb
+// optimization: input (leaf) tables are the caller's — snapshots that
+// may be finalized again — and must survive the merge unchanged.
+func TestMergePairwiseLeavesInputsIntact(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		tables := mkTables(n)
+		before := make([][]byte, n)
+		for i, tb := range tables {
+			before[i] = tb.SerializeExact()
+		}
+		MergePairwiseN(tables, 4)
+		for i, tb := range tables {
+			if !bytes.Equal(tb.SerializeExact(), before[i]) {
+				t.Fatalf("n=%d: input table %d mutated by merge", n, i)
+			}
+		}
+	}
+}
+
+// TestAddHitPathAllocFree pins the tracing fast path at zero
+// allocations once a signature is in the table (the map probe uses a
+// compiler-elided string conversion).
+func TestAddHitPathAllocFree(t *testing.T) {
+	tb := New()
+	sig := []byte("MPI_Send(comm=0,dest=+1,tag=42)")
+	tb.Add(sig, 10)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tb.Add(sig, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("CST hit path allocates %.1f times per call, want 0", allocs)
 	}
 }
 
@@ -186,11 +248,11 @@ func TestQuickMergePreservesSignatures(t *testing.T) {
 		}
 		m := Merge(tables)
 		for r, tb := range tables {
+			if len(m.Relabels[r]) != tb.Len() {
+				return false
+			}
 			for old := int32(0); old < int32(tb.Len()); old++ {
-				nw, ok := m.Relabels[r][old]
-				if !ok {
-					return false
-				}
+				nw := m.Relabels[r][old]
 				if !bytes.Equal(m.Table.Sig(nw), tb.Sig(old)) {
 					return false
 				}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/sequitur"
+)
+
+// SyntheticSnapshots builds deterministic per-rank snapshots shaped
+// like a stencil run without spinning up the simulator: every rank
+// shares a common phase, falls into one of nine signature classes
+// (the paper's 2-D stencil count), and a sparse subset of ranks adds
+// rank-unique signatures so the global CST keeps growing with scale.
+// Deterministic: the same procs always yields byte-identical
+// snapshots, so finalize timings and identity checks are repeatable.
+func SyntheticSnapshots(procs int) []*core.Snapshot {
+	snaps := make([]*core.Snapshot, procs)
+	for r := 0; r < procs; r++ {
+		tbl := cst.New()
+		g := sequitur.New()
+		record := func(sig string, dur int64) {
+			g.Append(tbl.Add([]byte(sig), dur))
+		}
+		// Common phase: identical on every rank (init + collectives).
+		for i := 0; i < 256; i++ {
+			record(fmt.Sprintf("shared/%d", i%16), int64(100+i))
+		}
+		// Class phase: nine neighbour-exchange classes with loop
+		// structure Sequitur can fold.
+		cls := r % 9
+		for i := 0; i < 1024; i++ {
+			record(fmt.Sprintf("class%d/%d", cls, i%48), int64(200+i%64))
+		}
+		// Unique tail: every 17th rank sees rank-specific signatures
+		// (e.g. I/O on a subset), so merges keep discovering terminals.
+		if r%17 == 0 {
+			for i := 0; i < 64; i++ {
+				record(fmt.Sprintf("rank%d/%d", r, i%8), int64(300+i))
+			}
+		}
+		snaps[r] = &core.Snapshot{
+			Rank:    r,
+			Calls:   tbl.Calls(),
+			Table:   tbl,
+			Grammar: sequitur.Serialized(g.Serialize()),
+		}
+	}
+	return snaps
+}
+
+// FinalizePoint compares sequential and parallel finalize at one rank
+// count.
+type FinalizePoint struct {
+	Procs      int     `json:"procs"`
+	Workers    int     `json:"workers"` // pool size of the parallel run
+	SeqNs      int64   `json:"seq_ns"`
+	ParNs      int64   `json:"par_ns"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical"` // parallel trace byte-identical to sequential
+	GlobalCST  int     `json:"global_cst"`
+	UniqueCFGs int     `json:"unique_cfgs"`
+	TraceB     int     `json:"trace_bytes"`
+}
+
+// FinalizeResult is the "finalize" experiment: wall-clock of the
+// sequential versus parallel finalize pipeline over a rank sweep, plus
+// the CST hit-path allocation count the lean hot path guarantees
+// (BENCH_finalize.json).
+type FinalizeResult struct {
+	Workers   int             `json:"workers"`        // GOMAXPROCS pool used for parallel runs
+	HitAllocs float64         `json:"cst_hit_allocs"` // allocs per Table.Add hit (want 0)
+	Points    []FinalizePoint `json:"points"`
+}
+
+// RunFinalize sweeps rank counts over synthetic snapshots, finalizing
+// each set sequentially (workers=1) and in parallel (workers=0, i.e.
+// GOMAXPROCS) and verifying the two traces are byte-identical.
+func RunFinalize(scale Scale) (*FinalizeResult, error) {
+	res := &FinalizeResult{Workers: runtime.GOMAXPROCS(0)}
+
+	// Pin the allocation-lean CST hit path alongside the timings.
+	tbl := cst.New()
+	sig := []byte("hot/signature")
+	tbl.Add(sig, 1)
+	res.HitAllocs = testing.AllocsPerRun(1000, func() { tbl.Add(sig, 1) })
+
+	sweep := scale.capSweep([]int{64, 256, 1024})
+	if scale == Full {
+		sweep = append(sweep, 4096)
+	}
+	for _, procs := range sweep {
+		pt, err := finalizePoint(procs)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func finalizePoint(procs int) (FinalizePoint, error) {
+	snaps := SyntheticSnapshots(procs)
+	pt := FinalizePoint{Procs: procs, Workers: runtime.GOMAXPROCS(0)}
+
+	var seqBytes, parBytes []byte
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		f, _ := core.FinalizeSnapshots(snaps, core.Options{FinalizeWorkers: 1}, nil)
+		ns := time.Since(t0).Nanoseconds()
+		if pt.SeqNs == 0 || ns < pt.SeqNs {
+			pt.SeqNs = ns
+		}
+		if i == 0 {
+			var b bytes.Buffer
+			if _, err := f.WriteTo(&b); err != nil {
+				return pt, err
+			}
+			seqBytes = b.Bytes()
+			pt.GlobalCST = f.CST.Len()
+			pt.UniqueCFGs = len(f.Grammars)
+			pt.TraceB = f.SizeBytes()
+		}
+	}
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		f, _ := core.FinalizeSnapshots(snaps, core.Options{FinalizeWorkers: 0}, nil)
+		ns := time.Since(t0).Nanoseconds()
+		if pt.ParNs == 0 || ns < pt.ParNs {
+			pt.ParNs = ns
+		}
+		if i == 0 {
+			var b bytes.Buffer
+			if _, err := f.WriteTo(&b); err != nil {
+				return pt, err
+			}
+			parBytes = b.Bytes()
+		}
+	}
+	pt.Identical = bytes.Equal(seqBytes, parBytes)
+	if pt.ParNs > 0 {
+		pt.Speedup = float64(pt.SeqNs) / float64(pt.ParNs)
+	}
+	if !pt.Identical {
+		return pt, fmt.Errorf("finalize/%d: parallel trace differs from sequential", procs)
+	}
+	return pt, nil
+}
+
+// Print renders the sweep as the evaluation table.
+func (r *FinalizeResult) Print(w io.Writer) {
+	header(w, fmt.Sprintf("finalize: sequential vs parallel pipeline (%d workers)", r.Workers))
+	fmt.Fprintf(w, "CST hit path: %.0f allocs/Add\n", r.HitAllocs)
+	fmt.Fprintf(w, "%6s %10s %10s %8s %10s %7s %10s %10s\n",
+		"procs", "seq ms", "par ms", "speedup", "identical", "CST", "CFGs", "trace KB")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%6d %10s %10s %7.2fx %10v %7d %10d %10s\n",
+			p.Procs, ms(p.SeqNs), ms(p.ParNs), p.Speedup, p.Identical,
+			p.GlobalCST, p.UniqueCFGs, kb(p.TraceB))
+	}
+}

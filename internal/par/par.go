@@ -1,0 +1,55 @@
+// Package par is the finalize pipeline's tiny fork/join helper: a
+// bounded worker pool over an index range. Every user of this package
+// writes results into per-index slots, so the output of a parallel
+// loop is identical to the sequential loop regardless of scheduling —
+// the property the byte-identity guarantee of the parallel finalize
+// rests on.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: n > 0 is taken as-is,
+// anything else means GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs f(i) for every i in [0, n), on up to workers goroutines.
+// workers <= 1 runs inline with zero overhead. Iterations are handed
+// out by an atomic counter, so the assignment of iterations to
+// goroutines is nondeterministic — callers must make f(i) write only
+// to state owned by index i.
+func For(n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,45 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]int32, n)
+			For(n, workers, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForSequentialIsInOrder(t *testing.T) {
+	var order []int
+	For(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("sequential For out of order: %v", order)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatal("zero should resolve to GOMAXPROCS")
+	}
+	if Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("negative should resolve to GOMAXPROCS")
+	}
+}

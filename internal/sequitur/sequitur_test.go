@@ -323,7 +323,7 @@ func TestSerializedRelabel(t *testing.T) {
 	seq := []int32{0, 1, 0, 1, 2}
 	g := build(t, seq)
 	sg := Serialized(g.Serialize())
-	m := map[int32]int32{0: 10, 1: 11, 2: 12}
+	m := []int32{10, 11, 12}
 	rl, err := sg.Relabel(m)
 	if err != nil {
 		t.Fatal(err)
@@ -332,7 +332,7 @@ func TestSerializedRelabel(t *testing.T) {
 	if got := rl.Expand(0); !slices.Equal(got, want) {
 		t.Fatalf("got %v want %v", got, want)
 	}
-	if _, err := sg.Relabel(map[int32]int32{0: 1}); err == nil {
+	if _, err := sg.Relabel([]int32{1}); err == nil {
 		t.Fatal("expected error for missing mapping")
 	}
 }

@@ -165,19 +165,19 @@ func flatten(rules [][]sym) Serialized {
 	return out
 }
 
-// Relabel rewrites every terminal t as mapping[t]. It is used after
-// the inter-process CST merge assigns new global terminal ids. Unknown
-// terminals are an error.
-func (sg Serialized) Relabel(mapping map[int32]int32) (Serialized, error) {
+// Relabel rewrites every terminal t as mapping[t], where mapping is
+// the dense relabel slice the inter-process CST merge produced
+// (terminals are contiguous, so index = old terminal). Terminals past
+// the end of the mapping are an error.
+func (sg Serialized) Relabel(mapping []int32) (Serialized, error) {
 	rules := sg.rules()
 	for _, body := range rules {
 		for i, s := range body {
 			if s.val >= 0 {
-				nv, ok := mapping[s.val]
-				if !ok {
+				if int(s.val) >= len(mapping) {
 					return nil, fmt.Errorf("sequitur: relabel: no mapping for terminal %d", s.val)
 				}
-				body[i].val = nv
+				body[i].val = mapping[s.val]
 			}
 		}
 	}

@@ -1,0 +1,24 @@
+package sig
+
+import "testing"
+
+// TestEncodeToWarmPathAllocFree pins the tracer's per-call encoding
+// cost: once the scratch buffer has grown to the workload's signature
+// sizes, EncodeTo of a plain point-to-point call must not allocate.
+func TestEncodeToWarmPathAllocFree(t *testing.T) {
+	e := NewEncoder(0, nil)
+	e.MemAlloc(0x1000, 4096, 0)
+	r := sendRec(0, 0x1010, 1, 7)
+
+	var buf []byte
+	// Warm up: grow the scratch and settle lifecycle state.
+	for i := 0; i < 4; i++ {
+		buf = e.EncodeTo(buf[:0], r)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = e.EncodeTo(buf[:0], r)
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeTo warm path allocates %v times per call, want 0", allocs)
+	}
+}

@@ -133,7 +133,7 @@ type Encoder struct {
 
 	pending []pendingComm
 
-	buf []byte // scratch, reused between calls
+	keyBuf []byte // scratch for §3.4.3 request-pool keys, reused between calls
 }
 
 // NewEncoder builds the per-rank symbolic state. oob may be nil when
@@ -345,15 +345,26 @@ func (e *Encoder) symbolicRequest(h int64) int64 {
 // Encode turns a completed CallRecord into its signature bytes. It
 // also performs the object-lifecycle bookkeeping (id assignment and
 // release) that the call implies. The returned slice is freshly
-// allocated.
+// allocated; hot paths that can recycle a scratch buffer should use
+// EncodeTo instead.
 func (e *Encoder) Encode(rec *mpispec.CallRecord) []byte {
+	return e.EncodeTo(nil, rec)
+}
+
+// EncodeTo is Encode appending into buf (usually a caller-owned
+// scratch sliced to zero length) and returning the extended slice.
+// Once the scratch has grown to the workload's signature sizes the
+// common call encodes with zero allocations; the tracer's per-call
+// path relies on this.
+func (e *Encoder) EncodeTo(buf []byte, rec *mpispec.CallRecord) []byte {
 	// Lifecycle, part 1: request-creating calls need the pool key
 	// (signature sans request) before the request id can be chosen.
 	spec := mpispec.Spec[rec.Func]
 	base := e.commRankOf(rec)
 
 	if reqArg := requestCreatingArg(rec.Func); reqArg >= 0 {
-		key := string(e.encodeArgs(nil, rec, spec, base, true))
+		e.keyBuf = e.encodeArgs(e.keyBuf[:0], rec, spec, base, true)
+		key := string(e.keyBuf)
 		if e.opts.SharedRequestPool {
 			key = "" // §3.4.3 off: one pool for every request
 		}
@@ -366,15 +377,12 @@ func (e *Encoder) Encode(rec *mpispec.CallRecord) []byte {
 
 	e.assignCreatedObjects(rec)
 
-	buf := putUvarint(e.buf[:0], uint64(rec.Func))
+	buf = putUvarint(buf, uint64(rec.Func))
 	buf = e.encodeArgs(buf, rec, spec, base, false)
-	out := make([]byte, len(buf))
-	copy(out, buf)
-	e.buf = buf
 
 	e.releaseCompletedObjects(rec)
 	e.pollPending()
-	return out
+	return buf
 }
 
 // encodeArgs encodes all arguments. When skipRequests is true, request

@@ -32,13 +32,29 @@ const binBias = 128
 
 const zeroTerm = 0
 
+// expBase is one exponential-bin base with its logarithm cached: the
+// binning hot path divides by log b on every recorded call, and
+// recomputing math.Log(b) per call roughly doubles its cost. The
+// cached value is exactly math.Log(b), so bins are bit-identical to
+// the uncached computation.
+type expBase struct {
+	b    float64
+	logB float64
+}
+
+func newExpBase(b float64) expBase { return expBase{b: b, logB: math.Log(b)} }
+
 // Compressor builds the duration and interval grammars for one rank.
 type Compressor struct {
-	base     float64
-	perFunc  map[mpispec.FuncID]float64
-	durG     *sequitur.Grammar
-	intG     *sequitur.Grammar
-	perSig   map[int32]float64 // signature terminal -> Σ reconstructed intervals
+	base    expBase
+	perFunc map[mpispec.FuncID]expBase
+	durG    *sequitur.Grammar
+	intG    *sequitur.Grammar
+	// perSig holds each signature terminal's Σ reconstructed intervals.
+	// Terminals are contiguous small ints, so a dense slice (grown on
+	// demand) replaces the former map: no hashing and no allocation on
+	// the per-call path once the terminal has been seen.
+	perSig   []float64
 	recorded int64
 }
 
@@ -49,11 +65,10 @@ func New(base float64) *Compressor {
 		panic("timing: base must be > 1")
 	}
 	return &Compressor{
-		base:    base,
-		perFunc: map[mpispec.FuncID]float64{},
+		base:    newExpBase(base),
+		perFunc: map[mpispec.FuncID]expBase{},
 		durG:    sequitur.New(),
 		intG:    sequitur.New(),
-		perSig:  map[int32]float64{},
 	}
 }
 
@@ -63,23 +78,24 @@ func (c *Compressor) SetFuncBase(f mpispec.FuncID, base float64) {
 	if base <= 1 {
 		panic("timing: base must be > 1")
 	}
-	c.perFunc[f] = base
+	c.perFunc[f] = newExpBase(base)
 }
 
-func (c *Compressor) baseFor(f mpispec.FuncID) float64 {
+func (c *Compressor) baseFor(f mpispec.FuncID) expBase {
 	if b, ok := c.perFunc[f]; ok {
 		return b
 	}
 	return c.base
 }
 
-// binOf returns the grammar terminal for value v under base b:
-// 0 for v <= 0, otherwise ⌈log_b v⌉ + binBias.
-func binOf(v float64, b float64) int32 {
+// binOf returns the grammar terminal for value v under the base whose
+// cached logarithm is logB: 0 for v <= 0, otherwise ⌈log_b v⌉ +
+// binBias.
+func binOf(v float64, logB float64) int32 {
 	if v <= 0 {
 		return zeroTerm
 	}
-	bin := int32(math.Ceil(math.Log(v) / math.Log(b)))
+	bin := int32(math.Ceil(math.Log(v) / logB))
 	// Values in (0,1] bin to 0 or below; clamp into the biased range.
 	t := bin + binBias
 	if t < 1 {
@@ -102,14 +118,23 @@ func valueOf(term int32, b float64) float64 {
 func (c *Compressor) Record(term int32, f mpispec.FuncID, tStart, tEnd int64) {
 	b := c.baseFor(f)
 	dur := float64(tEnd - tStart)
-	c.durG.Append(binOf(dur, b))
+	c.durG.Append(binOf(dur, b.logB))
 
+	c.perSig = growDense(c.perSig, term)
 	recon := c.perSig[term]
 	interval := float64(tStart) - recon
-	it := binOf(interval, b)
+	it := binOf(interval, b.logB)
 	c.intG.Append(it)
-	c.perSig[term] = recon + valueOf(it, b)
+	c.perSig[term] = recon + valueOf(it, b.b)
 	c.recorded++
+}
+
+// growDense extends a dense per-terminal slice to cover term.
+func growDense(s []float64, term int32) []float64 {
+	if int(term) < len(s) {
+		return s
+	}
+	return append(s, make([]float64, int(term)+1-len(s))...)
 }
 
 // Recorded returns the number of calls recorded.
@@ -128,20 +153,20 @@ func (c *Compressor) IntervalGrammar() sequitur.Serialized {
 // Reconstructor recovers per-call (tStart, tEnd) from the main call
 // sequence plus the two timing grammars.
 type Reconstructor struct {
-	base    float64
-	perFunc map[mpispec.FuncID]float64
-	perSig  map[int32]float64
+	base    expBase
+	perFunc map[mpispec.FuncID]expBase
+	perSig  []float64 // dense, like Compressor.perSig (post-merge terminals stay contiguous)
 }
 
 // NewReconstructor mirrors the compressor configuration.
 func NewReconstructor(base float64) *Reconstructor {
-	return &Reconstructor{base: base, perFunc: map[mpispec.FuncID]float64{}, perSig: map[int32]float64{}}
+	return &Reconstructor{base: newExpBase(base), perFunc: map[mpispec.FuncID]expBase{}}
 }
 
 // SetFuncBase mirrors Compressor.SetFuncBase.
-func (r *Reconstructor) SetFuncBase(f mpispec.FuncID, base float64) { r.perFunc[f] = base }
+func (r *Reconstructor) SetFuncBase(f mpispec.FuncID, base float64) { r.perFunc[f] = newExpBase(base) }
 
-func (r *Reconstructor) baseFor(f mpispec.FuncID) float64 {
+func (r *Reconstructor) baseFor(f mpispec.FuncID) expBase {
 	if b, ok := r.perFunc[f]; ok {
 		return b
 	}
@@ -152,9 +177,10 @@ func (r *Reconstructor) baseFor(f mpispec.FuncID) float64 {
 // id, and the k-th terminals of the duration and interval grammars.
 func (r *Reconstructor) Next(term int32, f mpispec.FuncID, durTerm, intTerm int32) (tStart, tEnd int64) {
 	b := r.baseFor(f)
-	recon := r.perSig[term] + valueOf(intTerm, b)
+	r.perSig = growDense(r.perSig, term)
+	recon := r.perSig[term] + valueOf(intTerm, b.b)
 	r.perSig[term] = recon
-	dur := valueOf(durTerm, b)
+	dur := valueOf(durTerm, b.b)
 	return int64(recon), int64(recon + dur)
 }
 
@@ -195,4 +221,4 @@ func (r *Reconstructor) Series(terms []int32, funcs []mpispec.FuncID, durTerms, 
 // every CallTime Series or Next produces has |recovered−true|/true at
 // most this, for both start times and durations. Per-function base
 // overrides are reported by the function's own bound.
-func (r *Reconstructor) Bound(f mpispec.FuncID) float64 { return r.baseFor(f) - 1 }
+func (r *Reconstructor) Bound(f mpispec.FuncID) float64 { return r.baseFor(f).b - 1 }

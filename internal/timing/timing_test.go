@@ -14,7 +14,7 @@ func TestBinRoundtripErrorBound(t *testing.T) {
 	f := func(raw uint32) bool {
 		v := float64(raw%1_000_000_000) + 1
 		for _, b := range []float64{1.05, 1.2, 2.0} {
-			got := valueOf(binOf(v, b), b)
+			got := valueOf(binOf(v, math.Log(b)), b)
 			if got < v*0.999999 { // must never undershoot (ceil)
 				return false
 			}
@@ -30,7 +30,7 @@ func TestBinRoundtripErrorBound(t *testing.T) {
 }
 
 func TestZeroAndNegative(t *testing.T) {
-	if binOf(0, 1.2) != zeroTerm || binOf(-5, 1.2) != zeroTerm {
+	if binOf(0, math.Log(1.2)) != zeroTerm || binOf(-5, math.Log(1.2)) != zeroTerm {
 		t.Fatal("non-positive values must map to the zero terminal")
 	}
 	if valueOf(zeroTerm, 1.2) != 0 {
