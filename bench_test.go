@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/collect"
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/cst"
 	"github.com/hpcrepro/pilgrim/internal/experiments"
@@ -184,6 +185,64 @@ func BenchmarkCollectIngest(b *testing.B) {
 	b.ReportMetric(float64(pt.TraceB), "trace-B")
 	b.ReportMetric(pt.SnapsPerSec, "snaps/s")
 	b.ReportMetric(pt.MBPerSec, "MB/s")
+	b.ReportMetric(float64(pt.JournalNs), "journal-ns")
+	b.ReportMetric(pt.JournalPct, "journal-%")
+}
+
+// BenchmarkCollectJournalIngest isolates the durability tax: the same
+// snapshot stream ingested by a journaling collector at each fsync
+// policy. journal-% on BenchmarkCollectIngest tracks the -journal-sync
+// =off overhead, which the design budgets at under 10%.
+func BenchmarkCollectJournalIngest(b *testing.B) {
+	for _, mode := range []collect.SyncMode{collect.SyncOff, collect.SyncBatch, collect.SyncAlways} {
+		b.Run(string(mode), func(b *testing.B) {
+			snaps := benchSnapshots(b, 8)
+			dir := b.TempDir()
+			srv, err := collect.Start(collect.Config{Listen: "127.0.0.1:0", OutDir: dir, JournalSync: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := &collect.Client{
+					Addr: srv.Addr(),
+					Run:  collect.RunInfo{RunID: fmt.Sprintf("bench-%s-%d", mode, i), WorldSize: len(snaps)},
+				}
+				if _, err := c.Collect(snaps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchSnapshots traces a small stencil run and returns its per-rank
+// snapshots for replaying through collectors.
+func benchSnapshots(b *testing.B, n int) []*core.Snapshot {
+	b.Helper()
+	tracers := make([]*core.Tracer, n)
+	ics := make([]mpi.Interceptor, n)
+	for i := range tracers {
+		tracers[i] = core.NewTracer(i, nil, core.Options{})
+		ics[i] = tracers[i]
+	}
+	body, err := workloads.Get("stencil2d", 3, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = mpi.RunOpt(n, mpi.Options{Interceptors: ics}, func(p *mpi.Proc) {
+		core.BindOOB(tracers[p.Rank()], p)
+		body(p)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snaps := make([]*core.Snapshot, n)
+	for i, tr := range tracers {
+		snaps[i] = tr.Snapshot()
+	}
+	return snaps
 }
 
 // --- Component microbenchmarks -------------------------------------------------

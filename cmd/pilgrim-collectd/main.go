@@ -5,6 +5,15 @@
 // An HTTP admin API lists runs, reports per-run status, serves
 // finalized traces, and exposes the daemon's Prometheus metrics.
 //
+// The daemon is crash-recoverable: every accepted snapshot is
+// journaled under <out-dir>/journal/<run>/ (fsync policy set by
+// -journal-sync), and a restarted daemon replays in-flight runs from
+// their journals before accepting connections — producers that
+// reconnect and re-send are deduplicated, and the recovered trace is
+// byte-identical to an uninterrupted run. Admission caps (-max-runs,
+// -max-run-bytes, -max-conns) shed overload with explicit NACKs that
+// make producers fall back to local finalize instead of retrying.
+//
 // Usage:
 //
 //	pilgrim-collectd -listen :7777 -admin :7778 -out-dir ./traces
@@ -36,9 +45,18 @@ func main() {
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop ingest connections idle longer than this")
 		retention = flag.Duration("retention", 10*time.Minute, "keep a finalized run's trace in memory this long before serving it from -out-dir only (negative = forever)")
 		workers   = flag.Int("finalize-workers", 0, "worker pool size for run finalization (0 = GOMAXPROCS, 1 = sequential; output identical either way)")
+		jsync     = flag.String("journal-sync", "batch", "run journal fsync policy: always (durable ack per snapshot), batch (fsync every 100ms), off (never fsync)")
+		maxRuns   = flag.Int("max-runs", 0, "max runs collecting at once; further run creations are NACKed (0 = unlimited)")
+		maxBytes  = flag.Int64("max-run-bytes", 0, "max snapshot bytes accepted per run; the snapshot exceeding it is NACKed (0 = unlimited)")
+		maxConns  = flag.Int("max-conns", 0, "max concurrent ingest connections; further connections are NACKed and closed (0 = unlimited)")
 		verbose   = flag.Bool("v", false, "log per-run lifecycle events")
 	)
 	flag.Parse()
+
+	syncMode, err := collect.ParseSyncMode(*jsync)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -56,6 +74,10 @@ func main() {
 		IdleTimeout:       *idle,
 		Retention:         *retention,
 		FinalizeWorkers:   *workers,
+		JournalSync:       syncMode,
+		MaxRuns:           *maxRuns,
+		MaxRunBytes:       *maxBytes,
+		MaxConns:          *maxConns,
 		Logf:              logf,
 	})
 	if err != nil {

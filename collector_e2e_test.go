@@ -8,6 +8,7 @@ import (
 
 	pilgrim "github.com/hpcrepro/pilgrim"
 	"github.com/hpcrepro/pilgrim/internal/collect"
+	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/workloads"
 	"github.com/hpcrepro/pilgrim/mpi"
 )
@@ -170,4 +171,87 @@ func TestRunSimCollectorKilledMidRun(t *testing.T) {
 	if file == nil || file.NumRanks != n || stats.TotalCalls == 0 {
 		t.Fatalf("fallback trace incomplete: %+v", stats)
 	}
+}
+
+// TestRunSimFallsBackOnAdmissionNack fills the collector's run budget
+// and points RunSim at it: every rank's send is refused with a typed
+// over-limit NACK — a permanent error, so clients stop after one
+// attempt instead of burning their retry budget — and the run still
+// completes via the local finalize, producing a full trace.
+func TestRunSimFallsBackOnAdmissionNack(t *testing.T) {
+	const n = 4
+	srv, err := collect.Start(collect.Config{Listen: "127.0.0.1:0", MaxRuns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Occupy the only run slot with a half-reported run that never
+	// finalizes (no straggler deadline configured).
+	occ := traceSnapshots(t, 2)
+	hold := &collect.Client{
+		Addr:  srv.Addr(),
+		Run:   collect.RunInfo{RunID: "occupier", WorldSize: 2},
+		Retry: collect.RetryPolicy{Seed: 1},
+	}
+	if err := hold.SendSnapshot(occ[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := workloads.Get("stencil2d", 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := pilgrim.Options{CollectorAddr: srv.Addr(), CollectorRunID: "shed"}
+	file, stats, err := pilgrim.RunSim(n, opts, mpi.Options{}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file == nil || file.NumRanks != n || stats.TotalCalls == 0 {
+		t.Fatalf("fallback trace incomplete: %+v", stats)
+	}
+	for r := 0; r < n; r++ {
+		if _, err := pilgrim.DecodeRank(file, r); err != nil {
+			t.Fatalf("decode rank %d: %v", r, err)
+		}
+	}
+	// The shed run never finalized server-side; the occupier is intact.
+	if got := srv.Metrics().FinalizedRuns.Load(); got != 0 {
+		t.Fatalf("collector finalized %d runs, want 0", got)
+	}
+	if srv.Metrics().AdmissionRejectedRuns.Load() == 0 {
+		t.Fatal("no admission rejections recorded")
+	}
+	st, ok := srv.Run("occupier")
+	if !ok || st.State != "collecting" || st.Received != 1 {
+		t.Fatalf("occupier run disturbed by shed load: %+v", st)
+	}
+}
+
+// traceSnapshots runs a small workload under per-rank tracers and
+// returns the snapshots — raw material for driving a collector by hand.
+func traceSnapshots(t *testing.T, n int) []*core.Snapshot {
+	t.Helper()
+	tracers := make([]*core.Tracer, n)
+	ics := make([]mpi.Interceptor, n)
+	for i := 0; i < n; i++ {
+		tracers[i] = core.NewTracer(i, nil, core.Options{})
+		ics[i] = tracers[i]
+	}
+	body, err := workloads.Get("stencil2d", 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.RunOpt(n, mpi.Options{Interceptors: ics}, func(p *mpi.Proc) {
+		core.BindOOB(tracers[p.Rank()], p)
+		body(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := make([]*core.Snapshot, n)
+	for i, tr := range tracers {
+		snaps[i] = tr.Snapshot()
+	}
+	return snaps
 }

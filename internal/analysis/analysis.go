@@ -26,6 +26,7 @@ import (
 
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/par"
 	"github.com/hpcrepro/pilgrim/internal/trace"
 )
 
@@ -89,14 +90,20 @@ type Analysis struct {
 }
 
 // Analyze decodes the whole trace and computes every derived view.
+// The per-rank stages (grammar decode, event timeline build, p2p op
+// extraction) fan out over a worker pool; each writes only its own
+// rank's slot, so the result is identical to the sequential order.
 func Analyze(f *trace.File) (*Analysis, error) {
 	a := &Analysis{File: f}
 	a.Events = make([][]Event, f.NumRanks)
 	perRank := make([][]core.DecodedCall, f.NumRanks)
-	for r := 0; r < f.NumRanks; r++ {
+	errs := make([]error, f.NumRanks)
+	workers := par.Workers(0)
+	par.For(f.NumRanks, workers, func(r int) {
 		calls, err := core.DecodeRank(f, r)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: decode rank %d: %w", r, err)
+			errs[r] = fmt.Errorf("analysis: decode rank %d: %w", r, err)
+			return
 		}
 		perRank[r] = calls
 		evs := make([]Event, len(calls))
@@ -112,6 +119,9 @@ func Analyze(f *trace.File) (*Analysis, error) {
 			}
 		}
 		a.Events[r] = evs
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 
 	comms, err := resolveComms(perRank)
@@ -120,13 +130,25 @@ func Analyze(f *trace.File) (*Analysis, error) {
 	}
 	a.comms = comms
 
-	for r := 0; r < f.NumRanks; r++ {
+	// Extraction is per-rank independent (each rank reads only its own
+	// events and comm views); the sends/recvs concatenate in rank order
+	// afterward so downstream matching sees the sequential layout.
+	sendsBy := make([][]*SendOp, f.NumRanks)
+	recvsBy := make([][]*RecvOp, f.NumRanks)
+	par.For(f.NumRanks, workers, func(r int) {
 		sends, recvs, err := extractRank(a.Events[r], comms[r])
 		if err != nil {
-			return nil, fmt.Errorf("analysis: rank %d: %w", r, err)
+			errs[r] = fmt.Errorf("analysis: rank %d: %w", r, err)
+			return
 		}
-		a.Sends = append(a.Sends, sends...)
-		a.Recvs = append(a.Recvs, recvs...)
+		sendsBy[r], recvsBy[r] = sends, recvs
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for r := 0; r < f.NumRanks; r++ {
+		a.Sends = append(a.Sends, sendsBy[r]...)
+		a.Recvs = append(a.Recvs, recvsBy[r]...)
 	}
 
 	a.matchP2P()
@@ -159,6 +181,17 @@ func (a *Analysis) WallNs() int64 {
 		}
 	}
 	return wall
+}
+
+// firstErr returns the lowest-rank error of a parallel stage, keeping
+// error identity independent of goroutine scheduling.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sortOps orders ops deterministically for matching: by receiver (or

@@ -11,8 +11,9 @@ import (
 //
 //	GET /healthz          liveness + uptime
 //	GET /runs             every run's status, newest first
-//	GET /runs/{id}        one run's status
-//	GET /runs/{id}/trace  the finalized trace (application/octet-stream)
+//	GET /runs/{id}           one run's status
+//	GET /runs/{id}/trace     the finalized trace (application/octet-stream)
+//	GET /runs/{id}/recovery  journal health + crash-recovery detail
 //	GET /metrics          Prometheus text for the collector's registry
 //	GET /debug/vars       expvar-compatible JSON
 func AdminHandler(s *Server) http.Handler {
@@ -53,6 +54,14 @@ func AdminHandler(s *Server) http.Handler {
 			fmt.Sprintf("attachment; filename=%q", id+".pilgrim"))
 		w.Write(data)
 	})
+	mux.HandleFunc("GET /runs/{id}/recovery", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Recovery(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown run", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.m.Reg.WritePrometheus(w)
@@ -63,7 +72,7 @@ func AdminHandler(s *Server) http.Handler {
 	})
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("pilgrim-collectd admin\n  /healthz         liveness\n  /runs            run list\n  /runs/{id}       run status\n  /runs/{id}/trace finalized trace\n  /metrics         Prometheus text\n  /debug/vars      expvar JSON\n"))
+		w.Write([]byte("pilgrim-collectd admin\n  /healthz            liveness\n  /runs               run list\n  /runs/{id}          run status\n  /runs/{id}/trace    finalized trace\n  /runs/{id}/recovery journal + recovery detail\n  /metrics            Prometheus text\n  /debug/vars         expvar JSON\n"))
 	})
 	return mux
 }

@@ -1,0 +1,189 @@
+package collect_test
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/collect"
+	"github.com/hpcrepro/pilgrim/internal/wire"
+)
+
+// countingDialer wraps the default transport and counts dials, so
+// tests can assert a NACK stops the retry loop instead of hammering.
+func countingDialer(n *atomic.Int64) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		n.Add(1)
+		return net.DialTimeout("tcp", addr, 5*time.Second)
+	}
+}
+
+// TestMaxRunsNack: with the run cap reached, a hello for a new run is
+// refused with a typed over-limit error on the first attempt — no
+// retries — and admission frees up when a run finalizes.
+func TestMaxRunsNack(t *testing.T) {
+	const n = 2
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{MaxRuns: 1})
+
+	cA := client(srv, "runa", n)
+	if err := cA.SendSnapshot(snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	var dials atomic.Int64
+	cB := client(srv, "runb", n)
+	cB.Dial = countingDialer(&dials)
+	err := cB.SendSnapshot(snaps[0])
+	if !collect.IsOverLimit(err) {
+		t.Fatalf("want over-limit error, got %v", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("NACKed send dialed %d times, want 1 (permanent errors must not retry)", got)
+	}
+	if srv.Metrics().AdmissionRejectedRuns.Load() == 0 {
+		t.Fatal("admission metric not incremented")
+	}
+
+	// Existing runs are unaffected: run A completes...
+	if err := cA.SendSnapshot(snaps[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cA.WaitTrace(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the freed slot admits run B.
+	if err := cB.SendSnapshot(snaps[0]); err != nil {
+		t.Fatalf("send after slot freed: %v", err)
+	}
+}
+
+// TestMaxRunBytesNack: the snapshot that would push a run past its
+// byte budget is refused; everything admitted before stays merged.
+func TestMaxRunBytesNack(t *testing.T) {
+	const n = 2
+	snaps := traceWorkload(t, n)
+	first := int64(len(wire.EncodeSnapshot(snaps[0])))
+	srv := startServer(t, collect.Config{MaxRunBytes: first})
+
+	c := client(srv, "bytecap", n)
+	if err := c.SendSnapshot(snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	err := c.SendSnapshot(snaps[1])
+	if !collect.IsOverLimit(err) {
+		t.Fatalf("want over-limit error, got %v", err)
+	}
+	if srv.Metrics().AdmissionRejectedSnaps.Load() == 0 {
+		t.Fatal("admission metric not incremented")
+	}
+	st, ok := srv.Run("bytecap")
+	if !ok || st.Received != 1 {
+		t.Fatalf("run state after byte-cap NACK: %+v", st)
+	}
+}
+
+// TestMaxConnsNack: with the connection cap held by an idle producer,
+// a new connection is NACKed and closed; the client errors out within
+// its bounded attempt budget instead of spinning.
+func TestMaxConnsNack(t *testing.T) {
+	const n = 2
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{MaxConns: 1})
+
+	hog, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hog.Close()
+	// Wait until the hog occupies the sole slot.
+	for wait := time.Now().Add(2 * time.Second); srv.Metrics().ActiveConns.Load() < 1; {
+		if time.Now().After(wait) {
+			t.Fatal("hog connection never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var dials atomic.Int64
+	c := client(srv, "connscap", n)
+	c.Dial = countingDialer(&dials)
+	c.Retry = collect.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 9}
+	err = c.SendSnapshot(snaps[0])
+	if err == nil {
+		t.Fatal("send through full collector succeeded")
+	}
+	if got := dials.Load(); got > 3 {
+		t.Fatalf("over-limit send dialed %d times, want <= MaxAttempts", got)
+	}
+	if srv.Metrics().AdmissionRejectedConns.Load() == 0 {
+		t.Fatal("admission metric not incremented")
+	}
+
+	// Freeing the slot restores service.
+	hog.Close()
+	for wait := time.Now().Add(2 * time.Second); srv.Metrics().ActiveConns.Load() > 0; {
+		if time.Now().After(wait) {
+			t.Fatal("hog connection never drained")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.SendSnapshot(snaps[0]); err != nil {
+		t.Fatalf("send after slot freed: %v", err)
+	}
+}
+
+// TestRetryDeadlineCapsBackoff: MaxElapsed bounds the whole retry
+// loop's wall clock even when MaxAttempts×MaxDelay would run far
+// longer.
+func TestRetryDeadlineCapsBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // real port, dead listener: every dial fails fast
+
+	snaps := traceWorkload(t, 1)
+	c := &collect.Client{
+		Addr: addr,
+		Run:  collect.RunInfo{RunID: "deadline", WorldSize: 1},
+		Retry: collect.RetryPolicy{
+			MaxAttempts: 1000,
+			BaseDelay:   20 * time.Millisecond,
+			MaxDelay:    40 * time.Millisecond,
+			MaxElapsed:  120 * time.Millisecond,
+			Seed:        5,
+		},
+	}
+	t0 := time.Now()
+	err = c.SendSnapshot(snaps[0])
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("send to dead collector succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("retry loop ran %s; deadline of 120ms not enforced", elapsed)
+	}
+}
+
+// TestBackoffJitterBounds: every backoff delay is exponential in the
+// attempt, capped at MaxDelay, and jittered within [d/2, d] — never
+// zero, never above the cap.
+func TestBackoffJitterBounds(t *testing.T) {
+	c := &collect.Client{
+		Retry: collect.RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 11},
+	}
+	for attempt := 1; attempt <= 12; attempt++ {
+		full := 10 * time.Millisecond << (attempt - 1)
+		if full > 80*time.Millisecond || full <= 0 {
+			full = 80 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			d := c.Backoff(attempt)
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d: backoff %s outside [%s, %s]", attempt, d, full/2, full)
+			}
+		}
+	}
+}

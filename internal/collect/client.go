@@ -2,9 +2,11 @@ package collect
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -23,8 +25,15 @@ type RetryPolicy struct {
 	// herd of ranks retrying in lockstep.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// MaxElapsed caps the whole retry loop's wall-clock budget (default
+	// 30s): a backoff that would sleep past the deadline gives up
+	// immediately instead, so a rank never stalls its producer longer
+	// than the budget no matter how MaxAttempts and MaxDelay combine.
+	// Negative means no deadline.
+	MaxElapsed time.Duration
 	// Seed fixes the jitter source for deterministic tests; 0 derives
-	// one from the clock.
+	// one from the clock and PID (concurrent producer processes must
+	// not jitter in lockstep).
 	Seed int64
 }
 
@@ -38,7 +47,38 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxDelay == 0 {
 		p.MaxDelay = 2 * time.Second
 	}
+	if p.MaxElapsed == 0 {
+		p.MaxElapsed = 30 * time.Second
+	}
 	return p
+}
+
+// deadline converts MaxElapsed into an absolute retry deadline.
+func (p RetryPolicy) deadline(now time.Time) time.Time {
+	if p.MaxElapsed < 0 {
+		return time.Time{} // no deadline
+	}
+	return now.Add(p.MaxElapsed)
+}
+
+// OverLimitError is the client-side face of an admission NACK: the
+// collector is up but refused the work (max-runs, max-run-bytes, or
+// max-conns). It is permanent — retrying the same bytes would only
+// hammer an overloaded daemon — so callers fall back to local
+// finalize immediately.
+type OverLimitError struct {
+	Code   uint8 // wire.NackMaxRuns, NackRunBytes, NackMaxConns
+	Detail string
+}
+
+func (e *OverLimitError) Error() string {
+	return fmt.Sprintf("collector over limit (%s): %s", wire.NackCodeString(e.Code), e.Detail)
+}
+
+// IsOverLimit reports whether err stems from an admission NACK.
+func IsOverLimit(err error) bool {
+	var ol *OverLimitError
+	return errors.As(err, &ol)
 }
 
 // RunInfo identifies the run a client's snapshots belong to.
@@ -108,7 +148,10 @@ func (c *Client) backoff(attempt int) time.Duration {
 	if c.jitter == nil {
 		seed := p.Seed
 		if seed == 0 {
-			seed = time.Now().UnixNano()
+			// Mix the PID in: ranks in separate producer processes can
+			// observe the same clock reading, and identical seeds would
+			// recreate exactly the lockstep herd the jitter exists to break.
+			seed = time.Now().UnixNano() ^ int64(os.Getpid())<<32
 		}
 		c.jitter = rand.New(rand.NewSource(seed))
 	}
@@ -162,6 +205,12 @@ func (c *Client) sendOnce(s *core.Snapshot) error {
 			return &permanentError{fmt.Errorf("collector rejected rank %d: %s", s.Rank, ack.Detail)}
 		}
 		return nil // AckOK or AckDuplicate — the snapshot is merged
+	case wire.TypeNack:
+		nack, err := wire.DecodeNack(body)
+		if err != nil {
+			return err
+		}
+		return &permanentError{&OverLimitError{Code: nack.Code, Detail: nack.Detail}}
 	case wire.TypeError:
 		return &permanentError{fmt.Errorf("collector error: %s", body)}
 	default:
@@ -175,9 +224,11 @@ func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
 // SendSnapshot ships one rank's snapshot, retrying transient failures
-// (refused connections, mid-stream resets) with exponential backoff.
+// (refused connections, mid-stream resets) with jittered exponential
+// backoff, bounded by both MaxAttempts and the MaxElapsed deadline.
 func (c *Client) SendSnapshot(s *core.Snapshot) error {
 	p := c.Retry.withDefaults()
+	deadline := p.deadline(time.Now())
 	var last error
 	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
 		err := c.sendOnce(s)
@@ -190,6 +241,10 @@ func (c *Client) SendSnapshot(s *core.Snapshot) error {
 		last = err
 		if attempt < p.MaxAttempts {
 			d := c.backoff(attempt)
+			if !deadline.IsZero() && time.Until(deadline) < d {
+				return fmt.Errorf("rank %d: retry deadline (%s) exceeded after %d attempts: %w",
+					s.Rank, p.MaxElapsed, attempt, last)
+			}
 			c.logf("collect: rank %d attempt %d/%d failed (%v); retrying in %s",
 				s.Rank, attempt, p.MaxAttempts, err, d)
 			time.Sleep(d)
@@ -237,6 +292,7 @@ func (c *Client) SendAll(snaps []*core.Snapshot) error {
 // returns the serialized trace bytes.
 func (c *Client) WaitTrace() ([]byte, error) {
 	p := c.Retry.withDefaults()
+	deadline := p.deadline(time.Now())
 	var last error
 	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
 		data, err := c.waitOnce()
@@ -248,7 +304,12 @@ func (c *Client) WaitTrace() ([]byte, error) {
 		}
 		last = err
 		if attempt < p.MaxAttempts {
-			time.Sleep(c.backoff(attempt))
+			d := c.backoff(attempt)
+			if !deadline.IsZero() && time.Until(deadline) < d {
+				return nil, fmt.Errorf("wait for trace: retry deadline (%s) exceeded after %d attempts: %w",
+					p.MaxElapsed, attempt, last)
+			}
+			time.Sleep(d)
 		}
 	}
 	return nil, fmt.Errorf("wait for trace: %d attempts exhausted: %w", p.MaxAttempts, last)
@@ -273,6 +334,12 @@ func (c *Client) waitOnce() ([]byte, error) {
 	switch typ {
 	case wire.TypeTrace:
 		return body, nil
+	case wire.TypeNack:
+		nack, err := wire.DecodeNack(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, &permanentError{&OverLimitError{Code: nack.Code, Detail: nack.Detail}}
 	case wire.TypeError:
 		return nil, &permanentError{fmt.Errorf("collector error: %s", body)}
 	default:

@@ -1,5 +1,7 @@
 package collect
 
+import "time"
+
 // TraceEvicted reports whether a finalized run's in-memory trace
 // bytes have been dropped by retention (test hook).
 func (s *Server) TraceEvicted(id string) bool {
@@ -12,4 +14,46 @@ func (s *Server) TraceEvicted(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.state != stateCollecting && r.traceData == nil
+}
+
+// Backoff exposes the client's jittered backoff for bounds tests.
+func (c *Client) Backoff(attempt int) time.Duration { return c.backoff(attempt) }
+
+// CrashStop kills the server the way SIGKILL would (test hook): the
+// listener and connections are severed and journals are dropped
+// without flushing — no fsync, no manifest update — leaving on-disk
+// state exactly as a kill at this instant would (written bytes live in
+// the page cache; the process-local rest is gone).
+func (s *Server) CrashStop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.shutdown)
+	for c := range s.conns {
+		c.Close()
+	}
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, r := range runs {
+		r.mu.Lock()
+		if r.timer != nil {
+			r.timer.Stop()
+		}
+		if r.evict != nil {
+			r.evict.Stop()
+		}
+		j := r.journal
+		r.mu.Unlock()
+		if j != nil {
+			j.crash()
+		}
+	}
+	s.wg.Wait()
 }

@@ -1,0 +1,540 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/par"
+	"github.com/hpcrepro/pilgrim/internal/wire"
+)
+
+// The collector's crash-recovery layer: every accepted snapshot frame
+// is appended to a per-run journal under OutDir/journal/<run>/, and a
+// restarted daemon replays intact frames through the normal idempotent
+// ingest path before accepting new connections. The journal reuses the
+// CRC32C wire framing verbatim — one (Hello, Snapshot) frame pair per
+// accepted snapshot — so replay is literally the ingest loop pointed
+// at a file, torn tails are detected by the same checksum that guards
+// the network, and the file doubles as a spill format any wire reader
+// can consume.
+
+// SyncMode is the journal's fsync policy.
+type SyncMode string
+
+const (
+	// SyncAlways fsyncs after every appended frame pair; the ack for a
+	// snapshot is not sent until its journal entry is durable.
+	SyncAlways SyncMode = "always"
+	// SyncBatch (the default) fsyncs at most once per batchSyncInterval;
+	// a crash of the whole machine can lose the last interval's frames
+	// (a daemon crash alone loses nothing — the OS page cache survives).
+	SyncBatch SyncMode = "batch"
+	// SyncOff never fsyncs; durability is whatever the OS provides.
+	SyncOff SyncMode = "off"
+)
+
+// batchSyncInterval is SyncBatch's maximum fsync latency.
+const batchSyncInterval = 100 * time.Millisecond
+
+// ParseSyncMode validates a -journal-sync flag value ("" = batch).
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch SyncMode(s) {
+	case "":
+		return SyncBatch, nil
+	case SyncAlways, SyncBatch, SyncOff:
+		return SyncMode(s), nil
+	default:
+		return "", fmt.Errorf("collect: unknown journal sync mode %q (want always, batch, or off)", s)
+	}
+}
+
+const (
+	manifestName = "MANIFEST.json"
+	framesName   = "frames.jnl"
+)
+
+// manifest is a run's durable identity, written when the run is
+// created and rewritten when it completes. Recovery trusts nothing
+// else: a journal directory without a parseable manifest is skipped.
+type manifest struct {
+	RunID      string  `json:"run"`
+	Epoch      uint64  `json:"epoch"`
+	World      int     `json:"nranks"`
+	TimingMode uint8   `json:"timing_mode"`
+	TimingBase float64 `json:"timing_base"`
+	CreatedSec float64 `json:"created_unix"`
+	State      string  `json:"state"` // collecting | finalized | salvaged
+	Reason     string  `json:"reason,omitempty"`
+}
+
+// parseManifest decodes and validates manifest bytes with the same
+// distrust as the wire decoders: the journal directory is an input the
+// daemon did not necessarily write (crashes truncate, operators edit).
+func parseManifest(data []byte) (*manifest, error) {
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("collect: manifest: %w", err)
+	}
+	if !runIDOK(m.RunID) || len(m.RunID) > wire.MaxRunID {
+		return nil, fmt.Errorf("collect: manifest run id %q invalid", m.RunID)
+	}
+	if m.World < 1 || m.World > wire.MaxWorldSize {
+		return nil, fmt.Errorf("collect: manifest world size %d outside [1,%d]", m.World, wire.MaxWorldSize)
+	}
+	switch m.State {
+	case "collecting", "finalized", "salvaged":
+	default:
+		return nil, fmt.Errorf("collect: manifest state %q unknown", m.State)
+	}
+	if math.IsNaN(m.TimingBase) || math.IsInf(m.TimingBase, 0) || m.TimingBase < 0 {
+		return nil, fmt.Errorf("collect: manifest timing base %v implausible", m.TimingBase)
+	}
+	if math.IsNaN(m.CreatedSec) || math.IsInf(m.CreatedSec, 0) {
+		return nil, fmt.Errorf("collect: manifest created time %v implausible", m.CreatedSec)
+	}
+	return &m, nil
+}
+
+// journal is one run's durable frame log. All file I/O happens on a
+// dedicated par.Queue worker, never under the server or run locks; the
+// queue's FIFO order preserves append order because entries are
+// enqueued under the run lock.
+type journal struct {
+	dir  string
+	mode SyncMode
+	man  manifest
+	m    *Metrics
+	logf func(format string, args ...any)
+	q    *par.Queue
+
+	// Queue-goroutine-owned state.
+	f     *os.File
+	dirty bool
+
+	// Cross-goroutine observability (admin recovery view).
+	frames   atomic.Int64
+	bytes    atomic.Int64
+	broken   atomic.Bool
+	flushArm atomic.Bool
+}
+
+// newJournal builds the run's journal and enqueues its open: MkdirAll,
+// create/truncate the frames file (fresh runs truncate so an epoch
+// restart of a reused run ID cannot replay stale frames), and persist
+// the manifest. No I/O happens on the caller's goroutine.
+func newJournal(dir string, mode SyncMode, man manifest, m *Metrics, logf func(string, ...any), fresh bool) *journal {
+	j := &journal{dir: dir, mode: mode, man: man, m: m, logf: logf, q: par.NewQueue(64)}
+	j.q.Do(func() {
+		if err := os.MkdirAll(j.dir, 0o755); err != nil {
+			j.fail("create journal dir", err)
+			return
+		}
+		flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		if fresh {
+			flags |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(filepath.Join(j.dir, framesName), flags, 0o644)
+		if err != nil {
+			j.fail("open journal", err)
+			return
+		}
+		j.f = f
+		if fresh {
+			j.writeManifestNow()
+		}
+	})
+	return j
+}
+
+func (j *journal) fail(what string, err error) {
+	if j.broken.CompareAndSwap(false, true) {
+		j.m.JournalErrors.Inc()
+		j.logf("run %s: journal %s: %v (run continues memory-only)", j.man.RunID, what, err)
+	}
+}
+
+// writeManifestNow persists the manifest atomically (tmp + rename +
+// fsync). Queue goroutine only.
+func (j *journal) writeManifestNow() {
+	data, err := json.MarshalIndent(&j.man, "", "  ")
+	if err != nil {
+		j.fail("encode manifest", err)
+		return
+	}
+	tmp := filepath.Join(j.dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		j.fail("write manifest", err)
+		return
+	}
+	_, werr := f.Write(append(data, '\n'))
+	if werr == nil && j.mode != SyncOff {
+		werr = f.Sync()
+	}
+	if err := f.Close(); werr == nil {
+		werr = err
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, filepath.Join(j.dir, manifestName))
+	}
+	if werr != nil {
+		j.fail("write manifest", werr)
+	}
+}
+
+// appendSnapshot enqueues one accepted snapshot's (Hello, Snapshot)
+// frame pair. It copies both into a private buffer first, so the
+// caller's scratch body can be reused immediately. The returned wait
+// function is non-nil only under SyncAlways: the caller must invoke it
+// (outside any lock) before acking, and it blocks until the entry is
+// fsynced.
+func (j *journal) appendSnapshot(h *wire.Hello, body []byte) (wait func()) {
+	var buf bytes.Buffer
+	buf.Grow(len(body) + 96)
+	wire.WriteFrame(&buf, wire.TypeHello, h.Encode())
+	wire.WriteFrame(&buf, wire.TypeSnapshot, body)
+	entry := buf.Bytes()
+	var done chan struct{}
+	if j.mode == SyncAlways {
+		done = make(chan struct{})
+	}
+	ok := j.q.Do(func() {
+		if done != nil {
+			defer close(done)
+		}
+		if j.f == nil || j.broken.Load() {
+			return
+		}
+		if _, err := j.f.Write(entry); err != nil {
+			j.fail("append", err)
+			return
+		}
+		j.frames.Add(1)
+		j.bytes.Add(int64(len(entry)))
+		j.m.JournalFrames.Inc()
+		j.m.JournalBytes.Add(int64(len(entry)))
+		switch j.mode {
+		case SyncAlways:
+			j.fsyncNow()
+		case SyncBatch:
+			j.dirty = true
+			j.armFlush()
+		}
+	})
+	if !ok || done == nil {
+		return nil
+	}
+	return func() { <-done }
+}
+
+// fsyncNow flushes the frames file. Queue goroutine only.
+func (j *journal) fsyncNow() {
+	if j.f == nil {
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.fail("fsync", err)
+		return
+	}
+	j.dirty = false
+	j.m.JournalFsyncs.Inc()
+}
+
+// armFlush schedules one batched fsync if none is pending.
+func (j *journal) armFlush() {
+	if j.flushArm.CompareAndSwap(false, true) {
+		time.AfterFunc(batchSyncInterval, func() {
+			j.q.Do(func() {
+				j.flushArm.Store(false)
+				if j.dirty {
+					j.fsyncNow()
+				}
+			})
+		})
+	}
+}
+
+// finalizeRun records the run's terminal state in the manifest and
+// drops the frames file — the finalized trace under OutDir is the
+// durable artifact now, and a restart re-registers the run from the
+// manifest alone. Ordered after every pending append by the queue.
+func (j *journal) finalizeRun(state, reason string) {
+	j.q.Do(func() {
+		j.man.State = state
+		j.man.Reason = reason
+		j.writeManifestNow()
+		if j.f != nil {
+			j.f.Close()
+			j.f = nil
+		}
+		if err := os.Remove(filepath.Join(j.dir, framesName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			j.fail("remove frames", err)
+		}
+	})
+	// Drain and stop the worker off the finalize path; appends cannot
+	// arrive after finalize (ingest rejects non-collecting runs).
+	go j.q.Close()
+}
+
+// close flushes and closes the journal gracefully (daemon shutdown:
+// the run is still collecting, so the frames must survive for the
+// restarted daemon to replay).
+func (j *journal) close() {
+	j.q.Do(func() {
+		if j.f != nil {
+			if j.dirty && j.mode != SyncOff {
+				j.fsyncNow()
+			}
+			j.f.Close()
+			j.f = nil
+		}
+	})
+	j.q.Close()
+}
+
+// crash severs the journal the way SIGKILL would: pending queue writes
+// drain (a real kill loses them; their snapshots were never acked
+// under SyncAlways, so producers re-send either way), but nothing is
+// fsynced and the manifest is left untouched. Test hook.
+func (j *journal) crash() {
+	j.q.Close()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}
+
+// status snapshots the journal counters for the admin recovery view.
+func (j *journal) status() (frames, bytes int64, broken bool) {
+	return j.frames.Load(), j.bytes.Load(), j.broken.Load()
+}
+
+// --- recovery ----------------------------------------------------------------
+
+// journalRoot is where run journals live under OutDir.
+func journalRoot(outDir string) string { return filepath.Join(outDir, "journal") }
+
+// RecoveryStatus is the admin view of one run's crash-recovery state
+// and journal health (GET /runs/{id}/recovery).
+type RecoveryStatus struct {
+	Recovered      bool    `json:"recovered"`       // run was restored on startup
+	FromManifest   bool    `json:"from_manifest"`   // restored as already-finalized (no replay)
+	ReplayedFrames int     `json:"replayed_frames"` // snapshot frames replayed through ingest
+	ReplayedBytes  int64   `json:"replayed_bytes"`
+	TornTail       bool    `json:"torn_tail"` // journal ended in a torn/corrupt frame
+	TruncatedBytes int64   `json:"truncated_bytes"`
+	JournalPath    string  `json:"journal_path,omitempty"`
+	JournalSync    string  `json:"journal_sync,omitempty"`
+	JournalFrames  int64   `json:"journal_frames"`
+	JournalBytes   int64   `json:"journal_bytes"`
+	JournalBroken  bool    `json:"journal_broken,omitempty"`
+	DeadlineSec    float64 `json:"straggler_deadline_restored_sec,omitempty"`
+}
+
+// recoverJournals scans OutDir/journal on startup and restores every
+// run it can: finalized runs re-register from their manifest (serving
+// the on-disk trace), collecting runs replay their frame log through
+// the idempotent ingest path. Runs before the listener accepts, so a
+// reconnecting producer never races its own replay.
+func (s *Server) recoverJournals() {
+	root := journalRoot(s.cfg.OutDir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return // no journal dir: fresh OutDir
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		s.recoverRun(filepath.Join(root, e.Name()))
+	}
+}
+
+// recoverRun restores one journal directory. Any malformed state is
+// logged and skipped — recovery must never prevent startup.
+func (s *Server) recoverRun(jdir string) {
+	mdata, err := os.ReadFile(filepath.Join(jdir, manifestName))
+	if err != nil {
+		s.logf("recover %s: %v (skipped)", jdir, err)
+		return
+	}
+	m, err := parseManifest(mdata)
+	if err != nil {
+		s.logf("recover %s: %v (skipped)", jdir, err)
+		return
+	}
+	if filepath.Base(jdir) != m.RunID {
+		s.logf("recover %s: manifest names run %q (skipped)", jdir, m.RunID)
+		return
+	}
+	if m.State != "collecting" {
+		s.recoverFinalized(m, jdir)
+		return
+	}
+	s.replayRun(m, jdir)
+}
+
+// recoverFinalized re-registers a completed run from its manifest so
+// late waiters, duplicate re-sends, and admin fetches behave exactly
+// as they would had the daemon not restarted. The trace itself is
+// served from the OutDir file.
+func (s *Server) recoverFinalized(m *manifest, jdir string) {
+	tracePath := filepath.Join(s.cfg.OutDir, m.RunID+".pilgrim")
+	fi, err := os.Stat(tracePath)
+	if err != nil {
+		// Manifest says done but the trace is gone; if frames survived
+		// (crash between trace write and frame removal), replay rebuilds
+		// the identical trace. Otherwise there is nothing to restore.
+		if _, ferr := os.Stat(filepath.Join(jdir, framesName)); ferr == nil {
+			m.State = "collecting"
+			s.replayRun(m, jdir)
+		} else {
+			s.logf("recover run %s: finalized but trace and frames both missing (skipped)", m.RunID)
+		}
+		return
+	}
+	r := s.registerRecovered(m)
+	r.mu.Lock()
+	r.tracePath = tracePath
+	r.traceLen = int(fi.Size())
+	r.doneAt = time.Now()
+	if m.State == "salvaged" {
+		r.state = stateSalvaged
+		r.reason = m.Reason
+	} else {
+		r.state = stateFinalized
+	}
+	r.recovery = &RecoveryStatus{
+		Recovered:    true,
+		FromManifest: true,
+		JournalPath:  jdir,
+		JournalSync:  string(s.cfg.JournalSync),
+	}
+	close(r.done)
+	r.mu.Unlock()
+	s.m.RecoveredRuns.Inc()
+	s.logf("run %s: recovered as %s (trace %d bytes on disk)", m.RunID, m.State, fi.Size())
+}
+
+// registerRecovered creates the registry entry for a recovered run
+// without admission checks — it was admitted before the crash.
+func (s *Server) registerRecovered(m *manifest) *run {
+	r := newRun(m.RunID, m.World, m.Epoch, m.TimingMode, m.TimingBase, s.cfg.FinalizeWorkers)
+	r.created = time.Unix(0, int64(m.CreatedSec*1e9))
+	s.mu.Lock()
+	s.runs[m.RunID] = r
+	s.mu.Unlock()
+	return r
+}
+
+// countingReader tracks how many bytes a reader consumed, so replay
+// knows the offset of the last intact frame pair.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	k, err := c.r.Read(p)
+	c.n += int64(k)
+	return k, err
+}
+
+// replayRun replays a collecting run's frame log through the normal
+// ingest path. The first CRC failure, truncated read, or frame that
+// does not belong to this run truncates the file there — a torn tail
+// is expected after a crash and must never fail the whole run.
+func (s *Server) replayRun(m *manifest, jdir string) {
+	fpath := filepath.Join(jdir, framesName)
+	var pairs [][2][]byte // (hello body, snapshot body)
+	var goodOff, fileSize int64
+	torn := false
+	if f, err := os.Open(fpath); err == nil {
+		if fi, err := f.Stat(); err == nil {
+			fileSize = fi.Size()
+		}
+		cr := &countingReader{r: f}
+		for {
+			ht, hbody, err := wire.ReadFrame(cr)
+			if err != nil {
+				torn = !errors.Is(err, io.EOF) || cr.n != goodOff
+				break
+			}
+			st, sbody, err := wire.ReadFrame(cr)
+			if err != nil || ht != wire.TypeHello || st != wire.TypeSnapshot {
+				torn = true
+				break
+			}
+			h, err := wire.DecodeHello(hbody)
+			if err != nil || h.RunID != m.RunID || h.Epoch != m.Epoch || h.WorldSize != m.World {
+				torn = true
+				break
+			}
+			pairs = append(pairs, [2][]byte{hbody, sbody})
+			goodOff = cr.n
+		}
+		f.Close()
+		if goodOff < fileSize {
+			if err := os.Truncate(fpath, goodOff); err != nil {
+				s.logf("recover run %s: truncate torn tail: %v", m.RunID, err)
+			}
+			s.m.JournalTornTails.Inc()
+		}
+	}
+
+	// Register the run, restore its straggler deadline from the
+	// manifest's creation time (clamped so reconnecting producers get a
+	// post-restart grace window), and reattach the journal in append
+	// mode with its counters primed to what the file holds.
+	r := s.registerRecovered(m)
+	rec := &RecoveryStatus{
+		Recovered:      true,
+		ReplayedFrames: len(pairs),
+		ReplayedBytes:  goodOff,
+		TornTail:       torn,
+		TruncatedBytes: fileSize - goodOff,
+		JournalPath:    jdir,
+		JournalSync:    string(s.cfg.JournalSync),
+	}
+	r.mu.Lock()
+	if d := s.cfg.StragglerDeadline; d > 0 {
+		remaining := d - time.Since(r.created)
+		if min := 2 * time.Second; remaining < min {
+			remaining = min
+		}
+		if remaining > d {
+			remaining = d
+		}
+		r.timer = time.AfterFunc(remaining, func() { s.salvageRun(r, d) })
+		rec.DeadlineSec = remaining.Seconds()
+	}
+	r.recovery = rec
+	r.journal = newJournal(jdir, s.cfg.JournalSync, *m, s.m, s.logf, false)
+	r.journal.frames.Store(int64(len(pairs)))
+	r.journal.bytes.Store(goodOff)
+	r.mu.Unlock()
+	s.collecting.Add(1)
+	s.m.ActiveRuns.Add(1)
+	s.m.RecoveredRuns.Inc()
+
+	for _, p := range pairs {
+		h, err := wire.DecodeHello(p[0])
+		if err != nil {
+			continue // validated above; unreachable
+		}
+		ack, _ := s.ingest(h, p[1], nil, true)
+		if ack != nil && ack.Status == wire.AckOK {
+			s.m.JournalReplayedFrames.Inc()
+		}
+	}
+	s.logf("run %s: recovered (%d frames replayed, torn=%v, %d/%d ranks)",
+		m.RunID, len(pairs), torn, r.receivedNow(), m.World)
+}

@@ -19,6 +19,18 @@ type Metrics struct {
 	FinalizedRuns     *metrics.Counter   // runs finalized with every rank reported
 	SalvagedRuns      *metrics.Counter   // runs salvaged by the straggler deadline
 	TraceBytesOut     *metrics.Counter   // serialized trace bytes produced
+
+	JournalFrames         *metrics.Counter // snapshot frame pairs appended to run journals
+	JournalBytes          *metrics.Counter // journal bytes appended (framing included)
+	JournalFsyncs         *metrics.Counter // journal fsync calls issued
+	JournalErrors         *metrics.Counter // journals marked broken by an I/O error
+	JournalReplayedFrames *metrics.Counter // journaled snapshots replayed into runs at startup
+	JournalTornTails      *metrics.Counter // torn/corrupt journal tails truncated during recovery
+	RecoveredRuns         *metrics.Counter // runs restored from journals at startup
+
+	AdmissionRejectedRuns  *metrics.Counter // hellos NACKed by the max-runs cap
+	AdmissionRejectedSnaps *metrics.Counter // snapshots NACKed by the max-run-bytes cap
+	AdmissionRejectedConns *metrics.Counter // connections NACKed by the max-conns cap
 }
 
 // NewMetrics registers the collector families on reg (a fresh
@@ -40,5 +52,17 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		FinalizedRuns:     reg.Counter("pilgrim_collect_finalized_runs_total", "runs finalized with every rank reported"),
 		SalvagedRuns:      reg.Counter("pilgrim_collect_salvaged_runs_total", "runs salvaged at the straggler deadline with ranks missing"),
 		TraceBytesOut:     reg.Counter("pilgrim_collect_trace_bytes_total", "serialized trace bytes produced by finalized runs"),
+
+		JournalFrames:         reg.Counter("pilgrim_collect_journal_frames_total", "snapshot frame pairs appended to run journals"),
+		JournalBytes:          reg.Counter("pilgrim_collect_journal_bytes_total", "run journal bytes appended, wire framing included"),
+		JournalFsyncs:         reg.Counter("pilgrim_collect_journal_fsyncs_total", "journal fsync calls issued (always: per frame; batch: per interval)"),
+		JournalErrors:         reg.Counter("pilgrim_collect_journal_errors_total", "journals marked broken by an I/O error (run continues memory-only)"),
+		JournalReplayedFrames: reg.Counter("pilgrim_collect_journal_replayed_frames_total", "journaled snapshots replayed through ingest during startup recovery"),
+		JournalTornTails:      reg.Counter("pilgrim_collect_journal_torn_tails_total", "torn or corrupt journal tails truncated during recovery"),
+		RecoveredRuns:         reg.Counter("pilgrim_collect_recovered_runs_total", "runs restored from journals at startup (replayed or re-registered)"),
+
+		AdmissionRejectedRuns:  reg.Counter("pilgrim_collect_admission_rejected_runs_total", "run creations refused by the max-runs cap"),
+		AdmissionRejectedSnaps: reg.Counter("pilgrim_collect_admission_rejected_snapshots_total", "snapshots refused by the max-run-bytes cap"),
+		AdmissionRejectedConns: reg.Counter("pilgrim_collect_admission_rejected_conns_total", "connections refused by the max-conns cap"),
 	}
 }

@@ -17,12 +17,14 @@ package collect
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcrepro/pilgrim/internal/core"
@@ -61,6 +63,24 @@ type Config struct {
 	// GOMAXPROCS, 1 forces sequential; output bytes are identical for
 	// every setting.
 	FinalizeWorkers int
+	// JournalSync selects the run journal's fsync policy (always,
+	// batch, off; "" means batch). The journal itself is active
+	// whenever OutDir is set: every accepted snapshot is appended to
+	// OutDir/journal/<run>/ so a restarted daemon can replay in-flight
+	// runs instead of losing them.
+	JournalSync SyncMode
+	// MaxRuns caps how many runs may be collecting at once; a hello
+	// that would create one more is refused with a NACK and the
+	// producer falls back to local finalize. Zero means unlimited.
+	MaxRuns int
+	// MaxRunBytes caps the snapshot body bytes accepted into one run;
+	// the snapshot that would exceed it is NACKed. Zero means
+	// unlimited.
+	MaxRunBytes int64
+	// MaxConns caps concurrent ingest connections; excess connections
+	// receive a NACK frame and are closed without being served. Zero
+	// means unlimited.
+	MaxConns int
 	// Metrics receives the collector's instrumentation; nil creates a
 	// private registry (reachable via Server.Metrics).
 	Metrics *Metrics
@@ -100,6 +120,7 @@ type run struct {
 	mu        sync.Mutex
 	snaps     []*core.Snapshot // by rank; nil until reported
 	received  int
+	bytes     int64 // snapshot body bytes accepted (admission accounting)
 	inc       *cst.Incremental
 	mergeNs   int64
 	timer     *time.Timer
@@ -110,7 +131,31 @@ type run struct {
 	traceLen  int
 	tracePath string
 	doneAt    time.Time
-	done      chan struct{} // closed once the run finalizes
+	done      chan struct{}   // closed once the run finalizes
+	journal   *journal        // nil when OutDir is unset
+	recovery  *RecoveryStatus // non-nil when restored from a journal
+}
+
+// newRun builds a run's in-memory state; shared by live creation
+// (runFor) and journal recovery (registerRecovered).
+func newRun(id string, world int, epoch uint64, timingMode uint8, timingBase float64, workers int) *run {
+	return &run{
+		id:      id,
+		world:   world,
+		epoch:   epoch,
+		opts:    core.Options{TimingMode: timingMode, TimingBase: timingBase, FinalizeWorkers: workers},
+		created: time.Now(),
+		snaps:   make([]*core.Snapshot, world),
+		inc:     cst.NewIncremental(world),
+		done:    make(chan struct{}),
+	}
+}
+
+// receivedNow reads the rank count without holding the lock long.
+func (r *run) receivedNow() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.received
 }
 
 // traceLocked returns the run's trace bytes (r.mu held), reloading
@@ -140,6 +185,22 @@ type Server struct {
 	shutdown chan struct{} // closed in Close; unblocks parked waiters
 	wg       sync.WaitGroup
 	start    time.Time
+
+	// collecting counts runs in stateCollecting for MaxRuns admission:
+	// incremented under s.mu where runs are created, decremented by
+	// finalize (which holds only r.mu), hence atomic.
+	collecting atomic.Int64
+}
+
+// overLimit is an admission rejection; the wire carries it as a Nack
+// frame so the client knows to fall back rather than retry.
+type overLimit struct {
+	code   uint8
+	detail string
+}
+
+func (e *overLimit) Error() string {
+	return fmt.Sprintf("over limit (%s): %s", wire.NackCodeString(e.code), e.detail)
 }
 
 // Start listens on cfg.Listen and serves ingest connections in the
@@ -148,6 +209,11 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = 5 * time.Minute
 	}
+	mode, err := ParseSyncMode(string(cfg.JournalSync))
+	if err != nil {
+		return nil, err
+	}
+	cfg.JournalSync = mode
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, err
@@ -163,6 +229,11 @@ func Start(cfg Config) (*Server, error) {
 	}
 	if s.m == nil {
 		s.m = NewMetrics(nil)
+	}
+	// Recovery runs to completion before the listener accepts, so a
+	// reconnecting producer can never race the replay of its own run.
+	if s.cfg.OutDir != "" {
+		s.recoverJournals()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -207,7 +278,14 @@ func (s *Server) Close() error {
 		if r.evict != nil {
 			r.evict.Stop()
 		}
+		j := r.journal
 		r.mu.Unlock()
+		if j != nil {
+			// Graceful shutdown flushes the journal so the next daemon
+			// replays the run exactly as left; the manifest stays
+			// "collecting" on purpose.
+			j.close()
+		}
 	}
 	s.wg.Wait()
 	return err
@@ -232,6 +310,19 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.m.AdmissionRejectedConns.Inc()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				nack := &wire.Nack{Code: wire.NackMaxConns, Detail: fmt.Sprintf("collector at max-conns=%d", s.cfg.MaxConns)}
+				wire.WriteFrame(conn, wire.TypeNack, nack.Encode())
+			}()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.m.ActiveConns.Add(1)
@@ -252,10 +343,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		s.m.ActiveConns.Add(-1)
 	}()
+	// One decode scratch per connection: the frame-body buffer and
+	// decoder cursor are reused across every frame this producer ships,
+	// so steady-state ingest allocates only what each decoded snapshot
+	// itself retains.
 	var hello *wire.Hello
+	var sc wire.DecodeScratch
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		typ, body, err := wire.ReadFrame(conn)
+		typ, body, err := sc.ReadFrame(conn)
 		if err != nil {
 			return // EOF, deadline, or garbage — drop the connection
 		}
@@ -275,8 +371,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			s.m.IngestBytes.Add(int64(len(body)))
-			ack := s.ingest(hello, body)
+			ack, nack := s.ingest(hello, body, &sc, false)
 			hello = nil
+			if nack != nil {
+				// Admission rejection: tell the producer precisely why so
+				// it can fall back to local finalize, then drop the
+				// connection — nothing further on it would be admitted.
+				s.send(conn, wire.TypeNack, nack.Encode())
+				return
+			}
 			if err := s.send(conn, wire.TypeAck, ack.Encode()); err != nil {
 				return
 			}
@@ -320,7 +423,9 @@ func runIDOK(id string) bool {
 }
 
 // runFor resolves (creating if needed) the run a hello addresses.
-func (s *Server) runFor(h *wire.Hello) (*run, error) {
+// Journal replay passes fromJournal to bypass admission: a recovered
+// run was admitted before the crash.
+func (s *Server) runFor(h *wire.Hello, fromJournal bool) (*run, error) {
 	if !runIDOK(h.RunID) {
 		return nil, fmt.Errorf("invalid run id %q", h.RunID)
 	}
@@ -346,74 +451,138 @@ func (s *Server) runFor(h *wire.Hello) (*run, error) {
 		if !finished || h.Epoch < r.epoch {
 			return nil, fmt.Errorf("run %s is epoch %d; refusing epoch %d", h.RunID, r.epoch, h.Epoch)
 		}
+		// Quiesce the finished epoch's journal before the new epoch's
+		// journal opens the same directory: its queue may still hold the
+		// finalize cleanup (manifest rewrite, frame removal), which must
+		// not land on top of the successor's files.
+		r.mu.Lock()
+		old := r.journal
+		r.mu.Unlock()
+		if old != nil {
+			old.q.Close()
+		}
 	}
-	r = &run{
-		id:      h.RunID,
-		world:   h.WorldSize,
-		epoch:   h.Epoch,
-		opts:    core.Options{TimingMode: h.TimingMode, TimingBase: h.TimingBase, FinalizeWorkers: s.cfg.FinalizeWorkers},
-		created: time.Now(),
-		snaps:   make([]*core.Snapshot, h.WorldSize),
-		inc:     cst.NewIncremental(h.WorldSize),
-		done:    make(chan struct{}),
+	if !fromJournal && s.cfg.MaxRuns > 0 && int(s.collecting.Load()) >= s.cfg.MaxRuns {
+		return nil, &overLimit{code: wire.NackMaxRuns,
+			detail: fmt.Sprintf("collector at max-runs=%d", s.cfg.MaxRuns)}
 	}
+	r = newRun(h.RunID, h.WorldSize, h.Epoch, h.TimingMode, h.TimingBase, s.cfg.FinalizeWorkers)
 	if d := s.cfg.StragglerDeadline; d > 0 {
 		r.timer = time.AfterFunc(d, func() { s.salvageRun(r, d) })
 	}
+	if s.cfg.OutDir != "" {
+		man := manifest{
+			RunID: h.RunID, Epoch: h.Epoch, World: h.WorldSize,
+			TimingMode: h.TimingMode, TimingBase: h.TimingBase,
+			CreatedSec: float64(r.created.UnixNano()) / 1e9,
+			State:      "collecting",
+		}
+		// fresh=true truncates any stale frames: an epoch restart of a
+		// reused run ID must never replay the previous epoch's journal.
+		r.journal = newJournal(filepath.Join(journalRoot(s.cfg.OutDir), h.RunID),
+			s.cfg.JournalSync, man, s.m, s.logf, true)
+	}
 	s.runs[h.RunID] = r
+	s.collecting.Add(1)
 	s.m.ActiveRuns.Add(1)
 	s.logf("run %s: created (world=%d epoch=%d)", r.id, r.world, r.epoch)
 	return r, nil
 }
 
-// ingest decodes and merges one snapshot, returning the ack to send.
-// Re-sends of a (run, rank, epoch) already merged ack as duplicates —
-// the idempotency that makes client retry safe.
-func (s *Server) ingest(h *wire.Hello, body []byte) *wire.Ack {
-	snap, err := wire.DecodeSnapshot(body)
+// ingest decodes and merges one snapshot, returning either the ack or
+// the admission NACK to send (exactly one is non-nil). Re-sends of a
+// (run, rank, epoch) already merged ack as duplicates — the
+// idempotency that makes both client retry and journal replay safe.
+// fromJournal marks recovery replay: admission is bypassed and the
+// frame is not re-journaled.
+func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, fromJournal bool) (*wire.Ack, *wire.Nack) {
+	var snap *core.Snapshot
+	var err error
+	if sc != nil {
+		snap, err = sc.DecodeSnapshot(body)
+	} else {
+		snap, err = wire.DecodeSnapshot(body)
+	}
 	if err != nil {
 		s.m.RejectedSnapshots.Inc()
-		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}
+		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}, nil
 	}
 	if snap.Rank != h.Rank {
 		s.m.RejectedSnapshots.Inc()
-		return &wire.Ack{Status: wire.AckError, Detail: fmt.Sprintf("snapshot rank %d != hello rank %d", snap.Rank, h.Rank)}
+		return &wire.Ack{Status: wire.AckError, Detail: fmt.Sprintf("snapshot rank %d != hello rank %d", snap.Rank, h.Rank)}, nil
 	}
-	r, err := s.runFor(h)
+	r, err := s.runFor(h, fromJournal)
 	if err != nil {
+		var ol *overLimit
+		if errors.As(err, &ol) {
+			s.m.AdmissionRejectedRuns.Inc()
+			return nil, &wire.Nack{Code: ol.code, Detail: ol.detail}
+		}
 		s.m.RejectedSnapshots.Inc()
-		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}
+		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}, nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	// The duplicate check precedes the state check so a retry whose ack
 	// was lost still succeeds after the run finalized. That is safe only
 	// because runFor keyed the run by (id, epoch): a new logical run
 	// reusing the id arrives with a fresh epoch and restarts the run
 	// instead of landing here.
 	if r.snaps[snap.Rank] != nil {
+		r.mu.Unlock()
 		s.m.DupSnapshots.Inc()
-		return &wire.Ack{Status: wire.AckDuplicate, Detail: fmt.Sprintf("rank %d already merged", snap.Rank)}
+		return &wire.Ack{Status: wire.AckDuplicate, Detail: fmt.Sprintf("rank %d already merged", snap.Rank)}, nil
 	}
 	if r.state != stateCollecting {
+		// A run recovered from a finalized manifest has no snapshots in
+		// memory, so the duplicate check above cannot catch re-sends whose
+		// ack the crash ate. Every rank of a finalized run reported by
+		// definition: ack them as duplicates, same as before the crash.
+		if r.state == stateFinalized && r.recovery != nil && r.recovery.FromManifest {
+			r.mu.Unlock()
+			s.m.DupSnapshots.Inc()
+			return &wire.Ack{Status: wire.AckDuplicate, Detail: fmt.Sprintf("rank %d merged before daemon restart", snap.Rank)}, nil
+		}
+		r.mu.Unlock()
 		s.m.RejectedSnapshots.Inc()
-		return &wire.Ack{Status: wire.AckError, Detail: fmt.Sprintf("run %s already %s", r.id, r.state)}
+		return &wire.Ack{Status: wire.AckError, Detail: fmt.Sprintf("run %s already %s", r.id, r.state)}, nil
+	}
+	if !fromJournal && s.cfg.MaxRunBytes > 0 && r.bytes+int64(len(body)) > s.cfg.MaxRunBytes {
+		r.mu.Unlock()
+		s.m.AdmissionRejectedSnaps.Inc()
+		return nil, &wire.Nack{Code: wire.NackRunBytes,
+			Detail: fmt.Sprintf("run %s at max-run-bytes=%d", r.id, s.cfg.MaxRunBytes)}
 	}
 	t0 := time.Now()
 	if err := r.inc.Add(snap.Rank, snap.Table); err != nil {
+		r.mu.Unlock()
 		s.m.RejectedSnapshots.Inc()
-		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}
+		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}, nil
 	}
 	mergeNs := time.Since(t0).Nanoseconds()
 	r.mergeNs += mergeNs
 	r.snaps[snap.Rank] = snap
 	r.received++
+	r.bytes += int64(len(body))
 	s.m.IngestSnapshots.Inc()
 	s.m.MergeNs.Observe(mergeNs)
+	// Journal the accepted frame pair. The append is enqueued under
+	// r.mu (preserving order) but all file I/O runs on the journal's
+	// queue worker; under SyncAlways the ack below is withheld — via
+	// jwait, outside the lock — until the entry is fsynced.
+	var jwait func()
+	if r.journal != nil && !fromJournal {
+		jwait = r.journal.appendSnapshot(h, body)
+	}
 	if r.received == r.world {
+		// finalizeLocked's journal manifest update is enqueued after the
+		// append above; queue order keeps the file consistent.
 		s.finalizeLocked(r, nil)
 	}
-	return &wire.Ack{Status: wire.AckOK}
+	r.mu.Unlock()
+	if jwait != nil {
+		jwait()
+	}
+	return &wire.Ack{Status: wire.AckOK}, nil
 }
 
 // salvageRun fires at the straggler deadline: missing ranks become
@@ -473,7 +642,11 @@ func (s *Server) finalizeLocked(r *run, info *trace.SalvageInfo) {
 	r.doneAt = time.Now()
 	if s.cfg.OutDir != "" {
 		path := filepath.Join(s.cfg.OutDir, r.id+".pilgrim")
-		if err := os.WriteFile(path, r.traceData, 0o644); err != nil {
+		// When journaling, sync the trace before the journal's manifest
+		// flips to a terminal state and the frames are dropped — the
+		// trace file is the run's only durable artifact after that.
+		sync := r.journal != nil && s.cfg.JournalSync != SyncOff
+		if err := writeFileMaybeSync(path, r.traceData, sync); err != nil {
 			s.logf("run %s: write %s: %v", r.id, path, err)
 		} else {
 			r.tracePath = path
@@ -491,11 +664,32 @@ func (s *Server) finalizeLocked(r *run, info *trace.SalvageInfo) {
 			r.evict = time.AfterFunc(retain, func() { s.evictRun(r) })
 		}
 	}
+	if r.journal != nil {
+		r.journal.finalizeRun(r.state.String(), r.reason)
+	}
+	s.collecting.Add(-1)
 	s.m.ActiveRuns.Add(-1)
 	s.m.TraceBytesOut.Add(int64(len(r.traceData)))
 	s.m.FinalizeNs.Observe(time.Since(t0).Nanoseconds())
 	s.logf("run %s: %s (%d ranks, %d bytes)", r.id, r.state, r.world, len(r.traceData))
 	close(r.done)
+}
+
+// writeFileMaybeSync writes path atomically enough for the journal's
+// purposes, fsyncing before close when sync is set.
+func writeFileMaybeSync(path string, data []byte, sync bool) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	if werr == nil && sync {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // evictRun drops a finalized run's in-memory trace bytes; the on-disk
@@ -600,6 +794,30 @@ func (s *Server) Run(id string) (RunStatus, bool) {
 		return RunStatus{}, false
 	}
 	return r.status(), true
+}
+
+// Recovery returns one run's crash-recovery and journal view (admin
+// GET /runs/{id}/recovery). Live journal counters are read fresh; the
+// replay fields are a snapshot taken at startup.
+func (s *Server) Recovery(id string) (RecoveryStatus, bool) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return RecoveryStatus{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var st RecoveryStatus
+	if r.recovery != nil {
+		st = *r.recovery
+	}
+	if r.journal != nil {
+		st.JournalFrames, st.JournalBytes, st.JournalBroken = r.journal.status()
+		st.JournalPath = r.journal.dir
+		st.JournalSync = string(r.journal.mode)
+	}
+	return st, true
 }
 
 // TraceBytes returns a finalized run's serialized trace.

@@ -487,7 +487,11 @@ func (t *Table) SerializeExact() []byte {
 	return buf
 }
 
-// DeserializeExact parses a SerializeExact-encoded table.
+// DeserializeExact parses a SerializeExact-encoded table. It is the
+// collector ingest path's decoder, so allocation is lean: the entry
+// count is validated against the bytes present (each entry costs at
+// least 3 bytes), then every slice and the signature index are sized
+// exactly once — no append-growth churn per arriving snapshot.
 func DeserializeExact(data []byte) (*Table, error) {
 	t := New()
 	pos := 0
@@ -496,6 +500,15 @@ func DeserializeExact(data []byte) (*Table, error) {
 		return nil, fmt.Errorf("cst: truncated count")
 	}
 	pos += k
+	if n > uint64(len(data)-pos)/3 {
+		return nil, fmt.Errorf("cst: %d entries claimed in %d bytes", n, len(data)-pos)
+	}
+	if n > 0 {
+		t.bySig = make(map[string]int32, n)
+		t.sigs = make([]string, 0, n)
+		t.count = make([]int64, 0, n)
+		t.durSum = make([]int64, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		l, k := binary.Uvarint(data[pos:])
 		if k <= 0 {

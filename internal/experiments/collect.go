@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"github.com/hpcrepro/pilgrim/internal/collect"
@@ -24,11 +25,16 @@ type CollectPoint struct {
 	TraceB int   `json:"trace_bytes"` // finalized trace
 	RawB   int64 `json:"raw_bytes"`   // uncompressed per-call estimate
 
-	EncodeNs int64 `json:"encode_ns"` // wire-encode all snapshots
-	IngestNs int64 `json:"ingest_ns"` // stream + merge + finalize + fetch
+	EncodeNs  int64 `json:"encode_ns"`         // wire-encode all snapshots
+	IngestNs  int64 `json:"ingest_ns"`         // stream + merge + finalize + fetch
+	JournalNs int64 `json:"journal_ingest_ns"` // same, with -journal-sync=off journaling
 
 	SnapsPerSec float64 `json:"snaps_per_sec"`
 	MBPerSec    float64 `json:"mb_per_sec"`
+	// JournalPct is the journaled-ingest overhead relative to the plain
+	// ingest, in percent (positive = journaling slower). The durability
+	// budget: -journal-sync=off should stay within single digits.
+	JournalPct float64 `json:"journal_overhead_pct"`
 }
 
 // CollectResult is the "collect" experiment: the wire-format and
@@ -109,21 +115,47 @@ func collectPoint(name string, procs, iters int) (CollectPoint, error) {
 		pt.SnapsPerSec = float64(procs) / sec
 		pt.MBPerSec = float64(pt.WireB) / 1e6 / sec
 	}
+
+	// The same run against a journaling collector (-journal-sync=off):
+	// the delta is the pure journaling overhead — frame copies and
+	// queued appends, no fsyncs.
+	jdir, err := os.MkdirTemp("", "pilgrim-bench-journal-")
+	if err != nil {
+		return CollectPoint{}, err
+	}
+	defer os.RemoveAll(jdir)
+	jsrv, err := collect.Start(collect.Config{Listen: "127.0.0.1:0", OutDir: jdir, JournalSync: collect.SyncOff})
+	if err != nil {
+		return CollectPoint{}, err
+	}
+	defer jsrv.Close()
+	jc := &collect.Client{
+		Addr: jsrv.Addr(),
+		Run:  collect.RunInfo{RunID: fmt.Sprintf("bench-j-%d", procs), WorldSize: procs},
+	}
+	t2 := time.Now()
+	if _, err := jc.Collect(snaps); err != nil {
+		return CollectPoint{}, fmt.Errorf("journaled collect %s/%d: %w", name, procs, err)
+	}
+	pt.JournalNs = time.Since(t2).Nanoseconds()
+	if pt.IngestNs > 0 {
+		pt.JournalPct = (float64(pt.JournalNs)/float64(pt.IngestNs) - 1) * 100
+	}
 	return pt, nil
 }
 
 // Print renders the sweep as the evaluation table.
 func (r *CollectResult) Print(w io.Writer) {
 	header(w, "collect: wire format and ingest throughput (stencil2d)")
-	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %9s %10s %9s\n",
-		"procs", "calls", "raw KB", "wire KB", "trace KB", "ratio", "snaps/s", "MB/s")
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %9s %10s %9s %9s\n",
+		"procs", "calls", "raw KB", "wire KB", "trace KB", "ratio", "snaps/s", "MB/s", "jrnl +%")
 	for _, p := range r.Points {
 		ratio := "-"
 		if p.TraceB > 0 {
 			ratio = fmt.Sprintf("%.1fx", float64(p.WireB)/float64(p.TraceB))
 		}
-		fmt.Fprintf(w, "%6d %10d %10s %10s %10s %9s %10.0f %9.1f\n",
+		fmt.Fprintf(w, "%6d %10d %10s %10s %10s %9s %10.0f %9.1f %9.1f\n",
 			p.Procs, p.Calls, kb(int(p.RawB)), kb(p.WireB), kb(p.TraceB),
-			ratio, p.SnapsPerSec, p.MBPerSec)
+			ratio, p.SnapsPerSec, p.MBPerSec, p.JournalPct)
 	}
 }

@@ -2,8 +2,10 @@ package par
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForCoversEveryIndexOnce(t *testing.T) {
@@ -42,4 +44,69 @@ func TestWorkers(t *testing.T) {
 	if Workers(-1) != runtime.GOMAXPROCS(0) {
 		t.Fatal("negative should resolve to GOMAXPROCS")
 	}
+}
+
+func TestQueueOrder(t *testing.T) {
+	q := NewQueue(4)
+	defer q.Close()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		if !q.Do(func() { got = append(got, i) }) {
+			t.Fatalf("Do %d refused on open queue", i)
+		}
+	}
+	q.Barrier()
+	for i, v := range got {
+		if i != v {
+			t.Fatalf("tasks ran out of submission order: %v", got[:i+1])
+		}
+	}
+}
+
+func TestQueueBarrierWaits(t *testing.T) {
+	q := NewQueue(1)
+	defer q.Close()
+	var done atomic.Bool
+	q.Do(func() {
+		time.Sleep(20 * time.Millisecond)
+		done.Store(true)
+	})
+	q.Barrier()
+	if !done.Load() {
+		t.Fatal("Barrier returned before queued work finished")
+	}
+}
+
+func TestQueueCloseDrainsAndIsIdempotent(t *testing.T) {
+	q := NewQueue(8)
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		q.Do(func() { n.Add(1) })
+	}
+	q.Close()
+	if n.Load() != 50 {
+		t.Fatalf("Close drained %d of 50 tasks", n.Load())
+	}
+	q.Close() // second Close must not panic or hang
+	if q.Do(func() { n.Add(1) }) {
+		t.Fatal("Do accepted work after Close")
+	}
+	q.Barrier() // Barrier on a closed queue must return, not hang
+	if n.Load() != 50 {
+		t.Fatal("task ran after Close")
+	}
+}
+
+func TestQueueConcurrentClose(t *testing.T) {
+	q := NewQueue(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.Close()
+		}()
+	}
+	wg.Wait()
 }

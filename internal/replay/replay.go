@@ -30,6 +30,7 @@ import (
 
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/par"
 	"github.com/hpcrepro/pilgrim/internal/sig"
 	"github.com/hpcrepro/pilgrim/internal/trace"
 	"github.com/hpcrepro/pilgrim/mpi"
@@ -64,9 +65,37 @@ func Body(f *trace.File) func(p *mpi.Proc) {
 	}
 }
 
-// Run replays a trace on a fresh simulated world of the same size.
+// DecodeAll decodes every rank's call stream over a bounded worker
+// pool. Grammar expansion is the replay's CPU-heavy prefix and is
+// independent per rank, so decoding up front on GOMAXPROCS workers
+// beats leaving it to the simulator's rank goroutines, whose real
+// concurrency is at the mercy of simulation synchronization.
+func DecodeAll(f *trace.File) ([][]core.DecodedCall, error) {
+	perRank := make([][]core.DecodedCall, f.NumRanks)
+	errs := make([]error, f.NumRanks)
+	par.For(f.NumRanks, par.Workers(0), func(r int) {
+		perRank[r], errs[r] = core.DecodeRank(f, r)
+	})
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("replay: decode rank %d: %w", r, err)
+		}
+	}
+	return perRank, nil
+}
+
+// Run replays a trace on a fresh simulated world of the same size,
+// pre-decoding every rank in parallel.
 func Run(f *trace.File, simOpts mpi.Options) error {
-	return mpi.RunOpt(f.NumRanks, simOpts, Body(f))
+	perRank, err := DecodeAll(f)
+	if err != nil {
+		return err
+	}
+	return mpi.RunOpt(f.NumRanks, simOpts, func(p *mpi.Proc) {
+		if err := RankCalls(perRank[p.Rank()], p); err != nil {
+			panic(err)
+		}
+	})
 }
 
 // NewInterp builds a fresh interpreter for one rank.
@@ -91,12 +120,18 @@ func (st *Interp) Exec(c core.DecodedCall) error { return st.exec(c) }
 // once before the first Exec.
 func (st *Interp) Prealloc(calls []core.DecodedCall) { st.preallocate(calls) }
 
-// Rank replays one rank's stream on an existing Proc.
+// Rank replays one rank's stream on an existing Proc, decoding it
+// first.
 func Rank(f *trace.File, p *mpi.Proc) error {
 	calls, err := core.DecodeRank(f, p.Rank())
 	if err != nil {
 		return err
 	}
+	return RankCalls(calls, p)
+}
+
+// RankCalls replays one rank's pre-decoded stream on an existing Proc.
+func RankCalls(calls []core.DecodedCall, p *mpi.Proc) error {
 	st := NewInterp(p)
 	st.preallocate(calls)
 	for i, c := range calls {

@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestNackRoundTrip(t *testing.T) {
+	for code := uint8(0); code <= NackMaxConns; code++ {
+		in := &Nack{Code: code, Detail: "limit reached"}
+		out, err := DecodeNack(in.Encode())
+		if err != nil {
+			t.Fatalf("code %d: %v", code, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+		if NackCodeString(code) == "" || NackCodeString(code) == "unknown" {
+			t.Fatalf("code %d has no name", code)
+		}
+	}
+	if _, err := DecodeNack((&Nack{Code: NackMaxConns + 1}).Encode()); err == nil {
+		t.Fatal("unknown nack code accepted")
+	}
+	if _, err := DecodeNack(nil); err == nil {
+		t.Fatal("empty nack body accepted")
+	}
+}
+
+// TestNackFrameRoundTrip: a Nack travels the frame layer like any
+// other message type.
+func TestNackFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Nack{Code: NackRunBytes, Detail: "run r at max-run-bytes=1024"}
+	if err := WriteFrame(&buf, TypeNack, in.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadFrame(&buf)
+	if err != nil || typ != TypeNack {
+		t.Fatalf("type 0x%02x err %v", typ, err)
+	}
+	out, err := DecodeNack(body)
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v / %v", out, err)
+	}
+}
+
+// TestReadFrameBufReuse: a caller-owned buffer with enough capacity is
+// reused across frames instead of reallocated.
+func TestReadFrameBufReuse(t *testing.T) {
+	frame := func(body []byte) []byte {
+		var b bytes.Buffer
+		if err := WriteFrame(&b, TypeSnapshot, body); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	big := bytes.Repeat([]byte{7}, 4096)
+	small := []byte{1, 2, 3}
+
+	buf := make([]byte, 0, 8192)
+	_, body, err := ReadFrameBuf(bytes.NewReader(frame(big)), buf)
+	if err != nil || !bytes.Equal(body, big) {
+		t.Fatalf("big frame: %v", err)
+	}
+	if &body[0] != &buf[:1][0] {
+		t.Fatal("body not read into the caller's buffer")
+	}
+	_, body2, err := ReadFrameBuf(bytes.NewReader(frame(small)), buf)
+	if err != nil || !bytes.Equal(body2, small) {
+		t.Fatalf("small frame: %v", err)
+	}
+	if &body2[0] != &buf[:1][0] {
+		t.Fatal("small frame reallocated despite sufficient capacity")
+	}
+}
+
+// TestDecodeScratchMatchesDecodeSnapshot: the scratch path and the
+// plain path decode identical snapshots, and the scratch result owns
+// its memory (mutating the source body later changes nothing).
+func TestDecodeScratchMatchesDecodeSnapshot(t *testing.T) {
+	body := EncodeSnapshot(testSnapshot())
+	want, err := DecodeSnapshot(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc DecodeScratch
+	mine := append([]byte(nil), body...)
+	got, err := sc.DecodeSnapshot(mine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mine {
+		mine[i] = 0xAA // scribble: got must not alias the body
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("scratch decode differs from plain decode")
+	}
+}
+
+// TestScratchReadFrameAllocFree pins the ingest hot loop's per-frame
+// cost: once the scratch buffer has grown to the frame size,
+// ReadFrame allocates nothing.
+func TestScratchReadFrameAllocFree(t *testing.T) {
+	body := EncodeSnapshot(testSnapshot())
+	var framed bytes.Buffer
+	if err := WriteFrame(&framed, TypeSnapshot, body); err != nil {
+		t.Fatal(err)
+	}
+	raw := framed.Bytes()
+
+	var sc DecodeScratch
+	rd := bytes.NewReader(raw)
+	if _, _, err := sc.ReadFrame(rd); err != nil { // warm the buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rd.Reset(raw)
+		if _, _, err := sc.ReadFrame(rd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm scratch ReadFrame allocates %v objects/frame, want 0", allocs)
+	}
+}
+
+// TestDecodeScratchAllocsNoWorse: the scratch decode path never
+// allocates more than the plain path (the savings beyond the frame
+// buffer are the reused decoder cursor).
+func TestDecodeScratchAllocsNoWorse(t *testing.T) {
+	body := EncodeSnapshot(testSnapshot())
+	plain := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeSnapshot(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var sc DecodeScratch
+	scratch := testing.AllocsPerRun(100, func() {
+		if _, err := sc.DecodeSnapshot(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if scratch > plain {
+		t.Fatalf("scratch decode allocates %v objects, plain %v", scratch, plain)
+	}
+}

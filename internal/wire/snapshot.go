@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/cst"
@@ -106,12 +107,46 @@ func (d *dec) grammar(what string, optional bool) (sequitur.Serialized, error) {
 	return g, nil
 }
 
+// DecodeScratch owns the ingest path's reusable decode state: the
+// frame-body buffer (fed to ReadFrameBuf) and the decoder cursor. One
+// scratch per connection makes the per-frame cost of the collector's
+// hot loop allocate only what the decoded snapshot itself retains —
+// the same treatment sig.Encoder.EncodeTo gave the tracer's encode
+// path. Not safe for concurrent use.
+type DecodeScratch struct {
+	frame []byte
+	h     frameHdr
+	d     dec
+}
+
+// ReadFrame reads one frame into the scratch's body buffer. The
+// returned body is valid until the next ReadFrame on this scratch.
+func (sc *DecodeScratch) ReadFrame(r io.Reader) (typ byte, body []byte, err error) {
+	typ, body, err = readFrameInto(r, sc.frame, &sc.h)
+	if cap(body) > cap(sc.frame) {
+		sc.frame = body[:cap(body)]
+	}
+	return typ, body, err
+}
+
+// DecodeSnapshot parses a snapshot body using the scratch's decoder
+// state. The returned snapshot owns all of its memory (nothing aliases
+// the scratch or body), so it may be retained past the next call.
+func (sc *DecodeScratch) DecodeSnapshot(body []byte) (*core.Snapshot, error) {
+	sc.d = dec{b: body}
+	return decodeSnapshot(&sc.d)
+}
+
 // DecodeSnapshot parses and validates a snapshot body. Allocation is
 // bounded by the (already capped) body size: every claimed count is
 // checked against the bytes actually present before anything sized by
 // it is allocated.
 func DecodeSnapshot(body []byte) (*core.Snapshot, error) {
 	d := &dec{b: body}
+	return decodeSnapshot(d)
+}
+
+func decodeSnapshot(d *dec) (*core.Snapshot, error) {
 	s := &core.Snapshot{}
 	rank, err := d.uvarint("snapshot rank")
 	if err != nil {

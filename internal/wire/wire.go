@@ -35,6 +35,7 @@ const (
 	TypeWait     = 0x04 // client → collector: block until run finalizes
 	TypeTrace    = 0x05 // collector → client: the finalized trace file bytes
 	TypeError    = 0x06 // collector → client: terminal protocol error
+	TypeNack     = 0x07 // collector → client: admission refusal (over a configured limit)
 )
 
 // MaxFrame bounds one frame's body. Snapshots of realistic runs are
@@ -74,13 +75,39 @@ func WriteFrame(w io.Writer, typ byte, body []byte) error {
 // ReadFrame reads and verifies one frame. It never allocates more
 // than a bounded chunk beyond what the stream actually delivers.
 func ReadFrame(r io.Reader) (typ byte, body []byte, err error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return ReadFrameBuf(r, nil)
+}
+
+// ReadFrameBuf is ReadFrame with a caller-owned scratch buffer: when
+// buf has capacity for the frame body, the returned body aliases it
+// and the read allocates nothing. A connection loop that passes the
+// previous call's body back in amortizes the per-frame allocation to
+// zero once the buffer has grown to the stream's frame sizes — the
+// same scratch discipline as sig.Encoder.EncodeTo. The body is only
+// valid until the next ReadFrameBuf call that reuses the buffer.
+func ReadFrameBuf(r io.Reader, buf []byte) (typ byte, body []byte, err error) {
+	var h frameHdr
+	return readFrameInto(r, buf, &h)
+}
+
+// frameHdr is the fixed-size per-frame scratch: length/type header,
+// CRC tail, and the one-byte checksum seed. These escape into
+// io.ReadFull, so a caller that keeps one across frames (DecodeScratch
+// does) makes the read itself allocation-free; a local works too, it
+// just costs the escapes.
+type frameHdr struct {
+	hdr  [5]byte
+	tail [4]byte
+	seed [1]byte
+}
+
+func readFrameInto(r io.Reader, buf []byte, h *frameHdr) (typ byte, body []byte, err error) {
+	if _, err := io.ReadFull(r, h.hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:4])
-	typ = hdr[4]
-	if typ < TypeHello || typ > TypeError {
+	n := binary.LittleEndian.Uint32(h.hdr[:4])
+	typ = h.hdr[4]
+	if typ < TypeHello || typ > TypeNack {
 		return 0, nil, fmt.Errorf("wire: unknown frame type 0x%02x", typ)
 	}
 	if n > MaxFrame {
@@ -88,26 +115,32 @@ func ReadFrame(r io.Reader) (typ byte, body []byte, err error) {
 	}
 	// Chunked read: a lying length field under the cap but past the
 	// stream's real end fails at EOF having allocated at most one
-	// chunk too much.
+	// chunk too much. Scratch capacity is consumed before any growth,
+	// so a warm buffer makes the whole read allocation-free.
 	const chunk = 1 << 20
-	for remaining := n; remaining > 0; {
+	body = buf[:0]
+	for remaining := int(n); remaining > 0; {
 		step := remaining
 		if step > chunk {
 			step = chunk
 		}
 		start := len(body)
-		body = append(body, make([]byte, step)...)
+		if cap(body)-start >= step {
+			body = body[:start+step]
+		} else {
+			body = append(body, make([]byte, step)...)
+		}
 		if _, err := io.ReadFull(r, body[start:]); err != nil {
 			return 0, nil, err
 		}
 		remaining -= step
 	}
-	var tail [4]byte
-	if _, err := io.ReadFull(r, tail[:]); err != nil {
+	if _, err := io.ReadFull(r, h.tail[:]); err != nil {
 		return 0, nil, err
 	}
-	want := binary.LittleEndian.Uint32(tail[:])
-	got := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, body)
+	want := binary.LittleEndian.Uint32(h.tail[:])
+	h.seed[0] = typ
+	got := crc32.Update(crc32.Checksum(h.seed[:], crcTable), crcTable, body)
 	if got != want {
 		return 0, nil, fmt.Errorf("wire: frame type 0x%02x checksum mismatch", typ)
 	}
@@ -324,4 +357,61 @@ func DecodeWait(body []byte) (*Wait, error) {
 		return nil, fmt.Errorf("wire: run id length %d outside [1,%d]", len(id), MaxRunID)
 	}
 	return &Wait{RunID: string(id)}, d.finish()
+}
+
+// --- Nack --------------------------------------------------------------------
+
+// Nack codes: which admission limit the collector refused on.
+const (
+	NackMaxRuns  = 0 // concurrent-run cap reached, new run refused
+	NackRunBytes = 1 // per-run ingest byte budget exhausted
+	NackMaxConns = 2 // connection cap reached, connection refused
+)
+
+// Nack is the collector's typed admission refusal: the daemon is
+// healthy but a configured limit is in force. Unlike a transport
+// failure it must NOT be retried — the producer's correct degradation
+// is local finalize — so the client surfaces it as a permanent,
+// typed error instead of feeding it to the backoff loop.
+type Nack struct {
+	Code   uint8
+	Detail string
+}
+
+// Encode serializes the nack body.
+func (n *Nack) Encode() []byte {
+	b := []byte{n.Code}
+	b = binary.AppendUvarint(b, uint64(len(n.Detail)))
+	return append(b, n.Detail...)
+}
+
+// DecodeNack parses a nack body.
+func DecodeNack(body []byte) (*Nack, error) {
+	d := &dec{b: body}
+	code, err := d.byteVal("nack code")
+	if err != nil {
+		return nil, err
+	}
+	if code > NackMaxConns {
+		return nil, fmt.Errorf("wire: unknown nack code %d", code)
+	}
+	detail, err := d.bytes("nack detail")
+	if err != nil {
+		return nil, err
+	}
+	return &Nack{Code: code, Detail: string(detail)}, d.finish()
+}
+
+// NackCodeString names a nack code for logs and errors.
+func NackCodeString(code uint8) string {
+	switch code {
+	case NackMaxRuns:
+		return "max-runs"
+	case NackRunBytes:
+		return "max-run-bytes"
+	case NackMaxConns:
+		return "max-conns"
+	default:
+		return fmt.Sprintf("code-%d", code)
+	}
 }
