@@ -187,6 +187,7 @@ func BenchmarkCollectIngest(b *testing.B) {
 	b.ReportMetric(pt.MBPerSec, "MB/s")
 	b.ReportMetric(float64(pt.JournalNs), "journal-ns")
 	b.ReportMetric(pt.JournalPct, "journal-%")
+	b.ReportMetric(pt.ObsPct, "obs-%")
 }
 
 // BenchmarkCollectJournalIngest isolates the durability tax: the same

@@ -14,6 +14,13 @@
 // -max-run-bytes, -max-conns) shed overload with explicit NACKs that
 // make producers fall back to local finalize instead of retrying.
 //
+// The daemon also records its own pipeline into a flight recorder
+// (-obs, on by default): connection, ingest, journal, recovery, and
+// finalize spans land in a fixed-size ring served at GET /debug/flight
+// as Perfetto-loadable trace-event JSON, auto-dumped each second to
+// <out-dir>/flight-live.json so even a SIGKILLed daemon leaves a
+// loadable timeline behind.
+//
 // Usage:
 //
 //	pilgrim-collectd -listen :7777 -admin :7778 -out-dir ./traces
@@ -30,10 +37,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
 	"syscall"
 	"time"
 
 	"github.com/hpcrepro/pilgrim/internal/collect"
+	"github.com/hpcrepro/pilgrim/internal/obs"
 )
 
 func main() {
@@ -49,6 +59,9 @@ func main() {
 		maxRuns   = flag.Int("max-runs", 0, "max runs collecting at once; further run creations are NACKed (0 = unlimited)")
 		maxBytes  = flag.Int64("max-run-bytes", 0, "max snapshot bytes accepted per run; the snapshot exceeding it is NACKed (0 = unlimited)")
 		maxConns  = flag.Int("max-conns", 0, "max concurrent ingest connections; further connections are NACKed and closed (0 = unlimited)")
+		obsOn     = flag.Bool("obs", true, "enable the pipeline flight recorder (span tracing; GET /debug/flight)")
+		obsBuf    = flag.Int("obs-buf", obs.DefaultBuf, "flight recorder capacity in events (overflow drops oldest)")
+		obsDump   = flag.String("obs-dump", "", "directory for flight recorder crash dumps (flight-*.json); empty = -out-dir, \"off\" disables")
 		verbose   = flag.Bool("v", false, "log per-run lifecycle events")
 	)
 	flag.Parse()
@@ -67,6 +80,39 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
+
+	// Flight recorder: a fixed-size ring of pipeline spans, dumped as
+	// Chrome trace-event JSON. The live dump (flight-live.json, rewritten
+	// every second) is what survives even a SIGKILL; SIGTERM and panics
+	// additionally write a timestamped snapshot.
+	var sink *obs.Sink
+	dumpDir := *obsDump
+	if dumpDir == "" {
+		dumpDir = *outDir
+	}
+	if *obsOn {
+		sink = obs.NewSink(*obsBuf)
+		if dumpDir != "off" && dumpDir != "" {
+			stop := sink.AutoDump(filepath.Join(dumpDir, "flight-live.json"), time.Second)
+			defer stop()
+		}
+	}
+	crashDump := func() {
+		if sink == nil || dumpDir == "off" || dumpDir == "" {
+			return
+		}
+		path := filepath.Join(dumpDir, "flight-"+strconv.FormatInt(time.Now().Unix(), 10)+".json")
+		if err := sink.DumpFile(path); err == nil {
+			log.Printf("pilgrim-collectd: flight recorder dumped to %s", path)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			crashDump()
+			panic(r)
+		}
+	}()
+
 	srv, err := collect.Start(collect.Config{
 		Listen:            *listen,
 		OutDir:            *outDir,
@@ -78,6 +124,7 @@ func main() {
 		MaxRuns:           *maxRuns,
 		MaxRunBytes:       *maxBytes,
 		MaxConns:          *maxConns,
+		Obs:               sink,
 		Logf:              logf,
 	})
 	if err != nil {
@@ -103,6 +150,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("pilgrim-collectd: shutting down")
+	crashDump()
 	if adminSrv != nil {
 		adminSrv.Close()
 	}

@@ -39,6 +39,10 @@ func main() {
 		collector = flag.String("collector", "", "stream rank snapshots to a pilgrim-collectd at this address instead of merging locally (falls back to local merge if unreachable)")
 		runID     = flag.String("run-id", "", "run identifier at the collector (default: generated)")
 
+		obsOn   = flag.Bool("obs", false, "record pipeline spans (finalize stages, collector client) into a flight recorder")
+		obsBuf  = flag.Int("obs-buf", 0, "flight recorder capacity in events (0 = 4096 default; overflow drops oldest)")
+		obsDump = flag.String("obs-dump", "", "write the flight recorder as trace-event JSON to this file after the run (implies -obs)")
+
 		salvage   = flag.Bool("salvage", false, "on failure, write the salvaged partial trace instead of exiting empty-handed")
 		seed      = flag.Int64("seed", 0, "simulator seed (0 = default)")
 		crashRank = flag.Int("crash-rank", -1, "inject: crash this rank (with -crash-at)")
@@ -78,6 +82,9 @@ func main() {
 	opts.CollectorAddr = *collector
 	opts.CollectorRunID = *runID
 	opts.FinalizeWorkers = *workers
+	if *obsOn || *obsDump != "" {
+		opts.ObsSink = pilgrim.NewObsSink(*obsBuf)
+	}
 
 	simOpts := mpi.Options{Seed: *seed}
 	var plan mpi.FaultPlan
@@ -92,6 +99,7 @@ func main() {
 	}
 
 	file, stats, err := pilgrim.RunSim(*procs, opts, simOpts, body)
+	writeObsDump(*obsDump, opts.ObsSink)
 	if err != nil {
 		if !*salvage || file == nil {
 			fatal(err)
@@ -125,6 +133,18 @@ func main() {
 			float64(stats.IntraNs)/1e6, float64(stats.CSTMergeNs)/1e6, float64(stats.CFGMergeNs)/1e6)
 	}
 	writeMetricsJSON(*metricsJSON, stats.Metrics)
+}
+
+// writeObsDump persists the pipeline flight recorder as Perfetto-
+// loadable trace-event JSON (nil-safe: needs both a path and a sink).
+func writeObsDump(path string, sink *pilgrim.ObsSink) {
+	if path == "" || sink == nil {
+		return
+	}
+	if err := sink.DumpFile(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pipeline spans: %s (%d events, %d dropped)\n", path, sink.Len(), sink.Dropped())
 }
 
 // writeMetricsJSON dumps the final metrics report (nil-safe: nothing

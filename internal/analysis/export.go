@@ -1,70 +1,46 @@
 package analysis
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"github.com/hpcrepro/pilgrim/internal/traceevent"
 )
 
 // Exporters: Chrome trace-event JSON (loadable in Perfetto and
-// chrome://tracing) and CSV tables.
-
-// traceEvent is one Chrome trace-event record. Timestamps are in
-// microseconds; fractional values preserve nanosecond resolution.
-type traceEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	ID   int            `json:"id,omitempty"`
-	Cat  string         `json:"cat,omitempty"`
-	BP   string         `json:"bp,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
-}
-
-type traceDoc struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
-}
-
-func us(ns int64) float64 { return float64(ns) / 1e3 }
+// chrome://tracing, document shape shared via internal/traceevent)
+// and CSV tables.
 
 // WritePerfetto emits the analysis as Chrome trace-event JSON: one
 // track (tid) per rank under a single process, a complete ("X") event
 // per MPI call, and a flow arrow per matched message from the send's
 // posting call to the receive's completing call.
 func (a *Analysis) WritePerfetto(w io.Writer) error {
-	doc := traceDoc{DisplayTimeUnit: "ns"}
+	doc := traceevent.NewDoc()
 	for r := range a.Events {
-		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
-			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
-		})
+		doc.Add(traceevent.ThreadName(0, r, fmt.Sprintf("rank %d", r)))
 	}
 	for r, evs := range a.Events {
 		for _, ev := range evs {
-			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			doc.Add(traceevent.Event{
 				Name: ev.Func().Name(), Ph: "X",
-				Ts: us(ev.TStart), Dur: us(ev.TEnd - ev.TStart),
+				Ts: traceevent.US(ev.TStart), Dur: traceevent.US(ev.TEnd - ev.TStart),
 				Pid: 0, Tid: r,
 				Args: map[string]any{"call": ev.Index},
 			})
 		}
 	}
 	for i, m := range a.Matches {
-		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+		doc.Add(traceevent.Event{
 			Name: "msg", Ph: "s", Cat: "p2p", ID: i + 1,
-			Ts: us(m.Send.TPost), Pid: 0, Tid: m.Send.Rank,
+			Ts: traceevent.US(m.Send.TPost), Pid: 0, Tid: m.Send.Rank,
 			Args: map[string]any{"bytes": m.Send.Bytes, "tag": m.Send.Tag},
-		}, traceEvent{
+		}, traceevent.Event{
 			Name: "msg", Ph: "f", BP: "e", Cat: "p2p", ID: i + 1,
-			Ts: us(m.Recv.TDone), Pid: 0, Tid: m.Recv.Rank,
+			Ts: traceevent.US(m.Recv.TDone), Pid: 0, Tid: m.Recv.Rank,
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	return doc.Write(w)
 }
 
 // WriteCommMatrixCSV emits the traffic matrix as one row per

@@ -5,74 +5,145 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/obs"
 )
 
-// AdminHandler exposes the collector's admin API:
-//
-//	GET /healthz          liveness + uptime
-//	GET /runs             every run's status, newest first
-//	GET /runs/{id}           one run's status
-//	GET /runs/{id}/trace     the finalized trace (application/octet-stream)
-//	GET /runs/{id}/recovery  journal health + crash-recovery detail
-//	GET /metrics          Prometheus text for the collector's registry
-//	GET /debug/vars       expvar-compatible JSON
-func AdminHandler(s *Server) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, map[string]any{
-			"ok":          true,
-			"ingest_addr": s.Addr(),
-			"uptime_sec":  time.Since(s.start).Seconds(),
-			"runs":        len(s.Runs()),
-		})
-	})
-	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, s.Runs())
-	})
-	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, ok := s.Run(r.PathValue("id"))
-		if !ok {
-			http.Error(w, "unknown run", http.StatusNotFound)
-			return
-		}
-		writeJSON(w, st)
-	})
-	mux.HandleFunc("GET /runs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		data, ok := s.TraceBytes(id)
-		if !ok {
-			st, exists := s.Run(id)
-			if exists && st.State == "collecting" {
-				http.Error(w, "run still collecting", http.StatusConflict)
-			} else {
+// adminRoute is one admin API endpoint: the Go 1.22 ServeMux pattern it
+// registers under and the one-line description the index page shows.
+// The help text at GET / is generated from this table, so the two can
+// never drift apart.
+type adminRoute struct {
+	pattern string // method + path, e.g. "GET /runs/{id}"
+	desc    string
+	handler http.HandlerFunc
+}
+
+// adminRoutes builds the route table for one server.
+func adminRoutes(s *Server) []adminRoute {
+	return []adminRoute{
+		{"GET /healthz", "liveness + uptime", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, map[string]any{
+				"ok":          true,
+				"ingest_addr": s.Addr(),
+				"uptime_sec":  time.Since(s.start).Seconds(),
+				"runs":        len(s.Runs()),
+			})
+		}},
+		{"GET /runs", "run list (sorted by run ID)", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, s.Runs())
+		}},
+		{"GET /runs/{id}", "run status", func(w http.ResponseWriter, r *http.Request) {
+			st, ok := s.Run(r.PathValue("id"))
+			if !ok {
 				http.Error(w, "unknown run", http.StatusNotFound)
+				return
 			}
-			return
+			writeJSON(w, st)
+		}},
+		{"GET /runs/{id}/trace", "finalized trace", func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			data, ok := s.TraceBytes(id)
+			if !ok {
+				st, exists := s.Run(id)
+				if exists && st.State == "collecting" {
+					http.Error(w, "run still collecting", http.StatusConflict)
+				} else {
+					http.Error(w, "unknown run", http.StatusNotFound)
+				}
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition",
+				fmt.Sprintf("attachment; filename=%q", id+".pilgrim"))
+			w.Write(data)
+		}},
+		{"GET /runs/{id}/recovery", "journal + recovery detail", func(w http.ResponseWriter, r *http.Request) {
+			st, ok := s.Recovery(r.PathValue("id"))
+			if !ok {
+				http.Error(w, "unknown run", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, st)
+		}},
+		{"GET /runs/{id}/spans", "pipeline span timeline (?format=trace for Perfetto)", func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			if _, ok := s.Run(id); !ok {
+				http.Error(w, "unknown run", http.StatusNotFound)
+				return
+			}
+			if s.obs == nil {
+				http.Error(w, "flight recorder disabled (-obs=false)", http.StatusServiceUnavailable)
+				return
+			}
+			evs := s.obs.EventsForRun(id)
+			if r.URL.Query().Get("format") == "trace" {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				w.Header().Set("Content-Disposition",
+					fmt.Sprintf("attachment; filename=%q", id+"-spans.json"))
+				obs.BuildDoc(evs, 0).Write(w)
+				return
+			}
+			writeJSON(w, map[string]any{
+				"run":    id,
+				"count":  len(evs),
+				"events": evs,
+			})
+		}},
+		{"GET /debug/flight", "flight recorder dump as trace-event JSON (?raw=1 for raw events)", func(w http.ResponseWriter, r *http.Request) {
+			if s.obs == nil {
+				http.Error(w, "flight recorder disabled (-obs=false)", http.StatusServiceUnavailable)
+				return
+			}
+			if r.URL.Query().Get("raw") == "1" {
+				writeJSON(w, map[string]any{
+					"dropped_total": s.obs.Dropped(),
+					"events":        s.obs.Events(),
+				})
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			s.obs.TraceDoc().Write(w)
+		}},
+		{"GET /metrics", "Prometheus text", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			s.m.Reg.WritePrometheus(w)
+		}},
+		{"GET /debug/vars", "expvar JSON", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			s.m.Reg.WriteExpvar(w)
+		}},
+	}
+}
+
+// adminHelp renders the index page from the route table.
+func adminHelp(routes []adminRoute) []byte {
+	width := 0
+	for _, rt := range routes {
+		if n := len(rt.pattern) - len("GET "); n > width {
+			width = n
 		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("Content-Disposition",
-			fmt.Sprintf("attachment; filename=%q", id+".pilgrim"))
-		w.Write(data)
-	})
-	mux.HandleFunc("GET /runs/{id}/recovery", func(w http.ResponseWriter, r *http.Request) {
-		st, ok := s.Recovery(r.PathValue("id"))
-		if !ok {
-			http.Error(w, "unknown run", http.StatusNotFound)
-			return
-		}
-		writeJSON(w, st)
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.m.Reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		s.m.Reg.WriteExpvar(w)
-	})
+	}
+	out := []byte("pilgrim-collectd admin\n")
+	for _, rt := range routes {
+		path := rt.pattern[len("GET "):]
+		out = append(out, fmt.Sprintf("  %-*s  %s\n", width, path, rt.desc)...)
+	}
+	return out
+}
+
+// AdminHandler exposes the collector's admin API. The endpoint list
+// (and the help text GET / serves) comes from adminRoutes.
+func AdminHandler(s *Server) http.Handler {
+	routes := adminRoutes(s)
+	mux := http.NewServeMux()
+	for _, rt := range routes {
+		mux.HandleFunc(rt.pattern, rt.handler)
+	}
+	help := adminHelp(routes)
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("pilgrim-collectd admin\n  /healthz            liveness\n  /runs               run list\n  /runs/{id}          run status\n  /runs/{id}/trace    finalized trace\n  /runs/{id}/recovery journal + recovery detail\n  /metrics            Prometheus text\n  /debug/vars         expvar JSON\n"))
+		w.Write(help)
 	})
 	return mux
 }

@@ -1,0 +1,166 @@
+package collect_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/hpcrepro/pilgrim/internal/collect"
+	"github.com/hpcrepro/pilgrim/internal/obs"
+	"github.com/hpcrepro/pilgrim/internal/traceevent"
+)
+
+// TestAdminRoutesTable drives every admin endpoint through the route
+// table: status codes, Content-Types, 404s on unknown runs, and the
+// flight-recorder endpoints added with internal/obs.
+func TestAdminRoutesTable(t *testing.T) {
+	const n = 2
+	snaps := traceWorkload(t, n)
+	sink := obs.NewSink(1024)
+	srv := startServer(t, collect.Config{OutDir: t.TempDir(), Obs: sink})
+	admin := httptest.NewServer(collect.AdminHandler(srv))
+	defer admin.Close()
+
+	c := client(srv, "admintab", n)
+	for _, s := range snaps {
+		if err := c.SendSnapshot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.WaitTrace(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		path     string
+		wantCode int
+		wantCT   string // Content-Type prefix; "" skips the check
+		wantBody []string
+	}{
+		{"index", "/", 200, "text/plain",
+			[]string{"/healthz", "/runs", "/runs/{id}", "/runs/{id}/trace",
+				"/runs/{id}/recovery", "/runs/{id}/spans", "/debug/flight",
+				"/metrics", "/debug/vars"}},
+		{"healthz", "/healthz", 200, "application/json", []string{`"ok": true`}},
+		{"runs", "/runs", 200, "application/json", []string{`"admintab"`}},
+		{"run", "/runs/admintab", 200, "application/json", []string{`"state": "finalized"`}},
+		{"run unknown", "/runs/ghost", 404, "", nil},
+		{"trace", "/runs/admintab/trace", 200, "application/octet-stream", nil},
+		{"trace unknown", "/runs/ghost/trace", 404, "", nil},
+		{"recovery", "/runs/admintab/recovery", 200, "application/json", []string{`"recovered"`}},
+		{"recovery unknown", "/runs/ghost/recovery", 404, "", nil},
+		{"spans", "/runs/admintab/spans", 200, "application/json",
+			[]string{`"run": "admintab"`, "finalize.run"}},
+		{"spans unknown", "/runs/ghost/spans", 404, "", nil},
+		{"spans trace format", "/runs/admintab/spans?format=trace", 200, "application/json",
+			[]string{"traceEvents", "finalize.run"}},
+		{"flight", "/debug/flight", 200, "application/json", []string{"traceEvents"}},
+		{"flight raw", "/debug/flight?raw=1", 200, "application/json",
+			[]string{`"dropped_total"`, `"events"`}},
+		{"metrics", "/metrics", 200, "text/plain", []string{
+			"pilgrim_collect_ingest_snapshots_total",
+			"pilgrim_build_info{version=",
+			"pilgrim_collect_uptime_seconds",
+			"pilgrim_collect_goroutines",
+			"pilgrim_obs_dropped_total"}},
+		{"vars", "/debug/vars", 200, "application/json", nil},
+		{"unknown path", "/nope", 404, "", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := admin.Client().Get(admin.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("GET %s = %d, want %d (%s)", tc.path, resp.StatusCode, tc.wantCode, body)
+			}
+			if tc.wantCT != "" && !strings.HasPrefix(resp.Header.Get("Content-Type"), tc.wantCT) {
+				t.Fatalf("GET %s Content-Type = %q, want prefix %q",
+					tc.path, resp.Header.Get("Content-Type"), tc.wantCT)
+			}
+			for _, want := range tc.wantBody {
+				if !strings.Contains(string(body), want) {
+					t.Fatalf("GET %s body missing %q:\n%s", tc.path, want, body)
+				}
+			}
+		})
+	}
+
+	// The flight dump must be loadable as Chrome trace-event JSON.
+	resp, err := admin.Client().Get(admin.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc traceevent.Doc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/debug/flight is not trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/debug/flight has no events after a full run")
+	}
+}
+
+// TestAdminObsDisabled pins the degraded mode: with no flight recorder
+// configured, the obs endpoints answer 503, everything else still works.
+func TestAdminObsDisabled(t *testing.T) {
+	snaps := traceWorkload(t, 1)
+	srv := startServer(t, collect.Config{})
+	admin := httptest.NewServer(collect.AdminHandler(srv))
+	defer admin.Close()
+
+	c := client(srv, "noobs", 1)
+	if err := c.SendSnapshot(snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/debug/flight", "/runs/noobs/spans"} {
+		resp, err := admin.Client().Get(admin.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 503 {
+			t.Fatalf("GET %s with obs disabled = %d, want 503", path, resp.StatusCode)
+		}
+	}
+	// An unknown run still 404s before the obs check.
+	resp, err := admin.Client().Get(admin.URL + "/runs/ghost/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown run spans = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRunsSortedByID: the run list is deterministic — sorted by run ID
+// regardless of creation order.
+func TestRunsSortedByID(t *testing.T) {
+	snaps := traceWorkload(t, 1)
+	srv := startServer(t, collect.Config{})
+	for _, id := range []string{"zeta", "alpha", "mid"} {
+		if err := client(srv, id, 1).SendSnapshot(snaps[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs := srv.Runs()
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	ids := make([]string, len(runs))
+	for i, r := range runs {
+		ids[i] = r.ID
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("run list not sorted by ID: %v", ids)
+	}
+}

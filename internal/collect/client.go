@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/obs"
 	"github.com/hpcrepro/pilgrim/internal/trace"
 	"github.com/hpcrepro/pilgrim/internal/wire"
 )
@@ -112,6 +113,10 @@ type Client struct {
 	// nil dials TCP.
 	Dial func(addr string) (net.Conn, error)
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, records the client's side of the pipeline:
+	// dial/send spans per attempt, backoff and NACK instants, and the
+	// wait for the finalized trace. Nil disables tracing.
+	Obs *obs.Sink
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
@@ -176,23 +181,33 @@ func (c *Client) hello(rank int) *wire.Hello {
 
 // sendOnce runs one full attempt: dial, hello, snapshot, ack.
 func (c *Client) sendOnce(s *core.Snapshot) error {
+	dsp := c.Obs.Start("client", "client.dial").WithRun(c.Run.RunID, s.Rank, c.Run.Epoch)
 	conn, err := c.dial()
 	if err != nil {
+		dsp.WithStr("result", "error").End()
 		return err
 	}
+	dsp.End()
 	defer conn.Close()
+	ssp := c.Obs.Start("client", "client.send").WithRun(c.Run.RunID, s.Rank, c.Run.Epoch)
 	deadline := time.Now().Add(c.ioTimeout())
 	conn.SetDeadline(deadline)
 	if err := wire.WriteFrame(conn, wire.TypeHello, c.hello(s.Rank).Encode()); err != nil {
+		ssp.WithStr("result", "error").End()
 		return fmt.Errorf("send hello: %w", err)
 	}
-	if err := wire.WriteFrame(conn, wire.TypeSnapshot, wire.EncodeSnapshot(s)); err != nil {
+	body := wire.EncodeSnapshot(s)
+	ssp = ssp.WithAttr("bytes", int64(len(body)))
+	if err := wire.WriteFrame(conn, wire.TypeSnapshot, body); err != nil {
+		ssp.WithStr("result", "error").End()
 		return fmt.Errorf("send snapshot: %w", err)
 	}
 	typ, body, err := wire.ReadFrame(conn)
 	if err != nil {
+		ssp.WithStr("result", "error").End()
 		return fmt.Errorf("read ack: %w", err)
 	}
+	ssp.End()
 	switch typ {
 	case wire.TypeAck:
 		ack, err := wire.DecodeAck(body)
@@ -210,6 +225,8 @@ func (c *Client) sendOnce(s *core.Snapshot) error {
 		if err != nil {
 			return err
 		}
+		c.Obs.Start("client", "client.nack").WithRun(c.Run.RunID, s.Rank, c.Run.Epoch).
+			WithStr("code", wire.NackCodeString(nack.Code)).Emit()
 		return &permanentError{&OverLimitError{Code: nack.Code, Detail: nack.Detail}}
 	case wire.TypeError:
 		return &permanentError{fmt.Errorf("collector error: %s", body)}
@@ -247,6 +264,8 @@ func (c *Client) SendSnapshot(s *core.Snapshot) error {
 			}
 			c.logf("collect: rank %d attempt %d/%d failed (%v); retrying in %s",
 				s.Rank, attempt, p.MaxAttempts, err, d)
+			c.Obs.Start("client", "client.backoff").WithRun(c.Run.RunID, s.Rank, c.Run.Epoch).
+				WithAttr("attempt", int64(attempt)).WithAttr("delay_ns", int64(d)).Emit()
 			time.Sleep(d)
 		}
 	}
@@ -309,6 +328,8 @@ func (c *Client) WaitTrace() ([]byte, error) {
 				return nil, fmt.Errorf("wait for trace: retry deadline (%s) exceeded after %d attempts: %w",
 					p.MaxElapsed, attempt, last)
 			}
+			c.Obs.Start("client", "client.backoff").WithRun(c.Run.RunID, -1, c.Run.Epoch).
+				WithAttr("attempt", int64(attempt)).WithAttr("delay_ns", int64(d)).Emit()
 			time.Sleep(d)
 		}
 	}
@@ -316,21 +337,26 @@ func (c *Client) WaitTrace() ([]byte, error) {
 }
 
 func (c *Client) waitOnce() ([]byte, error) {
+	wsp := c.Obs.Start("client", "client.wait").WithRun(c.Run.RunID, -1, c.Run.Epoch)
 	conn, err := c.dial()
 	if err != nil {
+		wsp.WithStr("result", "error").End()
 		return nil, err
 	}
 	defer conn.Close()
 	conn.SetWriteDeadline(time.Now().Add(c.ioTimeout()))
 	if err := wire.WriteFrame(conn, wire.TypeWait, (&wire.Wait{RunID: c.Run.RunID}).Encode()); err != nil {
+		wsp.WithStr("result", "error").End()
 		return nil, fmt.Errorf("send wait: %w", err)
 	}
 	// No read deadline: the reply comes when the run finalizes. A dead
 	// collector closes the connection and we fall out with an error.
 	typ, body, err := wire.ReadFrame(conn)
 	if err != nil {
+		wsp.WithStr("result", "error").End()
 		return nil, fmt.Errorf("read trace: %w", err)
 	}
+	wsp.WithAttr("bytes", int64(len(body))).End()
 	switch typ {
 	case wire.TypeTrace:
 		return body, nil

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hpcrepro/pilgrim/internal/obs"
 	"github.com/hpcrepro/pilgrim/internal/par"
 	"github.com/hpcrepro/pilgrim/internal/wire"
 )
@@ -112,6 +113,7 @@ type journal struct {
 	mode SyncMode
 	man  manifest
 	m    *Metrics
+	obs  *obs.Sink
 	logf func(format string, args ...any)
 	q    *par.Queue
 
@@ -130,8 +132,8 @@ type journal struct {
 // create/truncate the frames file (fresh runs truncate so an epoch
 // restart of a reused run ID cannot replay stale frames), and persist
 // the manifest. No I/O happens on the caller's goroutine.
-func newJournal(dir string, mode SyncMode, man manifest, m *Metrics, logf func(string, ...any), fresh bool) *journal {
-	j := &journal{dir: dir, mode: mode, man: man, m: m, logf: logf, q: par.NewQueue(64)}
+func newJournal(dir string, mode SyncMode, man manifest, m *Metrics, sink *obs.Sink, logf func(string, ...any), fresh bool) *journal {
+	j := &journal{dir: dir, mode: mode, man: man, m: m, obs: sink, logf: logf, q: par.NewQueue(64)}
 	j.q.Do(func() {
 		if err := os.MkdirAll(j.dir, 0o755); err != nil {
 			j.fail("create journal dir", err)
@@ -213,10 +215,14 @@ func (j *journal) appendSnapshot(h *wire.Hello, body []byte) (wait func()) {
 		if j.f == nil || j.broken.Load() {
 			return
 		}
+		asp := j.obs.Start("journal", "journal.append").
+			WithRun(j.man.RunID, -1, j.man.Epoch).WithAttr("bytes", int64(len(entry)))
 		if _, err := j.f.Write(entry); err != nil {
 			j.fail("append", err)
+			asp.WithStr("result", "error").End()
 			return
 		}
+		asp.End()
 		j.frames.Add(1)
 		j.bytes.Add(int64(len(entry)))
 		j.m.JournalFrames.Inc()
@@ -240,10 +246,13 @@ func (j *journal) fsyncNow() {
 	if j.f == nil {
 		return
 	}
+	ssp := j.obs.Start("journal", "journal.fsync").WithRun(j.man.RunID, -1, j.man.Epoch)
 	if err := j.f.Sync(); err != nil {
 		j.fail("fsync", err)
+		ssp.WithStr("result", "error").End()
 		return
 	}
+	ssp.End()
 	j.dirty = false
 	j.m.JournalFsyncs.Inc()
 }
@@ -421,6 +430,8 @@ func (s *Server) recoverFinalized(m *manifest, jdir string) {
 	close(r.done)
 	r.mu.Unlock()
 	s.m.RecoveredRuns.Inc()
+	s.obs.Start("recover", "recover.manifest").WithRun(m.RunID, -1, m.Epoch).
+		WithAttr("trace_bytes", fi.Size()).WithStr("state", m.State).Emit()
 	s.logf("run %s: recovered as %s (trace %d bytes on disk)", m.RunID, m.State, fi.Size())
 }
 
@@ -428,6 +439,7 @@ func (s *Server) recoverFinalized(m *manifest, jdir string) {
 // without admission checks — it was admitted before the crash.
 func (s *Server) registerRecovered(m *manifest) *run {
 	r := newRun(m.RunID, m.World, m.Epoch, m.TimingMode, m.TimingBase, s.cfg.FinalizeWorkers)
+	r.opts.ObsSink = s.obs
 	r.created = time.Unix(0, int64(m.CreatedSec*1e9))
 	s.mu.Lock()
 	s.runs[m.RunID] = r
@@ -494,6 +506,11 @@ func (s *Server) replayRun(m *manifest, jdir string) {
 	// manifest's creation time (clamped so reconnecting producers get a
 	// post-restart grace window), and reattach the journal in append
 	// mode with its counters primed to what the file holds.
+	rsp := s.obs.Start("recover", "recover.replay").WithRun(m.RunID, -1, m.Epoch).
+		WithAttr("frames", int64(len(pairs))).WithAttr("bytes", goodOff)
+	if torn {
+		rsp = rsp.WithStr("torn", "true")
+	}
 	r := s.registerRecovered(m)
 	rec := &RecoveryStatus{
 		Recovered:      true,
@@ -517,7 +534,7 @@ func (s *Server) replayRun(m *manifest, jdir string) {
 		rec.DeadlineSec = remaining.Seconds()
 	}
 	r.recovery = rec
-	r.journal = newJournal(jdir, s.cfg.JournalSync, *m, s.m, s.logf, false)
+	r.journal = newJournal(jdir, s.cfg.JournalSync, *m, s.m, s.obs, s.logf, false)
 	r.journal.frames.Store(int64(len(pairs)))
 	r.journal.bytes.Store(goodOff)
 	r.mu.Unlock()
@@ -535,6 +552,7 @@ func (s *Server) replayRun(m *manifest, jdir string) {
 			s.m.JournalReplayedFrames.Inc()
 		}
 	}
+	rsp.WithAttr("ranks", int64(r.receivedNow())).End()
 	s.logf("run %s: recovered (%d frames replayed, torn=%v, %d/%d ranks)",
 		m.RunID, len(pairs), torn, r.receivedNow(), m.World)
 }

@@ -1,6 +1,13 @@
 package collect
 
-import "github.com/hpcrepro/pilgrim/internal/metrics"
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/metrics"
+	"github.com/hpcrepro/pilgrim/internal/obs"
+)
 
 // Metrics bundles the collector daemon's instrument handles, built on
 // the same registry primitives as the tracer's self-observability
@@ -64,5 +71,31 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		AdmissionRejectedRuns:  reg.Counter("pilgrim_collect_admission_rejected_runs_total", "run creations refused by the max-runs cap"),
 		AdmissionRejectedSnaps: reg.Counter("pilgrim_collect_admission_rejected_snapshots_total", "snapshots refused by the max-run-bytes cap"),
 		AdmissionRejectedConns: reg.Counter("pilgrim_collect_admission_rejected_conns_total", "connections refused by the max-conns cap"),
+	}
+}
+
+// buildVersion resolves the module version baked into the binary;
+// source builds (go run, go test) report "devel".
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// registerProcess adds the process-level series to the registry: build
+// identity (the Prometheus build-info idiom), uptime, goroutine count,
+// and — when the flight recorder is on — its drop counter. Scrape-time
+// functions throughout; nothing is sampled on the hot path.
+func (m *Metrics) registerProcess(start time.Time, sink *obs.Sink) {
+	m.Reg.Info("pilgrim_build_info", "build metadata of the running collector",
+		"version", buildVersion(), "goversion", runtime.Version())
+	m.Reg.GaugeFunc("pilgrim_collect_uptime_seconds", "seconds since the collector started",
+		func() float64 { return time.Since(start).Seconds() })
+	m.Reg.GaugeFunc("pilgrim_collect_goroutines", "goroutines in the collector process",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	if sink != nil {
+		m.Reg.CounterFunc("pilgrim_obs_dropped_total", "flight-recorder events overwritten before being read",
+			func() int64 { return sink.Dropped() })
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/obs"
 	"github.com/hpcrepro/pilgrim/internal/sequitur"
 	"github.com/hpcrepro/pilgrim/internal/trace"
 	"github.com/hpcrepro/pilgrim/internal/wire"
@@ -84,6 +85,12 @@ type Config struct {
 	// Metrics receives the collector's instrumentation; nil creates a
 	// private registry (reachable via Server.Metrics).
 	Metrics *Metrics
+	// Obs, when non-nil, is the pipeline flight recorder: connection,
+	// ingest, journal, recovery, and finalize spans are recorded into
+	// it, and the same sink is threaded through core.Options so the
+	// finalize stages land on the same timeline. Nil disables tracing
+	// at one pointer check per site.
+	Obs *obs.Sink
 	// Logf, when non-nil, receives one-line operational logs.
 	Logf func(format string, args ...any)
 }
@@ -176,6 +183,7 @@ func (r *run) traceLocked() []byte {
 type Server struct {
 	cfg Config
 	m   *Metrics
+	obs *obs.Sink
 	ln  net.Listener
 
 	mu       sync.Mutex
@@ -221,6 +229,7 @@ func Start(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		m:        cfg.Metrics,
+		obs:      cfg.Obs,
 		ln:       ln,
 		runs:     make(map[string]*run),
 		conns:    make(map[net.Conn]struct{}),
@@ -230,6 +239,7 @@ func Start(cfg Config) (*Server, error) {
 	if s.m == nil {
 		s.m = NewMetrics(nil)
 	}
+	s.m.registerProcess(s.start, s.obs)
 	// Recovery runs to completion before the listener accepts, so a
 	// reconnecting producer can never race the replay of its own run.
 	if s.cfg.OutDir != "" {
@@ -245,6 +255,9 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Metrics returns the server's instrumentation bundle.
 func (s *Server) Metrics() *Metrics { return s.m }
+
+// Obs returns the server's flight recorder (nil when tracing is off).
+func (s *Server) Obs() *obs.Sink { return s.obs }
 
 // Close stops accepting, severs open connections, and waits for
 // handlers to drain. In-flight runs are left unfinalized (producers
@@ -336,12 +349,15 @@ func (s *Server) acceptLoop() {
 // ships over it — and/or a Wait that blocks until its run finalizes.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	csp := s.obs.Start("collect", "conn")
+	frames := int64(0)
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		s.m.ActiveConns.Add(-1)
+		csp.WithAttr("frames", frames).End()
 	}()
 	// One decode scratch per connection: the frame-body buffer and
 	// decoder cursor are reused across every frame this producer ships,
@@ -355,6 +371,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF, deadline, or garbage — drop the connection
 		}
+		frames++
 		switch typ {
 		case wire.TypeHello:
 			h, err := wire.DecodeHello(body)
@@ -467,6 +484,7 @@ func (s *Server) runFor(h *wire.Hello, fromJournal bool) (*run, error) {
 			detail: fmt.Sprintf("collector at max-runs=%d", s.cfg.MaxRuns)}
 	}
 	r = newRun(h.RunID, h.WorldSize, h.Epoch, h.TimingMode, h.TimingBase, s.cfg.FinalizeWorkers)
+	r.opts.ObsSink = s.obs
 	if d := s.cfg.StragglerDeadline; d > 0 {
 		r.timer = time.AfterFunc(d, func() { s.salvageRun(r, d) })
 	}
@@ -480,7 +498,7 @@ func (s *Server) runFor(h *wire.Hello, fromJournal bool) (*run, error) {
 		// fresh=true truncates any stale frames: an epoch restart of a
 		// reused run ID must never replay the previous epoch's journal.
 		r.journal = newJournal(filepath.Join(journalRoot(s.cfg.OutDir), h.RunID),
-			s.cfg.JournalSync, man, s.m, s.logf, true)
+			s.cfg.JournalSync, man, s.m, s.obs, s.logf, true)
 	}
 	s.runs[h.RunID] = r
 	s.collecting.Add(1)
@@ -496,6 +514,8 @@ func (s *Server) runFor(h *wire.Hello, fromJournal bool) (*run, error) {
 // fromJournal marks recovery replay: admission is bypassed and the
 // frame is not re-journaled.
 func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, fromJournal bool) (*wire.Ack, *wire.Nack) {
+	dsp := s.obs.Start("collect", "ingest.decode").
+		WithRun(h.RunID, h.Rank, h.Epoch).WithAttr("bytes", int64(len(body)))
 	var snap *core.Snapshot
 	var err error
 	if sc != nil {
@@ -505,10 +525,14 @@ func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, from
 	}
 	if err != nil {
 		s.m.RejectedSnapshots.Inc()
+		dsp.WithStr("result", "reject").End()
 		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}, nil
 	}
+	dsp.End()
 	if snap.Rank != h.Rank {
 		s.m.RejectedSnapshots.Inc()
+		s.obs.Start("collect", "ingest.reject").WithRun(h.RunID, h.Rank, h.Epoch).
+			WithStr("reason", "rank-mismatch").Emit()
 		return &wire.Ack{Status: wire.AckError, Detail: fmt.Sprintf("snapshot rank %d != hello rank %d", snap.Rank, h.Rank)}, nil
 	}
 	r, err := s.runFor(h, fromJournal)
@@ -516,9 +540,13 @@ func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, from
 		var ol *overLimit
 		if errors.As(err, &ol) {
 			s.m.AdmissionRejectedRuns.Inc()
+			s.obs.Start("collect", "ingest.nack").WithRun(h.RunID, h.Rank, h.Epoch).
+				WithStr("code", wire.NackCodeString(ol.code)).Emit()
 			return nil, &wire.Nack{Code: ol.code, Detail: ol.detail}
 		}
 		s.m.RejectedSnapshots.Inc()
+		s.obs.Start("collect", "ingest.reject").WithRun(h.RunID, h.Rank, h.Epoch).
+			WithStr("reason", "bad-run").Emit()
 		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}, nil
 	}
 	r.mu.Lock()
@@ -530,6 +558,7 @@ func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, from
 	if r.snaps[snap.Rank] != nil {
 		r.mu.Unlock()
 		s.m.DupSnapshots.Inc()
+		s.obs.Start("collect", "ingest.dup").WithRun(h.RunID, h.Rank, h.Epoch).Emit()
 		return &wire.Ack{Status: wire.AckDuplicate, Detail: fmt.Sprintf("rank %d already merged", snap.Rank)}, nil
 	}
 	if r.state != stateCollecting {
@@ -540,25 +569,35 @@ func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, from
 		if r.state == stateFinalized && r.recovery != nil && r.recovery.FromManifest {
 			r.mu.Unlock()
 			s.m.DupSnapshots.Inc()
+			s.obs.Start("collect", "ingest.dup").WithRun(h.RunID, h.Rank, h.Epoch).
+				WithStr("reason", "pre-restart").Emit()
 			return &wire.Ack{Status: wire.AckDuplicate, Detail: fmt.Sprintf("rank %d merged before daemon restart", snap.Rank)}, nil
 		}
 		r.mu.Unlock()
 		s.m.RejectedSnapshots.Inc()
+		s.obs.Start("collect", "ingest.reject").WithRun(h.RunID, h.Rank, h.Epoch).
+			WithStr("reason", "run-finished").Emit()
 		return &wire.Ack{Status: wire.AckError, Detail: fmt.Sprintf("run %s already %s", r.id, r.state)}, nil
 	}
 	if !fromJournal && s.cfg.MaxRunBytes > 0 && r.bytes+int64(len(body)) > s.cfg.MaxRunBytes {
 		r.mu.Unlock()
 		s.m.AdmissionRejectedSnaps.Inc()
+		s.obs.Start("collect", "ingest.nack").WithRun(h.RunID, h.Rank, h.Epoch).
+			WithStr("code", wire.NackCodeString(wire.NackRunBytes)).Emit()
 		return nil, &wire.Nack{Code: wire.NackRunBytes,
 			Detail: fmt.Sprintf("run %s at max-run-bytes=%d", r.id, s.cfg.MaxRunBytes)}
 	}
+	msp := s.obs.Start("collect", "ingest.merge").
+		WithRun(h.RunID, h.Rank, h.Epoch).WithAttr("bytes", int64(len(body)))
 	t0 := time.Now()
 	if err := r.inc.Add(snap.Rank, snap.Table); err != nil {
 		r.mu.Unlock()
 		s.m.RejectedSnapshots.Inc()
+		msp.WithStr("result", "reject").End()
 		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}, nil
 	}
 	mergeNs := time.Since(t0).Nanoseconds()
+	msp.WithAttr("received", int64(r.received+1)).End()
 	r.mergeNs += mergeNs
 	r.snaps[snap.Rank] = snap
 	r.received++
@@ -594,6 +633,8 @@ func (s *Server) salvageRun(r *run, deadline time.Duration) {
 	if r.state != stateCollecting || r.received == r.world {
 		return
 	}
+	s.obs.Start("collect", "salvage").WithRun(r.id, -1, r.epoch).
+		WithAttr("received", int64(r.received)).WithAttr("world", int64(r.world)).Emit()
 	info := &trace.SalvageInfo{
 		Reason: fmt.Sprintf("collector: straggler deadline (%s): %d/%d ranks reported", deadline, r.received, r.world),
 		Calls:  make([]int64, r.world),
@@ -621,6 +662,8 @@ func (s *Server) finalizeLocked(r *run, info *trace.SalvageInfo) {
 	if r.timer != nil {
 		r.timer.Stop()
 	}
+	fsp := s.obs.Start("collect", "finalize.run").WithRun(r.id, -1, r.epoch).
+		WithAttr("ranks", int64(r.world))
 	t0 := time.Now()
 	file, _ := core.FinalizePremerged(r.snaps, r.inc.Result(), r.mergeNs, r.opts, info)
 	var buf bytes.Buffer
@@ -671,6 +714,7 @@ func (s *Server) finalizeLocked(r *run, info *trace.SalvageInfo) {
 	s.m.ActiveRuns.Add(-1)
 	s.m.TraceBytesOut.Add(int64(len(r.traceData)))
 	s.m.FinalizeNs.Observe(time.Since(t0).Nanoseconds())
+	fsp.WithAttr("trace_bytes", int64(len(r.traceData))).WithStr("state", r.state.String()).End()
 	s.logf("run %s: %s (%d ranks, %d bytes)", r.id, r.state, r.world, len(r.traceData))
 	close(r.done)
 }
@@ -769,7 +813,9 @@ func (r *run) status() RunStatus {
 	return st
 }
 
-// Runs lists every run's status, newest first.
+// Runs lists every run's status, deterministically sorted by run ID —
+// stable output for admin clients and tests regardless of creation
+// timing.
 func (s *Server) Runs() []RunStatus {
 	s.mu.Lock()
 	runs := make([]*run, 0, len(s.runs))
@@ -781,7 +827,7 @@ func (s *Server) Runs() []RunStatus {
 	for i, r := range runs {
 		out[i] = r.status()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].CreatedSec > out[j].CreatedSec })
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

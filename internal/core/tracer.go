@@ -13,6 +13,7 @@ import (
 
 	"github.com/hpcrepro/pilgrim/internal/cst"
 	"github.com/hpcrepro/pilgrim/internal/metrics"
+	"github.com/hpcrepro/pilgrim/internal/obs"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
 	"github.com/hpcrepro/pilgrim/internal/par"
 	"github.com/hpcrepro/pilgrim/internal/sequitur"
@@ -70,6 +71,15 @@ type Options struct {
 	// merge tree's shape is fixed by the rank count and all cross-rank
 	// ordering decisions are taken in deterministic sequential passes.
 	FinalizeWorkers int
+
+	// ObsSink, when non-nil, receives pipeline span tracing: every
+	// finalize stage (snapshot, CST merge, relabel, grammar dedup/pack,
+	// timing branch) records a span into the flight recorder, and
+	// pilgrim.RunSim forwards the same sink to the collector client so
+	// the networked path is covered end to end. Nil (the default) costs
+	// one pointer check per instrumented site and zero allocations —
+	// the same discipline as Collector.
+	ObsSink *obs.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -377,10 +387,12 @@ func FinalizeSnapshots(snaps []*Snapshot, opts Options, info *trace.SalvageInfo)
 // lossy timing mode, its two timing grammars) under the rank's own
 // lock, so the per-rank serialization loop parallelizes trivially.
 func snapshotAll(tracers []*Tracer, opts Options) []*Snapshot {
+	sp := opts.ObsSink.Start("finalize", "finalize.snapshot").WithAttr("ranks", int64(len(tracers)))
 	snaps := make([]*Snapshot, len(tracers))
 	par.For(len(tracers), par.Workers(opts.FinalizeWorkers), func(i int) {
 		snaps[i] = tracers[i].Snapshot()
 	})
+	sp.End()
 	return snaps
 }
 
@@ -389,11 +401,13 @@ func finalizeSnapshots(snaps []*Snapshot, opts Options, info *trace.SalvageInfo)
 		return &trace.File{CST: cst.New(), RankMap: sequitur.Serialized(sequitur.New().Serialize()), Salvage: info}, FinalizeStats{}
 	}
 	t0 := time.Now()
+	sp := opts.ObsSink.Start("finalize", "finalize.cst_merge").WithAttr("ranks", int64(len(snaps)))
 	tables := make([]*cst.Table, len(snaps))
 	for i, s := range snaps {
 		tables[i] = s.Table
 	}
 	merged := cst.MergePairwiseN(tables, par.Workers(opts.FinalizeWorkers))
+	sp.WithAttr("global_cst", int64(merged.Table.Len())).End()
 	return finalizeMerged(snaps, merged, time.Since(t0).Nanoseconds(), opts, info)
 }
 
@@ -425,11 +439,13 @@ func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts
 	t0 := time.Now()
 	// Per-rank relabel against the global terminals (§3.5.1): each rank
 	// rewrites only its own grammar, so the loop fans out freely.
+	rsp := opts.ObsSink.Start("finalize", "finalize.relabel").WithAttr("ranks", int64(len(snaps)))
 	relabeled := make([]sequitur.Serialized, len(snaps))
 	relabelErrs := make([]error, len(snaps))
 	par.For(len(snaps), workers, func(i int) {
 		relabeled[i], relabelErrs[i] = snaps[i].Grammar.Relabel(merged.Relabels[i])
 	})
+	rsp.End()
 	for i, err := range relabelErrs {
 		if err != nil {
 			panic(fmt.Sprintf("core: relabel rank %d: %v", i, err))
@@ -442,6 +458,7 @@ func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts
 	// identity fast path keeps one copy per unique grammar, and a
 	// final Sequitur pass compresses the rank → grammar sequence.
 	t1 := time.Now()
+	dsp := opts.ObsSink.Start("finalize", "finalize.dedup_pack").WithAttr("ranks", int64(len(snaps)))
 	uniq, rankIdx := dedupGrammars(relabeled, workers)
 	rankMap := sequitur.New()
 	for _, idx := range rankIdx {
@@ -452,6 +469,7 @@ func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts
 	// inter-process CFG compression time when many unique grammars
 	// survive the identity check.
 	packed := sequitur.Pack(uniq)
+	dsp.WithAttr("unique_cfgs", int64(len(uniq))).End()
 	st.CFGMergeNs = time.Since(t1).Nanoseconds()
 	st.UniqueCFGs = len(uniq)
 
@@ -473,6 +491,7 @@ func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts
 			ints[i] = s.IntGrammar
 		}
 		t2 := time.Now()
+		tsp := opts.ObsSink.Start("finalize", "finalize.timing").WithAttr("ranks", int64(len(snaps)))
 		// The duration and interval streams are independent: dedup and
 		// pack them as two parallel branches (each dedup's hashing fans
 		// out further on the shared pool).
@@ -485,6 +504,7 @@ func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts
 				f.PackedInt = sequitur.Pack(f.IntGrammars)
 			}
 		})
+		tsp.End()
 		st.CFGMergeNs += time.Since(t2).Nanoseconds()
 	}
 	st.TraceBytes = f.SizeBytes()

@@ -8,6 +8,7 @@ import (
 
 	"github.com/hpcrepro/pilgrim/internal/collect"
 	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/obs"
 	"github.com/hpcrepro/pilgrim/internal/wire"
 	"github.com/hpcrepro/pilgrim/internal/workloads"
 	"github.com/hpcrepro/pilgrim/mpi"
@@ -28,6 +29,7 @@ type CollectPoint struct {
 	EncodeNs  int64 `json:"encode_ns"`         // wire-encode all snapshots
 	IngestNs  int64 `json:"ingest_ns"`         // stream + merge + finalize + fetch
 	JournalNs int64 `json:"journal_ingest_ns"` // same, with -journal-sync=off journaling
+	ObsNs     int64 `json:"obs_ingest_ns"`     // same, with flight-recorder spans on
 
 	SnapsPerSec float64 `json:"snaps_per_sec"`
 	MBPerSec    float64 `json:"mb_per_sec"`
@@ -35,6 +37,9 @@ type CollectPoint struct {
 	// ingest, in percent (positive = journaling slower). The durability
 	// budget: -journal-sync=off should stay within single digits.
 	JournalPct float64 `json:"journal_overhead_pct"`
+	// ObsPct is the span-tracing overhead relative to the plain ingest,
+	// in percent. The observability budget: under 5%.
+	ObsPct float64 `json:"obs_overhead_pct"`
 }
 
 // CollectResult is the "collect" experiment: the wire-format and
@@ -141,21 +146,43 @@ func collectPoint(name string, procs, iters int) (CollectPoint, error) {
 	if pt.IngestNs > 0 {
 		pt.JournalPct = (float64(pt.JournalNs)/float64(pt.IngestNs) - 1) * 100
 	}
+
+	// And once more with the flight recorder on both ends: the delta is
+	// the pure span-tracing overhead — one ring write per instrumented
+	// site, no journaling in the way.
+	osrv, err := collect.Start(collect.Config{Listen: "127.0.0.1:0", Obs: obs.NewSink(0)})
+	if err != nil {
+		return CollectPoint{}, err
+	}
+	defer osrv.Close()
+	oc := &collect.Client{
+		Addr: osrv.Addr(),
+		Run:  collect.RunInfo{RunID: fmt.Sprintf("bench-o-%d", procs), WorldSize: procs},
+		Obs:  obs.NewSink(0),
+	}
+	t3 := time.Now()
+	if _, err := oc.Collect(snaps); err != nil {
+		return CollectPoint{}, fmt.Errorf("obs collect %s/%d: %w", name, procs, err)
+	}
+	pt.ObsNs = time.Since(t3).Nanoseconds()
+	if pt.IngestNs > 0 {
+		pt.ObsPct = (float64(pt.ObsNs)/float64(pt.IngestNs) - 1) * 100
+	}
 	return pt, nil
 }
 
 // Print renders the sweep as the evaluation table.
 func (r *CollectResult) Print(w io.Writer) {
 	header(w, "collect: wire format and ingest throughput (stencil2d)")
-	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %9s %10s %9s %9s\n",
-		"procs", "calls", "raw KB", "wire KB", "trace KB", "ratio", "snaps/s", "MB/s", "jrnl +%")
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %9s %10s %9s %9s %9s\n",
+		"procs", "calls", "raw KB", "wire KB", "trace KB", "ratio", "snaps/s", "MB/s", "jrnl +%", "obs +%")
 	for _, p := range r.Points {
 		ratio := "-"
 		if p.TraceB > 0 {
 			ratio = fmt.Sprintf("%.1fx", float64(p.WireB)/float64(p.TraceB))
 		}
-		fmt.Fprintf(w, "%6d %10d %10s %10s %10s %9s %10.0f %9.1f %9.1f\n",
+		fmt.Fprintf(w, "%6d %10d %10s %10s %10s %9s %10.0f %9.1f %9.1f %9.1f\n",
 			p.Procs, p.Calls, kb(int(p.RawB)), kb(p.WireB), kb(p.TraceB),
-			ratio, p.SnapsPerSec, p.MBPerSec, p.JournalPct)
+			ratio, p.SnapsPerSec, p.MBPerSec, p.JournalPct, p.ObsPct)
 	}
 }

@@ -204,17 +204,19 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindGaugeFunc
+	kindCounterFunc
 	kindHistogram
+	kindInfo
 )
 
 func (k metricKind) String() string {
 	switch k {
-	case kindCounter:
+	case kindCounter, kindCounterFunc:
 		return "counter"
 	case kindHistogram:
 		return "histogram"
 	}
-	return "gauge"
+	return "gauge" // gauges, gauge funcs, and info metrics
 }
 
 // family is one named metric family, scalar or with one label key.
@@ -289,6 +291,42 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 		f.order = append(f.order, "")
 	}
 	f.children[""] = fn
+	f.mu.Unlock()
+}
+
+// CounterFunc registers a counter evaluated at scrape time, for
+// monotonic values that live in someone else's data structure (the
+// flight recorder's dropped count). Re-registering the same name
+// replaces the function, like GaugeFunc.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	f := r.family(name, help, kindCounterFunc, "")
+	f.mu.Lock()
+	if _, ok := f.children[""]; !ok {
+		f.order = append(f.order, "")
+	}
+	f.children[""] = fn
+	f.mu.Unlock()
+}
+
+// Info registers a constant gauge of value 1 whose labels carry the
+// information — the Prometheus build-info idiom (pilgrim_build_info).
+// kv is an ordered key, value, key, value... list, formatted into the
+// label set once at registration. Re-registering replaces the labels.
+func (r *Registry) Info(name, help string, kv ...string) {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("metrics: Info %q called with odd key/value list", name))
+	}
+	parts := make([]string, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", kv[i], escapeLabel(kv[i+1])))
+	}
+	labels := strings.Join(parts, ",")
+	f := r.family(name, help, kindInfo, "")
+	f.mu.Lock()
+	if _, ok := f.children[""]; !ok {
+		f.order = append(f.order, "")
+	}
+	f.children[""] = labels
 	f.mu.Unlock()
 }
 
@@ -419,6 +457,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case kindGaugeFunc:
 				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name,
 					labelPair(f.label, lv, ""), formatFloat(children[i].(func() float64)()))
+			case kindCounterFunc:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name,
+					labelPair(f.label, lv, ""), children[i].(func() int64)())
+			case kindInfo:
+				_, err = fmt.Fprintf(w, "%s%s 1\n", f.name,
+					labelPair("", "", children[i].(string)))
 			case kindHistogram:
 				err = writePromHistogram(w, f, lv, children[i].(*Histogram))
 			}
@@ -486,6 +530,10 @@ func (r *Registry) WriteExpvar(w io.Writer) error {
 				err = emit(key, jsonFloat(children[i].(*Gauge).Load()))
 			case kindGaugeFunc:
 				err = emit(key, jsonFloat(children[i].(func() float64)()))
+			case kindCounterFunc:
+				err = emit(key, strconv.FormatInt(children[i].(func() int64)(), 10))
+			case kindInfo:
+				err = emit(f.name+labelPair("", "", children[i].(string)), "1")
 			case kindHistogram:
 				s := children[i].(*Histogram).Snapshot()
 				err = emit(key, fmt.Sprintf(
@@ -558,6 +606,10 @@ func (r *Registry) Report() *Report {
 				rep.Gauges[key] = children[i].(*Gauge).Load()
 			case kindGaugeFunc:
 				rep.Gauges[key] = children[i].(func() float64)()
+			case kindCounterFunc:
+				rep.Counters[key] = children[i].(func() int64)()
+			case kindInfo:
+				rep.Gauges[f.name+labelPair("", "", children[i].(string))] = 1
 			case kindHistogram:
 				rep.Histograms[key] = summarize(children[i].(*Histogram))
 			}

@@ -187,6 +187,66 @@ func TestPrometheusOutput(t *testing.T) {
 	}
 }
 
+func TestCounterFuncAndInfo(t *testing.T) {
+	r := NewRegistry()
+	n := int64(0)
+	r.CounterFunc("dropped_total", "scrape-time counter", func() int64 { return n })
+	r.Info("build_info", "build metadata", "version", "1.0.0", "goversion", "go1.x")
+	n = 7
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dropped_total counter",
+		"dropped_total 7",
+		"# TYPE build_info gauge",
+		`build_info{version="1.0.0",goversion="go1.x"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+
+	// Re-registration replaces, like GaugeFunc: a single series, the
+	// latest function/labels.
+	r.CounterFunc("dropped_total", "scrape-time counter", func() int64 { return 42 })
+	r.Info("build_info", "build metadata", "version", "2.0.0")
+	sb.Reset()
+	r.WritePrometheus(&sb)
+	out = sb.String()
+	if !strings.Contains(out, "dropped_total 42") || strings.Contains(out, "dropped_total 7") {
+		t.Errorf("CounterFunc re-registration did not replace:\n%s", out)
+	}
+	if !strings.Contains(out, `build_info{version="2.0.0"} 1`) ||
+		strings.Contains(out, "1.0.0") {
+		t.Errorf("Info re-registration did not replace:\n%s", out)
+	}
+
+	// Expvar output stays valid JSON and carries both.
+	sb.Reset()
+	r.WriteExpvar(&sb)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &m); err != nil {
+		t.Fatalf("expvar output not JSON: %v\n%s", err, sb.String())
+	}
+	if m["dropped_total"].(float64) != 42 {
+		t.Fatalf("dropped_total = %v", m["dropped_total"])
+	}
+	if m[`build_info{version="2.0.0"}`].(float64) != 1 {
+		t.Fatalf("build_info = %v", m)
+	}
+
+	// Report includes the scrape-time counter and the info series.
+	rep := r.Report()
+	if rep.Counters["dropped_total"] != 42 {
+		t.Fatalf("report counters = %v", rep.Counters)
+	}
+	if rep.Gauges[`build_info{version="2.0.0"}`] != 1 {
+		t.Fatalf("report gauges = %v", rep.Gauges)
+	}
+}
+
 func TestExpvarOutput(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total", "h").Add(3)

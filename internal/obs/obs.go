@@ -1,0 +1,385 @@
+// Package obs is the pipeline's own observability spine: a
+// low-overhead span tracer feeding a fixed-size, sharded ring-buffer
+// flight recorder. Where internal/metrics answers "how much, how
+// fast" in aggregate, obs keeps the causal record — what the
+// collection pipeline itself was doing, per run, per rank, per epoch
+// — in the same Chrome trace-event shape internal/analysis emits for
+// MPI traces, so a slow finalize or a dead daemon is debugged with
+// the same Perfetto timeline as the application it traced.
+//
+// Discipline mirrors internal/metrics: a nil *Sink disables
+// everything at a single pointer check, the enabled record path takes
+// one shard mutex and performs zero allocations, and the ring
+// overwrites oldest-first on overflow (each overwrite counts into a
+// dropped counter surfaced as pilgrim_obs_dropped_total).
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/traceevent"
+)
+
+// Attr is one typed span attribute: an int64 or a short string.
+type Attr struct {
+	Key string
+	Int int64
+	Str string
+}
+
+// maxAttrs bounds per-event attributes so Event stays a fixed-size,
+// allocation-free value.
+const maxAttrs = 4
+
+// Event is one flight-recorder record: a completed span (Phase 'X')
+// or an instant (Phase 'i'), stamped with the pipeline identity
+// attributes (run, rank, epoch) when the site knows them.
+type Event struct {
+	Seq   uint64 // global record order (recording order, not start order)
+	TsNs  int64  // start time, unix nanoseconds
+	DurNs int64  // span duration; 0 for instants
+	Phase byte   // 'X' complete span, 'i' instant
+	Cat   string
+	Name  string
+
+	Run   string // "" when the event is not run-scoped
+	Rank  int32  // -1 when not rank-scoped
+	Epoch uint64
+
+	NAttrs uint8
+	Attrs  [maxAttrs]Attr
+}
+
+const shardCount = 4
+
+// shard is one ring segment. head counts total writes; the next slot
+// is head % len(buf), so once head passes len(buf) every write
+// overwrites (drops) the shard's oldest event.
+type shard struct {
+	mu   sync.Mutex
+	buf  []Event
+	head uint64
+	_    [64]byte // keep shard locks on separate cache lines
+}
+
+// Sink is the flight recorder. A nil *Sink is a valid, disabled sink:
+// every method nil-checks first, so call sites carry no conditionals.
+type Sink struct {
+	shards  [shardCount]shard
+	seq     atomic.Uint64
+	dropped atomic.Int64
+	created time.Time
+}
+
+// DefaultBuf is the default flight-recorder capacity in events.
+const DefaultBuf = 4096
+
+// NewSink builds a flight recorder holding up to bufEvents events
+// (<= 0 means DefaultBuf). Memory is allocated up front and never
+// grows: overflow drops oldest.
+func NewSink(bufEvents int) *Sink {
+	if bufEvents <= 0 {
+		bufEvents = DefaultBuf
+	}
+	per := (bufEvents + shardCount - 1) / shardCount
+	if per < 1 {
+		per = 1
+	}
+	s := &Sink{created: time.Now()}
+	for i := range s.shards {
+		s.shards[i].buf = make([]Event, per)
+	}
+	return s
+}
+
+// record stamps the sequence number and writes ev into a ring shard.
+// Shards are picked round-robin off the sequence counter, so
+// concurrent recorders contend on different locks.
+func (s *Sink) record(ev Event) {
+	ev.Seq = s.seq.Add(1)
+	sh := &s.shards[ev.Seq%shardCount]
+	sh.mu.Lock()
+	if sh.head >= uint64(len(sh.buf)) {
+		s.dropped.Add(1) // the slot being overwritten held a live event
+	}
+	sh.buf[sh.head%uint64(len(sh.buf))] = ev
+	sh.head++
+	sh.mu.Unlock()
+}
+
+// Span is an in-flight event builder. The zero Span (from a nil Sink)
+// is inert: every method returns immediately on the nil receiver
+// inside, so disabled call sites cost one pointer check per call and
+// zero allocations.
+type Span struct {
+	s  *Sink
+	ev Event
+}
+
+// Start opens a span. End records it as a complete ('X') event; Emit
+// records it as an instant instead (ignoring the elapsed time).
+func (s *Sink) Start(cat, name string) Span {
+	if s == nil {
+		return Span{}
+	}
+	return Span{s: s, ev: Event{TsNs: time.Now().UnixNano(), Phase: 'X', Cat: cat, Name: name, Rank: -1}}
+}
+
+// WithRun stamps the span with pipeline identity: run ID, rank
+// (negative for "not rank-scoped"), and epoch.
+func (sp Span) WithRun(run string, rank int, epoch uint64) Span {
+	if sp.s == nil {
+		return sp
+	}
+	sp.ev.Run, sp.ev.Rank, sp.ev.Epoch = run, int32(rank), epoch
+	return sp
+}
+
+// WithAttr attaches one integer attribute (silently dropped past
+// maxAttrs — the recorder never allocates to accommodate more).
+func (sp Span) WithAttr(key string, v int64) Span {
+	if sp.s == nil || int(sp.ev.NAttrs) >= maxAttrs {
+		return sp
+	}
+	sp.ev.Attrs[sp.ev.NAttrs] = Attr{Key: key, Int: v}
+	sp.ev.NAttrs++
+	return sp
+}
+
+// WithStr attaches one string attribute. The string must not be
+// rebuilt per call on hot paths (use static literals or pre-interned
+// values) or the call site, not the recorder, pays the allocation.
+func (sp Span) WithStr(key, v string) Span {
+	if sp.s == nil || int(sp.ev.NAttrs) >= maxAttrs {
+		return sp
+	}
+	sp.ev.Attrs[sp.ev.NAttrs] = Attr{Key: key, Str: v}
+	sp.ev.NAttrs++
+	return sp
+}
+
+// End completes the span and records it.
+func (sp Span) End() {
+	if sp.s == nil {
+		return
+	}
+	sp.ev.DurNs = time.Now().UnixNano() - sp.ev.TsNs
+	sp.s.record(sp.ev)
+}
+
+// Emit records the span as an instant event at its start time.
+func (sp Span) Emit() {
+	if sp.s == nil {
+		return
+	}
+	sp.ev.Phase = 'i'
+	sp.s.record(sp.ev)
+}
+
+// Dropped returns how many events the ring overwrote before they were
+// ever read (the pilgrim_obs_dropped_total value).
+func (s *Sink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Len returns how many events the ring currently holds.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		c := sh.head
+		if c > uint64(len(sh.buf)) {
+			c = uint64(len(sh.buf))
+		}
+		n += int(c)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Events snapshots the ring's current contents in recording order
+// (ascending Seq). Scrape path: allocates freely.
+func (s *Sink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	var out []Event
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n := uint64(len(sh.buf))
+		count := sh.head
+		if count > n {
+			count = n
+		}
+		start := sh.head - count
+		for k := uint64(0); k < count; k++ {
+			out = append(out, sh.buf[(start+k)%n])
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// EventsForRun snapshots only the events stamped with run (WithRun).
+func (s *Sink) EventsForRun(run string) []Event {
+	evs := s.Events()
+	out := evs[:0]
+	for _, ev := range evs {
+		if ev.Run == run {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// --- trace-event export ------------------------------------------------------
+
+// TraceDoc renders the current ring contents as a Chrome trace-event
+// document: one pid ("pilgrim-pipeline"), one tid per category (plus
+// a drop marker when the ring has overwritten events). Timestamps are
+// rebased to the earliest event so Perfetto opens at t=0.
+func (s *Sink) TraceDoc() *traceevent.Doc {
+	return BuildDoc(s.Events(), s.Dropped())
+}
+
+// BuildDoc renders an explicit event slice (e.g. one run's) as a
+// trace-event document.
+func BuildDoc(evs []Event, dropped int64) *traceevent.Doc {
+	doc := traceevent.NewDoc()
+	doc.Add(traceevent.ProcessName(0, "pilgrim-pipeline"))
+
+	cats := map[string]int{}
+	var catNames []string
+	for _, ev := range evs {
+		if _, ok := cats[ev.Cat]; !ok {
+			cats[ev.Cat] = 0
+			catNames = append(catNames, ev.Cat)
+		}
+	}
+	sort.Strings(catNames)
+	for i, c := range catNames {
+		cats[c] = i
+		doc.Add(traceevent.ThreadName(0, i, c))
+	}
+
+	var base int64
+	for i, ev := range evs {
+		if i == 0 || ev.TsNs < base {
+			base = ev.TsNs
+		}
+	}
+	for _, ev := range evs {
+		args := map[string]any{"seq": ev.Seq}
+		if ev.Run != "" {
+			args["run"] = ev.Run
+			args["epoch"] = ev.Epoch
+		}
+		if ev.Rank >= 0 {
+			args["rank"] = ev.Rank
+		}
+		for i := 0; i < int(ev.NAttrs); i++ {
+			a := ev.Attrs[i]
+			if a.Str != "" {
+				args[a.Key] = a.Str
+			} else {
+				args[a.Key] = a.Int
+			}
+		}
+		te := traceevent.Event{
+			Name: ev.Name,
+			Ts:   traceevent.US(ev.TsNs - base),
+			Pid:  0, Tid: cats[ev.Cat],
+			Cat:  ev.Cat,
+			Args: args,
+		}
+		if ev.Phase == 'i' {
+			te.Ph, te.S = "i", "t"
+		} else {
+			te.Ph, te.Dur = "X", traceevent.US(ev.DurNs)
+		}
+		doc.Add(te)
+	}
+	if dropped > 0 {
+		doc.Add(traceevent.Event{
+			Name: "obs.dropped", Ph: "i", S: "p", Cat: "obs",
+			Ts: 0, Pid: 0, Tid: 0,
+			Args: map[string]any{"dropped_total": dropped},
+		})
+	}
+	return doc
+}
+
+// DumpFile writes the flight recorder as trace-event JSON to path,
+// atomically (tmp + rename), so a reader never observes a torn dump
+// even if the writer dies mid-write.
+func (s *Sink) DumpFile(path string) error {
+	if s == nil {
+		return nil
+	}
+	tmp := path + ".tmp." + strconv.Itoa(os.Getpid())
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	werr := s.TraceDoc().Write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return os.Rename(tmp, path)
+}
+
+// AutoDump persists the flight recorder to path every interval until
+// the returned stop func is called. This is what makes the recorder
+// crash-dumpable through SIGKILL: the last completed dump survives no
+// matter how the process dies. Dump errors are silently retried next
+// tick — the recorder must never take the pipeline down.
+func (s *Sink) AutoDump(path string, every time.Duration) (stop func()) {
+	if s == nil || path == "" {
+		return func() {}
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	os.MkdirAll(filepath.Dir(path), 0o755)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.DumpFile(path)
+			case <-done:
+				s.DumpFile(path) // final consistent dump on graceful stop
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}

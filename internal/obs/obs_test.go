@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/traceevent"
+)
+
+func TestRecordAndSnapshotOrder(t *testing.T) {
+	s := NewSink(64)
+	for i := 0; i < 10; i++ {
+		s.Start("cat", "ev").WithRun("run-a", i, 7).WithAttr("i", int64(i)).End()
+	}
+	s.Start("other", "blip").Emit()
+	evs := s.Events()
+	if len(evs) != 11 {
+		t.Fatalf("got %d events, want 11", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[0].Run != "run-a" || evs[0].Rank != 0 || evs[0].Epoch != 7 {
+		t.Fatalf("run identity lost: %+v", evs[0])
+	}
+	if evs[0].Phase != 'X' || evs[10].Phase != 'i' {
+		t.Fatalf("phases wrong: %c %c", evs[0].Phase, evs[10].Phase)
+	}
+	if got := s.EventsForRun("run-a"); len(got) != 10 {
+		t.Fatalf("EventsForRun: got %d, want 10", len(got))
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("dropped %d without overflow", s.Dropped())
+	}
+}
+
+func TestOverflowDropsOldest(t *testing.T) {
+	const cap = 16
+	s := NewSink(cap)
+	for i := 0; i < 3*cap; i++ {
+		s.Start("c", "e").WithAttr("i", int64(i)).End()
+	}
+	evs := s.Events()
+	if len(evs) != cap {
+		t.Fatalf("ring holds %d, want %d", len(evs), cap)
+	}
+	if got := s.Dropped(); got != 2*cap {
+		t.Fatalf("dropped = %d, want %d", got, 2*cap)
+	}
+	// What survives is the newest events: every retained seq must be
+	// from the last window per shard, so all attrs are >= cap.
+	for _, ev := range evs {
+		if ev.Attrs[0].Int < cap {
+			t.Fatalf("oldest event %d survived a full overwrite cycle", ev.Attrs[0].Int)
+		}
+	}
+	if s.Len() != cap {
+		t.Fatalf("Len = %d, want %d", s.Len(), cap)
+	}
+}
+
+// TestDisabledSinkZeroAllocs pins the disabled path: a nil sink must
+// cost one nil check and zero allocations per call site, the same
+// contract internal/metrics gives the tracer hot path.
+func TestDisabledSinkZeroAllocs(t *testing.T) {
+	var s *Sink
+	n := testing.AllocsPerRun(1000, func() {
+		sp := s.Start("cat", "name").WithRun("run", 3, 9).WithAttr("k", 1).WithStr("s", "v")
+		sp.End()
+		s.Start("cat", "instant").Emit()
+		_ = s.Events()
+		_ = s.Dropped()
+		_ = s.Len()
+	})
+	if n != 0 {
+		t.Fatalf("disabled sink allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestEnabledRecordZeroAllocs pins the enabled record path: the ring
+// slot is preallocated, so Start/attrs/End allocate nothing.
+func TestEnabledRecordZeroAllocs(t *testing.T) {
+	s := NewSink(1024)
+	n := testing.AllocsPerRun(1000, func() {
+		s.Start("cat", "name").WithRun("run", 3, 9).WithAttr("k", 1).End()
+	})
+	if n != 0 {
+		t.Fatalf("enabled record path allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	s := NewSink(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Start("conc", "e").WithRun("r", g, 1).WithAttr("i", int64(i)).End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 256 {
+		t.Fatalf("Len = %d, want full ring 256", s.Len())
+	}
+	if s.Dropped() != 8*500-256 {
+		t.Fatalf("dropped = %d, want %d", s.Dropped(), 8*500-256)
+	}
+	evs := s.Events()
+	seen := map[uint64]bool{}
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestTraceDocWellFormed(t *testing.T) {
+	s := NewSink(8) // force drops so the drop marker is exercised
+	for i := 0; i < 20; i++ {
+		s.Start("collect", "ingest.snapshot").WithRun("run-x", i%4, 2).WithAttr("bytes", 100).End()
+	}
+	s.Start("client", "send").WithStr("result", "ok").Emit()
+
+	var buf bytes.Buffer
+	if err := s.TraceDoc().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceevent.Doc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("dump is not valid trace-event JSON: %v", err)
+	}
+	var spans, instants, metas int
+	var sawDropMarker bool
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Ts < 0 {
+				t.Fatalf("negative rebased timestamp: %+v", ev)
+			}
+		case "i":
+			instants++
+			if ev.Name == "obs.dropped" {
+				sawDropMarker = true
+			}
+		case "M":
+			metas++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if spans == 0 || instants == 0 || metas < 3 { // process + 2 category tracks
+		t.Fatalf("doc shape wrong: %d spans, %d instants, %d metas", spans, instants, metas)
+	}
+	if !sawDropMarker {
+		t.Fatal("overflowed ring produced no obs.dropped marker")
+	}
+}
+
+func TestDumpFileAndAutoDump(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSink(64)
+	s.Start("collect", "conn").WithAttr("frames", 3).End()
+
+	path := filepath.Join(dir, "flight-test.json")
+	if err := s.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	validateDump(t, path)
+
+	live := filepath.Join(dir, "flight-live.json")
+	stop := s.AutoDump(live, 10*time.Millisecond)
+	s.Start("collect", "ingest.snapshot").WithRun("r", 0, 1).End()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := os.Stat(live); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("autodump never wrote the live file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	validateDump(t, live)
+
+	// stop() is idempotent and leaves a final consistent dump.
+	stop()
+	var doc traceevent.Doc
+	data, err := os.ReadFile(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "ingest.snapshot" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("final dump missing the event recorded after AutoDump started")
+	}
+}
+
+func validateDump(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceevent.Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("%s is not valid trace-event JSON: %v", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatalf("%s has no events", path)
+	}
+}

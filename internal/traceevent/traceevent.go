@@ -1,0 +1,64 @@
+// Package traceevent is the shared Chrome trace-event JSON writer:
+// the lingua franca of timeline tooling (Perfetto, chrome://tracing,
+// Pipit-style dataframe loaders). Two producers emit it — the
+// post-mortem MPI analysis (internal/analysis) and the pipeline's own
+// span tracer (internal/obs) — so the document shape lives here once.
+//
+// Timestamps are microseconds with fractional nanosecond resolution,
+// per the trace-event spec.
+package traceevent
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Event is one trace-event record. The field set is the subset of the
+// spec both producers use: complete spans ("X"), instants ("i"),
+// metadata ("M"), and flow arrows ("s"/"f").
+type Event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope: t(hread), p(rocess), g(lobal)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Doc is a complete trace-event document (the JSON-object form, which
+// Perfetto and chrome://tracing both load).
+type Doc struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// NewDoc returns an empty document displaying nanoseconds.
+func NewDoc() *Doc { return &Doc{DisplayTimeUnit: "ns"} }
+
+// Add appends events.
+func (d *Doc) Add(evs ...Event) { d.TraceEvents = append(d.TraceEvents, evs...) }
+
+// Write encodes the document as JSON.
+func (d *Doc) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(d)
+}
+
+// US converts nanoseconds to the spec's microsecond unit.
+func US(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ThreadName returns the metadata event naming a (pid, tid) track.
+func ThreadName(pid, tid int, name string) Event {
+	return Event{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}}
+}
+
+// ProcessName returns the metadata event naming a pid.
+func ProcessName(pid int, name string) Event {
+	return Event{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name}}
+}

@@ -1,0 +1,39 @@
+package traceevent
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestDocRoundtrip(t *testing.T) {
+	doc := NewDoc()
+	doc.Add(ProcessName(0, "pilgrim"))
+	doc.Add(ThreadName(0, 3, "rank 3"))
+	doc.Add(Event{Name: "MPI_Send", Ph: "X", Ts: US(1500), Dur: US(250), Tid: 3,
+		Args: map[string]any{"call": 7}})
+	doc.Add(Event{Name: "drop", Ph: "i", Ts: US(2000), Tid: 3, S: "t"})
+
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Doc
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("document is not valid JSON: %v", err)
+	}
+	if got.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", got.DisplayTimeUnit)
+	}
+	if len(got.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(got.TraceEvents))
+	}
+	if got.TraceEvents[2].Ts != 1.5 || got.TraceEvents[2].Dur != 0.25 {
+		t.Fatalf("µs conversion broken: ts=%v dur=%v", got.TraceEvents[2].Ts, got.TraceEvents[2].Dur)
+	}
+	for _, ev := range got.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" {
+			t.Fatalf("event missing name/ph: %+v", ev)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/metrics"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/obs"
 	"github.com/hpcrepro/pilgrim/internal/trace"
 	"github.com/hpcrepro/pilgrim/mpi"
 )
@@ -174,6 +175,10 @@ func collectFinalize(tracers []*Tracer, opts Options) (*TraceFile, FinalizeStats
 			TimingMode: opts.TimingMode,
 			TimingBase: opts.TimingBase,
 		},
+		// The run's flight recorder covers the networked path too: dial,
+		// send, backoff, NACK, and wait spans land next to the finalize
+		// stages on the same timeline.
+		Obs: opts.ObsSink,
 	}
 	file, err := client.Collect(snaps)
 	if err != nil {
@@ -296,6 +301,19 @@ func ServeMetrics(addr string, c *MetricsCollector) (*MetricsServer, error) {
 func StartProgressReporter(w io.Writer, c *MetricsCollector, every time.Duration) (stop func()) {
 	return c.StartReporter(w, every)
 }
+
+// ObsSink is the pipeline flight recorder: a fixed-size ring buffer of
+// typed span/instant events covering the tracer finalize stages and
+// (when Options.CollectorAddr is set) the client's networked path.
+// Attach one via Options.ObsSink; nil (the default) disables recording
+// at one pointer check per instrumented site. Dump it with
+// ObsSink.DumpFile — the output is Chrome trace-event JSON loadable in
+// Perfetto.
+type ObsSink = obs.Sink
+
+// NewObsSink builds a flight recorder holding up to bufEvents events
+// (<= 0 means the 4096-event default). Overflow drops oldest.
+func NewObsSink(bufEvents int) *ObsSink { return obs.NewSink(bufEvents) }
 
 // Version is the library version.
 const Version = "1.0.0"
