@@ -59,6 +59,8 @@ func main() {
 		maxRuns   = flag.Int("max-runs", 0, "max runs collecting at once; further run creations are NACKed (0 = unlimited)")
 		maxBytes  = flag.Int64("max-run-bytes", 0, "max snapshot bytes accepted per run; the snapshot exceeding it is NACKed (0 = unlimited)")
 		maxConns  = flag.Int("max-conns", 0, "max concurrent ingest connections; further connections are NACKed and closed (0 = unlimited)")
+		await     = flag.Duration("await-stragglers", 2*time.Second, "mark an incomplete run's health phase awaiting-stragglers after this long with no arrivals (negative disables)")
+		lagWarn   = flag.Duration("journal-lag-warn", time.Second, "warn (rate-limited) when a journal fsync lands later than this after its oldest queued byte (0 disables)")
 		obsOn     = flag.Bool("obs", true, "enable the pipeline flight recorder (span tracing; GET /debug/flight)")
 		obsBuf    = flag.Int("obs-buf", obs.DefaultBuf, "flight recorder capacity in events (overflow drops oldest)")
 		obsDump   = flag.String("obs-dump", "", "directory for flight recorder crash dumps (flight-*.json); empty = -out-dir, \"off\" disables")
@@ -124,6 +126,8 @@ func main() {
 		MaxRuns:           *maxRuns,
 		MaxRunBytes:       *maxBytes,
 		MaxConns:          *maxConns,
+		AwaitStragglers:   *await,
+		JournalLagWarn:    *lagWarn,
 		Obs:               sink,
 		Logf:              logf,
 	})

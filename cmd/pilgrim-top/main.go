@@ -1,0 +1,410 @@
+// pilgrim-top is a live terminal dashboard for a pilgrim-collectd
+// fleet view: it subscribes to the collector's /watch SSE stream and
+// scrapes /debug/vars, rendering a runs table (phase, rank progress
+// bar, bytes, ingest rate, last arrival age), ingest/finalize/e2e
+// latency percentiles, and obs-drop / journal-lag / watch-drop gauges.
+// Dependency-free: plain net/http plus ANSI escapes.
+//
+// Usage:
+//
+//	pilgrim-top -admin localhost:7778          # live dashboard, 1s refresh
+//	pilgrim-top -admin localhost:7778 -once    # one snapshot to stdout (CI/scripts)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// healthRow mirrors internal/collect.HealthStatus (decoded from JSON;
+// no import so the binary stays a pure admin-API consumer).
+type healthRow struct {
+	Run               string  `json:"run"`
+	Phase             string  `json:"phase"`
+	Epoch             uint64  `json:"epoch"`
+	WorldSize         int     `json:"world_size"`
+	RanksSeen         int     `json:"ranks_seen"`
+	Bytes             int64   `json:"bytes"`
+	IngestRateBps     float64 `json:"ingest_rate_bps"`
+	LastArrivalAgeSec float64 `json:"last_arrival_age_sec"`
+	JournalLagNs      int64   `json:"journal_fsync_lag_ns"`
+	ClockOffsetNs     int64   `json:"clock_offset_ns"`
+}
+
+// watchEvent is the /watch stream's JSON payload.
+type watchEvent struct {
+	Type   string     `json:"type"`
+	Run    string     `json:"run"`
+	Phase  string     `json:"phase"`
+	Prev   string     `json:"prev"`
+	TsNs   int64      `json:"ts_ns"`
+	Health *healthRow `json:"health"`
+}
+
+// model is the dashboard's state, fed by the watch stream and scrapes.
+type model struct {
+	mu        sync.Mutex
+	runs      map[string]*healthRow
+	events    []string // recent event log lines, newest last
+	vars      map[string]json.RawMessage
+	connected bool
+	scrapeErr string
+}
+
+func newModel() *model { return &model{runs: make(map[string]*healthRow)} }
+
+func (m *model) applyEvent(ev watchEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ev.Health != nil {
+		m.runs[ev.Health.Run] = ev.Health
+	} else if ev.Run != "" && ev.Phase != "" {
+		if r, ok := m.runs[ev.Run]; ok {
+			r.Phase = ev.Phase
+		} else {
+			m.runs[ev.Run] = &healthRow{Run: ev.Run, Phase: ev.Phase}
+		}
+	}
+	if ev.Type == "phase" || ev.Type == "run-admitted" {
+		line := fmt.Sprintf("%s  %-12s %s", time.Unix(0, ev.TsNs).Format("15:04:05"), ev.Type, ev.Run)
+		if ev.Type == "phase" {
+			line += fmt.Sprintf(": %s → %s", ev.Prev, ev.Phase)
+		}
+		m.events = append(m.events, line)
+		if len(m.events) > 8 {
+			m.events = m.events[len(m.events)-8:]
+		}
+	}
+}
+
+// watchLoop follows the SSE stream, reconnecting with backoff.
+func (m *model) watchLoop(base string, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		err := m.watchOnce(base, done)
+		m.mu.Lock()
+		m.connected = false
+		if err != nil {
+			m.scrapeErr = err.Error()
+		}
+		m.mu.Unlock()
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+func (m *model) watchOnce(base string, done <-chan struct{}) error {
+	resp, err := http.Get(base + "/watch")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/watch: %s", resp.Status)
+	}
+	m.mu.Lock()
+	m.connected, m.scrapeErr = true, ""
+	m.mu.Unlock()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-done:
+			resp.Body.Close() // unblocks the scanner
+		case <-stop:
+		}
+	}()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // event: lines, keepalive comments, blank separators
+		}
+		var ev watchEvent
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue
+		}
+		m.applyEvent(ev)
+	}
+	return sc.Err()
+}
+
+// scrape pulls /runs + per-run health + /debug/vars once.
+func (m *model) scrape(base string) error {
+	var runs []struct {
+		ID string `json:"id"`
+	}
+	if err := getJSON(base+"/runs", &runs); err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(runs))
+	for _, r := range runs {
+		var h healthRow
+		if err := getJSON(base+"/runs/"+r.ID+"/health", &h); err != nil {
+			continue
+		}
+		seen[r.ID] = true
+		m.mu.Lock()
+		m.runs[h.Run] = &h
+		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	for id := range m.runs {
+		if !seen[id] {
+			delete(m.runs, id)
+		}
+	}
+	m.mu.Unlock()
+	var vars map[string]json.RawMessage
+	if err := getJSON(base+"/debug/vars", &vars); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.vars = vars
+	m.mu.Unlock()
+	return nil
+}
+
+func getJSON(url string, v any) error {
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// histo is the expvar shape the metrics registry emits for histograms.
+type histo struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+func (m *model) histo(name string) (histo, bool) {
+	var h histo
+	raw, ok := m.vars[name]
+	if !ok {
+		return h, false
+	}
+	return h, json.Unmarshal(raw, &h) == nil
+}
+
+func (m *model) scalar(name string) float64 {
+	var v float64
+	if raw, ok := m.vars[name]; ok {
+		json.Unmarshal(raw, &v)
+	}
+	return v
+}
+
+// --- rendering ---------------------------------------------------------------
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func fmtDurNs(ns float64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// bar renders an N-cell progress bar.
+func bar(got, want, width int) string {
+	if want <= 0 {
+		want = 1
+	}
+	fill := got * width / want
+	if fill > width {
+		fill = width
+	}
+	return "[" + strings.Repeat("#", fill) + strings.Repeat(".", width-fill) + "]"
+}
+
+func phaseColor(phase string, color bool) (string, string) {
+	if !color {
+		return "", ""
+	}
+	switch phase {
+	case "finalized":
+		return "\x1b[32m", "\x1b[0m" // green
+	case "salvaged", "awaiting-stragglers":
+		return "\x1b[33m", "\x1b[0m" // yellow
+	case "failed":
+		return "\x1b[31m", "\x1b[0m" // red
+	case "ingesting", "finalizing":
+		return "\x1b[36m", "\x1b[0m" // cyan
+	default:
+		return "", ""
+	}
+}
+
+func (m *model) render(w *strings.Builder, base string, color bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	link := "live"
+	if !m.connected {
+		link = "polling"
+		if m.scrapeErr != "" {
+			link = "disconnected (" + m.scrapeErr + ")"
+		}
+	}
+	fmt.Fprintf(w, "pilgrim-top — %s — %s — %s\n\n", base, time.Now().Format("15:04:05"), link)
+
+	ids := make([]string, 0, len(m.runs))
+	for id := range m.runs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(w, "%-20s %-20s %-22s %10s %10s %9s %9s\n",
+		"RUN", "PHASE", "RANKS", "BYTES", "RATE", "LAST-ARR", "JLAG")
+	if len(ids) == 0 {
+		fmt.Fprintf(w, "  (no runs)\n")
+	}
+	for _, id := range ids {
+		r := m.runs[id]
+		on, off := phaseColor(r.Phase, color)
+		ranks := fmt.Sprintf("%s %d/%d", bar(r.RanksSeen, r.WorldSize, 10), r.RanksSeen, r.WorldSize)
+		age := "-"
+		if r.LastArrivalAgeSec >= 0 {
+			age = fmt.Sprintf("%.1fs", r.LastArrivalAgeSec)
+		}
+		jlag := "-"
+		if r.JournalLagNs > 0 {
+			jlag = fmtDurNs(float64(r.JournalLagNs))
+		}
+		fmt.Fprintf(w, "%-20s %s%-20s%s %-22s %10s %8.0f/s %9s %9s\n",
+			r.Run, on, r.Phase, off, ranks, fmtBytes(r.Bytes), r.IngestRateBps, age, jlag)
+	}
+
+	fmt.Fprintf(w, "\n%-28s %10s %10s %10s %10s\n", "LATENCY", "count", "p50", "p95", "p99")
+	for _, h := range []struct{ label, name string }{
+		{"merge", "pilgrim_collect_merge_ns"},
+		{"finalize", "pilgrim_collect_finalize_ns"},
+		{"e2e client→collector", "pilgrim_collect_e2e_latency_ns"},
+		{"journal fsync lag", "pilgrim_collect_journal_fsync_lag_ns"},
+	} {
+		hi, ok := m.histo(h.name)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %10d %10s %10s %10s\n", h.label, hi.Count,
+			fmtDurNs(hi.P50), fmtDurNs(hi.P95), fmtDurNs(hi.P99))
+	}
+
+	fmt.Fprintf(w, "\nsnapshots=%d dup=%d rejected=%d  conns=%.0f  watch: subs=%.0f events=%d dropped=%d  obs-drops=%d\n",
+		int64(m.scalar("pilgrim_collect_ingest_snapshots_total")),
+		int64(m.scalar("pilgrim_collect_duplicate_snapshots_total")),
+		int64(m.scalar("pilgrim_collect_rejected_snapshots_total")),
+		m.scalar("pilgrim_collect_active_conns"),
+		m.scalar("pilgrim_collect_watch_subscribers"),
+		int64(m.scalar("pilgrim_collect_watch_events_total")),
+		int64(m.scalar("pilgrim_collect_watch_dropped_total")),
+		int64(m.scalar("pilgrim_obs_dropped_total")))
+
+	if len(m.events) > 0 {
+		fmt.Fprintf(w, "\nRECENT\n")
+		for _, line := range m.events {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+}
+
+func main() {
+	var (
+		admin    = flag.String("admin", "localhost:7778", "collector admin API address (host:port or URL)")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "print one snapshot and exit (scripts/CI)")
+		noColor  = flag.Bool("no-color", false, "disable ANSI colors")
+	)
+	flag.Parse()
+
+	base := *admin
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	m := newModel()
+
+	if *once {
+		if err := m.scrape(base); err != nil {
+			fmt.Fprintln(os.Stderr, "pilgrim-top:", err)
+			os.Exit(1)
+		}
+		var b strings.Builder
+		m.render(&b, base, false)
+		fmt.Print(b.String())
+		return
+	}
+
+	color := !*noColor && os.Getenv("NO_COLOR") == ""
+	done := make(chan struct{})
+	go m.watchLoop(base, done)
+	defer close(done)
+
+	// Alternate screen buffer so exiting restores the terminal.
+	fmt.Print("\x1b[?1049h\x1b[?25l")
+	defer fmt.Print("\x1b[?25h\x1b[?1049l")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		if err := m.scrape(base); err != nil {
+			m.mu.Lock()
+			m.scrapeErr = err.Error()
+			m.mu.Unlock()
+		}
+		var b strings.Builder
+		b.WriteString("\x1b[H\x1b[2J")
+		m.render(&b, base, color)
+		fmt.Print(b.String())
+		select {
+		case <-tick.C:
+		case <-sig:
+			return // deferred escapes restore the terminal
+		}
+	}
+}

@@ -66,6 +66,25 @@ func adminRoutes(s *Server) []adminRoute {
 			}
 			writeJSON(w, st)
 		}},
+		{"GET /runs/{id}/health", "live health: phase, progress, rates, clock offset", func(w http.ResponseWriter, r *http.Request) {
+			h, ok := s.Health(r.PathValue("id"))
+			if !ok {
+				http.Error(w, "unknown run", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, h)
+		}},
+		{"GET /watch", "live fleet event stream (SSE: lifecycle + health deltas)", func(w http.ResponseWriter, r *http.Request) {
+			s.serveWatch(w, r, "")
+		}},
+		{"GET /runs/{id}/watch", "live event stream scoped to one run (SSE)", func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			if _, ok := s.Run(id); !ok {
+				http.Error(w, "unknown run", http.StatusNotFound)
+				return
+			}
+			s.serveWatch(w, r, id)
+		}},
 		{"GET /runs/{id}/spans", "pipeline span timeline (?format=trace for Perfetto)", func(w http.ResponseWriter, r *http.Request) {
 			id := r.PathValue("id")
 			if _, ok := s.Run(id); !ok {
@@ -146,6 +165,65 @@ func AdminHandler(s *Server) http.Handler {
 		w.Write(help)
 	})
 	return mux
+}
+
+// watchHeartbeat spaces SSE keepalive comments so idle proxies don't
+// reap a quiet stream.
+const watchHeartbeat = 15 * time.Second
+
+// serveWatch streams watch events to one SSE subscriber. The
+// subscriber gets an initial health snapshot of every matching run,
+// then live events as they happen; a subscriber that stops reading is
+// fed drop-oldest from its bounded mailbox and never slows ingest.
+func (s *Server) serveWatch(w http.ResponseWriter, req *http.Request, runID string) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	sub := s.watch.subscribe(runID)
+	defer s.watch.unsubscribe(sub)
+
+	// Initial state: one health event per matching run, so a fresh
+	// subscriber renders the fleet before the first live transition.
+	now := time.Now().UnixNano()
+	for _, h := range s.Healths() {
+		if runID != "" && h.Run != runID {
+			continue
+		}
+		ev := WatchEvent{Type: "health", Run: h.Run, Phase: h.Phase, TsNs: now, Health: &h}
+		if _, err := w.Write(ev.sseMessage()); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+
+	heartbeat := time.NewTicker(watchHeartbeat)
+	defer heartbeat.Stop()
+	ctx := req.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.shutdown:
+			return
+		case msg := <-sub.ch:
+			if _, err := w.Write(msg); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if _, err := w.Write([]byte(": keepalive\n\n")); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

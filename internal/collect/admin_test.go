@@ -44,7 +44,8 @@ func TestAdminRoutesTable(t *testing.T) {
 		{"index", "/", 200, "text/plain",
 			[]string{"/healthz", "/runs", "/runs/{id}", "/runs/{id}/trace",
 				"/runs/{id}/recovery", "/runs/{id}/spans", "/debug/flight",
-				"/metrics", "/debug/vars"}},
+				"/metrics", "/debug/vars", "/runs/{id}/health", "/watch",
+				"/runs/{id}/watch"}},
 		{"healthz", "/healthz", 200, "application/json", []string{`"ok": true`}},
 		{"runs", "/runs", 200, "application/json", []string{`"admintab"`}},
 		{"run", "/runs/admintab", 200, "application/json", []string{`"state": "finalized"`}},
@@ -53,6 +54,10 @@ func TestAdminRoutesTable(t *testing.T) {
 		{"trace unknown", "/runs/ghost/trace", 404, "", nil},
 		{"recovery", "/runs/admintab/recovery", 200, "application/json", []string{`"recovered"`}},
 		{"recovery unknown", "/runs/ghost/recovery", 404, "", nil},
+		{"health", "/runs/admintab/health", 200, "application/json",
+			[]string{`"phase": "finalized"`, `"ranks_seen": 2`, `"ingest_rate_bps"`}},
+		{"health unknown", "/runs/ghost/health", 404, "", nil},
+		{"watch unknown run", "/runs/ghost/watch", 404, "", nil},
 		{"spans", "/runs/admintab/spans", 200, "application/json",
 			[]string{`"run": "admintab"`, "finalize.run"}},
 		{"spans unknown", "/runs/ghost/spans", 404, "", nil},
@@ -66,7 +71,11 @@ func TestAdminRoutesTable(t *testing.T) {
 			"pilgrim_build_info{version=",
 			"pilgrim_collect_uptime_seconds",
 			"pilgrim_collect_goroutines",
-			"pilgrim_obs_dropped_total"}},
+			"pilgrim_obs_dropped_total",
+			"pilgrim_collect_e2e_latency_ns",
+			"pilgrim_collect_journal_fsync_lag_ns",
+			`pilgrim_collect_run_phase{phase="finalized"}`,
+			"pilgrim_collect_watch_subscribers"}},
 		{"vars", "/debug/vars", 200, "application/json", nil},
 		{"unknown path", "/nope", 404, "", nil},
 	}

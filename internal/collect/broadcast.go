@@ -1,0 +1,125 @@
+package collect
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// WatchEvent is one JSON event on the /watch stream.
+type WatchEvent struct {
+	Type   string        `json:"type"` // run-admitted | phase | health | run-finalized | ...
+	Run    string        `json:"run,omitempty"`
+	Phase  string        `json:"phase,omitempty"`
+	Prev   string        `json:"prev,omitempty"`
+	TsNs   int64         `json:"ts_ns"`
+	Health *HealthStatus `json:"health,omitempty"`
+}
+
+// sseMessage renders the event as a complete Server-Sent-Events message
+// (pre-marshaled once per publish, shared by every subscriber).
+func (e WatchEvent) sseMessage() []byte {
+	body, err := json.Marshal(e)
+	if err != nil {
+		body = []byte(`{"type":"error","error":"marshal"}`)
+	}
+	buf := make([]byte, 0, len(e.Type)+len(body)+24)
+	buf = append(buf, "event: "...)
+	buf = append(buf, e.Type...)
+	buf = append(buf, "\ndata: "...)
+	buf = append(buf, body...)
+	buf = append(buf, "\n\n"...)
+	return buf
+}
+
+// watchSub is one /watch subscriber: a bounded mailbox of pre-rendered
+// SSE messages. The publisher never blocks on it — when the mailbox is
+// full the oldest message is dropped to admit the newest.
+type watchSub struct {
+	ch      chan []byte
+	run     string // "" = fleet-wide
+	dropped atomic.Int64
+}
+
+// broadcaster fans lifecycle/health events out to /watch subscribers.
+// The publish path is designed to cost one atomic load when nobody is
+// watching, and to never block the ingest path regardless of how slow
+// or stalled any subscriber is.
+type broadcaster struct {
+	mu   sync.Mutex
+	subs map[*watchSub]struct{}
+	n    atomic.Int64 // len(subs), readable without mu
+
+	m *Metrics
+}
+
+func newBroadcaster(m *Metrics) *broadcaster {
+	return &broadcaster{subs: make(map[*watchSub]struct{}), m: m}
+}
+
+const watchSubBuffer = 256
+
+func (b *broadcaster) subscribe(run string) *watchSub {
+	sub := &watchSub{ch: make(chan []byte, watchSubBuffer), run: run}
+	b.mu.Lock()
+	b.subs[sub] = struct{}{}
+	b.n.Store(int64(len(b.subs)))
+	b.mu.Unlock()
+	if b.m != nil {
+		b.m.WatchSubscribers.Add(1)
+	}
+	return sub
+}
+
+func (b *broadcaster) unsubscribe(sub *watchSub) {
+	b.mu.Lock()
+	_, present := b.subs[sub]
+	delete(b.subs, sub)
+	b.n.Store(int64(len(b.subs)))
+	b.mu.Unlock()
+	if present && b.m != nil {
+		b.m.WatchSubscribers.Add(-1)
+	}
+}
+
+// publish delivers ev to every matching subscriber, dropping each
+// subscriber's oldest queued message on overflow. Safe to call from the
+// ingest path: no subscriber can make this block.
+func (b *broadcaster) publish(ev WatchEvent) {
+	if b == nil || b.n.Load() == 0 {
+		return
+	}
+	msg := ev.sseMessage()
+	b.mu.Lock()
+	for sub := range b.subs {
+		if sub.run != "" && sub.run != ev.Run {
+			continue
+		}
+		b.offer(sub, msg)
+	}
+	b.mu.Unlock()
+	if b.m != nil {
+		b.m.WatchEvents.Add(1)
+	}
+}
+
+func (b *broadcaster) offer(sub *watchSub, msg []byte) {
+	for {
+		select {
+		case sub.ch <- msg:
+			return
+		default:
+		}
+		// Mailbox full: evict the oldest and retry. The subscriber may
+		// race us draining, so the retry loop (not a single attempt)
+		// guarantees the *newest* event is what survives.
+		select {
+		case <-sub.ch:
+			sub.dropped.Add(1)
+			if b.m != nil {
+				b.m.WatchDropped.Add(1)
+			}
+		default:
+		}
+	}
+}

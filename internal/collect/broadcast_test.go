@@ -1,0 +1,165 @@
+package collect
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testEvent(i int) WatchEvent {
+	return WatchEvent{Type: "phase", Run: "r", Phase: "ingesting", TsNs: int64(i)}
+}
+
+// decodeSSE parses one pre-rendered SSE message back into its event.
+func decodeSSE(t *testing.T, msg []byte) WatchEvent {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(string(msg)), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "event: ") || !strings.HasPrefix(lines[1], "data: ") {
+		t.Fatalf("malformed SSE message: %q", msg)
+	}
+	var ev WatchEvent
+	if err := json.Unmarshal([]byte(lines[1][len("data: "):]), &ev); err != nil {
+		t.Fatalf("bad SSE payload: %v", err)
+	}
+	return ev
+}
+
+// TestBroadcastDropOldest: a subscriber that never drains keeps the
+// NEWEST messages — the publisher evicts from the front of its mailbox.
+func TestBroadcastDropOldest(t *testing.T) {
+	m := NewMetrics(nil)
+	b := newBroadcaster(m)
+	sub := b.subscribe("")
+	total := watchSubBuffer + 50
+	for i := 0; i < total; i++ {
+		b.publish(testEvent(i))
+	}
+	if got := sub.dropped.Load(); got != 50 {
+		t.Fatalf("dropped %d, want 50", got)
+	}
+	if got := m.WatchDropped.Load(); got != 50 {
+		t.Fatalf("WatchDropped metric %d, want 50", got)
+	}
+	// The mailbox holds exactly the last watchSubBuffer events in order.
+	first := decodeSSE(t, <-sub.ch)
+	if first.TsNs != 50 {
+		t.Fatalf("oldest surviving event ts=%d, want 50", first.TsNs)
+	}
+	prev := first.TsNs
+	for len(sub.ch) > 0 {
+		ev := decodeSSE(t, <-sub.ch)
+		if ev.TsNs != prev+1 {
+			t.Fatalf("gap in survivors: %d after %d", ev.TsNs, prev)
+		}
+		prev = ev.TsNs
+	}
+	if prev != int64(total-1) {
+		t.Fatalf("newest survivor ts=%d, want %d", prev, total-1)
+	}
+	b.unsubscribe(sub)
+}
+
+// TestBroadcastScoping: a run-scoped subscriber sees only its run;
+// fleet subscribers see everything.
+func TestBroadcastScoping(t *testing.T) {
+	b := newBroadcaster(NewMetrics(nil))
+	fleet := b.subscribe("")
+	scoped := b.subscribe("run-a")
+	b.publish(WatchEvent{Type: "phase", Run: "run-a", TsNs: 1})
+	b.publish(WatchEvent{Type: "phase", Run: "run-b", TsNs: 2})
+	if len(fleet.ch) != 2 {
+		t.Fatalf("fleet subscriber got %d events, want 2", len(fleet.ch))
+	}
+	if len(scoped.ch) != 1 {
+		t.Fatalf("scoped subscriber got %d events, want 1", len(scoped.ch))
+	}
+	if ev := decodeSSE(t, <-scoped.ch); ev.Run != "run-a" {
+		t.Fatalf("scoped subscriber saw run %q", ev.Run)
+	}
+}
+
+// TestBroadcastUnsubscribe: gauge tracks subscriber count, double
+// unsubscribe is harmless, and a removed subscriber gets nothing.
+func TestBroadcastUnsubscribe(t *testing.T) {
+	m := NewMetrics(nil)
+	b := newBroadcaster(m)
+	s1, s2 := b.subscribe(""), b.subscribe("")
+	if got := m.WatchSubscribers.Load(); got != 2 {
+		t.Fatalf("subscribers gauge %v, want 2", got)
+	}
+	b.unsubscribe(s1)
+	b.unsubscribe(s1) // idempotent
+	if got := m.WatchSubscribers.Load(); got != 1 {
+		t.Fatalf("subscribers gauge %v after unsubscribe, want 1", got)
+	}
+	b.publish(testEvent(1))
+	if len(s1.ch) != 0 {
+		t.Fatal("unsubscribed mailbox received an event")
+	}
+	if len(s2.ch) != 1 {
+		t.Fatal("remaining subscriber missed the event")
+	}
+	b.unsubscribe(s2)
+	if got := m.WatchSubscribers.Load(); got != 0 {
+		t.Fatalf("subscribers gauge %v at end, want 0", got)
+	}
+}
+
+// TestBroadcastConcurrentPublish hammers publish from many goroutines
+// against subscribing/unsubscribing/draining peers; -race is the
+// assertion.
+func TestBroadcastConcurrentPublish(t *testing.T) {
+	b := newBroadcaster(NewMetrics(nil))
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.publish(testEvent(i))
+			}
+		}()
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sub := b.subscribe("")
+				for j := 0; j < 10; j++ {
+					select {
+					case <-sub.ch:
+					default:
+					}
+				}
+				b.unsubscribe(sub)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkPublishNoSubscribers is the ingest-path cost when nobody is
+// watching: one atomic load, no marshaling.
+func BenchmarkPublishNoSubscribers(b *testing.B) {
+	br := newBroadcaster(NewMetrics(nil))
+	ev := testEvent(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		br.publish(ev)
+	}
+}
+
+// BenchmarkPublishStalledSubscriber is the ingest-path cost with a
+// subscriber that never reads: marshal + drop-oldest, still bounded
+// and non-blocking.
+func BenchmarkPublishStalledSubscriber(b *testing.B) {
+	br := newBroadcaster(NewMetrics(nil))
+	br.subscribe("") // never drained
+	ev := testEvent(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		br.publish(ev)
+	}
+}

@@ -120,6 +120,29 @@ type Client struct {
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
+
+	// echo holds the latest completed hello/ack timing 4-tuple, carried
+	// back to the collector on the next hello (and flushed best-effort
+	// before each connection closes) to feed its clock-offset estimator.
+	echoMu sync.Mutex
+	echo   wire.ClockEcho
+}
+
+// storeEcho saves a completed round-trip sample for the next hello.
+func (c *Client) storeEcho(e wire.ClockEcho) {
+	c.echoMu.Lock()
+	c.echo = e
+	c.echoMu.Unlock()
+}
+
+// takeEcho returns the pending sample and clears it, so each round
+// trip feeds the collector's estimator exactly once.
+func (c *Client) takeEcho() wire.ClockEcho {
+	c.echoMu.Lock()
+	e := c.echo
+	c.echo = wire.ClockEcho{}
+	c.echoMu.Unlock()
+	return e
 }
 
 func (c *Client) logf(format string, args ...any) {
@@ -179,7 +202,11 @@ func (c *Client) hello(rank int) *wire.Hello {
 	}
 }
 
-// sendOnce runs one full attempt: dial, hello, snapshot, ack.
+// sendOnce runs one full attempt: dial, hello, snapshot, ack. The
+// hello carries live span context (a fresh span ID also stamped on the
+// client.send span, plus the send timestamp) so the collector can link
+// its ingest spans to ours and correct the one-way latency for clock
+// offset.
 func (c *Client) sendOnce(s *core.Snapshot) error {
 	dsp := c.Obs.Start("client", "client.dial").WithRun(c.Run.RunID, s.Rank, c.Run.Epoch)
 	conn, err := c.dial()
@@ -189,10 +216,16 @@ func (c *Client) sendOnce(s *core.Snapshot) error {
 	}
 	dsp.End()
 	defer conn.Close()
-	ssp := c.Obs.Start("client", "client.send").WithRun(c.Run.RunID, s.Rank, c.Run.Epoch)
+	spanID := obs.NextSpanID()
+	ssp := c.Obs.Start("client", "client.send").WithRun(c.Run.RunID, s.Rank, c.Run.Epoch).
+		WithSpanID(spanID)
 	deadline := time.Now().Add(c.ioTimeout())
 	conn.SetDeadline(deadline)
-	if err := wire.WriteFrame(conn, wire.TypeHello, c.hello(s.Rank).Encode()); err != nil {
+	h := c.hello(s.Rank)
+	h.SpanID = spanID
+	h.Echo = c.takeEcho()
+	h.SendNs = time.Now().UnixNano() // T1 of this exchange
+	if err := wire.WriteFrame(conn, wire.TypeHello, h.Encode()); err != nil {
 		ssp.WithStr("result", "error").End()
 		return fmt.Errorf("send hello: %w", err)
 	}
@@ -203,6 +236,7 @@ func (c *Client) sendOnce(s *core.Snapshot) error {
 		return fmt.Errorf("send snapshot: %w", err)
 	}
 	typ, body, err := wire.ReadFrame(conn)
+	ackRecvNs := time.Now().UnixNano() // T4 of this exchange
 	if err != nil {
 		ssp.WithStr("result", "error").End()
 		return fmt.Errorf("read ack: %w", err)
@@ -213,6 +247,19 @@ func (c *Client) sendOnce(s *core.Snapshot) error {
 		ack, err := wire.DecodeAck(body)
 		if err != nil {
 			return err
+		}
+		if ack.RecvNs != 0 && ack.SendNs != 0 {
+			sample := wire.ClockEcho{T1: h.SendNs, T2: ack.RecvNs, T3: ack.SendNs, T4: ackRecvNs}
+			if sample.Valid() {
+				c.storeEcho(sample)
+				// Best-effort trailing flush: without it, a producer whose
+				// connections each carry one snapshot would never get a
+				// completed sample back to the collector.
+				fh := c.hello(s.Rank)
+				fh.Echo = sample
+				fh.SendNs = time.Now().UnixNano()
+				wire.WriteFrame(conn, wire.TypeHello, fh.Encode())
+			}
 		}
 		if ack.Status == wire.AckError {
 			// The server understood us and said no (epoch mismatch, run

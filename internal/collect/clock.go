@@ -1,0 +1,86 @@
+package collect
+
+// NTP-style clock-offset estimation over Hello/Ack round trips.
+//
+// The client timestamps a hello as it leaves (T1); the collector stamps
+// receipt (T2) and ack transmit (T3); the client stamps ack receipt
+// (T4) and echoes the completed 4-tuple on its next hello. From one
+// sample:
+//
+//	offset θ = ((T2-T1) + (T3-T4)) / 2   (collector clock − client clock)
+//	delay  δ = (T4-T1) - (T3-T2)         (round-trip minus server hold)
+//
+// θ's error is bounded by δ/2, so the estimator keeps a small window of
+// recent samples and trusts the one with the smallest delay (the
+// classic NTP clock filter): queueing inflates δ symmetrically-ish, and
+// the minimum-delay exchange is the least-queued, hence least-skewed.
+
+const clockWindow = 8
+
+type clockSample struct {
+	offNs   int64 // θ
+	delayNs int64 // δ
+}
+
+// clockEstimator is not self-locking; callers hold the owning run's mu.
+type clockEstimator struct {
+	win   [clockWindow]clockSample
+	n     int // samples stored (≤ clockWindow)
+	next  int // ring write cursor
+	total int64
+}
+
+// addSample folds one completed round trip into the filter and returns
+// the current best offset estimate. ok is false until at least one
+// plausible sample has been seen.
+func (c *clockEstimator) addSample(t1, t2, t3, t4 int64) (offNs int64, ok bool) {
+	delay := (t4 - t1) - (t3 - t2)
+	if t4 < t1 || t3 < t2 || delay < 0 {
+		// Non-causal tuple: clock stepped mid-exchange or a corrupt echo.
+		return c.estimateOff()
+	}
+	off := ((t2 - t1) + (t3 - t4)) / 2
+	c.win[c.next] = clockSample{offNs: off, delayNs: delay}
+	c.next = (c.next + 1) % clockWindow
+	if c.n < clockWindow {
+		c.n++
+	}
+	c.total++
+	return c.estimateOff()
+}
+
+func (c *clockEstimator) estimateOff() (int64, bool) {
+	off, _, _, ok := c.estimate()
+	return off, ok
+}
+
+// estimate returns the minimum-delay sample in the window.
+func (c *clockEstimator) estimate() (offNs, delayNs, samples int64, ok bool) {
+	if c.n == 0 {
+		return 0, 0, 0, false
+	}
+	best := c.win[0]
+	for i := 1; i < c.n; i++ {
+		if c.win[i].delayNs < best.delayNs {
+			best = c.win[i]
+		}
+	}
+	return best.offNs, best.delayNs, c.total, true
+}
+
+// oneWay converts a client send timestamp and a collector receive
+// timestamp into a corrected one-way latency, clamped at zero (the
+// estimate can overshoot by up to δ/2).
+func (c *clockEstimator) oneWay(sendNs, recvNs int64) (int64, bool) {
+	off, ok := c.estimateOff()
+	if !ok {
+		return 0, false
+	}
+	// recvNs is on the collector clock; subtracting θ maps it onto the
+	// client clock, where sendNs lives.
+	l := (recvNs - off) - sendNs
+	if l < 0 {
+		l = 0
+	}
+	return l, true
+}

@@ -1,0 +1,137 @@
+package collect
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// simClock simulates a client whose clock runs `skew` ahead of the
+// collector's, exchanging over links with asymmetric delay plus
+// bounded random queueing jitter.
+type simClock struct {
+	rng         *rand.Rand
+	skewNs      int64 // client clock − collector clock
+	upNs, dnNs  int64 // base one-way delays (client→collector, back)
+	jitterNs    int64 // max extra queueing per direction
+	collectorNs int64 // current collector-clock time
+}
+
+// exchange runs one hello/ack round trip and returns the 4-tuple as
+// the client would echo it.
+func (s *simClock) exchange() (t1, t2, t3, t4 int64) {
+	up := s.upNs + s.rng.Int63n(s.jitterNs+1)
+	hold := int64(50_000) // server processing between recv and ack
+	dn := s.dnNs + s.rng.Int63n(s.jitterNs+1)
+	t1 = s.collectorNs + s.skewNs // client stamps its own clock
+	t2 = s.collectorNs + up
+	t3 = t2 + hold
+	t4 = t3 + dn + s.skewNs
+	s.collectorNs = t3 + dn + int64(time.Millisecond)
+	return
+}
+
+// TestClockEstimatorBoundedError: with true offset θ* and asymmetric
+// delays, NTP's θ error is bounded by δ/2 ≤ (up+dn+2·jitter)/2. The
+// min-delay filter should land well inside that bound.
+func TestClockEstimatorBoundedError(t *testing.T) {
+	const (
+		skew   = int64(25 * time.Millisecond) // client 25ms ahead
+		up     = int64(400_000)               // 400µs up
+		dn     = int64(900_000)               // 900µs down: asymmetric
+		jitter = int64(300_000)
+	)
+	sim := &simClock{rng: rand.New(rand.NewSource(7)), skewNs: -skew,
+		upNs: up, dnNs: dn, jitterNs: jitter, collectorNs: 1_000_000_000}
+	var est clockEstimator
+	for i := 0; i < 50; i++ {
+		est.addSample(sim.exchange())
+	}
+	off, delay, samples, ok := est.estimate()
+	if !ok || samples != 50 {
+		t.Fatalf("estimate: ok=%v samples=%d", ok, samples)
+	}
+	// True offset (collector − client) is +skew. The provable bound is
+	// δ/2; asymmetry (dn−up)/2 = 250µs is the systematic floor.
+	bound := delay / 2
+	err := off - skew
+	if err < 0 {
+		err = -err
+	}
+	if err > bound {
+		t.Fatalf("offset error %dns exceeds δ/2=%dns (off=%d, true=%d)", err, bound, off, skew)
+	}
+	if err > int64(time.Millisecond) {
+		t.Fatalf("offset error %dns implausibly large for µs-scale delays", err)
+	}
+}
+
+// TestClockEstimatorMonotonicCorrected: correcting a monotone sequence
+// of client send timestamps with the (stable) estimated offset keeps
+// them monotone — 10ms send spacing against ≤2ms network jitter.
+func TestClockEstimatorMonotonicCorrected(t *testing.T) {
+	sim := &simClock{rng: rand.New(rand.NewSource(42)), skewNs: int64(3 * time.Second),
+		upNs: 500_000, dnNs: 500_000, jitterNs: int64(2 * time.Millisecond),
+		collectorNs: 5_000_000_000}
+	var est clockEstimator
+	prev := int64(-1 << 62)
+	for i := 0; i < 40; i++ {
+		t1, t2, t3, t4 := sim.exchange()
+		off, ok := est.addSample(t1, t2, t3, t4)
+		if !ok {
+			t.Fatal("no estimate after first sample")
+		}
+		corrected := t1 + off // client timestamp mapped onto the collector clock
+		if corrected <= prev {
+			t.Fatalf("exchange %d: corrected timestamp %d not after %d", i, corrected, prev)
+		}
+		prev = corrected
+		sim.collectorNs += int64(10 * time.Millisecond) // 10ms apart ≫ 2ms jitter
+	}
+}
+
+// TestClockEstimatorRejectsGarbage: non-causal tuples (clock steps,
+// corrupt echoes) must not move the estimate.
+func TestClockEstimatorRejectsGarbage(t *testing.T) {
+	var est clockEstimator
+	est.addSample(1000, 2000, 2100, 3000) // clean: off ≈ +500
+	before, _, n, _ := est.estimate()
+	if n != 1 {
+		t.Fatalf("samples = %d, want 1", n)
+	}
+	est.addSample(5000, 2000, 2100, 4000)    // T4 < T1: ack before send
+	est.addSample(1000, 9000, 2000, 3000)    // T3 < T2: server time ran backward
+	est.addSample(1000, 2000, 999_999, 3000) // hold exceeds RTT
+	if off, _, n, _ := est.estimate(); n != 1 || off != before {
+		t.Fatalf("garbage moved the estimate: off %d→%d, samples %d", before, off, n)
+	}
+}
+
+// TestClockOneWay: the corrected one-way latency recovers the true
+// uplink delay despite a large skew, and clamps at zero.
+func TestClockOneWay(t *testing.T) {
+	sim := &simClock{rng: rand.New(rand.NewSource(3)), skewNs: -int64(time.Hour),
+		upNs: 700_000, dnNs: 700_000, jitterNs: 1, collectorNs: 10_000_000_000}
+	var est clockEstimator
+	var lastT1, lastT2 int64
+	for i := 0; i < 10; i++ {
+		t1, t2, t3, t4 := sim.exchange()
+		est.addSample(t1, t2, t3, t4)
+		lastT1, lastT2 = t1, t2
+	}
+	lat, ok := est.oneWay(lastT1, lastT2)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// Raw t2−t1 is off by an hour; corrected must be ~700µs.
+	if lat < 100_000 || lat > 2_000_000 {
+		t.Fatalf("one-way latency %dns, want ≈700µs", lat)
+	}
+	if lat, _ := est.oneWay(lastT2+int64(time.Hour), lastT2); lat != 0 {
+		t.Fatalf("future send not clamped to 0: %d", lat)
+	}
+	var empty clockEstimator
+	if _, ok := empty.oneWay(1, 2); ok {
+		t.Fatal("estimate from zero samples")
+	}
+}

@@ -109,13 +109,14 @@ func parseManifest(data []byte) (*manifest, error) {
 // queue's FIFO order preserves append order because entries are
 // enqueued under the run lock.
 type journal struct {
-	dir  string
-	mode SyncMode
-	man  manifest
-	m    *Metrics
-	obs  *obs.Sink
-	logf func(format string, args ...any)
-	q    *par.Queue
+	dir     string
+	mode    SyncMode
+	man     manifest
+	m       *Metrics
+	obs     *obs.Sink
+	logf    func(format string, args ...any)
+	q       *par.Queue
+	lagWarn time.Duration // warn when fsync lag exceeds this; <=0 disables
 
 	// Queue-goroutine-owned state.
 	f     *os.File
@@ -126,14 +127,19 @@ type journal struct {
 	bytes    atomic.Int64
 	broken   atomic.Bool
 	flushArm atomic.Bool
+
+	// oldestDirty is the UnixNano timestamp of the first append since
+	// the last fsync (0 = clean); health reads it cross-goroutine.
+	oldestDirty atomic.Int64
+	lastLagWarn atomic.Int64
 }
 
 // newJournal builds the run's journal and enqueues its open: MkdirAll,
 // create/truncate the frames file (fresh runs truncate so an epoch
 // restart of a reused run ID cannot replay stale frames), and persist
 // the manifest. No I/O happens on the caller's goroutine.
-func newJournal(dir string, mode SyncMode, man manifest, m *Metrics, sink *obs.Sink, logf func(string, ...any), fresh bool) *journal {
-	j := &journal{dir: dir, mode: mode, man: man, m: m, obs: sink, logf: logf, q: par.NewQueue(64)}
+func newJournal(dir string, mode SyncMode, man manifest, m *Metrics, sink *obs.Sink, logf func(string, ...any), fresh bool, lagWarn time.Duration) *journal {
+	j := &journal{dir: dir, mode: mode, man: man, m: m, obs: sink, logf: logf, q: par.NewQueue(64), lagWarn: lagWarn}
 	j.q.Do(func() {
 		if err := os.MkdirAll(j.dir, 0o755); err != nil {
 			j.fail("create journal dir", err)
@@ -223,6 +229,7 @@ func (j *journal) appendSnapshot(h *wire.Hello, body []byte) (wait func()) {
 			return
 		}
 		asp.End()
+		j.oldestDirty.CompareAndSwap(0, time.Now().UnixNano())
 		j.frames.Add(1)
 		j.bytes.Add(int64(len(entry)))
 		j.m.JournalFrames.Inc()
@@ -255,6 +262,44 @@ func (j *journal) fsyncNow() {
 	ssp.End()
 	j.dirty = false
 	j.m.JournalFsyncs.Inc()
+	if oldest := j.oldestDirty.Swap(0); oldest != 0 {
+		lag := time.Now().UnixNano() - oldest
+		if lag < 0 {
+			lag = 0
+		}
+		j.m.JournalFsyncLag.Observe(lag)
+		j.maybeWarnLag(lag)
+	}
+}
+
+// lagWarnInterval spaces journal-lag warnings: one line per journal
+// per interval no matter how many slow fsyncs land.
+const lagWarnInterval = 30 * time.Second
+
+func (j *journal) maybeWarnLag(lagNs int64) {
+	if j.lagWarn <= 0 || time.Duration(lagNs) <= j.lagWarn {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := j.lastLagWarn.Load()
+	if now-last < int64(lagWarnInterval) || !j.lastLagWarn.CompareAndSwap(last, now) {
+		return
+	}
+	j.logf("run %s: journal fsync lag %s exceeds -journal-lag-warn=%s (disk keeping up?)",
+		j.man.RunID, time.Duration(lagNs), j.lagWarn)
+}
+
+// fsyncLag reports how long the oldest unsynced byte has been waiting
+// (0 when clean). Safe from any goroutine; health reads it live.
+func (j *journal) fsyncLag(nowNs int64) int64 {
+	oldest := j.oldestDirty.Load()
+	if oldest == 0 {
+		return 0
+	}
+	if lag := nowNs - oldest; lag > 0 {
+		return lag
+	}
+	return 0
 }
 
 // armFlush schedules one batched fsync if none is pending.
@@ -418,8 +463,10 @@ func (s *Server) recoverFinalized(m *manifest, jdir string) {
 	if m.State == "salvaged" {
 		r.state = stateSalvaged
 		r.reason = m.Reason
+		s.enterPhaseLocked(r, phaseSalvaged)
 	} else {
 		r.state = stateFinalized
+		s.enterPhaseLocked(r, phaseFinalized)
 	}
 	r.recovery = &RecoveryStatus{
 		Recovered:    true,
@@ -444,6 +491,7 @@ func (s *Server) registerRecovered(m *manifest) *run {
 	s.mu.Lock()
 	s.runs[m.RunID] = r
 	s.mu.Unlock()
+	s.m.RunPhase.With(phaseAdmitted.String()).Add(1)
 	return r
 }
 
@@ -534,7 +582,7 @@ func (s *Server) replayRun(m *manifest, jdir string) {
 		rec.DeadlineSec = remaining.Seconds()
 	}
 	r.recovery = rec
-	r.journal = newJournal(jdir, s.cfg.JournalSync, *m, s.m, s.obs, s.logf, false)
+	r.journal = newJournal(jdir, s.cfg.JournalSync, *m, s.m, s.obs, s.logf, false, s.cfg.JournalLagWarn)
 	r.journal.frames.Store(int64(len(pairs)))
 	r.journal.bytes.Store(goodOff)
 	r.mu.Unlock()

@@ -38,6 +38,13 @@ type Metrics struct {
 	AdmissionRejectedRuns  *metrics.Counter // hellos NACKed by the max-runs cap
 	AdmissionRejectedSnaps *metrics.Counter // snapshots NACKed by the max-run-bytes cap
 	AdmissionRejectedConns *metrics.Counter // connections NACKed by the max-conns cap
+
+	E2eLatency       *metrics.Histogram // clock-corrected client→collector one-way latency
+	JournalFsyncLag  *metrics.Histogram // age of the oldest unsynced journal byte at fsync
+	RunPhase         *metrics.GaugeVec  // runs per health phase (label: phase)
+	WatchSubscribers *metrics.Gauge     // live /watch SSE subscribers
+	WatchEvents      *metrics.Counter   // events published on the watch stream
+	WatchDropped     *metrics.Counter   // watch messages dropped to slow subscribers
 }
 
 // NewMetrics registers the collector families on reg (a fresh
@@ -71,6 +78,13 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		AdmissionRejectedRuns:  reg.Counter("pilgrim_collect_admission_rejected_runs_total", "run creations refused by the max-runs cap"),
 		AdmissionRejectedSnaps: reg.Counter("pilgrim_collect_admission_rejected_snapshots_total", "snapshots refused by the max-run-bytes cap"),
 		AdmissionRejectedConns: reg.Counter("pilgrim_collect_admission_rejected_conns_total", "connections refused by the max-conns cap"),
+
+		E2eLatency:       reg.Histogram("pilgrim_collect_e2e_latency_ns", "clock-corrected client→collector one-way snapshot latency (ns)"),
+		JournalFsyncLag:  reg.Histogram("pilgrim_collect_journal_fsync_lag_ns", "age of the oldest unsynced journal byte when its fsync lands (ns)"),
+		RunPhase:         reg.GaugeVec("pilgrim_collect_run_phase", "runs currently in each health phase", "phase"),
+		WatchSubscribers: reg.Gauge("pilgrim_collect_watch_subscribers", "live /watch SSE subscribers"),
+		WatchEvents:      reg.Counter("pilgrim_collect_watch_events_total", "lifecycle and health events published on the watch stream"),
+		WatchDropped:     reg.Counter("pilgrim_collect_watch_dropped_total", "watch messages dropped to slow or stalled subscribers (drop-oldest)"),
 	}
 }
 

@@ -82,6 +82,15 @@ type Config struct {
 	// receive a NACK frame and are closed without being served. Zero
 	// means unlimited.
 	MaxConns int
+	// AwaitStragglers is how long a still-incomplete run may sit with no
+	// arrivals before its health phase flips from "ingesting" to
+	// "awaiting-stragglers" (an operator signal only — the straggler
+	// deadline still governs salvage). Zero means a 2s default; negative
+	// disables the transition.
+	AwaitStragglers time.Duration
+	// JournalLagWarn logs one rate-limited warning when a journal fsync
+	// lands later than this after its oldest queued byte. Zero disables.
+	JournalLagWarn time.Duration
 	// Metrics receives the collector's instrumentation; nil creates a
 	// private registry (reachable via Server.Metrics).
 	Metrics *Metrics
@@ -141,6 +150,15 @@ type run struct {
 	done      chan struct{}   // closed once the run finalizes
 	journal   *journal        // nil when OutDir is unset
 	recovery  *RecoveryStatus // non-nil when restored from a journal
+
+	// Live health model (health.go). phase's zero value is
+	// phaseAdmitted, matching a freshly created run.
+	phase         runPhase
+	lastArrival   time.Time
+	ewmaBps       float64     // EWMA ingest rate, bytes/sec
+	idle          *time.Timer // flips ingesting → awaiting-stragglers
+	clock         clockEstimator
+	lastHealthPub time.Time // rate limit for watch health-delta events
 }
 
 // newRun builds a run's in-memory state; shared by live creation
@@ -181,10 +199,11 @@ func (r *run) traceLocked() []byte {
 // Server is the collector daemon's core: TCP ingest plus the run
 // registry. HTTP administration is layered on via AdminHandler.
 type Server struct {
-	cfg Config
-	m   *Metrics
-	obs *obs.Sink
-	ln  net.Listener
+	cfg   Config
+	m     *Metrics
+	obs   *obs.Sink
+	ln    net.Listener
+	watch *broadcaster // /watch SSE fan-out; publish never blocks ingest
 
 	mu       sync.Mutex
 	runs     map[string]*run
@@ -217,6 +236,9 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = 5 * time.Minute
 	}
+	if cfg.AwaitStragglers == 0 {
+		cfg.AwaitStragglers = 2 * time.Second
+	}
 	mode, err := ParseSyncMode(string(cfg.JournalSync))
 	if err != nil {
 		return nil, err
@@ -240,6 +262,7 @@ func Start(cfg Config) (*Server, error) {
 		s.m = NewMetrics(nil)
 	}
 	s.m.registerProcess(s.start, s.obs)
+	s.watch = newBroadcaster(s.m)
 	// Recovery runs to completion before the listener accepts, so a
 	// reconnecting producer can never race the replay of its own run.
 	if s.cfg.OutDir != "" {
@@ -290,6 +313,9 @@ func (s *Server) Close() error {
 		}
 		if r.evict != nil {
 			r.evict.Stop()
+		}
+		if r.idle != nil {
+			r.idle.Stop()
 		}
 		j := r.journal
 		r.mu.Unlock()
@@ -364,6 +390,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// so steady-state ingest allocates only what each decoded snapshot
 	// itself retains.
 	var hello *wire.Hello
+	var helloRecvNs int64
 	var sc wire.DecodeScratch
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
@@ -371,6 +398,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF, deadline, or garbage — drop the connection
 		}
+		recvNs := time.Now().UnixNano()
 		frames++
 		switch typ {
 		case wire.TypeHello:
@@ -381,7 +409,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			s.m.IngestBytes.Add(int64(len(body)))
-			hello = h
+			// A v2 hello may echo the completed timing 4-tuple of an
+			// earlier exchange; every echo feeds the run's clock-offset
+			// estimator, including the trailing flush hello a client
+			// sends with no snapshot behind it.
+			s.feedClockEcho(h)
+			hello, helloRecvNs = h, recvNs
 		case wire.TypeSnapshot:
 			if hello == nil {
 				s.sendError(conn, "snapshot before hello")
@@ -389,6 +422,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			s.m.IngestBytes.Add(int64(len(body)))
 			ack, nack := s.ingest(hello, body, &sc, false)
+			v2 := hello.Version >= 2
 			hello = nil
 			if nack != nil {
 				// Admission rejection: tell the producer precisely why so
@@ -396,6 +430,13 @@ func (s *Server) serveConn(conn net.Conn) {
 				// connection — nothing further on it would be admitted.
 				s.send(conn, wire.TypeNack, nack.Encode())
 				return
+			}
+			if v2 {
+				// Server-side NTP timestamps: when the hello was read (T2)
+				// and when its ack leaves (T3). A v1 peer's strict decoder
+				// rejects trailing bytes, so only v2 hellos earn them.
+				ack.RecvNs = helloRecvNs
+				ack.SendNs = time.Now().UnixNano()
 			}
 			if err := s.send(conn, wire.TypeAck, ack.Encode()); err != nil {
 				return
@@ -498,11 +539,14 @@ func (s *Server) runFor(h *wire.Hello, fromJournal bool) (*run, error) {
 		// fresh=true truncates any stale frames: an epoch restart of a
 		// reused run ID must never replay the previous epoch's journal.
 		r.journal = newJournal(filepath.Join(journalRoot(s.cfg.OutDir), h.RunID),
-			s.cfg.JournalSync, man, s.m, s.obs, s.logf, true)
+			s.cfg.JournalSync, man, s.m, s.obs, s.logf, true, s.cfg.JournalLagWarn)
 	}
 	s.runs[h.RunID] = r
 	s.collecting.Add(1)
 	s.m.ActiveRuns.Add(1)
+	s.m.RunPhase.With(phaseAdmitted.String()).Add(1)
+	s.watch.publish(WatchEvent{Type: "run-admitted", Run: r.id,
+		Phase: phaseAdmitted.String(), TsNs: time.Now().UnixNano()})
 	s.logf("run %s: created (world=%d epoch=%d)", r.id, r.world, r.epoch)
 	return r, nil
 }
@@ -515,7 +559,8 @@ func (s *Server) runFor(h *wire.Hello, fromJournal bool) (*run, error) {
 // frame is not re-journaled.
 func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, fromJournal bool) (*wire.Ack, *wire.Nack) {
 	dsp := s.obs.Start("collect", "ingest.decode").
-		WithRun(h.RunID, h.Rank, h.Epoch).WithAttr("bytes", int64(len(body)))
+		WithRun(h.RunID, h.Rank, h.Epoch).WithAttr("bytes", int64(len(body))).
+		WithParent(h.SpanID)
 	var snap *core.Snapshot
 	var err error
 	if sc != nil {
@@ -588,7 +633,8 @@ func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, from
 			Detail: fmt.Sprintf("run %s at max-run-bytes=%d", r.id, s.cfg.MaxRunBytes)}
 	}
 	msp := s.obs.Start("collect", "ingest.merge").
-		WithRun(h.RunID, h.Rank, h.Epoch).WithAttr("bytes", int64(len(body)))
+		WithRun(h.RunID, h.Rank, h.Epoch).WithAttr("bytes", int64(len(body))).
+		WithParent(h.SpanID)
 	t0 := time.Now()
 	if err := r.inc.Add(snap.Rank, snap.Table); err != nil {
 		r.mu.Unlock()
@@ -604,6 +650,7 @@ func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, from
 	r.bytes += int64(len(body))
 	s.m.IngestSnapshots.Inc()
 	s.m.MergeNs.Observe(mergeNs)
+	s.noteArrivalLocked(r, int64(len(body)), time.Now())
 	// Journal the accepted frame pair. The append is enqueued under
 	// r.mu (preserving order) but all file I/O runs on the journal's
 	// queue worker; under SyncAlways the ack below is withheld — via
@@ -662,14 +709,21 @@ func (s *Server) finalizeLocked(r *run, info *trace.SalvageInfo) {
 	if r.timer != nil {
 		r.timer.Stop()
 	}
+	if r.idle != nil {
+		r.idle.Stop()
+	}
+	s.enterPhaseLocked(r, phaseFinalizing)
 	fsp := s.obs.Start("collect", "finalize.run").WithRun(r.id, -1, r.epoch).
 		WithAttr("ranks", int64(r.world))
 	t0 := time.Now()
 	file, _ := core.FinalizePremerged(r.snaps, r.inc.Result(), r.mergeNs, r.opts, info)
 	var buf bytes.Buffer
+	serializeFailed := false
 	if _, err := file.WriteTo(&buf); err != nil {
 		// Serialization of a just-merged trace cannot fail short of OOM;
 		// record the run as salvaged-with-no-bytes rather than crash.
+		serializeFailed = true
+		r.reason = fmt.Sprintf("serialize failed: %v", err)
 		s.logf("run %s: serialize failed: %v", r.id, err)
 	}
 	r.traceData = buf.Bytes()
@@ -714,6 +768,14 @@ func (s *Server) finalizeLocked(r *run, info *trace.SalvageInfo) {
 	s.m.ActiveRuns.Add(-1)
 	s.m.TraceBytesOut.Add(int64(len(r.traceData)))
 	s.m.FinalizeNs.Observe(time.Since(t0).Nanoseconds())
+	switch {
+	case serializeFailed:
+		s.enterPhaseLocked(r, phaseFailed)
+	case info != nil:
+		s.enterPhaseLocked(r, phaseSalvaged)
+	default:
+		s.enterPhaseLocked(r, phaseFinalized)
+	}
 	fsp.WithAttr("trace_bytes", int64(len(r.traceData))).WithStr("state", r.state.String()).End()
 	s.logf("run %s: %s (%d ranks, %d bytes)", r.id, r.state, r.world, len(r.traceData))
 	close(r.done)

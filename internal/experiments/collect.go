@@ -40,6 +40,10 @@ type CollectPoint struct {
 	// ObsPct is the span-tracing overhead relative to the plain ingest,
 	// in percent. The observability budget: under 5%.
 	ObsPct float64 `json:"obs_overhead_pct"`
+	// E2eP95Ns is the clock-corrected client→collector one-way snapshot
+	// latency p95, read from the obs-enabled run's collector (0 when no
+	// echo round trip completed within the polling window).
+	E2eP95Ns int64 `json:"e2e_latency_p95_ns"`
 }
 
 // CollectResult is the "collect" experiment: the wire-format and
@@ -168,6 +172,15 @@ func collectPoint(name string, procs, iters int) (CollectPoint, error) {
 	if pt.IngestNs > 0 {
 		pt.ObsPct = (float64(pt.ObsNs)/float64(pt.IngestNs) - 1) * 100
 	}
+	// The clock-echo flush that feeds the e2e histogram trails the last
+	// ack on each connection, so give the samples a moment to land.
+	for i := 0; i < 20; i++ {
+		if osrv.Metrics().E2eLatency.Snapshot().Count > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	pt.E2eP95Ns = int64(osrv.Metrics().E2eLatency.Snapshot().Quantile(0.95))
 	return pt, nil
 }
 

@@ -152,6 +152,52 @@ func (sp Span) WithAttr(key string, v int64) Span {
 	return sp
 }
 
+// Attribute keys for cross-process span linking: a producer stamps
+// its send span with AttrSpanID and propagates the same ID over the
+// wire; the consumer stamps its spans with AttrParentSpan. BuildDoc
+// turns matching pairs into Perfetto flow arrows.
+const (
+	AttrSpanID     = "span_id"
+	AttrParentSpan = "parent_span"
+)
+
+// spanSeq + spanBase generate process-unique span IDs: a per-process
+// random-ish base (clock and PID mixed through a Weyl constant) plus
+// an atomic counter, masked to 62 bits so the ID survives an int64
+// round trip through Attr and JSON untouched.
+var (
+	spanSeq  atomic.Uint64
+	spanBase = (uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32) * 0x9e3779b97f4a7c15
+)
+
+// NextSpanID returns a fresh nonzero span ID, unique within the
+// process and overwhelmingly likely unique across the fleet.
+func NextSpanID() uint64 {
+	id := (spanBase + spanSeq.Add(1)*0x9e3779b97f4a7c15) & (1<<62 - 1)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// WithSpanID stamps the span with its own propagatable identity
+// (AttrSpanID). A zero ID is a no-op.
+func (sp Span) WithSpanID(id uint64) Span {
+	if id == 0 {
+		return sp
+	}
+	return sp.WithAttr(AttrSpanID, int64(id))
+}
+
+// WithParent links the span to a remote parent span whose ID arrived
+// over the wire (AttrParentSpan). A zero ID is a no-op.
+func (sp Span) WithParent(id uint64) Span {
+	if id == 0 {
+		return sp
+	}
+	return sp.WithAttr(AttrParentSpan, int64(id))
+}
+
 // WithStr attaches one string attribute. The string must not be
 // rebuilt per call on hot paths (use static literals or pre-interned
 // values) or the call site, not the recorder, pays the allocation.
@@ -283,6 +329,19 @@ func BuildDoc(evs []Event, dropped int64) *traceevent.Doc {
 			base = ev.TsNs
 		}
 	}
+	// Cross-process span links: events carrying AttrSpanID are flow
+	// sources (the producer's send span), events carrying AttrParentSpan
+	// are flow destinations. Matching pairs become Perfetto flow arrows.
+	type flowPoint struct {
+		ts  float64
+		tid int
+	}
+	flowSrc := map[int64]flowPoint{}
+	type flowDst struct {
+		id int64
+		at flowPoint
+	}
+	var flowDsts []flowDst
 	for _, ev := range evs {
 		args := map[string]any{"seq": ev.Seq}
 		if ev.Run != "" {
@@ -299,6 +358,14 @@ func BuildDoc(evs []Event, dropped int64) *traceevent.Doc {
 			} else {
 				args[a.Key] = a.Int
 			}
+			switch a.Key {
+			case AttrSpanID:
+				// Anchor the arrow at the span's end: the frame left the
+				// producer no earlier than the send span completed.
+				flowSrc[a.Int] = flowPoint{traceevent.US(ev.TsNs - base + ev.DurNs), cats[ev.Cat]}
+			case AttrParentSpan:
+				flowDsts = append(flowDsts, flowDst{a.Int, flowPoint{traceevent.US(ev.TsNs - base), cats[ev.Cat]}})
+			}
 		}
 		te := traceevent.Event{
 			Name: ev.Name,
@@ -313,6 +380,20 @@ func BuildDoc(evs []Event, dropped int64) *traceevent.Doc {
 			te.Ph, te.Dur = "X", traceevent.US(ev.DurNs)
 		}
 		doc.Add(te)
+	}
+	flowID := 0
+	for _, dst := range flowDsts {
+		src, ok := flowSrc[dst.id]
+		if !ok {
+			continue // producer span not in this ring (separate process dump)
+		}
+		flowID++
+		doc.Add(
+			traceevent.Event{Name: "span", Ph: "s", ID: flowID, Cat: "flow",
+				Ts: src.ts, Pid: 0, Tid: src.tid},
+			traceevent.Event{Name: "span", Ph: "f", BP: "e", ID: flowID, Cat: "flow",
+				Ts: dst.at.ts, Pid: 0, Tid: dst.at.tid},
+		)
 	}
 	if dropped > 0 {
 		doc.Add(traceevent.Event{

@@ -24,8 +24,15 @@ import (
 )
 
 // Version is the protocol version carried in every Hello; a collector
-// rejects versions it does not speak.
-const Version = 1
+// rejects versions it does not speak. Version 2 appends the span
+// context and clock-sample fields to Hello and Ack; a collector
+// accepts any version down to MinVersion, replying in kind (a
+// version-1 hello gets a version-1-shaped ack), so old producers keep
+// working byte-identically against a new collector.
+const Version = 2
+
+// MinVersion is the oldest protocol version the collector accepts.
+const MinVersion = 1
 
 // Frame types.
 const (
@@ -210,10 +217,34 @@ func (d *dec) finish() error {
 
 // --- Hello -------------------------------------------------------------------
 
+// ClockEcho is one completed NTP-style exchange reported back to the
+// collector: T1 client hello send, T2 collector hello receipt, T3
+// collector ack send (both from the ack's timestamps), T4 client ack
+// receipt. All unix nanoseconds on the respective clocks; the zero
+// value means "no sample".
+type ClockEcho struct {
+	T1, T2, T3, T4 int64
+}
+
+// Valid reports whether the echo carries a plausible sample: both
+// clocks move forward within their own frame, and the round trip is
+// not shorter than the server's hold time.
+func (e ClockEcho) Valid() bool {
+	return e.T1 > 0 && e.T2 > 0 && e.T4 >= e.T1 && e.T3 >= e.T2 &&
+		(e.T4-e.T1) >= (e.T3-e.T2)
+}
+
 // Hello announces one rank's snapshot upload: which run it belongs
 // to, the run's world size and tracing options (so the collector can
 // finalize without out-of-band configuration), and the send epoch
 // that keys idempotent re-sends.
+//
+// Version 2 adds the live-observability trailer: the client's span ID
+// (so the collector can link its ingest spans to the producer's send
+// span), the hello's send timestamp (T1 of the clock exchange), and
+// the echo of the previously completed exchange, which feeds the
+// collector's clock-offset estimator. Version-1 peers simply omit the
+// trailer; all trailer fields decode as zero.
 type Hello struct {
 	Version    uint32
 	RunID      string
@@ -222,6 +253,10 @@ type Hello struct {
 	Epoch      uint64
 	TimingMode uint8
 	TimingBase float64
+
+	SpanID uint64    // producer's send-span ID; 0 when absent
+	SendNs int64     // client clock at hello send (T1); 0 when absent
+	Echo   ClockEcho // previously completed exchange; zero when absent
 }
 
 // Encode serializes the hello body.
@@ -235,6 +270,14 @@ func (h *Hello) Encode() []byte {
 	b = binary.AppendUvarint(b, h.Epoch)
 	b = append(b, h.TimingMode)
 	b = binary.AppendUvarint(b, math.Float64bits(h.TimingBase))
+	if h.Version >= 2 {
+		b = binary.AppendUvarint(b, h.SpanID)
+		b = binary.AppendVarint(b, h.SendNs)
+		b = binary.AppendVarint(b, h.Echo.T1)
+		b = binary.AppendVarint(b, h.Echo.T2)
+		b = binary.AppendVarint(b, h.Echo.T3)
+		b = binary.AppendVarint(b, h.Echo.T4)
+	}
 	return b
 }
 
@@ -246,8 +289,8 @@ func DecodeHello(body []byte) (*Hello, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v != Version {
-		return nil, fmt.Errorf("wire: unsupported protocol version %d (speak %d)", v, Version)
+	if v < MinVersion || v > Version {
+		return nil, fmt.Errorf("wire: unsupported protocol version %d (speak %d..%d)", v, MinVersion, Version)
 	}
 	h.Version = uint32(v)
 	id, err := d.bytes("hello run id")
@@ -288,6 +331,21 @@ func DecodeHello(body []byte) (*Hello, error) {
 	if math.IsNaN(h.TimingBase) || math.IsInf(h.TimingBase, 0) || h.TimingBase < 0 {
 		return nil, fmt.Errorf("wire: implausible timing base %v", h.TimingBase)
 	}
+	// The observability trailer is optional even at version 2: a v2
+	// hello without it decodes with zero span context.
+	if h.Version >= 2 && d.remaining() > 0 {
+		if h.SpanID, err = d.uvarint("hello span id"); err != nil {
+			return nil, err
+		}
+		if h.SendNs, err = d.varint("hello send ts"); err != nil {
+			return nil, err
+		}
+		for _, p := range []*int64{&h.Echo.T1, &h.Echo.T2, &h.Echo.T3, &h.Echo.T4} {
+			if *p, err = d.varint("hello clock echo"); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return h, d.finish()
 }
 
@@ -300,17 +358,29 @@ const (
 	AckError     = 2 // rejected; Detail explains
 )
 
-// Ack is the collector's per-snapshot response.
+// Ack is the collector's per-snapshot response. The timestamps
+// (collector clock, unix ns) are the NTP-style T2/T3 of the exchange:
+// RecvNs is when the hello arrived, SendNs when the ack was written.
+// The collector only appends them when the hello spoke version >= 2,
+// so a version-1 client's DecodeAck (which rejects trailing bytes)
+// keeps working unchanged.
 type Ack struct {
 	Status uint8
 	Detail string
+	RecvNs int64 // collector clock at hello receipt (T2); 0 when absent
+	SendNs int64 // collector clock at ack send (T3); 0 when absent
 }
 
 // Encode serializes the ack body.
 func (a *Ack) Encode() []byte {
 	b := []byte{a.Status}
 	b = binary.AppendUvarint(b, uint64(len(a.Detail)))
-	return append(b, a.Detail...)
+	b = append(b, a.Detail...)
+	if a.RecvNs != 0 || a.SendNs != 0 {
+		b = binary.AppendVarint(b, a.RecvNs)
+		b = binary.AppendVarint(b, a.SendNs)
+	}
+	return b
 }
 
 // DecodeAck parses an ack body.
@@ -327,7 +397,16 @@ func DecodeAck(body []byte) (*Ack, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ack{Status: st, Detail: string(detail)}, d.finish()
+	a := &Ack{Status: st, Detail: string(detail)}
+	if d.remaining() > 0 {
+		if a.RecvNs, err = d.varint("ack recv ts"); err != nil {
+			return nil, err
+		}
+		if a.SendNs, err = d.varint("ack send ts"); err != nil {
+			return nil, err
+		}
+	}
+	return a, d.finish()
 }
 
 // --- Wait --------------------------------------------------------------------

@@ -259,3 +259,83 @@ func TestAckWaitRoundTrip(t *testing.T) {
 		t.Fatal("empty wait run id accepted")
 	}
 }
+
+// TestHelloSpanContextRoundTrip covers the Version-2 trailer: span ID,
+// send timestamp, and the echoed clock 4-tuple all survive the trip.
+func TestHelloSpanContextRoundTrip(t *testing.T) {
+	want := &Hello{Version: Version, RunID: "spanrun", WorldSize: 4, Rank: 2,
+		Epoch: 3, TimingBase: 1,
+		SpanID: 0x1234abcd, SendNs: 987654321,
+		Echo: ClockEcho{T1: 100, T2: 150, T3: 160, T4: 220}}
+	got, err := DecodeHello(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("span context lost: %+v != %+v", got, want)
+	}
+}
+
+// TestHelloV1Compat pins the backward-compat contract both ways: a
+// Version-1 hello (no trailer bytes at all) still decodes, and a
+// Version-2 encoder talking about a v1 struct emits no trailer.
+func TestHelloV1Compat(t *testing.T) {
+	v1 := &Hello{Version: 1, RunID: "old", WorldSize: 8, Rank: 3, TimingBase: 2.5}
+	body := v1.Encode()
+	got, err := DecodeHello(body)
+	if err != nil {
+		t.Fatalf("v1 hello rejected: %v", err)
+	}
+	if got.SpanID != 0 || got.SendNs != 0 || got.Echo != (ClockEcho{}) {
+		t.Fatalf("v1 hello grew span context: %+v", got)
+	}
+	// Span fields set on a v1 struct must NOT leak onto the wire — a v1
+	// peer's strict decoder would reject the trailing bytes.
+	withSpan := &Hello{Version: 1, RunID: "old", WorldSize: 8, Rank: 3, TimingBase: 2.5,
+		SpanID: 99, SendNs: 42}
+	if len(withSpan.Encode()) != len(body) {
+		t.Fatal("v1 hello encoded span-context trailer")
+	}
+	if _, err := DecodeHello((&Hello{Version: Version + 1, RunID: "r", WorldSize: 2,
+		TimingBase: 1}).Encode()); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// TestAckTimestampsOptional: acks carry NTP timestamps only when
+// stamped, and a bare ack (what a v1 collector sends) round-trips.
+func TestAckTimestampsOptional(t *testing.T) {
+	bare := (&Ack{Status: AckOK}).Encode()
+	stamped := (&Ack{Status: AckOK, RecvNs: 1000, SendNs: 2000}).Encode()
+	if len(stamped) <= len(bare) {
+		t.Fatal("stamped ack not longer than bare ack")
+	}
+	a, err := DecodeAck(bare)
+	if err != nil || a.RecvNs != 0 || a.SendNs != 0 {
+		t.Fatalf("bare ack: %+v, %v", a, err)
+	}
+	a, err = DecodeAck(stamped)
+	if err != nil || a.RecvNs != 1000 || a.SendNs != 2000 {
+		t.Fatalf("stamped ack: %+v, %v", a, err)
+	}
+}
+
+// TestClockEchoValid pins the causality checks that keep garbage
+// tuples out of the offset estimator.
+func TestClockEchoValid(t *testing.T) {
+	cases := []struct {
+		e    ClockEcho
+		want bool
+	}{
+		{ClockEcho{}, false}, // zero: no sample
+		{ClockEcho{T1: 10, T2: 20, T3: 25, T4: 40}, true},
+		{ClockEcho{T1: 10, T2: 20, T3: 25, T4: 5}, false},  // T4 < T1
+		{ClockEcho{T1: 10, T2: 30, T3: 20, T4: 40}, false}, // T3 < T2
+		{ClockEcho{T1: 10, T2: 20, T3: 35, T4: 21}, false}, // hold > RTT
+	}
+	for i, c := range cases {
+		if got := c.e.Valid(); got != c.want {
+			t.Fatalf("case %d: Valid() = %v, want %v", i, got, c.want)
+		}
+	}
+}
