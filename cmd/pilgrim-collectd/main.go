@@ -61,6 +61,7 @@ func main() {
 		maxConns  = flag.Int("max-conns", 0, "max concurrent ingest connections; further connections are NACKed and closed (0 = unlimited)")
 		await     = flag.Duration("await-stragglers", 2*time.Second, "mark an incomplete run's health phase awaiting-stragglers after this long with no arrivals (negative disables)")
 		lagWarn   = flag.Duration("journal-lag-warn", time.Second, "warn (rate-limited) when a journal fsync lands later than this after its oldest queued byte (0 disables)")
+		keepJnl   = flag.Bool("keep-journal", false, "retain each run's journal frames after finalize (capture mode: the journal becomes a replayable wire recording for pilgrim-loadgen)")
 		obsOn     = flag.Bool("obs", true, "enable the pipeline flight recorder (span tracing; GET /debug/flight)")
 		obsBuf    = flag.Int("obs-buf", obs.DefaultBuf, "flight recorder capacity in events (overflow drops oldest)")
 		obsDump   = flag.String("obs-dump", "", "directory for flight recorder crash dumps (flight-*.json); empty = -out-dir, \"off\" disables")
@@ -128,6 +129,7 @@ func main() {
 		MaxConns:          *maxConns,
 		AwaitStragglers:   *await,
 		JournalLagWarn:    *lagWarn,
+		KeepJournalFrames: *keepJnl,
 		Obs:               sink,
 		Logf:              logf,
 	})

@@ -1,11 +1,15 @@
 // pilgrim-dump decompresses a Pilgrim trace file and prints the
 // recovered call stream — the decoder the paper uses to check that
-// compression is lossless. It can dump one rank or summarize all.
+// compression is lossless. It can dump one rank or summarize all, and
+// with -journal it inspects a captured collector journal instead: the
+// capture-side debugging companion to pilgrim-loadgen.
 //
 // Usage:
 //
 //	pilgrim-dump -rank 0 trace.pilgrim
 //	pilgrim-dump -summary trace.pilgrim
+//	pilgrim-dump -journal out/journal/myrun
+//	pilgrim-dump -journal out            # every run journal beneath
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"sort"
 
 	pilgrim "github.com/hpcrepro/pilgrim"
+	"github.com/hpcrepro/pilgrim/internal/collect"
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
 	"github.com/hpcrepro/pilgrim/internal/sig"
@@ -28,10 +33,17 @@ func main() {
 		top     = flag.Int("top", 0, "print only the top N functions by call count (implies -summary)")
 		grammar = flag.Bool("grammar", false, "print the rank's grammar rules instead of the expanded stream")
 		limit   = flag.Int("n", 0, "dump at most n calls (0 = all)")
+		journal = flag.String("journal", "", "inspect captured run journal(s) under this directory instead of a trace")
 	)
 	flag.Parse()
+	if *journal != "" {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		dumpJournals(w, *journal)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pilgrim-dump [-rank N | -summary] trace.pilgrim")
+		fmt.Fprintln(os.Stderr, "usage: pilgrim-dump [-rank N | -summary] trace.pilgrim | pilgrim-dump -journal <dir>")
 		os.Exit(2)
 	}
 	file, err := pilgrim.Load(flag.Arg(0))
@@ -157,6 +169,69 @@ func dumpGrammar(w *bufio.Writer, file *pilgrim.TraceFile, rank int) {
 					fmt.Fprintf(w, "t%d = %s\n", s.Val, d)
 				}
 			}
+		}
+	}
+}
+
+// dumpJournals prints each run journal under path: manifest identity,
+// frame counts and byte totals per (rank, epoch), and the torn-tail
+// report — what a capture actually holds before loadgen replays it.
+func dumpJournals(w *bufio.Writer, path string) {
+	dirs, err := collect.FindJournals(path)
+	if err != nil {
+		fatal(err)
+	}
+	for _, dir := range dirs {
+		jr, err := collect.OpenJournal(dir)
+		if err != nil {
+			fatal(err)
+		}
+		man := jr.Manifest()
+		fmt.Fprintf(w, "journal %s\n", dir)
+		fmt.Fprintf(w, "  run=%s epoch=%d world=%d state=%s", man.RunID, man.Epoch, man.World, man.State)
+		if man.Reason != "" {
+			fmt.Fprintf(w, " reason=%q", man.Reason)
+		}
+		fmt.Fprintln(w)
+
+		type key struct {
+			rank  int
+			epoch uint64
+		}
+		counts := map[key]int{}
+		bytes := map[key]int64{}
+		var keys []key
+		var pairs int
+		var total int64
+		for {
+			e, err := jr.Next()
+			if err != nil {
+				break // io.EOF; torn tails reported below
+			}
+			k := key{e.Hello.Rank, e.Hello.Epoch}
+			if counts[k] == 0 {
+				keys = append(keys, k)
+			}
+			counts[k]++
+			bytes[k] += e.Bytes()
+			pairs++
+			total += e.Bytes()
+		}
+		jr.Close()
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].epoch != keys[j].epoch {
+				return keys[i].epoch < keys[j].epoch
+			}
+			return keys[i].rank < keys[j].rank
+		})
+		fmt.Fprintf(w, "  frames: %d pairs, %dB on the wire\n", pairs, total)
+		for _, k := range keys {
+			fmt.Fprintf(w, "    rank %4d epoch %d: %d pairs, %dB\n", k.rank, k.epoch, counts[k], bytes[k])
+		}
+		if torn, trunc := jr.Torn(); torn {
+			fmt.Fprintf(w, "  TORN TAIL: %d trailing bytes unreadable\n", trunc)
+		} else if pairs == 0 {
+			fmt.Fprintf(w, "  (no frames — captured without -keep-journal, or dropped at finalize)\n")
 		}
 	}
 }

@@ -59,6 +59,7 @@ type model struct {
 	vars      map[string]json.RawMessage
 	connected bool
 	scrapeErr string
+	maxRows   int // cap the runs table to the top-N by ingest rate; <=0 unbounded
 }
 
 func newModel() *model { return &model{runs: make(map[string]*healthRow)} }
@@ -292,17 +293,30 @@ func (m *model) render(w *strings.Builder, base string, color bool) {
 	}
 	fmt.Fprintf(w, "pilgrim-top — %s — %s — %s\n\n", base, time.Now().Format("15:04:05"), link)
 
+	// Hottest runs first: an amplified loadgen fleet can hold thousands
+	// of runs, so the table shows the top-N by ingest rate (ID as the
+	// deterministic tie-break) and counts the rest in a footer.
 	ids := make([]string, 0, len(m.runs))
 	for id := range m.runs {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	sort.Slice(ids, func(i, j int) bool {
+		ri, rj := m.runs[ids[i]], m.runs[ids[j]]
+		if ri.IngestRateBps != rj.IngestRateBps {
+			return ri.IngestRateBps > rj.IngestRateBps
+		}
+		return ids[i] < ids[j]
+	})
+	shown := ids
+	if m.maxRows > 0 && len(shown) > m.maxRows {
+		shown = shown[:m.maxRows]
+	}
 	fmt.Fprintf(w, "%-20s %-20s %-22s %10s %10s %9s %9s\n",
 		"RUN", "PHASE", "RANKS", "BYTES", "RATE", "LAST-ARR", "JLAG")
 	if len(ids) == 0 {
 		fmt.Fprintf(w, "  (no runs)\n")
 	}
-	for _, id := range ids {
+	for _, id := range shown {
 		r := m.runs[id]
 		on, off := phaseColor(r.Phase, color)
 		ranks := fmt.Sprintf("%s %d/%d", bar(r.RanksSeen, r.WorldSize, 10), r.RanksSeen, r.WorldSize)
@@ -316,6 +330,9 @@ func (m *model) render(w *strings.Builder, base string, color bool) {
 		}
 		fmt.Fprintf(w, "%-20s %s%-20s%s %-22s %10s %8.0f/s %9s %9s\n",
 			r.Run, on, r.Phase, off, ranks, fmtBytes(r.Bytes), r.IngestRateBps, age, jlag)
+	}
+	if k := len(ids) - len(shown); k > 0 {
+		fmt.Fprintf(w, "  … and %d more\n", k)
 	}
 
 	fmt.Fprintf(w, "\n%-28s %10s %10s %10s %10s\n", "LATENCY", "count", "p50", "p95", "p99")
@@ -357,6 +374,7 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "refresh interval")
 		once     = flag.Bool("once", false, "print one snapshot and exit (scripts/CI)")
 		noColor  = flag.Bool("no-color", false, "disable ANSI colors")
+		maxRows  = flag.Int("max-rows", 20, "cap the runs table to the top-N by ingest rate (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -366,6 +384,7 @@ func main() {
 	}
 	base = strings.TrimRight(base, "/")
 	m := newModel()
+	m.maxRows = *maxRows
 
 	if *once {
 		if err := m.scrape(base); err != nil {

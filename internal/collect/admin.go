@@ -4,10 +4,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/hpcrepro/pilgrim/internal/obs"
 )
+
+// defaultRunsLimit caps GET /runs when no ?limit= is given: enough for
+// any hand-driven fleet, small enough that an amplified soak with
+// thousands of synthetic runs cannot turn the endpoint into a
+// megabyte-scale response. The response stays a plain JSON array; the
+// pre-truncation match count rides in the X-Pilgrim-Total-Runs header.
+const defaultRunsLimit = 200
 
 // adminRoute is one admin API endpoint: the Go 1.22 ServeMux pattern it
 // registers under and the one-line description the index page shows.
@@ -30,8 +38,22 @@ func adminRoutes(s *Server) []adminRoute {
 				"runs":        len(s.Runs()),
 			})
 		}},
-		{"GET /runs", "run list (sorted by run ID)", func(w http.ResponseWriter, _ *http.Request) {
-			writeJSON(w, s.Runs())
+		{"GET /runs", "run list (sorted by run ID; ?limit=N, ?prefix=P)", func(w http.ResponseWriter, r *http.Request) {
+			q := r.URL.Query()
+			// The default cap keeps the endpoint usable when loadgen
+			// amplification creates thousands of runs; ?limit=0 lifts it.
+			limit := defaultRunsLimit
+			if v := q.Get("limit"); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					http.Error(w, fmt.Sprintf("bad limit %q", v), http.StatusBadRequest)
+					return
+				}
+				limit = n
+			}
+			out, total := s.RunsFiltered(q.Get("prefix"), limit)
+			w.Header().Set("X-Pilgrim-Total-Runs", strconv.Itoa(total))
+			writeJSON(w, out)
 		}},
 		{"GET /runs/{id}", "run status", func(w http.ResponseWriter, r *http.Request) {
 			st, ok := s.Run(r.PathValue("id"))

@@ -117,6 +117,7 @@ type journal struct {
 	logf    func(format string, args ...any)
 	q       *par.Queue
 	lagWarn time.Duration // warn when fsync lag exceeds this; <=0 disables
+	keep    bool          // capture mode: retain frames.jnl after finalize
 
 	// Queue-goroutine-owned state.
 	f     *os.File
@@ -138,8 +139,8 @@ type journal struct {
 // create/truncate the frames file (fresh runs truncate so an epoch
 // restart of a reused run ID cannot replay stale frames), and persist
 // the manifest. No I/O happens on the caller's goroutine.
-func newJournal(dir string, mode SyncMode, man manifest, m *Metrics, sink *obs.Sink, logf func(string, ...any), fresh bool, lagWarn time.Duration) *journal {
-	j := &journal{dir: dir, mode: mode, man: man, m: m, obs: sink, logf: logf, q: par.NewQueue(64), lagWarn: lagWarn}
+func newJournal(dir string, mode SyncMode, man manifest, m *Metrics, sink *obs.Sink, logf func(string, ...any), fresh bool, lagWarn time.Duration, keep bool) *journal {
+	j := &journal{dir: dir, mode: mode, man: man, m: m, obs: sink, logf: logf, q: par.NewQueue(64), lagWarn: lagWarn, keep: keep}
 	j.q.Do(func() {
 		if err := os.MkdirAll(j.dir, 0o755); err != nil {
 			j.fail("create journal dir", err)
@@ -320,14 +321,22 @@ func (j *journal) armFlush() {
 // drops the frames file — the finalized trace under OutDir is the
 // durable artifact now, and a restart re-registers the run from the
 // manifest alone. Ordered after every pending append by the queue.
+// Capture mode (KeepJournalFrames) skips the drop, fsyncing instead so
+// the retained recording is complete.
 func (j *journal) finalizeRun(state, reason string) {
 	j.q.Do(func() {
 		j.man.State = state
 		j.man.Reason = reason
 		j.writeManifestNow()
 		if j.f != nil {
+			if j.keep && j.dirty && j.mode != SyncOff {
+				j.fsyncNow()
+			}
 			j.f.Close()
 			j.f = nil
+		}
+		if j.keep {
+			return
 		}
 		if err := os.Remove(filepath.Join(j.dir, framesName)); err != nil && !errors.Is(err, os.ErrNotExist) {
 			j.fail("remove frames", err)
@@ -582,7 +591,7 @@ func (s *Server) replayRun(m *manifest, jdir string) {
 		rec.DeadlineSec = remaining.Seconds()
 	}
 	r.recovery = rec
-	r.journal = newJournal(jdir, s.cfg.JournalSync, *m, s.m, s.obs, s.logf, false, s.cfg.JournalLagWarn)
+	r.journal = newJournal(jdir, s.cfg.JournalSync, *m, s.m, s.obs, s.logf, false, s.cfg.JournalLagWarn, s.cfg.KeepJournalFrames)
 	r.journal.frames.Store(int64(len(pairs)))
 	r.journal.bytes.Store(goodOff)
 	r.mu.Unlock()

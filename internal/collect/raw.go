@@ -1,0 +1,101 @@
+package collect
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/wire"
+)
+
+// RawConn is the frame-level send path under Client: one collector
+// connection that ships pre-encoded frames verbatim. The normal client
+// encodes a *core.Snapshot per send; a replayer already holds the
+// exact wire bytes (captured journal entries, possibly re-keyed), so
+// decoding and re-encoding them would only cost CPU and risk
+// byte-level drift. Loadgen keeps thousands of these open, one per
+// amplified stream.
+type RawConn struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// DialRaw opens a raw frame connection to a collector's ingest
+// address. timeout bounds the dial and every subsequent read/write
+// (0 means 30s).
+func DialRaw(addr string, timeout time.Duration) (*RawConn, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &RawConn{conn: conn, timeout: timeout}, nil
+}
+
+// SendFrame writes one pre-encoded frame (header + body + CRC) as-is.
+func (rc *RawConn) SendFrame(frame []byte) error {
+	rc.conn.SetWriteDeadline(time.Now().Add(rc.timeout))
+	_, err := rc.conn.Write(frame)
+	return err
+}
+
+// SendPair ships a pre-encoded (hello, snapshot) frame pair and reads
+// the collector's reply. Exactly one of ack and nack is non-nil on a
+// nil error; a TypeError reply or transport failure returns an error
+// (the connection should then be dropped, matching serveConn, which
+// admits nothing further on it).
+func (rc *RawConn) SendPair(helloFrame, snapFrame []byte) (*wire.Ack, *wire.Nack, error) {
+	rc.conn.SetWriteDeadline(time.Now().Add(rc.timeout))
+	if _, err := rc.conn.Write(helloFrame); err != nil {
+		return nil, nil, fmt.Errorf("send hello: %w", err)
+	}
+	if _, err := rc.conn.Write(snapFrame); err != nil {
+		return nil, nil, fmt.Errorf("send snapshot: %w", err)
+	}
+	rc.conn.SetReadDeadline(time.Now().Add(rc.timeout))
+	typ, body, err := wire.ReadFrame(rc.conn)
+	if err != nil {
+		return nil, nil, fmt.Errorf("read reply: %w", err)
+	}
+	switch typ {
+	case wire.TypeAck:
+		ack, err := wire.DecodeAck(body)
+		return ack, nil, err
+	case wire.TypeNack:
+		nack, err := wire.DecodeNack(body)
+		return nil, nack, err
+	case wire.TypeError:
+		return nil, nil, fmt.Errorf("collector error: %s", body)
+	default:
+		return nil, nil, fmt.Errorf("unexpected reply frame 0x%02x", typ)
+	}
+}
+
+// WaitTrace blocks until runID finalizes at the collector and returns
+// the serialized trace bytes. The read legitimately idles until the
+// run completes (bounded server-side by the straggler deadline), so
+// the read deadline is cleared, matching Client.WaitTrace.
+func (rc *RawConn) WaitTrace(runID string) ([]byte, error) {
+	rc.conn.SetWriteDeadline(time.Now().Add(rc.timeout))
+	if err := wire.WriteFrame(rc.conn, wire.TypeWait, (&wire.Wait{RunID: runID}).Encode()); err != nil {
+		return nil, fmt.Errorf("send wait: %w", err)
+	}
+	rc.conn.SetReadDeadline(time.Time{})
+	typ, body, err := wire.ReadFrame(rc.conn)
+	if err != nil {
+		return nil, fmt.Errorf("read trace: %w", err)
+	}
+	switch typ {
+	case wire.TypeTrace:
+		return body, nil
+	case wire.TypeError:
+		return nil, fmt.Errorf("collector error: %s", body)
+	default:
+		return nil, fmt.Errorf("unexpected reply frame 0x%02x", typ)
+	}
+}
+
+// Close drops the connection.
+func (rc *RawConn) Close() error { return rc.conn.Close() }

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,6 +92,12 @@ type Config struct {
 	// JournalLagWarn logs one rate-limited warning when a journal fsync
 	// lands later than this after its oldest queued byte. Zero disables.
 	JournalLagWarn time.Duration
+	// KeepJournalFrames retains each run's frames.jnl after finalize
+	// instead of dropping it. Normal operation deletes the frames (the
+	// finalized trace is the durable artifact); capture mode keeps them
+	// so the journal doubles as a complete wire-format recording that
+	// pilgrim-loadgen can replay and pilgrim-dump can inspect.
+	KeepJournalFrames bool
 	// Metrics receives the collector's instrumentation; nil creates a
 	// private registry (reachable via Server.Metrics).
 	Metrics *Metrics
@@ -539,7 +546,7 @@ func (s *Server) runFor(h *wire.Hello, fromJournal bool) (*run, error) {
 		// fresh=true truncates any stale frames: an epoch restart of a
 		// reused run ID must never replay the previous epoch's journal.
 		r.journal = newJournal(filepath.Join(journalRoot(s.cfg.OutDir), h.RunID),
-			s.cfg.JournalSync, man, s.m, s.obs, s.logf, true, s.cfg.JournalLagWarn)
+			s.cfg.JournalSync, man, s.m, s.obs, s.logf, true, s.cfg.JournalLagWarn, s.cfg.KeepJournalFrames)
 	}
 	s.runs[h.RunID] = r
 	s.collecting.Add(1)
@@ -879,18 +886,36 @@ func (r *run) status() RunStatus {
 // stable output for admin clients and tests regardless of creation
 // timing.
 func (s *Server) Runs() []RunStatus {
+	out, _ := s.RunsFiltered("", 0)
+	return out
+}
+
+// RunsFiltered lists run statuses whose IDs start with prefix (""
+// matches all), sorted by run ID and truncated to limit entries
+// (limit <= 0 means no cap). total is the match count before
+// truncation, so paging clients — and the ?limit=-capped admin
+// endpoint — can report how much a loadgen-amplified fleet was cut.
+func (s *Server) RunsFiltered(prefix string, limit int) (out []RunStatus, total int) {
 	s.mu.Lock()
 	runs := make([]*run, 0, len(s.runs))
 	for _, r := range s.runs {
-		runs = append(runs, r)
+		if prefix == "" || strings.HasPrefix(r.id, prefix) {
+			runs = append(runs, r)
+		}
 	}
 	s.mu.Unlock()
-	out := make([]RunStatus, len(runs))
+	total = len(runs)
+	// Sort the (cheap) handles first so a limited listing snapshots only
+	// the runs it returns, not every run on a busy daemon.
+	sort.Slice(runs, func(i, j int) bool { return runs[i].id < runs[j].id })
+	if limit > 0 && len(runs) > limit {
+		runs = runs[:limit]
+	}
+	out = make([]RunStatus, len(runs))
 	for i, r := range runs {
 		out[i] = r.status()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return out, total
 }
 
 // Run returns one run's status.

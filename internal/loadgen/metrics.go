@@ -1,0 +1,58 @@
+package loadgen
+
+import "github.com/hpcrepro/pilgrim/internal/metrics"
+
+// Metrics bundles the load generator's instrument handles, on the same
+// registry primitives as the tracer and collector so one scrape
+// endpoint (or one JSON report) covers the whole replay.
+type Metrics struct {
+	Reg *metrics.Registry
+
+	ActiveStreams *metrics.Gauge   // replay streams currently sending
+	PairsSent     *metrics.Counter // (hello, snapshot) pairs put on the wire
+	BytesSent     *metrics.Counter // raw frame bytes sent (framing included)
+
+	Acks     *metrics.Counter // pairs acked AckOK
+	AckDups  *metrics.Counter // pairs acked AckDuplicate (chaos dup/resend hits)
+	AckErrs  *metrics.Counter // pairs acked AckError (collector said no)
+	Nacks    *metrics.Counter // admission NACKs (stream aborts, run counted not fatal)
+	SendErrs *metrics.Counter // transport failures after retries
+
+	ChaosDropped   *metrics.Counter // pairs skipped by -drop
+	ChaosDuped     *metrics.Counter // extra sends injected by -dup
+	ChaosReordered *metrics.Counter // adjacent pair swaps injected by -reorder
+	ChaosHeld      *metrics.Counter // pairs withheld by straggler hold-back
+
+	AckLatency *metrics.Histogram // per-pair send→ack round trip (ns)
+	WaitedRuns *metrics.Counter   // finalized traces awaited and received
+	TraceBytes *metrics.Counter   // trace bytes received by the wait phase
+}
+
+// NewMetrics registers the loadgen families on reg (a fresh registry
+// when nil).
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Metrics{
+		Reg:           reg,
+		ActiveStreams: reg.Gauge("pilgrim_loadgen_active_streams", "replay streams currently sending"),
+		PairsSent:     reg.Counter("pilgrim_loadgen_pairs_sent_total", "(hello, snapshot) frame pairs put on the wire"),
+		BytesSent:     reg.Counter("pilgrim_loadgen_bytes_sent_total", "raw frame bytes sent, framing included"),
+
+		Acks:     reg.Counter("pilgrim_loadgen_acks_total", "pairs acknowledged AckOK"),
+		AckDups:  reg.Counter("pilgrim_loadgen_ack_duplicates_total", "pairs acknowledged AckDuplicate"),
+		AckErrs:  reg.Counter("pilgrim_loadgen_ack_errors_total", "pairs rejected with AckError"),
+		Nacks:    reg.Counter("pilgrim_loadgen_nacks_total", "admission NACKs received (stream aborted, counted not fatal)"),
+		SendErrs: reg.Counter("pilgrim_loadgen_send_errors_total", "pairs lost to transport failures after retries"),
+
+		ChaosDropped:   reg.Counter("pilgrim_loadgen_chaos_dropped_total", "pairs skipped by the drop probability"),
+		ChaosDuped:     reg.Counter("pilgrim_loadgen_chaos_duplicated_total", "extra duplicate sends injected"),
+		ChaosReordered: reg.Counter("pilgrim_loadgen_chaos_reordered_total", "adjacent pair swaps injected"),
+		ChaosHeld:      reg.Counter("pilgrim_loadgen_chaos_held_total", "pairs withheld by straggler hold-back"),
+
+		AckLatency: reg.Histogram("pilgrim_loadgen_ack_latency_ns", "per-pair send-to-ack round trip"),
+		WaitedRuns: reg.Counter("pilgrim_loadgen_waited_runs_total", "finalized traces awaited and received"),
+		TraceBytes: reg.Counter("pilgrim_loadgen_trace_bytes_total", "trace bytes received by the wait phase"),
+	}
+}

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Raw-frame helpers for replay tooling: a reader that preserves the
+// verified frame bytes (so a captured journal can be re-sent verbatim,
+// framing included), and the re-key patch that rewrites the run-ID
+// field of a Hello frame — fixing the length header and recomputing
+// the CRC32C trailer — without decoding anything past the ID. This is
+// what lets the load generator amplify one captured stream onto
+// thousands of synthetic run IDs at a cost of one small splice per
+// hello, leaving the (much larger) snapshot frames untouched and
+// shared across every amplified copy.
+
+// frameOverhead is the fixed per-frame framing cost: the 4-byte length
+// + 1-byte type header, plus the 4-byte CRC32C trailer.
+const frameOverhead = 9
+
+// ReadFrameRaw reads and verifies one frame like ReadFrame, but also
+// returns the complete raw frame bytes (header + body + CRC). The body
+// slice aliases raw; both are freshly allocated per call, so callers
+// may retain them — this is the capture/replay path, not the zero-alloc
+// ingest loop (ReadFrameBuf).
+func ReadFrameRaw(r io.Reader) (typ byte, raw, body []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	typ = hdr[4]
+	if typ < TypeHello || typ > TypeNack {
+		return 0, nil, nil, fmt.Errorf("wire: unknown frame type 0x%02x", typ)
+	}
+	if n > MaxFrame {
+		return 0, nil, nil, fmt.Errorf("wire: frame body of %d bytes exceeds cap", n)
+	}
+	// Chunked growth, same discipline as ReadFrameBuf: a lying length
+	// field under the cap fails at EOF having over-allocated at most one
+	// chunk.
+	const chunk = 1 << 20
+	raw = make([]byte, 5, 5+min(int(n), chunk)+4)
+	copy(raw, hdr[:])
+	for remaining := int(n); remaining > 0; {
+		step := min(remaining, chunk)
+		start := len(raw)
+		raw = append(raw, make([]byte, step)...)
+		if _, err := io.ReadFull(r, raw[start:]); err != nil {
+			return 0, nil, nil, err
+		}
+		remaining -= step
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return 0, nil, nil, err
+	}
+	raw = append(raw, tail[:]...)
+	body = raw[5 : 5+int(n)]
+	want := binary.LittleEndian.Uint32(tail[:])
+	got := crc32.Update(crc32.Checksum(raw[4:5], crcTable), crcTable, body)
+	if got != want {
+		return 0, nil, nil, fmt.Errorf("wire: frame type 0x%02x checksum mismatch", typ)
+	}
+	return typ, raw, body, nil
+}
+
+// RekeyHelloFrame rewrites the run-ID field of a complete, valid Hello
+// frame to runID, appending the re-keyed frame to dst and returning the
+// extended slice. Only the framing prefix (length header), the version
+// and run-ID fields, and the CRC32C trailer are touched; the remainder
+// of the hello body — world size, rank, epoch, timing, span trailer —
+// is copied verbatim without being decoded. The input frame's checksum
+// is verified first, so a corrupt capture cannot be silently laundered
+// into a frame with a fresh, valid CRC.
+func RekeyHelloFrame(dst, frame []byte, runID string) ([]byte, error) {
+	if len(runID) == 0 || len(runID) > MaxRunID {
+		return nil, fmt.Errorf("wire: rekey run id length %d outside [1,%d]", len(runID), MaxRunID)
+	}
+	if len(frame) < frameOverhead {
+		return nil, fmt.Errorf("wire: rekey: %d bytes is shorter than any frame", len(frame))
+	}
+	n := binary.LittleEndian.Uint32(frame[:4])
+	if frame[4] != TypeHello {
+		return nil, fmt.Errorf("wire: rekey: frame type 0x%02x is not a hello", frame[4])
+	}
+	if uint64(len(frame)) != uint64(n)+frameOverhead {
+		return nil, fmt.Errorf("wire: rekey: frame claims %d body bytes but holds %d", n, len(frame)-frameOverhead)
+	}
+	body := frame[5 : 5+int(n)]
+	want := binary.LittleEndian.Uint32(frame[5+int(n):])
+	if got := crc32.Update(crc32.Checksum(frame[4:5], crcTable), crcTable, body); got != want {
+		return nil, fmt.Errorf("wire: rekey: input hello checksum mismatch")
+	}
+	// The hello body opens with: version uvarint, run-ID length uvarint,
+	// run-ID bytes. Everything after the old ID passes through untouched.
+	_, vn := binary.Uvarint(body)
+	if vn <= 0 {
+		return nil, fmt.Errorf("wire: rekey: truncated hello version")
+	}
+	oldLen, ln := binary.Uvarint(body[vn:])
+	if ln <= 0 || oldLen > uint64(len(body)-vn-ln) {
+		return nil, fmt.Errorf("wire: rekey: truncated hello run id")
+	}
+	rest := body[vn+ln+int(oldLen):]
+
+	newLen := vn + len(binary.AppendUvarint(nil, uint64(len(runID)))) + len(runID) + len(rest)
+	if newLen > MaxFrame {
+		return nil, fmt.Errorf("wire: rekey: patched body of %d bytes exceeds cap", newLen)
+	}
+	start := len(dst)
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(newLen))
+	hdr[4] = TypeHello
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, body[:vn]...)
+	dst = binary.AppendUvarint(dst, uint64(len(runID)))
+	dst = append(dst, runID...)
+	dst = append(dst, rest...)
+	crc := crc32.Update(crc32.Checksum(dst[start+4:start+5], crcTable), crcTable, dst[start+5:])
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	return append(dst, tail[:]...), nil
+}

@@ -1,0 +1,121 @@
+package wire_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/hpcrepro/pilgrim/internal/wire"
+)
+
+func helloFrame(t *testing.T, h *wire.Hello) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, wire.TypeHello, h.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRekeyHelloFrame(t *testing.T) {
+	orig := &wire.Hello{
+		Version: wire.Version, RunID: "source-run", WorldSize: 64, Rank: 17,
+		Epoch: 0xdeadbeef, TimingMode: 1, TimingBase: 1.07,
+		SpanID: 42, SendNs: 1_700_000_000_123_456_789,
+		Echo: wire.ClockEcho{T1: 1, T2: 2, T3: 3, T4: 4},
+	}
+	frame := helloFrame(t, orig)
+	for _, newID := range []string{
+		"x",                              // shorter than the original
+		"source-run",                     // same length
+		strings.Repeat("amplified-", 20), // much longer (multi-byte uvarint length)
+	} {
+		out, err := wire.RekeyHelloFrame(nil, frame, newID)
+		if err != nil {
+			t.Fatalf("rekey to %q: %v", newID, err)
+		}
+		typ, body, err := wire.ReadFrame(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("rekeyed frame to %q does not read back: %v", newID, err)
+		}
+		if typ != wire.TypeHello {
+			t.Fatalf("rekeyed frame type 0x%02x", typ)
+		}
+		got, err := wire.DecodeHello(body)
+		if err != nil {
+			t.Fatalf("rekeyed hello to %q does not decode: %v", newID, err)
+		}
+		want := *orig
+		want.RunID = newID
+		if *got != want {
+			t.Fatalf("rekeyed hello = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestRekeyHelloFrameAppendsToDst(t *testing.T) {
+	frame := helloFrame(t, &wire.Hello{Version: 1, RunID: "r", WorldSize: 2, Rank: 0})
+	prefix := []byte("keepme")
+	out, err := wire.RekeyHelloFrame(append([]byte(nil), prefix...), frame, "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("rekey did not append to dst")
+	}
+	if _, _, err := wire.ReadFrame(bytes.NewReader(out[len(prefix):])); err != nil {
+		t.Fatalf("appended frame does not read back: %v", err)
+	}
+}
+
+func TestRekeyHelloFrameRejects(t *testing.T) {
+	frame := helloFrame(t, &wire.Hello{Version: 1, RunID: "ok", WorldSize: 2, Rank: 0})
+	var snap bytes.Buffer
+	wire.WriteFrame(&snap, wire.TypeSnapshot, []byte("body"))
+
+	cases := []struct {
+		name  string
+		frame []byte
+		runID string
+	}{
+		{"empty id", frame, ""},
+		{"oversized id", frame, strings.Repeat("a", wire.MaxRunID+1)},
+		{"short frame", frame[:4], "x"},
+		{"not a hello", snap.Bytes(), "x"},
+		{"truncated frame", frame[:len(frame)-2], "x"},
+		{"corrupt crc", append(append([]byte(nil), frame[:len(frame)-1]...), frame[len(frame)-1]^0xff), "x"},
+	}
+	for _, tc := range cases {
+		if _, err := wire.RekeyHelloFrame(nil, tc.frame, tc.runID); err == nil {
+			t.Errorf("%s: rekey accepted", tc.name)
+		}
+	}
+}
+
+func TestReadFrameRaw(t *testing.T) {
+	var buf bytes.Buffer
+	h := &wire.Hello{Version: 1, RunID: "raw", WorldSize: 4, Rank: 2}
+	if err := wire.WriteFrame(&buf, wire.TypeHello, h.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	wireBytes := append([]byte(nil), buf.Bytes()...)
+	typ, raw, body, err := wire.ReadFrameRaw(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.TypeHello {
+		t.Fatalf("type 0x%02x", typ)
+	}
+	if !bytes.Equal(raw, wireBytes) {
+		t.Fatal("raw frame bytes differ from what was written")
+	}
+	if got, err := wire.DecodeHello(body); err != nil || got.RunID != "raw" {
+		t.Fatalf("body decode: %v %+v", err, got)
+	}
+	// Corrupt one byte anywhere: the read must fail the checksum.
+	bad := append([]byte(nil), wireBytes...)
+	bad[7] ^= 0x01
+	if _, _, _, err := wire.ReadFrameRaw(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt frame read back without error")
+	}
+}
