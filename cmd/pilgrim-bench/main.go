@@ -9,7 +9,7 @@
 //	pilgrim-bench -exp stencil -json=out/dir
 //
 // Experiments: table1, stencil, osu, fig5, fig6, fig7, fig8, fig9,
-// fig10, ablation, collect, finalize, loadgen, all.
+// fig10, ablation, collect, finalize, finalize_mem, loadgen, all.
 //
 // With -json, each experiment additionally writes BENCH_<exp>.json —
 // the experiment's data series plus the run's self-observability
@@ -211,6 +211,14 @@ func main() {
 	})
 	run("finalize", func() (any, error) {
 		r, err := experiments.RunFinalize(scale)
+		if err != nil {
+			return nil, err
+		}
+		r.Print(w)
+		return r, nil
+	})
+	run("finalize_mem", func() (any, error) {
+		r, err := experiments.RunFinalizeMem(scale)
 		if err != nil {
 			return nil, err
 		}

@@ -55,6 +55,8 @@ func main() {
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop ingest connections idle longer than this")
 		retention = flag.Duration("retention", 10*time.Minute, "keep a finalized run's trace in memory this long before serving it from -out-dir only (negative = forever)")
 		workers   = flag.Int("finalize-workers", 0, "worker pool size for run finalization (0 = GOMAXPROCS, 1 = sequential; output identical either way)")
+		mworkers  = flag.Int("merge-workers", 0, "worker pool size for merge-on-arrival: decoded snapshots merge off the run lock on this many workers (0 = GOMAXPROCS; output identical either way)")
+		maxResid  = flag.Int("max-resident-snapshots", 0, "max snapshots per run kept fully in memory; beyond it payloads spill to the run journal and finalize streams them back in bounded batches (0 = unlimited, requires -out-dir journaling)")
 		jsync     = flag.String("journal-sync", "batch", "run journal fsync policy: always (durable ack per snapshot), batch (fsync every 100ms), off (never fsync)")
 		maxRuns   = flag.Int("max-runs", 0, "max runs collecting at once; further run creations are NACKed (0 = unlimited)")
 		maxBytes  = flag.Int64("max-run-bytes", 0, "max snapshot bytes accepted per run; the snapshot exceeding it is NACKed (0 = unlimited)")
@@ -117,21 +119,23 @@ func main() {
 	}()
 
 	srv, err := collect.Start(collect.Config{
-		Listen:            *listen,
-		OutDir:            *outDir,
-		StragglerDeadline: *deadline,
-		IdleTimeout:       *idle,
-		Retention:         *retention,
-		FinalizeWorkers:   *workers,
-		JournalSync:       syncMode,
-		MaxRuns:           *maxRuns,
-		MaxRunBytes:       *maxBytes,
-		MaxConns:          *maxConns,
-		AwaitStragglers:   *await,
-		JournalLagWarn:    *lagWarn,
-		KeepJournalFrames: *keepJnl,
-		Obs:               sink,
-		Logf:              logf,
+		Listen:               *listen,
+		OutDir:               *outDir,
+		StragglerDeadline:    *deadline,
+		IdleTimeout:          *idle,
+		Retention:            *retention,
+		FinalizeWorkers:      *workers,
+		MergeWorkers:         *mworkers,
+		MaxResidentSnapshots: *maxResid,
+		JournalSync:          syncMode,
+		MaxRuns:              *maxRuns,
+		MaxRunBytes:          *maxBytes,
+		MaxConns:             *maxConns,
+		AwaitStragglers:      *await,
+		JournalLagWarn:       *lagWarn,
+		KeepJournalFrames:    *keepJnl,
+		Obs:                  sink,
+		Logf:                 logf,
 	})
 	if err != nil {
 		fatal(err)

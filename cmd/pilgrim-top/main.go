@@ -38,6 +38,7 @@ type healthRow struct {
 	IngestRateBps     float64 `json:"ingest_rate_bps"`
 	LastArrivalAgeSec float64 `json:"last_arrival_age_sec"`
 	JournalLagNs      int64   `json:"journal_fsync_lag_ns"`
+	MergeBacklog      int64   `json:"merge_backlog"`
 	ClockOffsetNs     int64   `json:"clock_offset_ns"`
 }
 
@@ -311,8 +312,8 @@ func (m *model) render(w *strings.Builder, base string, color bool) {
 	if m.maxRows > 0 && len(shown) > m.maxRows {
 		shown = shown[:m.maxRows]
 	}
-	fmt.Fprintf(w, "%-20s %-20s %-22s %10s %10s %9s %9s\n",
-		"RUN", "PHASE", "RANKS", "BYTES", "RATE", "LAST-ARR", "JLAG")
+	fmt.Fprintf(w, "%-20s %-20s %-22s %10s %10s %9s %9s %8s\n",
+		"RUN", "PHASE", "RANKS", "BYTES", "RATE", "LAST-ARR", "JLAG", "BACKLOG")
 	if len(ids) == 0 {
 		fmt.Fprintf(w, "  (no runs)\n")
 	}
@@ -328,8 +329,12 @@ func (m *model) render(w *strings.Builder, base string, color bool) {
 		if r.JournalLagNs > 0 {
 			jlag = fmtDurNs(float64(r.JournalLagNs))
 		}
-		fmt.Fprintf(w, "%-20s %s%-20s%s %-22s %10s %8.0f/s %9s %9s\n",
-			r.Run, on, r.Phase, off, ranks, fmtBytes(r.Bytes), r.IngestRateBps, age, jlag)
+		backlog := "-"
+		if r.MergeBacklog > 0 {
+			backlog = fmt.Sprintf("%d", r.MergeBacklog)
+		}
+		fmt.Fprintf(w, "%-20s %s%-20s%s %-22s %10s %8.0f/s %9s %9s %8s\n",
+			r.Run, on, r.Phase, off, ranks, fmtBytes(r.Bytes), r.IngestRateBps, age, jlag, backlog)
 	}
 	if k := len(ids) - len(shown); k > 0 {
 		fmt.Fprintf(w, "  … and %d more\n", k)

@@ -1,0 +1,137 @@
+package pilgrim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/spill"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+)
+
+// The streaming, bounded-memory finalize must be byte-identical to the
+// in-memory finalize for every batch size and worker count: batching
+// only changes when merge work happens, never what it computes, and
+// every ordering-sensitive pass stays sequential in rank order. These
+// tests pin that over the golden cases — plain, lossy timing, salvage,
+// and the collector's premerged path — by spilling the snapshots
+// through internal/spill (fresh decodes per fetch, exactly as the
+// finalize's table-absorbing ownership contract requires).
+
+// streamedSweep spills snaps to disk and finalizes the spill at
+// several batch sizes and worker counts, failing unless every trace is
+// byte-identical to the in-memory sequential finalize of the same
+// snapshots.
+func streamedSweep(t *testing.T, snaps []*core.Snapshot, opts core.Options, info *trace.SalvageInfo) {
+	t.Helper()
+	n := len(snaps)
+	seqOpts := opts
+	seqOpts.FinalizeWorkers = 1
+	seq, _ := core.FinalizeSnapshots(snaps, seqOpts, info)
+	want := traceBytes(t, seq)
+
+	w, err := spill.NewWriter(t.TempDir(), "identity", n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, s := range snaps {
+		if err := w.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []int{1, 3, n} {
+		for _, workers := range []int{1, 0} {
+			sopts := opts
+			sopts.MaxResidentSnapshots = k
+			sopts.FinalizeWorkers = workers
+			f, _, err := core.FinalizeStreamed(n, w.Fetch, sopts, info)
+			if err != nil {
+				t.Fatalf("batch=%d workers=%d: %v", k, workers, err)
+			}
+			if got := traceBytes(t, f); !bytes.Equal(got, want) {
+				t.Errorf("batch=%d workers=%d: streamed trace differs from in-memory sequential (%d vs %d bytes)",
+					k, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestFinalizeStreamedByteIdentical(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 33} {
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			snaps := snapshotsFor(t, n, core.Options{})
+			streamedSweep(t, snaps, core.Options{}, nil)
+		})
+	}
+}
+
+func TestFinalizeStreamedByteIdenticalLossyTiming(t *testing.T) {
+	opts := core.Options{TimingMode: trace.TimingLossy, TimingBase: 1.2}
+	for _, n := range []int{2, 7, 16} {
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			snaps := snapshotsFor(t, n, opts)
+			streamedSweep(t, snaps, opts, nil)
+		})
+	}
+}
+
+func TestFinalizeStreamedByteIdenticalSalvage(t *testing.T) {
+	const n = 7
+	snaps := snapshotsFor(t, n, core.Options{})
+	info := &trace.SalvageInfo{Reason: "identity test", FailedRanks: []int32{2, 5}, Calls: make([]int64, n)}
+	for i, s := range snaps {
+		info.Calls[i] = s.Calls
+	}
+	streamedSweep(t, snaps, core.Options{}, info)
+}
+
+// TestFinalizePremergedStreamedByteIdentical covers the collector's
+// spilled-payload path: tables merged incrementally in an arbitrary
+// arrival order, then a grammar pass streaming the snapshots back in
+// bounded batches, must finalize to the same bytes as a local
+// in-memory sequential finalize.
+func TestFinalizePremergedStreamedByteIdentical(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 33} {
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			snaps := snapshotsFor(t, n, core.Options{})
+			seq, _ := core.FinalizeSnapshots(snaps, core.Options{FinalizeWorkers: 1}, nil)
+			want := traceBytes(t, seq)
+
+			// Feed the incremental merge out of rank order.
+			inc := cst.NewIncremental(n)
+			stride := 3
+			if n%stride == 0 {
+				stride = 1
+			}
+			for i := 0; i < n; i++ {
+				r := (i * stride) % n
+				if err := inc.Add(r, snaps[r].Table); err != nil {
+					t.Fatal(err)
+				}
+			}
+			merged := inc.Result()
+			// The premerged grammar pass never reads tables and never
+			// mutates snapshots, so a fetch slicing the resident array
+			// satisfies the ownership contract.
+			fetch := func(start, n int) ([]*core.Snapshot, error) {
+				return snaps[start : start+n], nil
+			}
+			for _, k := range []int{1, 3, n} {
+				for _, workers := range []int{1, 0} {
+					opts := core.Options{MaxResidentSnapshots: k, FinalizeWorkers: workers}
+					f, _, err := core.FinalizePremergedStreamed(n, fetch, merged, 0, opts, nil)
+					if err != nil {
+						t.Fatalf("batch=%d workers=%d: %v", k, workers, err)
+					}
+					if got := traceBytes(t, f); !bytes.Equal(got, want) {
+						t.Errorf("batch=%d workers=%d: premerged streamed trace differs from local sequential finalize",
+							k, workers)
+					}
+				}
+			}
+		})
+	}
+}

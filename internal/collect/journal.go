@@ -119,6 +119,13 @@ type journal struct {
 	lagWarn time.Duration // warn when fsync lag exceeds this; <=0 disables
 	keep    bool          // capture mode: retain frames.jnl after finalize
 
+	// nextOff is the file offset the next appended entry will land at.
+	// It is caller-synchronized, not atomic: every appendSnapshot for a
+	// journal runs under its run's r.mu, which is also what makes the
+	// queue's FIFO order match append order. Recovery primes it to the
+	// replayed file's intact length before reattaching.
+	nextOff int64
+
 	// Queue-goroutine-owned state.
 	f     *os.File
 	dirty bool
@@ -201,16 +208,21 @@ func (j *journal) writeManifestNow() {
 
 // appendSnapshot enqueues one accepted snapshot's (Hello, Snapshot)
 // frame pair. It copies both into a private buffer first, so the
-// caller's scratch body can be reused immediately. The returned wait
-// function is non-nil only under SyncAlways: the caller must invoke it
-// (outside any lock) before acking, and it blocks until the entry is
-// fsynced.
-func (j *journal) appendSnapshot(h *wire.Hello, body []byte) (wait func()) {
+// caller's scratch body can be reused immediately. The returned
+// (off, length) locate the entry in frames.jnl — valid because
+// appends are caller-ordered under r.mu — letting the bounded-memory
+// ingest path treat the journal as its payload spill. The returned
+// wait function is non-nil only under SyncAlways: the caller must
+// invoke it (outside any lock) before acking, and it blocks until the
+// entry is fsynced.
+func (j *journal) appendSnapshot(h *wire.Hello, body []byte) (off, length int64, wait func()) {
 	var buf bytes.Buffer
 	buf.Grow(len(body) + 96)
 	wire.WriteFrame(&buf, wire.TypeHello, h.Encode())
 	wire.WriteFrame(&buf, wire.TypeSnapshot, body)
 	entry := buf.Bytes()
+	off, length = j.nextOff, int64(len(entry))
+	j.nextOff += length
 	var done chan struct{}
 	if j.mode == SyncAlways {
 		done = make(chan struct{})
@@ -244,9 +256,9 @@ func (j *journal) appendSnapshot(h *wire.Hello, body []byte) (wait func()) {
 		}
 	})
 	if !ok || done == nil {
-		return nil
+		return off, length, nil
 	}
-	return func() { <-done }
+	return off, length, func() { <-done }
 }
 
 // fsyncNow flushes the frames file. Queue goroutine only.
@@ -496,6 +508,7 @@ func (s *Server) recoverFinalized(m *manifest, jdir string) {
 func (s *Server) registerRecovered(m *manifest) *run {
 	r := newRun(m.RunID, m.World, m.Epoch, m.TimingMode, m.TimingBase, s.cfg.FinalizeWorkers)
 	r.opts.ObsSink = s.obs
+	r.opts.MaxResidentSnapshots = s.cfg.MaxResidentSnapshots
 	r.created = time.Unix(0, int64(m.CreatedSec*1e9))
 	s.mu.Lock()
 	s.runs[m.RunID] = r
@@ -517,13 +530,21 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return k, err
 }
 
+// replayPair is one intact journaled frame pair plus its location in
+// frames.jnl, so replay can hand bounded-memory ingest the same
+// (offset, length) spill ref a live append would have produced.
+type replayPair struct {
+	hello, snap []byte
+	off, length int64
+}
+
 // replayRun replays a collecting run's frame log through the normal
 // ingest path. The first CRC failure, truncated read, or frame that
 // does not belong to this run truncates the file there — a torn tail
 // is expected after a crash and must never fail the whole run.
 func (s *Server) replayRun(m *manifest, jdir string) {
 	fpath := filepath.Join(jdir, framesName)
-	var pairs [][2][]byte // (hello body, snapshot body)
+	var pairs []replayPair
 	var goodOff, fileSize int64
 	torn := false
 	if f, err := os.Open(fpath); err == nil {
@@ -547,7 +568,7 @@ func (s *Server) replayRun(m *manifest, jdir string) {
 				torn = true
 				break
 			}
-			pairs = append(pairs, [2][]byte{hbody, sbody})
+			pairs = append(pairs, replayPair{hello: hbody, snap: sbody, off: goodOff, length: cr.n - goodOff})
 			goodOff = cr.n
 		}
 		f.Close()
@@ -594,17 +615,18 @@ func (s *Server) replayRun(m *manifest, jdir string) {
 	r.journal = newJournal(jdir, s.cfg.JournalSync, *m, s.m, s.obs, s.logf, false, s.cfg.JournalLagWarn, s.cfg.KeepJournalFrames)
 	r.journal.frames.Store(int64(len(pairs)))
 	r.journal.bytes.Store(goodOff)
+	r.journal.nextOff = goodOff
 	r.mu.Unlock()
 	s.collecting.Add(1)
 	s.m.ActiveRuns.Add(1)
 	s.m.RecoveredRuns.Inc()
 
 	for _, p := range pairs {
-		h, err := wire.DecodeHello(p[0])
+		h, err := wire.DecodeHello(p.hello)
 		if err != nil {
 			continue // validated above; unreachable
 		}
-		ack, _ := s.ingest(h, p[1], nil, true)
+		ack, _ := s.ingest(h, p.snap, nil, true, [2]int64{p.off, p.length})
 		if ack != nil && ack.Status == wire.AckOK {
 			s.m.JournalReplayedFrames.Inc()
 		}

@@ -20,6 +20,7 @@ type Metrics struct {
 	DupSnapshots      *metrics.Counter   // idempotent re-sends deduplicated
 	RejectedSnapshots *metrics.Counter   // snapshots refused (bad run/epoch/decode)
 	MergeNs           *metrics.Histogram // per-snapshot incremental CST merge latency
+	MergeBacklog      *metrics.Gauge     // snapshots decoded and queued but not yet merged
 	FinalizeNs        *metrics.Histogram // per-run finalize (relabel+dedup+pack+write) latency
 	ActiveRuns        *metrics.Gauge     // runs currently collecting
 	ActiveConns       *metrics.Gauge     // open ingest connections
@@ -60,6 +61,7 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		DupSnapshots:      reg.Counter("pilgrim_collect_duplicate_snapshots_total", "idempotent snapshot re-sends deduplicated by (run, rank, epoch)"),
 		RejectedSnapshots: reg.Counter("pilgrim_collect_rejected_snapshots_total", "snapshots refused (unknown run, epoch mismatch, decode error)"),
 		MergeNs:           reg.Histogram("pilgrim_collect_merge_ns", "incremental CST merge latency per arriving snapshot (ns)"),
+		MergeBacklog:      reg.Gauge("pilgrim_collect_merge_backlog", "snapshots decoded and enqueued for merge but not yet merged (all runs)"),
 		FinalizeNs:        reg.Histogram("pilgrim_collect_finalize_ns", "per-run finalize latency: relabel, grammar dedup, pack, serialize (ns)"),
 		ActiveRuns:        reg.Gauge("pilgrim_collect_active_runs", "runs currently collecting snapshots"),
 		ActiveConns:       reg.Gauge("pilgrim_collect_active_conns", "open ingest connections"),

@@ -31,6 +31,7 @@ import (
 	"github.com/hpcrepro/pilgrim/internal/core"
 	"github.com/hpcrepro/pilgrim/internal/cst"
 	"github.com/hpcrepro/pilgrim/internal/obs"
+	"github.com/hpcrepro/pilgrim/internal/par"
 	"github.com/hpcrepro/pilgrim/internal/sequitur"
 	"github.com/hpcrepro/pilgrim/internal/trace"
 	"github.com/hpcrepro/pilgrim/internal/wire"
@@ -92,6 +93,21 @@ type Config struct {
 	// JournalLagWarn logs one rate-limited warning when a journal fsync
 	// lands later than this after its oldest queued byte. Zero disables.
 	JournalLagWarn time.Duration
+	// MergeWorkers bounds the shared pool that drains per-run merge
+	// queues: snapshots are decoded on their connection goroutine and
+	// their CST merges run here, off the run lock, on independent merge
+	// tree subtrees (cst.Incremental.AddConcurrent). 0 means GOMAXPROCS.
+	MergeWorkers int
+	// MaxResidentSnapshots caps how many snapshots per run keep their
+	// grammar payloads in memory. Beyond the cap an accepted snapshot's
+	// payloads are dropped once its journal entry is appended (the CST
+	// table is consumed by the merge either way), and finalize streams
+	// them back from the run journal in MaxResidentSnapshots-sized
+	// batches — peak finalize memory stays O(cap) instead of O(world)
+	// with byte-identical output. Requires OutDir (the journal is the
+	// spill); runs without a healthy journal keep everything resident.
+	// Zero means unbounded.
+	MaxResidentSnapshots int
 	// KeepJournalFrames retains each run's frames.jnl after finalize
 	// instead of dropping it. Normal operation deletes the frames (the
 	// finalized trace is the durable artifact); capture mode keeps them
@@ -140,23 +156,37 @@ type run struct {
 	opts    core.Options
 	created time.Time
 
-	mu        sync.Mutex
-	snaps     []*core.Snapshot // by rank; nil until reported
-	received  int
-	bytes     int64 // snapshot body bytes accepted (admission accounting)
-	inc       *cst.Incremental
-	mergeNs   int64
-	timer     *time.Timer
-	evict     *time.Timer // retention: drops traceData once on disk
-	state     runState
-	reason    string // salvage reason, "" otherwise
-	traceData []byte // nil after eviction; reload via tracePath
-	traceLen  int
-	tracePath string
-	doneAt    time.Time
-	done      chan struct{}   // closed once the run finalizes
-	journal   *journal        // nil when OutDir is unset
-	recovery  *RecoveryStatus // non-nil when restored from a journal
+	// mergeq is the run's bounded merge-on-arrival queue: ingest
+	// enqueues each decoded table here (blocking when full — that and
+	// the shared pool are the backpressure that slows a producer's ack
+	// instead of dropping), then submits one drain task to the server
+	// pool. backlog mirrors len(mergeq) for health and metrics.
+	mergeq  chan mergeItem
+	backlog atomic.Int64
+
+	mu       sync.Mutex
+	snaps    []*core.Snapshot // by rank; nil until reported
+	received int
+	merged   int        // ranks whose CST merge has completed
+	spilled  int        // snapshots whose payloads were dropped to the journal
+	jrefs    [][2]int64 // rank -> journal (offset, length); nil until first spill
+	bytes    int64      // snapshot body bytes accepted (admission accounting)
+	inc      *cst.Incremental
+	mergeNs  int64
+	// pendingInfo carries salvage metadata from salvageRun to the merge
+	// worker whose merge completes the run and triggers finalize.
+	pendingInfo *trace.SalvageInfo
+	timer       *time.Timer
+	evict       *time.Timer // retention: drops traceData once on disk
+	state       runState
+	reason      string // salvage reason, "" otherwise
+	traceData   []byte // nil after eviction; reload via tracePath
+	traceLen    int
+	tracePath   string
+	doneAt      time.Time
+	done        chan struct{}   // closed once the run finalizes
+	journal     *journal        // nil when OutDir is unset
+	recovery    *RecoveryStatus // non-nil when restored from a journal
 
 	// Live health model (health.go). phase's zero value is
 	// phaseAdmitted, matching a freshly created run.
@@ -167,6 +197,21 @@ type run struct {
 	clock         clockEstimator
 	lastHealthPub time.Time // rate limit for watch health-delta events
 }
+
+// mergeItem is one decoded snapshot's CST handed from its connection
+// goroutine to a merge worker. qsp is started at enqueue and ended at
+// dequeue, so the ingest.queue_wait span measures true queue time.
+type mergeItem struct {
+	rank   int
+	table  *cst.Table
+	spanID uint64
+	qsp    obs.Span
+}
+
+// mergeQueueDepth bounds each run's merge-on-arrival queue. A full
+// queue blocks the enqueueing connection goroutine — backpressure,
+// never a drop.
+const mergeQueueDepth = 64
 
 // newRun builds a run's in-memory state; shared by live creation
 // (runFor) and journal recovery (registerRecovered).
@@ -179,6 +224,7 @@ func newRun(id string, world int, epoch uint64, timingMode uint8, timingBase flo
 		created: time.Now(),
 		snaps:   make([]*core.Snapshot, world),
 		inc:     cst.NewIncremental(world),
+		mergeq:  make(chan mergeItem, mergeQueueDepth),
 		done:    make(chan struct{}),
 	}
 }
@@ -211,6 +257,12 @@ type Server struct {
 	obs   *obs.Sink
 	ln    net.Listener
 	watch *broadcaster // /watch SSE fan-out; publish never blocks ingest
+	pool  *par.Pool    // shared merge workers draining per-run mergeqs
+
+	// closing gates the finalize trigger during shutdown: merge workers
+	// drain their queues but leave in-flight runs unfinalized, matching
+	// Close's contract.
+	closing atomic.Bool
 
 	mu       sync.Mutex
 	runs     map[string]*run
@@ -270,6 +322,7 @@ func Start(cfg Config) (*Server, error) {
 	}
 	s.m.registerProcess(s.start, s.obs)
 	s.watch = newBroadcaster(s.m)
+	s.pool = par.NewPool(cfg.MergeWorkers, mergeQueueDepth)
 	// Recovery runs to completion before the listener accepts, so a
 	// reconnecting producer can never race the replay of its own run.
 	if s.cfg.OutDir != "" {
@@ -293,6 +346,10 @@ func (s *Server) Obs() *obs.Sink { return s.obs }
 // handlers to drain. In-flight runs are left unfinalized (producers
 // fall back to local finalize when the collector vanishes).
 func (s *Server) Close() error {
+	// Merge workers consult closing before triggering finalize: queued
+	// merges still drain (every enqueued item has or will have a drain
+	// task), but a run completing during shutdown stays unfinalized.
+	s.closing.Store(true)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -333,7 +390,12 @@ func (s *Server) Close() error {
 			j.close()
 		}
 	}
+	// Handler goroutines may be parked in mergeq sends or pool.Submit;
+	// they need live workers to drain, so the pool closes only after
+	// every handler has exited. Close then runs the remaining drain
+	// tasks to completion before returning.
 	s.wg.Wait()
+	s.pool.Close()
 	return err
 }
 
@@ -428,7 +490,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			s.m.IngestBytes.Add(int64(len(body)))
-			ack, nack := s.ingest(hello, body, &sc, false)
+			ack, nack := s.ingest(hello, body, &sc, false, [2]int64{})
 			v2 := hello.Version >= 2
 			hello = nil
 			if nack != nil {
@@ -533,6 +595,7 @@ func (s *Server) runFor(h *wire.Hello, fromJournal bool) (*run, error) {
 	}
 	r = newRun(h.RunID, h.WorldSize, h.Epoch, h.TimingMode, h.TimingBase, s.cfg.FinalizeWorkers)
 	r.opts.ObsSink = s.obs
+	r.opts.MaxResidentSnapshots = s.cfg.MaxResidentSnapshots
 	if d := s.cfg.StragglerDeadline; d > 0 {
 		r.timer = time.AfterFunc(d, func() { s.salvageRun(r, d) })
 	}
@@ -558,13 +621,17 @@ func (s *Server) runFor(h *wire.Hello, fromJournal bool) (*run, error) {
 	return r, nil
 }
 
-// ingest decodes and merges one snapshot, returning either the ack or
-// the admission NACK to send (exactly one is non-nil). Re-sends of a
-// (run, rank, epoch) already merged ack as duplicates — the
-// idempotency that makes both client retry and journal replay safe.
-// fromJournal marks recovery replay: admission is bypassed and the
-// frame is not re-journaled.
-func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, fromJournal bool) (*wire.Ack, *wire.Nack) {
+// ingest decodes one snapshot on the calling (connection) goroutine,
+// registers it under the run lock, and hands its CST to the run's
+// merge queue — the merge itself runs on the shared worker pool, off
+// r.mu (see mergeSnapshot). Returns either the ack or the admission
+// NACK to send (exactly one is non-nil). Re-sends of a (run, rank,
+// epoch) already accepted ack as duplicates — the idempotency that
+// makes both client retry and journal replay safe. fromJournal marks
+// recovery replay: admission is bypassed, the frame is not
+// re-journaled (jref locates the existing journal entry), and the
+// merge runs inline so recovery completes before the listener accepts.
+func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, fromJournal bool, jref [2]int64) (*wire.Ack, *wire.Nack) {
 	dsp := s.obs.Start("collect", "ingest.decode").
 		WithRun(h.RunID, h.Rank, h.Epoch).WithAttr("bytes", int64(len(body))).
 		WithParent(h.SpanID)
@@ -639,52 +706,120 @@ func (s *Server) ingest(h *wire.Hello, body []byte, sc *wire.DecodeScratch, from
 		return nil, &wire.Nack{Code: wire.NackRunBytes,
 			Detail: fmt.Sprintf("run %s at max-run-bytes=%d", r.id, s.cfg.MaxRunBytes)}
 	}
-	msp := s.obs.Start("collect", "ingest.merge").
-		WithRun(h.RunID, h.Rank, h.Epoch).WithAttr("bytes", int64(len(body))).
-		WithParent(h.SpanID)
-	t0 := time.Now()
-	if err := r.inc.Add(snap.Rank, snap.Table); err != nil {
-		r.mu.Unlock()
-		s.m.RejectedSnapshots.Inc()
-		msp.WithStr("result", "reject").End()
-		return &wire.Ack{Status: wire.AckError, Detail: err.Error()}, nil
-	}
-	mergeNs := time.Since(t0).Nanoseconds()
-	msp.WithAttr("received", int64(r.received+1)).End()
-	r.mergeNs += mergeNs
 	r.snaps[snap.Rank] = snap
 	r.received++
 	r.bytes += int64(len(body))
 	s.m.IngestSnapshots.Inc()
-	s.m.MergeNs.Observe(mergeNs)
 	s.noteArrivalLocked(r, int64(len(body)), time.Now())
 	// Journal the accepted frame pair. The append is enqueued under
 	// r.mu (preserving order) but all file I/O runs on the journal's
 	// queue worker; under SyncAlways the ack below is withheld — via
 	// jwait, outside the lock — until the entry is fsynced.
 	var jwait func()
+	joff, jlen := jref[0], jref[1]
 	if r.journal != nil && !fromJournal {
-		jwait = r.journal.appendSnapshot(h, body)
+		joff, jlen, jwait = r.journal.appendSnapshot(h, body)
 	}
-	if r.received == r.world {
-		// finalizeLocked's journal manifest update is enqueued after the
-		// append above; queue order keeps the file consistent.
-		s.finalizeLocked(r, nil)
+	// The CST merge happens off this lock: capture the decoded table
+	// for the merge queue and drop the snapshot's reference, so the
+	// merge owns it exclusively (finalize never reads leaf tables).
+	table := snap.Table
+	snap.Table = nil
+	// Bounded-memory mode: beyond the resident cap, the snapshot's
+	// grammar payloads live only in the journal until finalize streams
+	// them back (finalizeStreamedLocked).
+	if limit := s.cfg.MaxResidentSnapshots; limit > 0 && jlen > 0 && r.journal != nil &&
+		!r.journal.broken.Load() && r.received-r.spilled > limit {
+		if r.jrefs == nil {
+			r.jrefs = make([][2]int64, r.world)
+		}
+		r.jrefs[snap.Rank] = [2]int64{joff, jlen}
+		r.spilled++
+		snap.Grammar, snap.DurGrammar, snap.IntGrammar = nil, nil, nil
+		snap.RawSigs, snap.RawTimes = nil, nil
 	}
 	r.mu.Unlock()
+	if fromJournal {
+		// Recovery replay merges synchronously: the run must be fully
+		// merged (and possibly finalized) before the listener accepts.
+		s.mergeSnapshot(r, snap.Rank, table, h.SpanID)
+		return &wire.Ack{Status: wire.AckOK}, nil
+	}
+	// Merge-on-arrival: enqueue the item first, then submit one drain
+	// task — every submitted task is guaranteed a waiting item, so pool
+	// workers never block on an empty queue. Both the bounded queue and
+	// the bounded pool push back by blocking this connection goroutine,
+	// which slows the producer's ack; frames are never dropped.
+	qsp := s.obs.Start("collect", "ingest.queue_wait").
+		WithRun(h.RunID, h.Rank, h.Epoch).WithParent(h.SpanID)
+	r.backlog.Add(1)
+	s.m.MergeBacklog.Add(1)
+	r.mergeq <- mergeItem{rank: snap.Rank, table: table, spanID: h.SpanID, qsp: qsp}
+	if !s.pool.Submit(func() { s.drainMerge(r) }) {
+		s.drainMerge(r) // pool already closed (shutdown): drain inline
+	}
 	if jwait != nil {
 		jwait()
 	}
 	return &wire.Ack{Status: wire.AckOK}, nil
 }
 
+// drainMerge consumes exactly one queued merge item for r. It is
+// submitted to the pool only after its item is enqueued, so the
+// receive never blocks on an empty queue.
+func (s *Server) drainMerge(r *run) {
+	it := <-r.mergeq
+	r.backlog.Add(-1)
+	s.m.MergeBacklog.Add(-1)
+	it.qsp.End()
+	s.mergeSnapshot(r, it.rank, it.table, it.spanID)
+}
+
+// mergeSnapshot folds one rank's CST into the run's merge tree off the
+// run lock (cst.Incremental.AddConcurrent; independent subtrees merge
+// in parallel, the table is absorbed without cloning) and, when it
+// completes the last of world merges, finalizes the run. The finalize
+// trigger is sound under concurrency because every worker increments
+// r.merged under r.mu after its merge returns: the worker that
+// observes merged == world also observes every other merge's writes.
+func (s *Server) mergeSnapshot(r *run, rank int, t *cst.Table, parent uint64) {
+	msp := s.obs.Start("collect", "ingest.merge").
+		WithRun(r.id, rank, r.epoch).WithParent(parent)
+	t0 := time.Now()
+	_, err := r.inc.AddConcurrent(rank, t, true)
+	mergeNs := time.Since(t0).Nanoseconds()
+	if err != nil {
+		// Unreachable: ingest and salvage dedup by r.snaps under r.mu
+		// before feeding a rank. Log rather than corrupt the count.
+		msp.WithStr("result", "reject").End()
+		s.logf("run %s: merge rank %d: %v", r.id, rank, err)
+		return
+	}
+	msp.End()
+	s.m.MergeNs.Observe(mergeNs)
+	r.mu.Lock()
+	r.mergeNs += mergeNs
+	r.merged++
+	if r.merged == r.world && r.state == stateCollecting && !s.closing.Load() {
+		// finalizeLocked's journal manifest update is enqueued after
+		// every append (all were enqueued before their merges); queue
+		// order keeps the file consistent.
+		s.finalizeLocked(r, r.pendingInfo)
+	}
+	r.mu.Unlock()
+}
+
 // salvageRun fires at the straggler deadline: missing ranks become
-// empty failed streams and the run finalizes as a salvage trace, the
-// same degradation core.SalvageFinalize applies to crashed ranks.
+// empty failed streams fed through the same concurrent merge path the
+// live ranks use, and whichever merge completes the run finalizes it
+// as a salvage trace (pendingInfo) — the same degradation
+// core.SalvageFinalize applies to crashed ranks.
 func (s *Server) salvageRun(r *run, deadline time.Duration) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.state != stateCollecting || r.received == r.world {
+		// Fully received: any still-queued merges finish on the workers
+		// and the last one finalizes normally.
+		r.mu.Unlock()
 		return
 	}
 	s.obs.Start("collect", "salvage").WithRun(r.id, -1, r.epoch).
@@ -693,21 +828,27 @@ func (s *Server) salvageRun(r *run, deadline time.Duration) {
 		Reason: fmt.Sprintf("collector: straggler deadline (%s): %d/%d ranks reported", deadline, r.received, r.world),
 		Calls:  make([]int64, r.world),
 	}
+	var missing []int
 	for rank := 0; rank < r.world; rank++ {
 		if r.snaps[rank] != nil {
 			info.Calls[rank] = r.snaps[rank].Calls
 			continue
 		}
 		info.FailedRanks = append(info.FailedRanks, int32(rank))
-		empty := &core.Snapshot{
+		missing = append(missing, rank)
+		// Registering the placeholder under r.mu dedups a straggler that
+		// arrives after this point: it acks as a duplicate, exactly as it
+		// would after finalize.
+		r.snaps[rank] = &core.Snapshot{
 			Rank:    rank,
-			Table:   cst.New(),
 			Grammar: sequitur.Serialized(sequitur.New().Serialize()),
 		}
-		r.inc.Add(rank, empty.Table)
-		r.snaps[rank] = empty
 	}
-	s.finalizeLocked(r, info)
+	r.pendingInfo = info
+	r.mu.Unlock()
+	for _, rank := range missing {
+		s.mergeSnapshot(r, rank, cst.New(), 0)
+	}
 }
 
 // finalizeLocked (r.mu held) runs the back half of the §3.5 merge and
@@ -723,10 +864,23 @@ func (s *Server) finalizeLocked(r *run, info *trace.SalvageInfo) {
 	fsp := s.obs.Start("collect", "finalize.run").WithRun(r.id, -1, r.epoch).
 		WithAttr("ranks", int64(r.world))
 	t0 := time.Now()
-	file, _ := core.FinalizePremerged(r.snaps, r.inc.Result(), r.mergeNs, r.opts, info)
+	var file *trace.File
+	var ferr error
+	if r.spilled > 0 {
+		file, ferr = s.finalizeStreamedLocked(r, info)
+	} else {
+		file, _ = core.FinalizePremerged(r.snaps, r.inc.Result(), r.mergeNs, r.opts, info)
+	}
 	var buf bytes.Buffer
 	serializeFailed := false
-	if _, err := file.WriteTo(&buf); err != nil {
+	if ferr != nil {
+		// Spilled payloads could not be read back (journal lost after its
+		// append was accepted); the run completes with no trace bytes,
+		// the same degradation as a serialize failure.
+		serializeFailed = true
+		r.reason = fmt.Sprintf("finalize reload failed: %v", ferr)
+		s.logf("run %s: finalize reload failed: %v", r.id, ferr)
+	} else if _, err := file.WriteTo(&buf); err != nil {
 		// Serialization of a just-merged trace cannot fail short of OOM;
 		// record the run as salvaged-with-no-bytes rather than crash.
 		serializeFailed = true

@@ -1,0 +1,243 @@
+package collect_test
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/collect"
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+)
+
+// Tests for the bounded-memory ingest path: payload spilling to the
+// run journal under MaxResidentSnapshots, the streamed finalize that
+// reads them back, off-lock merge workers, and the queue's
+// backpressure contract (slow acks, never drops).
+
+// TestSpilledPayloadsMatchLocalFinalize caps resident snapshots far
+// below the world size: most payloads are stripped to journal refs on
+// arrival and streamed back at finalize, and the trace must still be
+// byte-identical to the in-memory local finalize.
+func TestSpilledPayloadsMatchLocalFinalize(t *testing.T) {
+	const n = 16
+	snaps := traceWorkload(t, n)
+	local, _ := core.FinalizeSnapshots(snaps, core.Options{}, nil)
+	want := serialize(t, local)
+
+	for _, limit := range []int{1, 3} {
+		srv := startServer(t, collect.Config{OutDir: t.TempDir(), MaxResidentSnapshots: limit})
+		c := client(srv, "spilled", n)
+		remote, err := c.Collect(snaps)
+		if err != nil {
+			t.Fatalf("limit=%d: %v", limit, err)
+		}
+		if got := serialize(t, remote); !bytes.Equal(got, want) {
+			t.Fatalf("limit=%d: spilled-finalize trace differs from local (%d vs %d bytes)",
+				limit, len(got), len(want))
+		}
+	}
+}
+
+// TestMergeWorkerCountIrrelevant runs the same snapshots through
+// servers with one and many merge workers: scheduling must never show
+// up in the bytes.
+func TestMergeWorkerCountIrrelevant(t *testing.T) {
+	const n = 12
+	snaps := traceWorkload(t, n)
+	local, _ := core.FinalizeSnapshots(snaps, core.Options{}, nil)
+	want := serialize(t, local)
+
+	for _, workers := range []int{1, 4} {
+		srv := startServer(t, collect.Config{MergeWorkers: workers})
+		c := client(srv, "mworkers", n)
+		remote, err := c.Collect(snaps)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := serialize(t, remote); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: trace differs from local finalize", workers)
+		}
+	}
+}
+
+// TestResidentSnapshotsBounded checks the health view mid-run: with a
+// resident cap of 2, an incomplete run holding 5 accepted snapshots
+// reports exactly 2 resident, and the admin health endpoint carries
+// the new fields.
+func TestResidentSnapshotsBounded(t *testing.T) {
+	const n, limit = 6, 2
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{OutDir: t.TempDir(), MaxResidentSnapshots: limit})
+	admin := httptest.NewServer(collect.AdminHandler(srv))
+	defer admin.Close()
+
+	c := client(srv, "resident", n)
+	for _, s := range snaps[:n-1] {
+		if err := c.SendSnapshot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, ok := srv.Health("resident")
+	if !ok {
+		t.Fatal("no health for live run")
+	}
+	if h.RanksSeen != n-1 {
+		t.Fatalf("ranks seen %d, want %d", h.RanksSeen, n-1)
+	}
+	if h.ResidentSnapshots != limit {
+		t.Fatalf("resident snapshots %d, want %d (cap)", h.ResidentSnapshots, limit)
+	}
+	if h.MergeBacklog < 0 {
+		t.Fatalf("merge backlog %d negative", h.MergeBacklog)
+	}
+	resp, err := admin.Client().Get(admin.URL + "/runs/resident/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 ||
+		!strings.Contains(string(body), `"merge_backlog"`) ||
+		!strings.Contains(string(body), `"resident_snapshots"`) {
+		t.Fatalf("health endpoint: %d %s", resp.StatusCode, body)
+	}
+
+	// Completing the run drains the backlog and finalizes from the
+	// spilled payloads.
+	if err := c.SendSnapshot(snaps[n-1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Metrics().MergeBacklog.Load(); got != 0 {
+		t.Fatalf("merge backlog gauge %v after finalize, want 0", got)
+	}
+}
+
+// TestBackpressureNeverDrops floods a single merge worker from many
+// concurrent producers: a full merge queue may slow acks, but every
+// send must succeed and every snapshot must merge exactly once.
+func TestBackpressureNeverDrops(t *testing.T) {
+	const n = 48
+	snaps := traceWorkload(t, n)
+	local, _ := core.FinalizeSnapshots(snaps, core.Options{}, nil)
+	want := serialize(t, local)
+
+	srv := startServer(t, collect.Config{MergeWorkers: 1})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = client(srv, "flood", n).SendSnapshot(snaps[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d send failed under backpressure: %v", i, err)
+		}
+	}
+	got, err := client(srv, "flood", n).WaitTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("flooded trace differs from local finalize")
+	}
+	if merged := srv.Metrics().IngestSnapshots.Load(); merged != n {
+		t.Fatalf("merged %d snapshots, want %d", merged, n)
+	}
+}
+
+// TestStragglerSalvageWithSpill exercises the streamed finalize on the
+// salvage path: spilled payloads plus a missing rank must still
+// produce a decodable salvage trace naming the straggler.
+func TestStragglerSalvageWithSpill(t *testing.T) {
+	const n = 5
+	snaps := traceWorkload(t, n)
+	srv := startServer(t, collect.Config{
+		OutDir:               t.TempDir(),
+		MaxResidentSnapshots: 1,
+		StragglerDeadline:    300 * time.Millisecond,
+	})
+	c := client(srv, "spillstraggler", n)
+	for _, s := range snaps {
+		if s.Rank == 3 {
+			continue
+		}
+		if err := c.SendSnapshot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := c.WaitTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := trace.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Salvage == nil || len(f.Salvage.FailedRanks) != 1 || f.Salvage.FailedRanks[0] != 3 {
+		t.Fatalf("salvage info = %+v, want failed rank 3", f.Salvage)
+	}
+	for r := 0; r < n; r++ {
+		calls, err := core.DecodeRank(f, r)
+		if err != nil {
+			t.Fatalf("decode rank %d: %v", r, err)
+		}
+		if r != 3 && int64(len(calls)) != snaps[r].Calls {
+			t.Fatalf("rank %d decoded %d calls, want %d", r, len(calls), snaps[r].Calls)
+		}
+	}
+}
+
+// TestCrashRecoveryWithSpill restarts a resident-capped daemon mid-run:
+// replay re-spills beyond the cap, late ranks finish the run, and the
+// trace is byte-identical to an uninterrupted in-memory finalize.
+func TestCrashRecoveryWithSpill(t *testing.T) {
+	const n = 8
+	snaps := traceWorkload(t, n)
+	local, _ := core.FinalizeSnapshots(snaps, core.Options{}, nil)
+	want := serialize(t, local)
+
+	dir := t.TempDir()
+	cfg := collect.Config{OutDir: dir, JournalSync: collect.SyncAlways, MaxResidentSnapshots: 2}
+	srv := startServer(t, cfg)
+	c := client(srv, "spillcrash", n)
+	for i := 0; i < n/2; i++ {
+		if err := c.SendSnapshot(snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.CrashStop()
+
+	srv2 := startServer(t, cfg)
+	if rec, ok := srv2.Recovery("spillcrash"); !ok || !rec.Recovered || rec.ReplayedFrames != n/2 {
+		t.Fatalf("recovery = %+v ok=%v", rec, ok)
+	}
+	if h, ok := srv2.Health("spillcrash"); !ok || h.ResidentSnapshots != 2 {
+		t.Fatalf("post-replay resident snapshots = %+v (ok=%v), want 2", h, ok)
+	}
+	c2 := client(srv2, "spillcrash", n)
+	for i := n / 2; i < n; i++ {
+		if err := c2.SendSnapshot(snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c2.WaitTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered spilled trace differs from uninterrupted finalize: %d vs %d bytes",
+			len(got), len(want))
+	}
+}

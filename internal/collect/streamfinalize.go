@@ -1,0 +1,92 @@
+package collect
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+	"github.com/hpcrepro/pilgrim/internal/wire"
+)
+
+// finalizeStreamedLocked (r.mu held) finalizes a run whose snapshot
+// payloads were partly dropped under MaxResidentSnapshots: the grammar
+// pass streams them back from the run journal in resident-cap-sized
+// batches via core.FinalizePremergedStreamed, so peak finalize memory
+// stays bounded by the cap while the trace stays byte-identical to the
+// all-resident path.
+func (s *Server) finalizeStreamedLocked(r *run, info *trace.SalvageInfo) (*trace.File, error) {
+	j := r.journal
+	if j == nil {
+		return nil, fmt.Errorf("%d spilled payloads but no journal", r.spilled)
+	}
+	// Every spilled ref points into frames.jnl. Barrier the journal
+	// queue so all appends are in the file (its worker never takes
+	// r.mu, so blocking here cannot deadlock), then read through a
+	// private handle — the append handle belongs to the queue worker.
+	j.q.Barrier()
+	if j.broken.Load() {
+		return nil, fmt.Errorf("journal broken with %d payloads spilled to it", r.spilled)
+	}
+	f, err := os.Open(filepath.Join(j.dir, framesName))
+	if err != nil {
+		return nil, fmt.Errorf("open journal frames: %w", err)
+	}
+	defer f.Close()
+	fetch := func(start, n int) ([]*core.Snapshot, error) {
+		out := make([]*core.Snapshot, n)
+		for i := 0; i < n; i++ {
+			rank := start + i
+			if ref := r.jrefs[rank]; ref[1] != 0 {
+				snap, err := readJournalPair(f, ref[0], ref[1], rank, r.id, r.epoch)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = snap
+				continue
+			}
+			out[i] = r.snaps[rank]
+		}
+		return out, nil
+	}
+	file, _, err := core.FinalizePremergedStreamed(r.world, fetch, r.inc.Result(), r.mergeNs, r.opts, info)
+	return file, err
+}
+
+// readJournalPair re-reads and CRC-validates one journaled
+// (Hello, Snapshot) frame pair at (off, length), returning the decoded
+// snapshot. The identity checks fail loudly if the ref points at the
+// wrong entry — a bug, not a torn tail, since refs cover only appends
+// the journal accepted.
+func readJournalPair(f *os.File, off, length int64, rank int, runID string, epoch uint64) (*core.Snapshot, error) {
+	sr := io.NewSectionReader(f, off, length)
+	typ, body, err := wire.ReadFrame(sr)
+	if err != nil {
+		return nil, fmt.Errorf("journal rank %d hello: %w", rank, err)
+	}
+	if typ != wire.TypeHello {
+		return nil, fmt.Errorf("journal rank %d: frame type 0x%02x where hello expected", rank, typ)
+	}
+	h, err := wire.DecodeHello(body)
+	if err != nil {
+		return nil, fmt.Errorf("journal rank %d hello: %w", rank, err)
+	}
+	if h.Rank != rank || h.RunID != runID || h.Epoch != epoch {
+		return nil, fmt.Errorf("journal entry at %d holds run %s rank %d epoch %d, expected %s/%d/%d",
+			off, h.RunID, h.Rank, h.Epoch, runID, rank, epoch)
+	}
+	typ, body, err = wire.ReadFrame(sr)
+	if err != nil {
+		return nil, fmt.Errorf("journal rank %d snapshot: %w", rank, err)
+	}
+	if typ != wire.TypeSnapshot {
+		return nil, fmt.Errorf("journal rank %d: frame type 0x%02x where snapshot expected", rank, typ)
+	}
+	snap, err := wire.DecodeSnapshot(body)
+	if err != nil {
+		return nil, fmt.Errorf("journal rank %d snapshot: %w", rank, err)
+	}
+	return snap, nil
+}

@@ -1,0 +1,291 @@
+// Streamed, bounded-memory finalize: the same §3.5 inter-process
+// compression as finalizeSnapshots/finalizeMerged, but consuming rank
+// snapshots in bounded batches of K through a fetch callback instead
+// of holding all P in memory. Peak resident snapshots is O(K), peak
+// resident CST tables is O(K + log P) (cst.AddBatch releases absorbed
+// tables eagerly), and the produced trace is byte-identical to the
+// in-memory path for every K and worker count: the merge tree's shape
+// is a pure function of the rank count, each node's table is a pure
+// function of its descendant leaves in fixed left-right order, and
+// every cross-rank ordering decision (grammar first-seen dedup, rank
+// map append) runs in a sequential pass in rank order — batching only
+// changes when work happens, never what it computes.
+//
+// The in-memory finalizeMerged is a thin wrapper over this code with
+// a fetch that slices the resident snapshot array and K = P, so the
+// two paths cannot drift apart.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/cst"
+	"github.com/hpcrepro/pilgrim/internal/par"
+	"github.com/hpcrepro/pilgrim/internal/sequitur"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+)
+
+// SnapshotFetch returns snapshots for the contiguous rank range
+// [start, start+n), in rank order. The finalize owns what it returns:
+// tables may be absorbed into the merge in place and released, so a
+// disk-backed fetch must decode fresh copies (the collector's journal
+// and internal/spill both do). A fetch may be called more than once
+// for the same range — the CST merge pass and the grammar pass each
+// stream the ranks once.
+type SnapshotFetch func(start, n int) ([]*Snapshot, error)
+
+// emptyTrace is the zero-rank finalize result shared by every
+// finalize entry point.
+func emptyTrace(info *trace.SalvageInfo) (*trace.File, FinalizeStats) {
+	return &trace.File{CST: cst.New(), RankMap: sequitur.Serialized(sequitur.New().Serialize()), Salvage: info}, FinalizeStats{}
+}
+
+// batchSize resolves Options.MaxResidentSnapshots against the world
+// size: 0 (unbounded) and anything over world mean one batch.
+func batchSize(opts Options, world int) int {
+	k := opts.MaxResidentSnapshots
+	if k <= 0 || k > world {
+		return world
+	}
+	return k
+}
+
+// FinalizeStreamed runs the full §3.5 finalize over world ranks
+// streamed through fetch in batches of Options.MaxResidentSnapshots:
+// first the pairwise CST merge (batched cst.Incremental.AddBatch with
+// owned, eagerly-released leaf tables), then the grammar
+// relabel/dedup/pack pass over a second stream of the same ranks.
+// Output is byte-identical to FinalizeSnapshots over the same
+// snapshots. The only error source is fetch itself.
+func FinalizeStreamed(world int, fetch SnapshotFetch, opts Options, info *trace.SalvageInfo) (*trace.File, FinalizeStats, error) {
+	opts = opts.withDefaults()
+	if world == 0 {
+		f, st := emptyTrace(info)
+		return f, st, nil
+	}
+	batch := batchSize(opts, world)
+	workers := par.Workers(opts.FinalizeWorkers)
+	t0 := time.Now()
+	sp := opts.ObsSink.Start("finalize", "finalize.cst_merge").
+		WithAttr("ranks", int64(world)).WithAttr("batch", int64(batch))
+	inc := cst.NewIncremental(world)
+	for start := 0; start < world; start += batch {
+		n := batch
+		if start+n > world {
+			n = world - start
+		}
+		snaps, err := fetchRange(fetch, start, n)
+		if err != nil {
+			sp.End()
+			return nil, FinalizeStats{}, err
+		}
+		bsp := opts.ObsSink.Start("finalize", "finalize.batch_merge").
+			WithAttr("start", int64(start)).WithAttr("ranks", int64(n))
+		tables := make([]*cst.Table, n)
+		for i, s := range snaps {
+			tables[i] = s.Table
+		}
+		if err := inc.AddBatch(start, tables, workers); err != nil {
+			bsp.End()
+			sp.End()
+			return nil, FinalizeStats{}, err
+		}
+		bsp.End()
+	}
+	merged := inc.Result()
+	sp.WithAttr("global_cst", int64(merged.Table.Len())).End()
+	return finalizeMergedStreamed(world, batch, fetch, merged, time.Since(t0).Nanoseconds(), opts, info)
+}
+
+// FinalizePremergedStreamed is FinalizeStreamed for callers whose CSTs
+// were already unified incrementally (the collector daemon): only the
+// grammar pass streams, against the supplied merge result. It relates
+// to FinalizePremerged exactly as FinalizeStreamed relates to
+// FinalizeSnapshots.
+func FinalizePremergedStreamed(world int, fetch SnapshotFetch, merged cst.Merged, cstMergeNs int64, opts Options, info *trace.SalvageInfo) (*trace.File, FinalizeStats, error) {
+	opts = opts.withDefaults()
+	if world == 0 {
+		f, st := emptyTrace(info)
+		return f, st, nil
+	}
+	return finalizeMergedStreamed(world, batchSize(opts, world), fetch, merged, cstMergeNs, opts, info)
+}
+
+// fetchRange calls fetch and validates its contract (length and rank
+// order), so a buggy spill reader fails loudly instead of silently
+// misattributing grammars to ranks.
+func fetchRange(fetch SnapshotFetch, start, n int) ([]*Snapshot, error) {
+	snaps, err := fetch(start, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) != n {
+		return nil, fmt.Errorf("core: snapshot fetch [%d,%d) returned %d snapshots", start, start+n, len(snaps))
+	}
+	for i, s := range snaps {
+		if s == nil {
+			return nil, fmt.Errorf("core: snapshot fetch [%d,%d) returned nil snapshot at rank %d", start, start+n, start+i)
+		}
+		if s.Rank != start+i {
+			return nil, fmt.Errorf("core: snapshot fetch [%d,%d) returned rank %d at position %d", start, start+n, s.Rank, i)
+		}
+	}
+	return snaps, nil
+}
+
+// dedupState is the incremental form of dedupGrammars: batches append
+// through it sequentially in rank order, so first-seen numbering is
+// identical to one sequential pass over all ranks.
+type dedupState struct {
+	seen map[string]int32
+	uniq []sequitur.Serialized
+}
+
+func newDedupState() *dedupState { return &dedupState{seen: map[string]int32{}} }
+
+func (d *dedupState) add(key string, g sequitur.Serialized) int32 {
+	j, ok := d.seen[key]
+	if !ok {
+		j = int32(len(d.uniq))
+		d.seen[key] = j
+		d.uniq = append(d.uniq, g)
+	}
+	return j
+}
+
+// finalizeMergedStreamed is the unified back half of the §3.5 merge
+// (grammar relabel against the global terminals, §3.5.1, plus the
+// inter-process grammar compression, §3.5.2), streaming ranks through
+// fetch in batches of batch. Within a batch the relabel and key
+// hashing fan out across workers; every ordering-sensitive step (the
+// first-seen grammar dedup and the rank-map append) runs sequentially
+// in rank order across batches, which is what keeps the output
+// byte-identical for any batch size and worker count.
+func finalizeMergedStreamed(world, batch int, fetch SnapshotFetch, merged cst.Merged, cstMergeNs int64, opts Options, info *trace.SalvageInfo) (*trace.File, FinalizeStats, error) {
+	workers := par.Workers(opts.FinalizeWorkers)
+	lossy := opts.TimingMode == trace.TimingLossy
+	var st FinalizeStats
+	st.CSTMergeNs = cstMergeNs
+	st.GlobalCST = merged.Table.Len()
+
+	calls := newDedupState()
+	rankMap := sequitur.New()
+	var durState, intState *dedupState
+	var durIdx, intIdx []int32
+	if lossy {
+		durState, intState = newDedupState(), newDedupState()
+		durIdx = make([]int32, 0, world)
+		intIdx = make([]int32, 0, world)
+	}
+
+	var cfgNs int64
+	for start := 0; start < world; start += batch {
+		n := batch
+		if start+n > world {
+			n = world - start
+		}
+		snaps, err := fetchRange(fetch, start, n)
+		if err != nil {
+			return nil, FinalizeStats{}, err
+		}
+		// The grammar pass never reads tables — fetched snapshots (and
+		// any tables a disk-backed fetch decoded) are dropped wholesale
+		// when the batch ends, so a batch's resident cost is bounded.
+		// Snapshots are not mutated: the in-memory wrapper hands the
+		// caller's own array through here.
+		for _, s := range snaps {
+			st.IntraNs += s.IntraNs
+			st.TotalCalls += s.Calls
+		}
+		// Per-rank relabel against the global terminals (§3.5.1): each
+		// rank rewrites only its own grammar, so the loop fans out freely.
+		t0 := time.Now()
+		rsp := opts.ObsSink.Start("finalize", "finalize.relabel").
+			WithAttr("start", int64(start)).WithAttr("ranks", int64(n))
+		relabeled := make([]sequitur.Serialized, n)
+		relabelErrs := make([]error, n)
+		par.For(n, workers, func(i int) {
+			relabeled[i], relabelErrs[i] = snaps[i].Grammar.Relabel(merged.Relabels[start+i])
+		})
+		rsp.End()
+		for i, err := range relabelErrs {
+			if err != nil {
+				panic(fmt.Sprintf("core: relabel rank %d: %v", start+i, err))
+			}
+		}
+		st.CSTMergeNs += time.Since(t0).Nanoseconds()
+
+		// Identity keys fan out; the first-seen pass below stays
+		// sequential in rank order (the §3.5.2 memcmp identity check).
+		t1 := time.Now()
+		keys := make([]string, n)
+		var durKeys, intKeys []string
+		par.For(n, workers, func(i int) {
+			keys[i] = grammarKey(relabeled[i])
+		})
+		if lossy {
+			durKeys, intKeys = make([]string, n), make([]string, n)
+			par.For(n, workers, func(i int) {
+				durKeys[i] = grammarKey(snaps[i].DurGrammar)
+				intKeys[i] = grammarKey(snaps[i].IntGrammar)
+			})
+		}
+		for i := 0; i < n; i++ {
+			rankMap.Append(calls.add(keys[i], relabeled[i]))
+			if lossy {
+				durIdx = append(durIdx, durState.add(durKeys[i], snaps[i].DurGrammar))
+				intIdx = append(intIdx, intState.add(intKeys[i], snaps[i].IntGrammar))
+			}
+		}
+		cfgNs += time.Since(t1).Nanoseconds()
+	}
+
+	// Final Sequitur pass over the non-identical grammars (§3.5.2):
+	// compresses shared rules across similar ranks and dominates the
+	// inter-process CFG compression time when many unique grammars
+	// survive the identity check.
+	t2 := time.Now()
+	dsp := opts.ObsSink.Start("finalize", "finalize.dedup_pack").WithAttr("ranks", int64(world))
+	packed := sequitur.Pack(calls.uniq)
+	dsp.WithAttr("unique_cfgs", int64(len(calls.uniq))).End()
+	st.CFGMergeNs = cfgNs + time.Since(t2).Nanoseconds()
+	st.UniqueCFGs = len(calls.uniq)
+
+	f := &trace.File{
+		NumRanks:   world,
+		TimingMode: opts.TimingMode,
+		TimingBase: opts.TimingBase,
+		CST:        merged.Table,
+		Grammars:   calls.uniq,
+		Packed:     packed,
+		RankMap:    sequitur.Serialized(rankMap.Serialize()),
+		Salvage:    info,
+	}
+	if lossy {
+		t3 := time.Now()
+		tsp := opts.ObsSink.Start("finalize", "finalize.timing").WithAttr("ranks", int64(world))
+		f.DurGrammars, f.DurIndex = durState.uniq, durIdx
+		f.IntGrammars, f.IntIndex = intState.uniq, intIdx
+		// The duration and interval streams are independent: pack them
+		// as two parallel branches.
+		par.For(2, workers, func(branch int) {
+			if branch == 0 {
+				f.PackedDur = sequitur.Pack(f.DurGrammars)
+			} else {
+				f.PackedInt = sequitur.Pack(f.IntGrammars)
+			}
+		})
+		tsp.End()
+		st.CFGMergeNs += time.Since(t3).Nanoseconds()
+	}
+	st.TraceBytes = f.SizeBytes()
+	if c := opts.Collector; c != nil {
+		cstB, cfgB, durB, intB := f.SectionSizes()
+		c.RecordTraceSections(cstB, cfgB, durB, intB, st.TraceBytes,
+			f.UncompressedEstimate(), st.TotalCalls)
+		c.RecordFinalize(st.IntraNs, st.CSTMergeNs, st.CFGMergeNs)
+		st.Metrics = c.Report()
+	}
+	return f, st, nil
+}

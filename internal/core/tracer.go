@@ -13,8 +13,8 @@ import (
 
 	"github.com/hpcrepro/pilgrim/internal/cst"
 	"github.com/hpcrepro/pilgrim/internal/metrics"
-	"github.com/hpcrepro/pilgrim/internal/obs"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
+	"github.com/hpcrepro/pilgrim/internal/obs"
 	"github.com/hpcrepro/pilgrim/internal/par"
 	"github.com/hpcrepro/pilgrim/internal/sequitur"
 	"github.com/hpcrepro/pilgrim/internal/sig"
@@ -80,6 +80,24 @@ type Options struct {
 	// one pointer check per instrumented site and zero allocations —
 	// the same discipline as Collector.
 	ObsSink *obs.Sink
+
+	// SpillDir, when non-empty, makes pilgrim.RunSim finalize through
+	// an on-disk spill instead of holding every rank's snapshot in
+	// memory: snapshots are written to a journal-format spill under
+	// this directory (the same MANIFEST.json + frames.jnl layout the
+	// collector journals, readable by pilgrim-dump -journal) and
+	// streamed back in batches of MaxResidentSnapshots. The produced
+	// trace is byte-identical to the in-memory finalize; peak resident
+	// snapshots drop from O(ranks) to O(MaxResidentSnapshots). The
+	// core package itself never touches the filesystem; the wiring
+	// lives in internal/spill and pilgrim.RunSim.
+	SpillDir string
+	// MaxResidentSnapshots bounds how many rank snapshots the streamed
+	// finalize (SpillDir, or the collector's journal-backed finalize)
+	// keeps in memory at once — the batch size K of the bounded-batch
+	// merge. 0 (the default) means unbounded (all ranks resident,
+	// byte-identical output either way).
+	MaxResidentSnapshots int
 }
 
 func (o Options) withDefaults() Options {
@@ -333,6 +351,41 @@ func (t *Tracer) Snapshot() *Snapshot {
 	return s
 }
 
+// TakeSnapshot is Snapshot with move semantics: the rank's CST and
+// grammar state transfer into the returned snapshot without cloning,
+// and the tracer resets to empty, so a streaming finalize can spill
+// rank i's snapshot to disk and free it before touching rank i+1.
+// Only the verification capture (Options.Verify) is shared rather
+// than moved — the tracer keeps its reference so post-run lossless
+// verification still works. Must only be called once the rank has
+// stopped tracing (end of run or salvage).
+func (t *Tracer) TakeSnapshot() *Snapshot {
+	if t.m != nil {
+		t.m.Snapshots.Inc()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Snapshot{
+		Rank:     t.Rank,
+		Calls:    t.NCalls,
+		IntraNs:  t.IntraNs,
+		Table:    t.table,
+		Grammar:  sequitur.Serialized(t.cfg.Serialize()),
+		RawSigs:  t.rawSigs,
+		RawTimes: t.rawTimes,
+	}
+	if t.tcomp != nil {
+		s.DurGrammar = t.tcomp.DurationGrammar()
+		s.IntGrammar = t.tcomp.IntervalGrammar()
+	}
+	t.table = cst.New()
+	t.cfg = sequitur.New()
+	if t.tcomp != nil {
+		t.tcomp = timing.New(t.opts.TimingBase)
+	}
+	return s
+}
+
 // Finalize performs the inter-process compression over all ranks'
 // tracers and produces the trace file (§3.5). It corresponds to the
 // work Pilgrim does inside MPI_Finalize.
@@ -428,120 +481,21 @@ func FinalizePremerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, o
 
 // finalizeMerged is the back half of the §3.5 merge: grammar relabel
 // against the global terminals (§3.5.1) plus the inter-process grammar
-// compression (§3.5.2).
+// compression (§3.5.2). It is the all-resident special case of
+// finalizeMergedStreamed — one batch covering every rank, fetched by
+// slicing the snapshot array — so the in-memory and streamed paths
+// share one implementation and stay byte-identical by construction.
 func finalizeMerged(snaps []*Snapshot, merged cst.Merged, cstMergeNs int64, opts Options, info *trace.SalvageInfo) (*trace.File, FinalizeStats) {
-	workers := par.Workers(opts.FinalizeWorkers)
-	var st FinalizeStats
-	for _, s := range snaps {
-		st.IntraNs += s.IntraNs
-		st.TotalCalls += s.Calls
+	fetch := func(start, n int) ([]*Snapshot, error) {
+		return snaps[start : start+n], nil
 	}
-	t0 := time.Now()
-	// Per-rank relabel against the global terminals (§3.5.1): each rank
-	// rewrites only its own grammar, so the loop fans out freely.
-	rsp := opts.ObsSink.Start("finalize", "finalize.relabel").WithAttr("ranks", int64(len(snaps)))
-	relabeled := make([]sequitur.Serialized, len(snaps))
-	relabelErrs := make([]error, len(snaps))
-	par.For(len(snaps), workers, func(i int) {
-		relabeled[i], relabelErrs[i] = snaps[i].Grammar.Relabel(merged.Relabels[i])
-	})
-	rsp.End()
-	for i, err := range relabelErrs {
-		if err != nil {
-			panic(fmt.Sprintf("core: relabel rank %d: %v", i, err))
-		}
-	}
-	st.CSTMergeNs = cstMergeNs + time.Since(t0).Nanoseconds()
-	st.GlobalCST = merged.Table.Len()
-
-	// Phase 2: inter-process grammar compression (§3.5.2): the
-	// identity fast path keeps one copy per unique grammar, and a
-	// final Sequitur pass compresses the rank → grammar sequence.
-	t1 := time.Now()
-	dsp := opts.ObsSink.Start("finalize", "finalize.dedup_pack").WithAttr("ranks", int64(len(snaps)))
-	uniq, rankIdx := dedupGrammars(relabeled, workers)
-	rankMap := sequitur.New()
-	for _, idx := range rankIdx {
-		rankMap.Append(idx)
-	}
-	// Final Sequitur pass over the non-identical grammars (§3.5.2):
-	// compresses shared rules across similar ranks and dominates the
-	// inter-process CFG compression time when many unique grammars
-	// survive the identity check.
-	packed := sequitur.Pack(uniq)
-	dsp.WithAttr("unique_cfgs", int64(len(uniq))).End()
-	st.CFGMergeNs = time.Since(t1).Nanoseconds()
-	st.UniqueCFGs = len(uniq)
-
-	f := &trace.File{
-		NumRanks:   len(snaps),
-		TimingMode: opts.TimingMode,
-		TimingBase: opts.TimingBase,
-		CST:        merged.Table,
-		Grammars:   uniq,
-		Packed:     packed,
-		RankMap:    sequitur.Serialized(rankMap.Serialize()),
-		Salvage:    info,
-	}
-	if opts.TimingMode == trace.TimingLossy {
-		durs := make([]sequitur.Serialized, len(snaps))
-		ints := make([]sequitur.Serialized, len(snaps))
-		for i, s := range snaps {
-			durs[i] = s.DurGrammar
-			ints[i] = s.IntGrammar
-		}
-		t2 := time.Now()
-		tsp := opts.ObsSink.Start("finalize", "finalize.timing").WithAttr("ranks", int64(len(snaps)))
-		// The duration and interval streams are independent: dedup and
-		// pack them as two parallel branches (each dedup's hashing fans
-		// out further on the shared pool).
-		par.For(2, workers, func(branch int) {
-			if branch == 0 {
-				f.DurGrammars, f.DurIndex = dedupGrammars(durs, workers)
-				f.PackedDur = sequitur.Pack(f.DurGrammars)
-			} else {
-				f.IntGrammars, f.IntIndex = dedupGrammars(ints, workers)
-				f.PackedInt = sequitur.Pack(f.IntGrammars)
-			}
-		})
-		tsp.End()
-		st.CFGMergeNs += time.Since(t2).Nanoseconds()
-	}
-	st.TraceBytes = f.SizeBytes()
-	if c := opts.Collector; c != nil {
-		cstB, cfgB, durB, intB := f.SectionSizes()
-		c.RecordTraceSections(cstB, cfgB, durB, intB, st.TraceBytes,
-			f.UncompressedEstimate(), st.TotalCalls)
-		c.RecordFinalize(st.IntraNs, st.CSTMergeNs, st.CFGMergeNs)
-		st.Metrics = c.Report()
+	f, st, err := finalizeMergedStreamed(len(snaps), len(snaps), fetch, merged, cstMergeNs, opts, info)
+	if err != nil {
+		// The slice fetch cannot fail; an error here is a broken
+		// invariant, not an I/O condition the caller can handle.
+		panic(fmt.Sprintf("core: in-memory finalize: %v", err))
 	}
 	return f, st
-}
-
-// dedupGrammars keeps one copy per distinct serialized grammar (the
-// memcmp identity check of §3.5.2) and returns per-input indices. The
-// per-grammar key hashing fans out across workers; the identity pass
-// itself stays sequential so first-seen ordering (and therefore the
-// unique-grammar numbering) is byte-identical for any worker count.
-func dedupGrammars(gs []sequitur.Serialized, workers int) ([]sequitur.Serialized, []int32) {
-	keys := make([]string, len(gs))
-	par.For(len(gs), workers, func(i int) {
-		keys[i] = grammarKey(gs[i])
-	})
-	seen := map[string]int32{}
-	var uniq []sequitur.Serialized
-	idx := make([]int32, len(gs))
-	for i, g := range gs {
-		key := keys[i]
-		j, ok := seen[key]
-		if !ok {
-			j = int32(len(uniq))
-			seen[key] = j
-			uniq = append(uniq, g)
-		}
-		idx[i] = j
-	}
-	return uniq, idx
 }
 
 func grammarKey(g sequitur.Serialized) string {

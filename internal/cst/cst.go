@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/hpcrepro/pilgrim/internal/par"
 )
@@ -291,7 +292,7 @@ type Incremental struct {
 	nodes []incNode
 	leaf  []int // rank -> leaf node index
 	root  int
-	added int
+	added atomic.Int64
 }
 
 type incNode struct {
@@ -304,6 +305,12 @@ type incNode struct {
 	owned bool
 	// children; -1 for leaves. parent is -1 for the root.
 	left, right, parent int
+	// join is AddConcurrent's coordination state: on a leaf it is the
+	// claimed flag (CAS 0->1 guards double adds), on an internal node
+	// it counts completed children — the add that moves it to 2 owns
+	// the merge of that node, so every node merges exactly once with
+	// no lock. Sequential Add/AddBatch never touch it.
+	join atomic.Int32
 }
 
 // NewIncremental builds the merge tree for n ranks (n >= 1).
@@ -335,55 +342,156 @@ func NewIncremental(n int) *Incremental {
 	return inc
 }
 
+// setLeaf installs one rank's table on its leaf node. When owned, the
+// table belongs to the merge and may be extended in place by the first
+// pair merge (no clone); otherwise it stays intact.
+func (inc *Incremental) setLeaf(rank int, t *Table, owned bool) {
+	leaf := &inc.nodes[inc.leaf[rank]]
+	leaf.t = t
+	leaf.ranks = []int{rank}
+	leaf.maps = [][]int32{identity(t.Len())}
+	leaf.owned = owned
+	leaf.ready = true
+	inc.added.Add(1)
+}
+
+// mergeNode merges internal node p from its two complete children and
+// releases their payloads. Deterministic in the children's tables, so
+// the caller's scheduling (sequential climb, batch wave, or concurrent
+// join) never changes the result.
+func (inc *Incremental) mergeNode(p int) {
+	pn := &inc.nodes[p]
+	a, b := &inc.nodes[pn.left], &inc.nodes[pn.right]
+	dst := a.t
+	if !a.owned {
+		dst = a.t.Clone()
+	}
+	mapB := mergeInto(dst, b.t)
+	pn.t = dst
+	pn.owned = true
+	pn.ranks = append(a.ranks, b.ranks...)
+	pn.maps = a.maps
+	for _, m := range b.maps {
+		pn.maps = append(pn.maps, composeInPlace(m, mapB))
+	}
+	pn.ready = true
+	// Drop child payloads: only the relabel slices live on in pn.
+	a.t, a.ranks, a.maps = nil, nil, nil
+	b.t, b.ranks, b.maps = nil, nil, nil
+}
+
 // Add feeds one rank's table and merges every tree node that becomes
-// complete. The table is not mutated or retained past the merge.
+// complete. The table is not mutated or retained past the merge. Not
+// safe for concurrent use; the collector's lock-free path is
+// AddConcurrent.
 func (inc *Incremental) Add(rank int, t *Table) error {
 	if rank < 0 || rank >= inc.n {
 		return fmt.Errorf("cst: incremental merge rank %d out of range [0,%d)", rank, inc.n)
 	}
-	leaf := &inc.nodes[inc.leaf[rank]]
-	if leaf.ready {
+	if inc.nodes[inc.leaf[rank]].ready {
 		return fmt.Errorf("cst: incremental merge rank %d added twice", rank)
 	}
-	leaf.t = t
-	leaf.ranks = []int{rank}
-	leaf.maps = [][]int32{identity(t.Len())}
-	leaf.ready = true
-	inc.added++
+	inc.setLeaf(rank, t, false)
 	// Propagate upward while both children of the parent are ready.
 	for id := inc.leaf[rank]; inc.nodes[id].parent != -1; {
 		p := inc.nodes[id].parent
 		pn := &inc.nodes[p]
-		a, b := &inc.nodes[pn.left], &inc.nodes[pn.right]
-		if !a.ready || !b.ready {
+		if !inc.nodes[pn.left].ready || !inc.nodes[pn.right].ready {
 			break
 		}
-		dst := a.t
-		if !a.owned {
-			dst = a.t.Clone()
-		}
-		mapB := mergeInto(dst, b.t)
-		pn.t = dst
-		pn.owned = true
-		pn.ranks = append(a.ranks, b.ranks...)
-		pn.maps = a.maps
-		for _, m := range b.maps {
-			pn.maps = append(pn.maps, composeInPlace(m, mapB))
-		}
-		pn.ready = true
-		// Drop child payloads: only the relabel slices live on in pn.
-		a.t, a.ranks, a.maps = nil, nil, nil
-		b.t, b.ranks, b.maps = nil, nil, nil
+		inc.mergeNode(p)
 		id = p
 	}
 	return nil
 }
 
+// AddBatch feeds a contiguous rank range [start, start+len(tables)) in
+// one call, merging every tree node that becomes complete with pair
+// merges running on up to workers goroutines per wave. The tables are
+// owned by the merge (absorbed in place, never cloned) — callers
+// stream them from disk and must not reuse them. The result is
+// byte-identical to feeding the same tables through Add one at a time:
+// each internal node's table is a pure function of its descendant
+// leaves in fixed left-right order, and wave scheduling only decides
+// when a node merges, never what it merges.
+func (inc *Incremental) AddBatch(start int, tables []*Table, workers int) error {
+	if start < 0 || start+len(tables) > inc.n {
+		return fmt.Errorf("cst: batch [%d,%d) out of range [0,%d)", start, start+len(tables), inc.n)
+	}
+	workers = par.Workers(workers)
+	frontier := make([]int, 0, len(tables))
+	for i, t := range tables {
+		rank := start + i
+		if inc.nodes[inc.leaf[rank]].ready {
+			return fmt.Errorf("cst: incremental merge rank %d added twice", rank)
+		}
+		inc.setLeaf(rank, t, true)
+		frontier = append(frontier, inc.leaf[rank])
+	}
+	// Wave propagation: collect every parent whose two children are now
+	// complete, merge the wave in parallel, repeat with the merged
+	// nodes as the new frontier. par.For's join is the barrier that
+	// publishes one wave's ready flags to the next collection pass.
+	queued := make(map[int]bool)
+	for len(frontier) > 0 {
+		var wave []int
+		for _, id := range frontier {
+			p := inc.nodes[id].parent
+			if p == -1 || inc.nodes[p].ready || queued[p] {
+				continue
+			}
+			if !inc.nodes[inc.nodes[p].left].ready || !inc.nodes[inc.nodes[p].right].ready {
+				continue
+			}
+			queued[p] = true
+			wave = append(wave, p)
+		}
+		par.For(len(wave), workers, func(i int) {
+			inc.mergeNode(wave[i])
+		})
+		frontier = wave
+	}
+	return nil
+}
+
+// AddConcurrent feeds one rank's table from any goroutine with no
+// external lock: the leaf is claimed by CAS, and the add climbs the
+// tree bumping each parent's atomic join counter — the add that makes
+// a counter reach 2 merges that node (both subtrees complete) and
+// continues upward, so every node merges exactly once and concurrent
+// adds only ever touch disjoint subtrees. Go's atomics order the
+// children's payload writes before the counter increment, so the
+// merging goroutine sees both subtrees complete. Returns true when
+// this add completed the root (Result is valid). When owned, the
+// table is absorbed in place rather than cloned.
+func (inc *Incremental) AddConcurrent(rank int, t *Table, owned bool) (rootDone bool, err error) {
+	if rank < 0 || rank >= inc.n {
+		return false, fmt.Errorf("cst: incremental merge rank %d out of range [0,%d)", rank, inc.n)
+	}
+	id := inc.leaf[rank]
+	if !inc.nodes[id].join.CompareAndSwap(0, 1) {
+		return false, fmt.Errorf("cst: incremental merge rank %d added twice", rank)
+	}
+	inc.setLeaf(rank, t, owned)
+	for {
+		p := inc.nodes[id].parent
+		if p == -1 {
+			return true, nil
+		}
+		if inc.nodes[p].join.Add(1) != 2 {
+			// Sibling subtree still incomplete; its last add will merge p.
+			return false, nil
+		}
+		inc.mergeNode(p)
+		id = p
+	}
+}
+
 // Received returns how many ranks have been added.
-func (inc *Incremental) Received() int { return inc.added }
+func (inc *Incremental) Received() int { return int(inc.added.Load()) }
 
 // Done reports whether every rank has been added (Result is valid).
-func (inc *Incremental) Done() bool { return inc.added == inc.n }
+func (inc *Incremental) Done() bool { return int(inc.added.Load()) == inc.n }
 
 // Result returns the completed merge; it must not be called before
 // Done reports true.

@@ -23,36 +23,43 @@ import (
 func SyntheticSnapshots(procs int) []*core.Snapshot {
 	snaps := make([]*core.Snapshot, procs)
 	for r := 0; r < procs; r++ {
-		tbl := cst.New()
-		g := sequitur.New()
-		record := func(sig string, dur int64) {
-			g.Append(tbl.Add([]byte(sig), dur))
-		}
-		// Common phase: identical on every rank (init + collectives).
-		for i := 0; i < 256; i++ {
-			record(fmt.Sprintf("shared/%d", i%16), int64(100+i))
-		}
-		// Class phase: nine neighbour-exchange classes with loop
-		// structure Sequitur can fold.
-		cls := r % 9
-		for i := 0; i < 1024; i++ {
-			record(fmt.Sprintf("class%d/%d", cls, i%48), int64(200+i%64))
-		}
-		// Unique tail: every 17th rank sees rank-specific signatures
-		// (e.g. I/O on a subset), so merges keep discovering terminals.
-		if r%17 == 0 {
-			for i := 0; i < 64; i++ {
-				record(fmt.Sprintf("rank%d/%d", r, i%8), int64(300+i))
-			}
-		}
-		snaps[r] = &core.Snapshot{
-			Rank:    r,
-			Calls:   tbl.Calls(),
-			Table:   tbl,
-			Grammar: sequitur.Serialized(g.Serialize()),
-		}
+		snaps[r] = SyntheticSnapshot(r)
 	}
 	return snaps
+}
+
+// SyntheticSnapshot builds rank r's snapshot alone, so bounded-memory
+// experiments can generate → spill → free one rank at a time without
+// ever materializing the full O(procs) snapshot set.
+func SyntheticSnapshot(r int) *core.Snapshot {
+	tbl := cst.New()
+	g := sequitur.New()
+	record := func(sig string, dur int64) {
+		g.Append(tbl.Add([]byte(sig), dur))
+	}
+	// Common phase: identical on every rank (init + collectives).
+	for i := 0; i < 256; i++ {
+		record(fmt.Sprintf("shared/%d", i%16), int64(100+i))
+	}
+	// Class phase: nine neighbour-exchange classes with loop
+	// structure Sequitur can fold.
+	cls := r % 9
+	for i := 0; i < 1024; i++ {
+		record(fmt.Sprintf("class%d/%d", cls, i%48), int64(200+i%64))
+	}
+	// Unique tail: every 17th rank sees rank-specific signatures
+	// (e.g. I/O on a subset), so merges keep discovering terminals.
+	if r%17 == 0 {
+		for i := 0; i < 64; i++ {
+			record(fmt.Sprintf("rank%d/%d", r, i%8), int64(300+i))
+		}
+	}
+	return &core.Snapshot{
+		Rank:    r,
+		Calls:   tbl.Calls(),
+		Table:   tbl,
+		Grammar: sequitur.Serialized(g.Serialize()),
+	}
 }
 
 // FinalizePoint compares sequential and parallel finalize at one rank

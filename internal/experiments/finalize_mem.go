@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/spill"
+)
+
+// The finalize_mem experiment measures what the streaming finalize is
+// for: peak memory. At each rank count it finalizes the same synthetic
+// snapshot population twice — once the classic way (materialize all P
+// snapshots, finalize in memory) and once streamed (generate one rank
+// at a time into an internal/spill writer, then merge back from disk
+// in MaxResidentSnapshots-sized batches) — and records the peak live
+// heap and peak process RSS of each phase, asserting the two traces
+// are byte-identical. The in-memory peak grows O(P); the streamed peak
+// grows O(K + log P) in resident tables and should stay sublinear in P
+// (the acceptance bar: the largest point's streamed peak RSS under 4x
+// the 2048-rank point's).
+
+// memBatch is the resident-snapshot bound K used for every streamed
+// run: small enough that the bound, not the rank count, dominates the
+// resident set, and fixed so points are comparable across the sweep.
+const memBatch = 64
+
+// FinalizeMemPoint is one rank count's in-memory vs streamed peak
+// comparison.
+type FinalizeMemPoint struct {
+	Procs int `json:"procs"`
+	Batch int `json:"batch"` // MaxResidentSnapshots of the streamed run
+
+	InMemPeakHeap    uint64 `json:"inmem_peak_heap_bytes"`
+	InMemPeakRSS     uint64 `json:"inmem_peak_rss_bytes,omitempty"`
+	StreamedPeakHeap uint64 `json:"streamed_peak_heap_bytes"`
+	StreamedPeakRSS  uint64 `json:"streamed_peak_rss_bytes,omitempty"`
+
+	// PeakRatio is streamed/in-memory peak heap: how much of the
+	// in-memory footprint the streaming path still needs.
+	PeakRatio float64 `json:"peak_ratio"`
+	Identical bool    `json:"identical"` // streamed trace byte-identical to in-memory
+	TraceB    int     `json:"trace_bytes"`
+}
+
+// FinalizeMemResult is the "finalize_mem" experiment
+// (BENCH_finalize_mem.json).
+type FinalizeMemResult struct {
+	Points []FinalizeMemPoint `json:"points"`
+}
+
+// RunFinalizeMem sweeps rank counts, comparing in-memory and streamed
+// finalize peak memory and verifying byte identity at every point.
+func RunFinalizeMem(scale Scale) (*FinalizeMemResult, error) {
+	var sweep []int
+	switch scale {
+	case Quick:
+		sweep = []int{128, 512}
+	case Standard:
+		sweep = []int{512, 2048, 4096}
+	default:
+		sweep = []int{512, 2048, 4096, 8192, 16384}
+	}
+	dir, err := os.MkdirTemp("", "pilgrim-finalize-mem-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	res := &FinalizeMemResult{}
+	for _, procs := range sweep {
+		pt, err := finalizeMemPoint(procs, filepath.Join(dir, strconv.Itoa(procs)))
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func finalizeMemPoint(procs int, dir string) (FinalizeMemPoint, error) {
+	pt := FinalizeMemPoint{Procs: procs, Batch: memBatch}
+
+	// Streamed phase first: peak RSS comes from the kernel's VmHWM
+	// high-water mark, which only resets forward — measuring the
+	// smaller phase first keeps both readings meaningful even if the
+	// reset below is unavailable.
+	var streamed []byte
+	heap, rss, err := measurePeak(func() error {
+		w, err := spill.NewWriter(dir, "membench", procs, core.Options{})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		// Generate -> spill -> free one rank at a time: the whole point
+		// is that no more than one generated snapshot is ever resident
+		// on the producer side.
+		for r := 0; r < procs; r++ {
+			if err := w.Add(SyntheticSnapshot(r)); err != nil {
+				return err
+			}
+		}
+		f, _, err := core.FinalizeStreamed(procs, w.Fetch,
+			core.Options{MaxResidentSnapshots: memBatch}, nil)
+		if err != nil {
+			return err
+		}
+		var b bytes.Buffer
+		if _, err := f.WriteTo(&b); err != nil {
+			return err
+		}
+		streamed = b.Bytes()
+		return nil
+	})
+	if err != nil {
+		return pt, fmt.Errorf("finalize_mem/%d streamed: %w", procs, err)
+	}
+	pt.StreamedPeakHeap, pt.StreamedPeakRSS = heap, rss
+
+	var inmem []byte
+	heap, rss, err = measurePeak(func() error {
+		snaps := SyntheticSnapshots(procs)
+		f, _ := core.FinalizeSnapshots(snaps, core.Options{}, nil)
+		var b bytes.Buffer
+		if _, err := f.WriteTo(&b); err != nil {
+			return err
+		}
+		inmem = b.Bytes()
+		return nil
+	})
+	if err != nil {
+		return pt, fmt.Errorf("finalize_mem/%d in-memory: %w", procs, err)
+	}
+	pt.InMemPeakHeap, pt.InMemPeakRSS = heap, rss
+
+	pt.Identical = bytes.Equal(streamed, inmem)
+	pt.TraceB = len(inmem)
+	if pt.InMemPeakHeap > 0 {
+		pt.PeakRatio = float64(pt.StreamedPeakHeap) / float64(pt.InMemPeakHeap)
+	}
+	if !pt.Identical {
+		return pt, fmt.Errorf("finalize_mem/%d: streamed trace differs from in-memory (%d vs %d bytes)",
+			procs, len(streamed), len(inmem))
+	}
+	return pt, nil
+}
+
+// measurePeak runs f and returns the peak live heap (max HeapAlloc
+// polled at 2ms) and peak process RSS (Linux VmHWM; 0 elsewhere) it
+// reached. The heap is settled with a GC and the RSS high-water mark
+// reset before f starts, so each phase is measured from its own
+// baseline; HeapAlloc includes garbage not yet collected, which is
+// exactly the memory pressure a bounded-memory finalize must bound.
+func measurePeak(f func() error) (peakHeap, peakRSS uint64, err error) {
+	debug.FreeOSMemory() // settle the heap and return freed pages first
+	resetPeakRSS()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	peakHeap = ms.HeapAlloc
+
+	done := make(chan struct{})
+	polled := make(chan uint64, 1)
+	go func() {
+		peak := peakHeap
+		var ms runtime.MemStats
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				polled <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	err = f()
+	runtime.ReadMemStats(&ms) // catch a final spike the ticker missed
+	close(done)
+	if p := <-polled; p > peakHeap {
+		peakHeap = p
+	}
+	if ms.HeapAlloc > peakHeap {
+		peakHeap = ms.HeapAlloc
+	}
+	peakRSS = readPeakRSS()
+	return peakHeap, peakRSS, err
+}
+
+// resetPeakRSS clears the kernel's per-process RSS high-water mark
+// (Linux: write 5 to /proc/self/clear_refs). Best-effort: on other
+// platforms readPeakRSS reports 0 and the heap numbers carry the
+// comparison.
+func resetPeakRSS() {
+	_ = os.WriteFile("/proc/self/clear_refs", []byte("5"), 0)
+}
+
+// readPeakRSS returns VmHWM from /proc/self/status in bytes, or 0.
+func readPeakRSS() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// Print renders the sweep as the evaluation table.
+func (r *FinalizeMemResult) Print(w io.Writer) {
+	header(w, fmt.Sprintf("finalize_mem: in-memory vs streamed peak memory (batch=%d)", memBatch))
+	fmt.Fprintf(w, "%6s %14s %14s %14s %14s %7s %10s\n",
+		"procs", "inmem heap MB", "stream heap MB", "inmem rss MB", "stream rss MB", "ratio", "identical")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%6d %14s %14s %14s %14s %6.2fx %10v\n",
+			p.Procs, mb(p.InMemPeakHeap), mb(p.StreamedPeakHeap),
+			mb(p.InMemPeakRSS), mb(p.StreamedPeakRSS), p.PeakRatio, p.Identical)
+	}
+}
+
+func mb(b uint64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(b)/(1024*1024))
+}

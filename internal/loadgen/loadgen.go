@@ -88,7 +88,7 @@ type Config struct {
 	// private registry (reachable via Runner.Metrics).
 	Metrics *Metrics
 	// Obs, when non-nil, records stream-level replay spans.
-	Obs *obs.Sink
+	Obs  *obs.Sink
 	Logf func(format string, args ...any)
 }
 

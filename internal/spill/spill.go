@@ -1,0 +1,275 @@
+// Package spill is the local half of the streaming, bounded-memory
+// finalize: it writes rank snapshots to an on-disk spill in the
+// collector's journal format (MANIFEST.json + a frames.jnl of
+// CRC32C-framed (Hello, Snapshot) wire pairs — readable by
+// pilgrim-dump -journal and collect.JournalReader) and streams them
+// back in rank ranges for core.FinalizeStreamed. A local run with
+// core.Options.SpillDir set finalizes through here: each rank's
+// tracer state moves into a snapshot (core.Tracer.TakeSnapshot),
+// lands on disk, and is freed before the next rank is touched, so
+// peak resident snapshots is O(MaxResidentSnapshots) instead of
+// O(ranks) while the produced trace stays byte-identical to the
+// in-memory finalize.
+package spill
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/hpcrepro/pilgrim/internal/core"
+	"github.com/hpcrepro/pilgrim/internal/trace"
+	"github.com/hpcrepro/pilgrim/internal/wire"
+)
+
+const (
+	manifestName = "MANIFEST.json"
+	framesName   = "frames.jnl"
+)
+
+// manifest mirrors the collector journal's MANIFEST.json so the spill
+// directory is inspectable with the same tooling.
+type manifest struct {
+	RunID      string  `json:"run"`
+	Epoch      uint64  `json:"epoch"`
+	World      int     `json:"nranks"`
+	TimingMode uint8   `json:"timing_mode"`
+	TimingBase float64 `json:"timing_base"`
+	CreatedSec float64 `json:"created_unix"`
+	State      string  `json:"state"` // collecting | finalized | salvaged
+	Reason     string  `json:"reason,omitempty"`
+}
+
+// Writer spills snapshots for one run and serves them back by rank
+// range. Not safe for concurrent use.
+type Writer struct {
+	dir   string
+	f     *os.File
+	man   manifest
+	world int
+	off   int64
+	refs  [][2]int64 // rank -> (offset, length) of its frame pair; length 0 = not spilled
+}
+
+// NewWriter creates (or truncates) the spill for runID under dir,
+// writing a collecting-state manifest up front so a crash mid-spill
+// leaves a self-describing directory behind.
+func NewWriter(dir, runID string, world int, opts core.Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, framesName), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	w := &Writer{
+		dir: dir,
+		f:   f,
+		man: manifest{
+			RunID:      runID,
+			Epoch:      uint64(time.Now().UnixNano()),
+			World:      world,
+			TimingMode: opts.TimingMode,
+			TimingBase: opts.TimingBase,
+			CreatedSec: float64(time.Now().UnixNano()) / 1e9,
+			State:      "collecting",
+		},
+		world: world,
+		refs:  make([][2]int64, world),
+	}
+	if err := w.writeManifest(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Writer) writeManifest() error {
+	data, err := json.MarshalIndent(&w.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("spill: manifest: %w", err)
+	}
+	tmp := filepath.Join(w.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("spill: manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, manifestName)); err != nil {
+		return fmt.Errorf("spill: manifest: %w", err)
+	}
+	return nil
+}
+
+// Add appends one rank's snapshot as a (Hello, Snapshot) wire frame
+// pair — the exact bytes a producer would put on the wire — and
+// records its offset for Fetch.
+func (w *Writer) Add(s *core.Snapshot) error {
+	if s.Rank < 0 || s.Rank >= w.world {
+		return fmt.Errorf("spill: rank %d out of range [0,%d)", s.Rank, w.world)
+	}
+	if w.refs[s.Rank][1] != 0 {
+		return fmt.Errorf("spill: rank %d spilled twice", s.Rank)
+	}
+	h := wire.Hello{
+		Version:    wire.Version,
+		RunID:      w.man.RunID,
+		WorldSize:  w.world,
+		Rank:       s.Rank,
+		Epoch:      w.man.Epoch,
+		TimingMode: w.man.TimingMode,
+		TimingBase: w.man.TimingBase,
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, wire.TypeHello, h.Encode()); err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	if err := wire.WriteFrame(&buf, wire.TypeSnapshot, wire.EncodeSnapshot(s)); err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	if _, err := w.f.WriteAt(buf.Bytes(), w.off); err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	w.refs[s.Rank] = [2]int64{w.off, int64(buf.Len())}
+	w.off += int64(buf.Len())
+	return nil
+}
+
+// Fetch implements core.SnapshotFetch: it re-reads and CRC-validates
+// the spilled frame pairs for [start, start+n), returning fresh
+// snapshots the finalize may absorb in place.
+func (w *Writer) Fetch(start, n int) ([]*core.Snapshot, error) {
+	if start < 0 || start+n > w.world {
+		return nil, fmt.Errorf("spill: fetch [%d,%d) out of range [0,%d)", start, start+n, w.world)
+	}
+	snaps := make([]*core.Snapshot, n)
+	for i := 0; i < n; i++ {
+		ref := w.refs[start+i]
+		if ref[1] == 0 {
+			return nil, fmt.Errorf("spill: rank %d was never spilled", start+i)
+		}
+		s, err := w.readOne(ref[0], ref[1], start+i)
+		if err != nil {
+			return nil, err
+		}
+		snaps[i] = s
+	}
+	return snaps, nil
+}
+
+func (w *Writer) readOne(off, length int64, rank int) (*core.Snapshot, error) {
+	r := io.NewSectionReader(w.f, off, length)
+	typ, body, err := wire.ReadFrame(r)
+	if err != nil {
+		return nil, fmt.Errorf("spill: rank %d hello: %w", rank, err)
+	}
+	if typ != wire.TypeHello {
+		return nil, fmt.Errorf("spill: rank %d: frame type 0x%02x where hello expected", rank, typ)
+	}
+	h, err := wire.DecodeHello(body)
+	if err != nil {
+		return nil, fmt.Errorf("spill: rank %d hello: %w", rank, err)
+	}
+	if h.Rank != rank {
+		return nil, fmt.Errorf("spill: frame at offset %d holds rank %d, expected %d", off, h.Rank, rank)
+	}
+	typ, body, err = wire.ReadFrame(r)
+	if err != nil {
+		return nil, fmt.Errorf("spill: rank %d snapshot: %w", rank, err)
+	}
+	if typ != wire.TypeSnapshot {
+		return nil, fmt.Errorf("spill: rank %d: frame type 0x%02x where snapshot expected", rank, typ)
+	}
+	s, err := wire.DecodeSnapshot(body)
+	if err != nil {
+		return nil, fmt.Errorf("spill: rank %d snapshot: %w", rank, err)
+	}
+	return s, nil
+}
+
+// Finish rewrites the manifest with the run's terminal state. The
+// frames are retained — the spill directory doubles as a replayable
+// wire recording (pilgrim-dump -journal, pilgrim-loadgen).
+func (w *Writer) Finish(state, reason string) error {
+	w.man.State, w.man.Reason = state, reason
+	return w.writeManifest()
+}
+
+// Close releases the spill's file handle.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// Finalize runs the streaming finalize over every tracer: snapshots
+// move out of the tracers (TakeSnapshot) and spill to
+// opts.SpillDir/<run> in batches of opts.MaxResidentSnapshots, then
+// core.FinalizeStreamed merges them back from disk in the same
+// batches. failed and reason tag a salvage finalize exactly as
+// core.SalvageFinalize does; pass failed == nil for a clean run. The
+// trace is byte-identical to the in-memory path.
+func Finalize(tracers []*core.Tracer, failed map[int]error, reason string, opts core.Options) (*trace.File, core.FinalizeStats, error) {
+	world := len(tracers)
+	runID := opts.CollectorRunID
+	if runID == "" {
+		runID = "local"
+	}
+	var info *trace.SalvageInfo
+	if failed != nil || reason != "" {
+		if opts.Collector != nil {
+			opts.Collector.Salvages.Inc()
+		}
+		info = &trace.SalvageInfo{Reason: reason, Calls: make([]int64, world)}
+		ranks := make([]int, 0, len(failed))
+		for r := range failed {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			info.FailedRanks = append(info.FailedRanks, int32(r))
+		}
+	}
+	w, err := NewWriter(filepath.Join(opts.SpillDir, runID), runID, world, opts)
+	if err != nil {
+		return nil, core.FinalizeStats{}, err
+	}
+	defer w.Close()
+	// Spill pass: move each rank's state to disk and free it before
+	// touching the next, in MaxResidentSnapshots-sized strides so the
+	// obs timeline shows the same batching the merge passes use.
+	batch := opts.MaxResidentSnapshots
+	if batch <= 0 || batch > world {
+		batch = world
+	}
+	for start := 0; start < world; start += batch {
+		n := batch
+		if start+n > world {
+			n = world - start
+		}
+		sp := opts.ObsSink.Start("finalize", "finalize.spill").
+			WithAttr("start", int64(start)).WithAttr("ranks", int64(n))
+		for i := start; i < start+n; i++ {
+			s := tracers[i].TakeSnapshot()
+			if info != nil {
+				info.Calls[i] = s.Calls
+			}
+			if err := w.Add(s); err != nil {
+				sp.End()
+				return nil, core.FinalizeStats{}, err
+			}
+		}
+		sp.End()
+	}
+	f, st, err := core.FinalizeStreamed(world, w.Fetch, opts, info)
+	if err != nil {
+		return nil, core.FinalizeStats{}, err
+	}
+	state := "finalized"
+	if info != nil {
+		state = "salvaged"
+	}
+	if err := w.Finish(state, reason); err != nil {
+		return nil, core.FinalizeStats{}, err
+	}
+	return f, st, nil
+}

@@ -36,6 +36,7 @@ import (
 	"github.com/hpcrepro/pilgrim/internal/metrics"
 	"github.com/hpcrepro/pilgrim/internal/mpispec"
 	"github.com/hpcrepro/pilgrim/internal/obs"
+	"github.com/hpcrepro/pilgrim/internal/spill"
 	"github.com/hpcrepro/pilgrim/internal/trace"
 	"github.com/hpcrepro/pilgrim/mpi"
 )
@@ -130,6 +131,17 @@ func RunSim(n int, opts Options, simOpts mpi.Options, body func(p *mpi.Proc)) (*
 		body(p)
 	})
 	if err != nil {
+		if opts.SpillDir != "" && opts.CollectorAddr == "" {
+			file, stats, serr := spillSalvage(tracers, err, opts)
+			if serr != nil {
+				// The spill consumed tracer state, so there is no safe
+				// in-memory fallback: the salvage trace is lost, the run
+				// error still stands.
+				fmt.Fprintf(os.Stderr, "pilgrim: spill salvage finalize failed: %v\n", serr)
+				return nil, stats, err
+			}
+			return file, stats, err
+		}
 		file, stats := SalvageFinalize(tracers, err)
 		return file, stats, err
 	}
@@ -140,8 +152,32 @@ func RunSim(n int, opts Options, simOpts mpi.Options, body func(p *mpi.Proc)) (*
 		}
 		return file, stats, nil
 	}
+	if opts.SpillDir != "" {
+		// Streaming, bounded-memory finalize: snapshots spill to disk in
+		// batches of MaxResidentSnapshots and merge back from the spill,
+		// byte-identical to the in-memory path.
+		file, stats, ferr := spill.Finalize(tracers, nil, "", opts)
+		if ferr != nil {
+			return nil, stats, fmt.Errorf("pilgrim: spill finalize: %w", ferr)
+		}
+		return file, stats, nil
+	}
 	file, stats := core.Finalize(tracers)
 	return file, stats, nil
+}
+
+// spillSalvage is the failure-path streaming finalize: the same
+// failed-rank classification as SalvageFinalize, run through the
+// on-disk spill instead of all-resident snapshots.
+func spillSalvage(tracers []*Tracer, err error, opts Options) (*TraceFile, FinalizeStats, error) {
+	failed := map[int]error{}
+	for r, e := range mpi.FailedRanks(err) {
+		if !errors.Is(e, mpi.ErrRevoked) {
+			failed[r] = e
+		}
+	}
+	reason, _, _ := strings.Cut(err.Error(), "\n")
+	return spill.Finalize(tracers, failed, reason, opts)
 }
 
 // collectFinalize is the networked finalize path: every rank's
